@@ -1,0 +1,97 @@
+"""Extension study — KV-cache autoregressive decoding.
+
+Beyond the paper's full-forward evaluation: GPT-style generation with a
+growing key/value cache, one query row per step, comparing STOF's
+row-wise decode kernel against native and FlashAttention2 strategies,
+with dense-causal vs sparse sliding-window patterns.
+
+Expected shapes: STOF fastest at every cache length; with a window
+pattern the per-step cost (and hence tokens/s) stays flat as the cache
+grows, while dense-causal decode degrades ~linearly.
+"""
+
+import pytest
+from harness import emit, format_table
+
+from repro.gpu.specs import A100
+from repro.mha.decode import simulate_decode
+from repro.runtime.frameworks import COMPILED_DISPATCH_S, EAGER_DISPATCH_S
+
+CASES = [
+    # (pattern, prompt, generate, extra)
+    ("causal", 128, 128, {}),
+    ("causal", 1024, 256, {}),
+    ("sliding_window", 128, 128, {"band_width": 32}),
+    ("sliding_window", 1024, 256, {"band_width": 32}),
+]
+
+METHODS = (
+    ("stof", "stof", COMPILED_DISPATCH_S),
+    ("native", "pytorch-native", EAGER_DISPATCH_S),
+    ("fa2", "flashattention2", COMPILED_DISPATCH_S),
+)
+
+
+def compute_rows():
+    rows = []
+    raw = {}
+    for pattern, prompt, gen, extra in CASES:
+        cells = [pattern, f"{prompt}+{gen}"]
+        per = {}
+        for label, method, disp in METHODS:
+            rep = simulate_decode(
+                pattern, A100, method,
+                batch=8, heads=12, head_size=64,
+                prompt_len=prompt, generate=gen,
+                dispatch_s=disp, **extra,
+            )
+            per[label] = rep
+            cells.append(rep.tokens_per_s)
+        rows.append(cells)
+        raw[(pattern, prompt, gen)] = per
+    return rows, raw
+
+
+@pytest.fixture(scope="module")
+def decode_rows():
+    return compute_rows()
+
+
+def test_decode_table(benchmark, decode_rows):
+    rows, _ = decode_rows
+    benchmark(
+        lambda: simulate_decode(
+            "causal", A100, "stof", prompt_len=64, generate=16
+        ).tokens_per_s
+    )
+    emit(
+        "decode_throughput",
+        format_table(
+            ["pattern", "prompt+gen", "stof tok/s", "native tok/s", "fa2 tok/s"],
+            rows,
+            title="Extension: KV-cache decode throughput (batch 8, GPT heads, A100)",
+        ),
+    )
+
+
+def test_stof_fastest_decode(decode_rows):
+    _, raw = decode_rows
+    for key, per in raw.items():
+        assert per["stof"].total_s <= per["native"].total_s, key
+        assert per["stof"].total_s <= per["fa2"].total_s, key
+
+
+def test_window_decode_does_not_degrade(decode_rows):
+    """Sparse pattern => per-step cost independent of cache length."""
+    _, raw = decode_rows
+    short = raw[("sliding_window", 128, 128)]["stof"]
+    long = raw[("sliding_window", 1024, 256)]["stof"]
+    assert long.mean_step_s < 1.3 * short.mean_step_s
+
+
+def test_causal_decode_degrades(decode_rows):
+    """Dense causal decode slows as the cache grows."""
+    _, raw = decode_rows
+    short = raw[("causal", 128, 128)]["stof"]
+    long = raw[("causal", 1024, 256)]["stof"]
+    assert long.mean_step_s > 1.5 * short.mean_step_s

@@ -1,0 +1,94 @@
+"""Figure 11 — MHA performance on the A100, normalized to PyTorch Native.
+
+Same sweep as Figure 10 on the second GPU.  Additional paper anchors
+checked here: ~4.7x over Native at (1,128) sliding window and >15x at the
+largest scale, with STOF beating FlexAttention by ~1.5-2x on average.
+"""
+
+import pytest
+from harness import MHA_PATTERNS, emit, format_table, mha_problem
+from mha_methods import MHA_METHODS, mha_figure_rows, method_time, stof_time
+
+from repro.gpu.specs import A100
+
+SETTINGS = ((1, 128), (1, 512), (8, 512), (16, 2048), (16, 4096))
+HEADERS = ["mask", "(bs,seq)"] + [m[0] for m in MHA_METHODS] + ["stof", "stof kernel"]
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return mha_figure_rows(
+        A100, MHA_PATTERNS, SETTINGS,
+        lambda p, b, s: mha_problem(p, b, s, name="fig11"),
+    )
+
+
+def test_fig11_table(benchmark, fig11):
+    rows, _ = fig11
+    benchmark(lambda: stof_time(mha_problem("bigbird", 8, 512, "f11b"), A100))
+    emit(
+        "fig11_mha_a100",
+        format_table(HEADERS, rows, title="Figure 11 reproduction (A100)"),
+    )
+
+
+def test_fig11_stof_wins_everywhere(fig11):
+    rows, _ = fig11
+    for row in rows:
+        numeric = [float(c[:-1]) for c in row[2:-1] if c not in ("--", "OOM")]
+        assert float(row[-2][:-1]) == max(numeric), row
+
+
+def test_fig11_anchor_small_sliding_window(fig11):
+    """Paper: 4.7x over Native at (1,128) sliding window on A100."""
+    rows, _ = fig11
+    for row in rows:
+        if row[0] == "sliding_window" and row[1] == "(1,128)":
+            stof = float(row[-2][:-1])
+            assert 2.0 < stof < 12.0   # same order as the paper's 4.7x
+
+def test_fig11_anchor_large_scale(fig11):
+    """Paper: 33.5x over Native at (16,4096); we require >15x (shape)."""
+    rows, _ = fig11
+    for row in rows:
+        if row[0] == "sliding_window" and row[1] == "(16,4096)":
+            assert float(row[-2][:-1]) > 15.0
+
+
+def test_fig11_stof_over_flex_average(fig11):
+    """Paper: 1.6x average over FlexAttention on A100."""
+    rows, _ = fig11
+    ratios = []
+    for row in rows:
+        flex = row[2 + 3]
+        stof = row[-2]
+        if flex in ("--", "OOM"):
+            continue
+        ratios.append(float(stof[:-1]) / float(flex[:-1]))
+    avg = sum(ratios) / len(ratios)
+    assert avg > 1.3, f"average STOF/Flex speedup {avg:.2f}"
+
+
+def test_fig11_atomic_gains_exceed_compound(fig11):
+    """'The effect of STOF on atomic masks is better than compound.'"""
+    rows, _ = fig11
+    def flex_ratio(pattern):
+        vals = []
+        for row in rows:
+            if row[0] != pattern or row[2 + 3] in ("--", "OOM"):
+                continue
+            vals.append(float(row[-2][:-1]) / float(row[2 + 3][:-1]))
+        return sum(vals) / len(vals)
+
+    atomic = (flex_ratio("sliding_window") + flex_ratio("dilated")) / 2
+    compound = (flex_ratio("longformer") + flex_ratio("bigbird")) / 2
+    assert atomic > compound
+
+
+def test_fig11_rowwise_at_smallest_sliding_window(fig11):
+    """Paper §5.2: 'At this time, STOF enables the row-wise kernel' for
+    (1,128) sliding window on the A100."""
+    rows, _ = fig11
+    for row in rows:
+        if row[0] == "sliding_window" and row[1] == "(1,128)":
+            assert row[-1] == "rowwise"

@@ -1,0 +1,125 @@
+"""Figure 12 — End-to-end inference, normalized to PyTorch Native.
+
+Five models (BERT-Small/Base/Large, GPT, T5) x three (batch, seq)
+settings x both GPUs, Bigbird mask.  Expected shape: STOF highest nearly
+everywhere, ByteTransformer absent at seq 2,048, MCFuser OOM at the
+largest inputs on the 24 GB RTX 4090, and STOF ~1.4-2.9x over PyTorch
+Compile at (16, 2048).
+"""
+
+import pytest
+from harness import (
+    E2E_MODELS,
+    E2E_SETTINGS,
+    emit,
+    engine_time,
+    format_table,
+    model_setup,
+    speedup_cell,
+)
+
+from repro.gpu.specs import A100, RTX4090
+from repro.runtime import (
+    BoltEngine,
+    ByteTransformerEngine,
+    MCFuserEngine,
+    PyTorchCompileEngine,
+    PyTorchNativeEngine,
+    STOFEngine,
+)
+
+ENGINES = (
+    ("native", PyTorchNativeEngine),
+    ("compile", PyTorchCompileEngine),
+    ("byte", ByteTransformerEngine),
+    ("mcfuser", MCFuserEngine),
+    ("bolt", BoltEngine),
+    ("stof", STOFEngine),
+)
+HEADERS = ["model", "(bs,seq)"] + [e[0] for e in ENGINES]
+
+
+def compute_rows(spec):
+    rows = []
+    raw = {}
+    for model in E2E_MODELS:
+        for bs, seq in E2E_SETTINGS:
+            inst, masks, patterns = model_setup(model, bs, seq)
+            times = {}
+            for label, cls in ENGINES:
+                times[label] = engine_time(cls(), inst, spec, masks, patterns)
+            native = times["native"]
+            cells = [model, f"({bs},{seq})"]
+            cells += [speedup_cell(native, times[l]) for l, _ in ENGINES]
+            rows.append(cells)
+            raw[(model, bs, seq)] = times
+    return rows, raw
+
+
+@pytest.fixture(scope="module")
+def fig12_4090():
+    return compute_rows(RTX4090)
+
+
+@pytest.fixture(scope="module")
+def fig12_a100():
+    return compute_rows(A100)
+
+
+def test_fig12_tables(benchmark, fig12_4090, fig12_a100):
+    def probe():
+        inst, masks, patterns = model_setup("bert-small", 1, 128)
+        return engine_time(STOFEngine(), inst, A100, masks, patterns)
+
+    benchmark(probe)
+    for name, (rows, _) in (
+        ("fig12_end_to_end_rtx4090", fig12_4090),
+        ("fig12_end_to_end_a100", fig12_a100),
+    ):
+        emit(name, format_table(HEADERS, rows, title=f"Figure 12 reproduction ({name.split('_')[-1]})"))
+
+
+@pytest.mark.parametrize("which", ["fig12_4090", "fig12_a100"])
+def test_fig12_stof_highest(which, request):
+    rows, raw = request.getfixturevalue(which)
+    for (model, bs, seq), times in raw.items():
+        stof = times["stof"]
+        for label, t in times.items():
+            if isinstance(t, float):
+                assert stof <= t + 1e-15, (model, bs, seq, label)
+
+
+def test_fig12_stof_over_compile_at_scale(fig12_4090):
+    """Paper: 2.4/2.3/2.2/1.4/1.4x over Compile at (16,2048) on the 4090."""
+    _, raw = fig12_4090
+    for model in E2E_MODELS:
+        times = raw[(model, 16, 2048)]
+        ratio = times["compile"] / times["stof"]
+        assert 1.3 < ratio < 4.0, (model, ratio)
+
+
+def test_fig12_bytetransformer_absent_at_2048(fig12_a100):
+    rows, raw = fig12_a100
+    for model in E2E_MODELS:
+        assert raw[(model, 16, 2048)]["byte"] is None
+        assert isinstance(raw[(model, 1, 128)]["byte"], float)
+
+
+def test_fig12_mcfuser_oom_on_24gb_card(fig12_4090):
+    _, raw = fig12_4090
+    ooms = [k for k, t in raw.items() if t["mcfuser"] == "OOM"]
+    assert ooms, "MCFuser should exceed 24 GB somewhere at (16, 2048)"
+    for model, bs, seq in ooms:
+        assert (bs, seq) == (16, 2048)
+
+
+def test_fig12_advantage_grows_with_scale(fig12_a100):
+    """'The advantages of STOF are particularly pronounced for larger
+    input scales.'"""
+    _, raw = fig12_a100
+    for model in E2E_MODELS:
+        small = raw[(model, 1, 128)]
+        large = raw[(model, 16, 2048)]
+        s_small = small["native"] / small["stof"]
+        s_large = large["native"] / large["stof"]
+        assert s_large > s_small, model

@@ -1,0 +1,91 @@
+"""Figure 13 — Module ablation on the A100.
+
+STOF with only the unified MHA module, only the operator-fusion module,
+and both, as speedups over PyTorch Native.  Expected shape: the fusion
+module contributes more at (1,128), the MHA module overtakes at
+(16,2048), and both together are always the best.
+"""
+
+import pytest
+from harness import E2E_MODELS, E2E_SETTINGS, emit, engine_time, format_table, model_setup
+
+from repro.gpu.specs import A100
+from repro.runtime import PyTorchNativeEngine, STOFEngine
+
+VARIANTS = (
+    ("mha-only", dict(use_mha_module=True, use_fusion_module=False)),
+    ("fusion-only", dict(use_mha_module=False, use_fusion_module=True)),
+    ("both", dict(use_mha_module=True, use_fusion_module=True)),
+)
+
+
+def compute_rows():
+    rows = []
+    raw = {}
+    for model in E2E_MODELS:
+        for bs, seq in E2E_SETTINGS:
+            inst, masks, patterns = model_setup(model, bs, seq)
+            native = engine_time(PyTorchNativeEngine(), inst, A100, masks, patterns)
+            cells = [model, f"({bs},{seq})"]
+            speeds = {}
+            for label, kwargs in VARIANTS:
+                t = engine_time(STOFEngine(**kwargs), inst, A100, masks, patterns)
+                speeds[label] = native / t
+                cells.append(f"{speeds[label]:.2f}x")
+            rows.append(cells)
+            raw[(model, bs, seq)] = speeds
+    return rows, raw
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return compute_rows()
+
+
+def test_fig13_table(benchmark, fig13):
+    rows, _ = fig13
+
+    def probe():
+        inst, masks, patterns = model_setup("bert-small", 1, 128)
+        return engine_time(
+            STOFEngine(use_fusion_module=False), inst, A100, masks, patterns
+        )
+
+    benchmark(probe)
+    emit(
+        "fig13_ablation",
+        format_table(
+            ["model", "(bs,seq)", "mha-only", "fusion-only", "both"],
+            rows,
+            title="Figure 13 reproduction: module ablation over Native (A100)",
+        ),
+    )
+
+
+def test_fig13_both_always_highest(fig13):
+    _, raw = fig13
+    for key, speeds in raw.items():
+        assert speeds["both"] >= speeds["mha-only"] - 1e-9, key
+        assert speeds["both"] >= speeds["fusion-only"] - 1e-9, key
+
+
+def test_fig13_fusion_dominates_small_scale(fig13):
+    """Paper: at (1,128) the fusion-only speedup is ~39% above MHA-only
+    on average."""
+    _, raw = fig13
+    ratios = [
+        raw[(m, 1, 128)]["fusion-only"] / raw[(m, 1, 128)]["mha-only"]
+        for m in E2E_MODELS
+    ]
+    assert sum(ratios) / len(ratios) > 1.1
+
+
+def test_fig13_mha_dominates_large_scale(fig13):
+    """Paper: at (16,2048) the MHA-only speedup is ~46% above fusion-only
+    on average."""
+    _, raw = fig13
+    ratios = [
+        raw[(m, 16, 2048)]["mha-only"] / raw[(m, 16, 2048)]["fusion-only"]
+        for m in E2E_MODELS
+    ]
+    assert sum(ratios) / len(ratios) > 1.1

@@ -1,0 +1,100 @@
+"""Figure 14 — Breakdown of STOF's own overhead vs the tuning process.
+
+The framework overhead has three parts: the analytical model (MHA kernel
+selection + scheme initialization), scheme conversion (hash encode /
+decode / template matching), and the reward algorithm.  The paper reports
+the total under 2.8% of tuning time, with the analytical-model share
+growing with input scale (mask-block analysis scales with sequence
+length) while conversion/reward shares shrink (they depend only on model
+structure).
+
+Note: here the overheads are *measured host seconds* of the actual
+bookkeeping code, while the tuning denominator is simulated seconds — so
+the absolute percentages are far smaller than the paper's; the *shape*
+(which share grows, total << tuning) is the reproduction target.
+"""
+
+import pytest
+from harness import E2E_SETTINGS, emit, format_table, model_setup
+
+from repro.gpu.specs import A100
+from repro.runtime import STOFEngine
+
+MODELS = ("bert-small", "bert-base", "bert-large", "gpt", "t5")
+
+
+def compute_rows():
+    rows = []
+    raw = {}
+    for model in MODELS:
+        for bs, seq in E2E_SETTINGS:
+            inst, masks, patterns = model_setup(model, bs, seq)
+            engine = STOFEngine()
+            prepared = engine.prepare(inst, A100, masks, patterns)
+            overhead = prepared.extras["overhead"]
+            tuning = prepared.tuning_time_s
+            rows.append(
+                [
+                    model,
+                    f"({bs},{seq})",
+                    overhead.analytical_model_s * 1e3,
+                    overhead.scheme_conversion_s * 1e3,
+                    overhead.reward_algorithm_s * 1e3,
+                    100.0 * overhead.total_s / tuning,
+                ]
+            )
+            raw[(model, bs, seq)] = (overhead, tuning)
+    return rows, raw
+
+
+@pytest.fixture(scope="module")
+def fig14():
+    return compute_rows()
+
+
+def test_fig14_table(benchmark, fig14):
+    rows, _ = fig14
+
+    def probe():
+        inst, masks, patterns = model_setup("bert-small", 1, 128)
+        return STOFEngine().prepare(inst, A100, masks, patterns).extras["overhead"]
+
+    benchmark(probe)
+    emit(
+        "fig14_overhead",
+        format_table(
+            ["model", "(bs,seq)", "analytical (ms)", "conversion (ms)",
+             "reward (ms)", "total % of tuning"],
+            rows,
+            title="Figure 14 reproduction: STOF overhead breakdown (A100)",
+        ),
+    )
+
+
+def test_fig14_overhead_small_fraction(fig14):
+    """Paper bound: overhead < 2.8% of tuning time (ours is far below,
+    since tuning seconds are simulated)."""
+    _, raw = fig14
+    for key, (overhead, tuning) in raw.items():
+        assert overhead.total_s < 0.028 * tuning, key
+
+
+def test_fig14_analytical_share_grows_with_seq(fig14):
+    """Mask-block analysis scales with sequence length: the analytical
+    model's share of total overhead rises from (1,128) to (16,2048)."""
+    _, raw = fig14
+    grew = 0
+    for model in MODELS:
+        o_small, _ = raw[(model, 1, 128)]
+        o_large, _ = raw[(model, 16, 2048)]
+        share_small = o_small.analytical_model_s / o_small.total_s
+        share_large = o_large.analytical_model_s / o_large.total_s
+        grew += share_large > share_small
+    assert grew >= 3  # majority of models show the trend
+
+def test_fig14_all_components_nonzero(fig14):
+    _, raw = fig14
+    for key, (overhead, _) in raw.items():
+        assert overhead.analytical_model_s > 0
+        assert overhead.scheme_conversion_s > 0
+        assert overhead.reward_algorithm_s > 0

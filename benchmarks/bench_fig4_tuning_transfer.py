@@ -1,0 +1,123 @@
+"""Figure 4 — Post-fusion tuning vs individually-tuned parameter transfer.
+
+For each fused operator mix, tune each *member operator in isolation*,
+transfer the overlapping parameter settings to the fused kernel, and
+compare against tuning the fused kernel directly.  The paper's insight:
+"the optimal parameter settings for individual and fused operators are
+inherently distinct" — naive transfer leaves substantial performance on
+the table (Bias+LN 1.5x, GEMM+LN 10.8x, GEMM+GEMM 2.2x average on A100).
+"""
+
+import itertools
+
+import pytest
+from bench_fig3_fusion_gain import CONFIGS, MIXES, build_segment
+from harness import emit, format_table, plan_time
+
+from repro.gpu.specs import A100, RTX4090
+from repro.runtime.frameworks import COMPILED_DISPATCH_S
+
+
+def tune_individual_then_transfer(template, spec) -> float:
+    """Tune each member op alone; apply the union of settings to the fused
+    kernel (unknown keys fall back to fused defaults)."""
+    transferred = dict(template.default_params(spec))
+    for i, op in enumerate(template.segment.ops):
+        space = op.param_space()
+        if not space:
+            continue
+        keys = list(space)
+        best_t, best_p = float("inf"), None
+        for combo in itertools.product(*space.values()):
+            params = dict(zip(keys, combo))
+            try:
+                cost, cfg = op.cost(template.segment.in_shapes[i], spec, params)
+                t = plan_time([(cost, cfg)], spec, 0.0)
+            except Exception:
+                continue
+            if t < best_t:
+                best_t, best_p = t, params
+        if best_p:
+            fused_space = template.param_space()
+            for k, v in best_p.items():
+                if k not in transferred:
+                    continue
+                # The fused template only accepts its own candidate values:
+                # snap the transferred setting to the nearest one.
+                choices = fused_space.get(k)
+                if choices and v not in choices:
+                    v = min(choices, key=lambda c: abs(c - v))
+                transferred[k] = v
+    try:
+        return plan_time(template.plan(spec, transferred), spec, COMPILED_DISPATCH_S)
+    except Exception:
+        # Transferred setting does not even launch: fall back to defaults,
+        # exactly what a runtime guard would do.
+        return plan_time(
+            template.plan(spec, template.default_params(spec)),
+            spec,
+            COMPILED_DISPATCH_S,
+        )
+
+
+def tune_post_fusion(template, spec) -> float:
+    space = template.param_space()
+    keys = list(space)
+    best = None
+    for combo in itertools.product(*space.values()):
+        params = dict(zip(keys, combo))
+        try:
+            t = plan_time(template.plan(spec, params), spec, COMPILED_DISPATCH_S)
+        except Exception:
+            continue
+        best = t if best is None else min(best, t)
+    assert best is not None
+    return best
+
+
+def compute_fig4():
+    rows = []
+    for mix in MIXES:
+        for b, s, h in CONFIGS:
+            template = build_segment(mix, b, s, h)
+            cells = [mix, f"({b},{s},{h})"]
+            for spec in (RTX4090, A100):
+                transferred = tune_individual_then_transfer(template, spec)
+                fused_tuned = tune_post_fusion(template, spec)
+                cells.append(transferred / fused_tuned)
+            rows.append(cells)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def fig4_rows():
+    return compute_fig4()
+
+
+def test_fig4_tuning_transfer(benchmark, fig4_rows):
+    benchmark(
+        lambda: tune_post_fusion(build_segment(MIXES[1], 8, 512, 512), A100)
+    )
+    table = format_table(
+        ["mix", "(bs,seq,hidden)", "RTX4090 speedup", "A100 speedup"],
+        fig4_rows,
+        title=(
+            "Figure 4 reproduction: post-fusion tuning over "
+            "individually-tuned parameter transfer"
+        ),
+    )
+    emit("fig4_tuning_transfer", table)
+
+
+def test_fig4_post_fusion_never_loses(fig4_rows):
+    """Post-fusion tuning explores a superset: speedup >= 1 everywhere."""
+    for row in fig4_rows:
+        assert row[2] >= 1.0 - 1e-9 and row[3] >= 1.0 - 1e-9, row
+
+
+def test_fig4_transfer_suboptimal_somewhere(fig4_rows):
+    """The paper's point: naive transfer is measurably suboptimal."""
+    gains_4090 = [r[2] for r in fig4_rows]
+    gains_a100 = [r[3] for r in fig4_rows]
+    assert max(gains_4090) > 1.2
+    assert max(gains_a100) > 1.2

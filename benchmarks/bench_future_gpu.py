@@ -1,0 +1,115 @@
+"""Extension study — §5.3's closing claim on future GPUs.
+
+"This demonstrates that STOF has the potential to be applied to future
+GPU generations with larger memory."  We test it: the same MHA and
+end-to-end workloads on a Hopper-class H100 spec (more SMEM, more SMs,
+2 TB/s HBM, 80 GB).  Expected: STOF still wins everywhere, its MHA
+advantage over FlexAttention persists, and MCFuser's (16,4096) OOM
+disappears on the 80 GB part while STOF still beats it outright.
+"""
+
+import pytest
+from harness import emit, engine_time, format_table, mha_problem, model_setup
+from mha_methods import MHA_METHODS, method_time, stof_time
+
+from repro.gpu.specs import A100, H100
+from repro.runtime import PyTorchCompileEngine, PyTorchNativeEngine, STOFEngine
+
+
+def mha_rows():
+    rows = []
+    raw = {}
+    for pattern in ("sliding_window", "bigbird"):
+        for bs, seq in ((8, 512), (16, 4096)):
+            prob = mha_problem(pattern, bs, seq, name="h100")
+            cells = [pattern, f"({bs},{seq})"]
+            per = {}
+            for label, cls, disp in MHA_METHODS:
+                t = method_time(label, cls, disp, prob, H100)
+                per[label] = t
+                if t is None:
+                    cells.append("--")
+                elif t == "OOM":
+                    cells.append("OOM")
+                else:
+                    cells.append(per["native"] / t)
+            per["stof"] = stof_time(prob, H100)
+            cells.append(per["native"] / per["stof"])
+            rows.append(cells)
+            raw[(pattern, bs, seq)] = per
+    return rows, raw
+
+
+def e2e_rows():
+    rows = []
+    raw = {}
+    for bs, seq in ((8, 512), (16, 2048)):
+        inst, masks, patterns = model_setup("bert-base", bs, seq)
+        per = {}
+        for label, engine in (
+            ("native", PyTorchNativeEngine()),
+            ("compile", PyTorchCompileEngine()),
+            ("stof", STOFEngine()),
+        ):
+            per[label] = engine_time(engine, inst, H100, masks, patterns)
+        rows.append(
+            [
+                f"({bs},{seq})",
+                per["native"] / per["compile"],
+                per["native"] / per["stof"],
+            ]
+        )
+        raw[(bs, seq)] = per
+    return rows, raw
+
+
+@pytest.fixture(scope="module")
+def h100_mha():
+    return mha_rows()
+
+
+@pytest.fixture(scope="module")
+def h100_e2e():
+    return e2e_rows()
+
+
+def test_future_gpu_tables(benchmark, h100_mha, h100_e2e):
+    benchmark(lambda: stof_time(mha_problem("bigbird", 8, 512, "h100b"), H100))
+    emit(
+        "future_gpu_mha",
+        format_table(
+            ["mask", "(bs,seq)"] + [m[0] for m in MHA_METHODS] + ["stof"],
+            h100_mha[0],
+            title="Extension: MHA speedups over Native on H100 (Hopper)",
+        ),
+    )
+    emit(
+        "future_gpu_e2e",
+        format_table(
+            ["(bs,seq)", "compile", "stof"],
+            h100_e2e[0],
+            title="Extension: BERT-Base end-to-end speedups over Native on H100",
+        ),
+    )
+
+
+def test_stof_still_wins_on_hopper(h100_mha):
+    _, raw = h100_mha
+    for key, per in raw.items():
+        for label, t in per.items():
+            if isinstance(t, float):
+                assert per["stof"] <= t + 1e-15, (key, label)
+
+
+def test_larger_memory_revives_mcfuser_but_not_enough(h100_mha):
+    """80 GB removes the (16,4096) OOM — and STOF still beats it outright."""
+    _, raw = h100_mha
+    per = raw[("bigbird", 16, 4096)]
+    assert isinstance(per["mcfuser"], float)  # no OOM on 80 GB
+    assert per["stof"] < per["mcfuser"]
+
+
+def test_e2e_advantage_persists(h100_e2e):
+    _, raw = h100_e2e
+    for key, per in raw.items():
+        assert per["stof"] < per["compile"] < per["native"], key

@@ -1,0 +1,35 @@
+"""Table 3 — Hardware specifications of the two simulated GPUs."""
+
+from harness import emit, format_table
+
+from repro.core.units import format_bytes
+from repro.gpu.specs import A100, RTX4090
+
+
+def build_table():
+    rows = []
+    for label, spec in (("GPU1", RTX4090), ("GPU2", A100)):
+        rows.append(
+            [
+                label,
+                f"{spec.name} ({spec.arch})",
+                f"{spec.cuda_cores} ({spec.sm_count} SMs)",
+                format_bytes(spec.l1_smem_per_sm) + " (per SM)",
+                format_bytes(spec.l2_bytes),
+                format_bytes(spec.memory_bytes),
+                f"{spec.dram_bandwidth / 1e9:.0f} GB/s",
+            ]
+        )
+    return rows
+
+
+def test_table3_hardware(benchmark):
+    rows = benchmark(build_table)
+    table = format_table(
+        ["", "model", "cores", "L1/SMEM", "L2", "memory", "bandwidth"],
+        rows,
+        title="Table 3 reproduction (simulated device specs)",
+    )
+    emit("table3_hardware", table)
+    assert rows[0][2].startswith("16384")
+    assert rows[1][2].startswith("6912")

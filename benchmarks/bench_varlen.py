@@ -1,0 +1,111 @@
+"""Extension study — variable-length batching.
+
+ByteTransformer's motivating workload: serving batches with mixed
+sequence lengths.  STOF handles padding-free execution with no special
+path — pack the sequences and hand the block-diagonal ∧ pattern mask to
+the block-wise kernel, whose BSR skipping discards every cross-sequence
+block.  The study sweeps length skew and compares packed STOF against the
+pad-to-max strategy under both STOF's kernel and the dense-fused baseline.
+"""
+
+import pytest
+from harness import emit, format_table
+
+from repro.core.rng import RngStream
+from repro.gpu.specs import A100
+from repro.mha.baselines import FlashAttention2Attention
+from repro.mha.blockwise import BlockWiseKernel
+from repro.mha.selector import select_block_params
+from repro.mha.varlen import (
+    VarLenBatch,
+    packed_varlen_problem,
+    padded_problem,
+    padding_waste,
+)
+
+#: Batches from uniform to heavily skewed (same max length).
+BATCHES = {
+    "uniform": (1024, 1024, 1024, 1024),
+    "mild skew": (768, 896, 960, 1024),
+    "heavy skew": (128, 256, 512, 1024),
+    "one straggler": (128, 128, 128, 1024),
+}
+
+
+def compute_rows():
+    rows = []
+    raw = {}
+    kern = BlockWiseKernel()
+    for label, lengths in BATCHES.items():
+        batch = VarLenBatch(lengths, heads=12, head_size=64, pattern="causal")
+        packed = packed_varlen_problem(batch, rng=RngStream(7))
+        padded = padded_problem(batch, rng=RngStream(7))
+        t_packed = kern.estimate_time(
+            packed, A100, select_block_params(packed, A100)
+        )
+        t_padded = kern.estimate_time(
+            padded, A100, select_block_params(padded, A100)
+        )
+        t_padded_fa2 = FlashAttention2Attention().estimate_time(padded, A100)
+        rows.append(
+            [
+                label,
+                f"{padding_waste(batch):.0%}",
+                t_packed * 1e6,
+                t_padded * 1e6,
+                t_padded_fa2 * 1e6,
+                f"{t_padded / t_packed:.2f}x",
+            ]
+        )
+        raw[label] = (t_packed, t_padded, t_padded_fa2)
+    return rows, raw
+
+
+@pytest.fixture(scope="module")
+def varlen():
+    return compute_rows()
+
+
+def test_varlen_table(benchmark, varlen):
+    rows, _ = varlen
+    benchmark(
+        lambda: BlockWiseKernel().estimate_time(
+            packed_varlen_problem(
+                VarLenBatch((64, 128), 4, 32), rng=RngStream(9)
+            ),
+            A100,
+        )
+    )
+    emit(
+        "varlen_packing",
+        format_table(
+            ["batch", "padding waste", "packed us", "padded us",
+             "padded fa2 us", "pack speedup"],
+            rows,
+            title="Extension: padding-free variable-length batching "
+                  "(causal, 12 heads, A100)",
+        ),
+    )
+
+
+def test_packing_gain_grows_with_skew(varlen):
+    _, raw = varlen
+    def gain(label):
+        t_packed, t_padded, _ = raw[label]
+        return t_padded / t_packed
+
+    assert gain("one straggler") > gain("heavy skew") > gain("mild skew")
+    assert gain("one straggler") > 1.5
+
+
+def test_uniform_packing_costs_little(varlen):
+    """With no padding waste, packing must not regress materially."""
+    _, raw = varlen
+    t_packed, t_padded, _ = raw["uniform"]
+    assert t_packed < 1.2 * t_padded
+
+
+def test_packed_stof_beats_padded_fa2(varlen):
+    _, raw = varlen
+    for label, (t_packed, _, t_fa2) in raw.items():
+        assert t_packed < t_fa2, label

@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Makes the repository root importable so ``bench_*`` modules can use the
+shared :mod:`harness` helpers regardless of the pytest rootdir.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

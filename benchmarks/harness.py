@@ -1,0 +1,137 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md §3 for the index).  Results print to stdout (run
+with ``pytest benchmarks/ --benchmark-only -s`` to watch) and are written
+as text files under ``benchmarks/results/`` so EXPERIMENTS.md can cite
+them.  The pytest-benchmark fixture times one representative harness call
+per experiment; the *simulated* latencies inside the tables are what
+reproduce the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import DeviceOutOfMemoryError, UnsupportedInputError
+from repro.core.rng import RngStream
+from repro.gpu.cost import estimate_kernel_time
+from repro.gpu.specs import GPUSpec
+from repro.masks.patterns import causal_mask, make_pattern
+from repro.mha.problem import AttentionProblem
+from repro.models.build import ModelInstance, build_model
+from repro.models.config import get_model_config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Root seed for every benchmark (bit-identical tables across runs).
+BENCH_SEED = 0xBE7C
+
+#: The (batch, seq) settings of the end-to-end study (§5.3).
+E2E_SETTINGS = ((1, 128), (8, 512), (16, 2048))
+
+#: The five end-to-end models (§5.3).
+E2E_MODELS = ("bert-small", "bert-base", "bert-large", "gpt", "t5")
+
+#: Evaluation mask patterns (§5.1.2).
+MHA_PATTERNS = ("sliding_window", "dilated", "longformer", "bigbird")
+
+
+def bench_rng(name: str) -> RngStream:
+    return RngStream(BENCH_SEED).fork(name)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print(f"\n=== {name} ===")
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def plan_time(launches, spec: GPUSpec, dispatch_s: float) -> float:
+    """Total simulated seconds of a list of kernel launches."""
+    return sum(
+        estimate_kernel_time(spec, cost, config).total + dispatch_s * cost.launches
+        for cost, config in launches
+    )
+
+
+def mha_problem(pattern: str, batch: int, seq_len: int, name: str = "") -> AttentionProblem:
+    """BERT-Base-shaped attention problem (12 heads x 64), §5.1.2."""
+    return AttentionProblem.build(
+        pattern, batch, 12, seq_len, 64,
+        rng=bench_rng(f"mha-{pattern}-{batch}-{seq_len}-{name}"),
+    )
+
+
+def model_setup(model_name: str, batch: int, seq_len: int):
+    """Build a model instance plus its Bigbird mask set (§5.3 fixes the
+    mask to Bigbird; decoder self-attention additionally applies causality)."""
+    cfg = get_model_config(model_name)
+    inst = build_model(cfg, batch, seq_len, seed=BENCH_SEED)
+    rng = bench_rng(f"e2e-{model_name}-{batch}-{seq_len}")
+    base = make_pattern("bigbird", seq_len, rng=rng)
+    masks: dict[str, np.ndarray] = {}
+    patterns: dict[str, str] = {}
+    for name in inst.mask_inputs:
+        if name == "cross_mask":
+            masks[name] = np.ones((seq_len, seq_len), dtype=bool)
+            patterns[name] = "custom"
+        elif name == "dec_mask" or (name == "mask" and cfg.is_decoder_only):
+            masks[name] = base & causal_mask(seq_len)
+            patterns[name] = "custom"
+        else:
+            masks[name] = base
+            patterns[name] = "bigbird"
+    return inst, masks, patterns
+
+
+def engine_time(engine, inst: ModelInstance, spec: GPUSpec, masks, patterns):
+    """Plan an engine; returns seconds, 'OOM', or None (unsupported)."""
+    try:
+        prepared = engine.prepare(inst, spec, masks, patterns)
+        return prepared.plan().time_s
+    except UnsupportedInputError:
+        return None
+    except DeviceOutOfMemoryError:
+        return "OOM"
+
+
+def speedup_cell(base: float, value) -> str:
+    if value is None:
+        return "--"
+    if value == "OOM":
+        return "OOM"
+    return f"{base / value:.2f}x"

@@ -1,0 +1,90 @@
+"""Shared MHA-method harness for the Figure 10/11 benchmarks.
+
+Each method is one attention strategy plus its host dispatch style; the
+per-problem time is the simulated kernel time(s) plus dispatch, exactly
+how the engines price attention inside the end-to-end study.
+"""
+
+from __future__ import annotations
+
+from harness import plan_time
+
+from repro.core.errors import DeviceOutOfMemoryError, UnsupportedInputError
+from repro.gpu.specs import GPUSpec
+from repro.mha.baselines import (
+    ByteTransformerAttention,
+    FlashAttention2Attention,
+    FlexAttention,
+    MCFuserAttention,
+    NaiveAttention,
+)
+from repro.mha.module import UnifiedMHA
+from repro.mha.problem import AttentionProblem
+from repro.runtime.frameworks import (
+    COMPILED_DISPATCH_S,
+    CPP_RUNTIME_DISPATCH_S,
+    EAGER_DISPATCH_S,
+    FLEX_DISPATCH_S,
+    STANDALONE_DISPATCH_S,
+)
+
+#: (label, kernel factory, dispatch overhead) in the figures' bar order.
+MHA_METHODS = (
+    ("native", NaiveAttention, EAGER_DISPATCH_S),
+    ("compile", FlashAttention2Attention, COMPILED_DISPATCH_S),
+    ("fa2", FlashAttention2Attention, STANDALONE_DISPATCH_S),
+    ("flex", FlexAttention, FLEX_DISPATCH_S),
+    ("byte", ByteTransformerAttention, CPP_RUNTIME_DISPATCH_S),
+    ("mcfuser", MCFuserAttention, COMPILED_DISPATCH_S),
+)
+
+
+def method_time(label: str, kernel_cls, dispatch_s: float,
+                problem: AttentionProblem, spec: GPUSpec):
+    """Simulated seconds, None (unsupported), or 'OOM'."""
+    kernel = kernel_cls()
+    ok, _ = kernel.supports(problem)
+    if not ok:
+        return None
+    if label == "mcfuser":
+        workspace = kernel.workspace_bytes(problem)
+        if workspace + 4 * problem.qkv_bytes > spec.memory_bytes:
+            return "OOM"
+    try:
+        return plan_time(kernel.plan(problem, spec), spec, dispatch_s)
+    except UnsupportedInputError:
+        return None
+    except DeviceOutOfMemoryError:  # pragma: no cover - defensive
+        return "OOM"
+
+
+def stof_time(problem: AttentionProblem, spec: GPUSpec) -> float:
+    plan = UnifiedMHA(spec).plan(problem)
+    return plan.estimated_s + COMPILED_DISPATCH_S
+
+
+def mha_figure_rows(spec: GPUSpec, patterns, settings, problem_factory):
+    """Rows of one MHA figure: speedups over PyTorch Native per method."""
+    rows = []
+    kernels = {}
+    for pattern in patterns:
+        for bs, seq in settings:
+            problem = problem_factory(pattern, bs, seq)
+            native = method_time(*MHA_METHODS[0], problem, spec)
+            assert isinstance(native, float)
+            cells = [pattern, f"({bs},{seq})"]
+            for label, cls, disp in MHA_METHODS:
+                t = method_time(label, cls, disp, problem, spec)
+                if t is None:
+                    cells.append("--")
+                elif t == "OOM":
+                    cells.append("OOM")
+                else:
+                    cells.append(f"{native / t:.2f}x")
+            plan = UnifiedMHA(spec).plan(problem)
+            t_stof = plan.estimated_s + COMPILED_DISPATCH_S
+            cells.append(f"{native / t_stof:.2f}x")
+            cells.append(plan.kernel_name.replace("stof-", ""))
+            rows.append(cells)
+            kernels[(pattern, bs, seq)] = (native, t_stof, plan.kernel_name)
+    return rows, kernels

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Defining a custom masking pattern — STOF's headline flexibility.
+
+The paper's claim is support for *arbitrary* masking patterns: anything
+expressible as a boolean matrix works, with no kernel changes.  This
+example invents a "butterfly + strided-global" pattern no baseline
+represents natively (discrete rows AND columns, unstructured overlay),
+inspects how the BSR format captures it, and shows the full selector →
+kernel → verification path.
+
+Run:  python examples/custom_mask_pattern.py
+"""
+
+import numpy as np
+
+from repro import AttentionProblem, BlockSparseMask, RngStream, UnifiedMHA, get_spec
+from repro.core.fp16 import fp16_allclose
+from repro.core.units import format_bytes, format_time
+from repro.masks import analyze_mask
+from repro.mha.baselines import FlashMaskAttention, FlexAttention
+from repro.mha.reference import solve_reference
+
+
+def butterfly_strided_mask(seq_len: int, wing: int = 2, stride: int = 5) -> np.ndarray:
+    """A deliberately awkward pattern:
+
+    * butterfly connections: i attends j when i XOR j is a power of two
+      (log-distance links, as in FFT dataflow),
+    * a strided global overlay: every ``stride``-th token is a hub,
+    * local self links.
+    """
+    idx = np.arange(seq_len)
+    x = idx[:, None] ^ idx[None, :]
+    butterfly = (x & (x - 1)) == 0  # 0 or a power of two
+    hubs = (idx % stride) == 0
+    overlay = hubs[:, None] | hubs[None, :]
+    local = np.abs(idx[:, None] - idx[None, :]) <= wing
+    return butterfly | overlay | local
+
+
+def main() -> None:
+    spec = get_spec("rtx4090")
+    seq_len = 256
+    mask = butterfly_strided_mask(seq_len)
+
+    stats = analyze_mask(mask, "butterfly+strided")
+    print("pattern analysis (Table-2 style):")
+    for k, v in stats.as_table_row().items():
+        print(f"  {k:>12}: {v}")
+
+    # Baselines choke on it:
+    problem = AttentionProblem.build  # (silence linters; real build below)
+    problem = AttentionProblem(
+        batch=1, heads=12, seq_len=seq_len, head_size=64, mask=mask,
+        pattern="butterfly+strided",
+    )
+    ok, reason = FlashMaskAttention().supports(problem)
+    print(f"\nFlashMask supports it: {ok}  ({reason.split('(')[0].strip()})")
+
+    # The BSR view STOF computes:
+    bsr = problem.bsr(32, 32)
+    print(f"\nBSR at 32x32: {bsr.n_full} full, {bsr.n_part} part, "
+          f"{bsr.n_total - bsr.n_valid} skipped of {bsr.n_total} blocks")
+    print(f"deduplicated part masks: {bsr.n_unique_part_masks} "
+          f"(from {bsr.n_part} part blocks)")
+    print(f"metadata footprint: {format_bytes(bsr.metadata_bytes())} vs "
+          f"{format_bytes(mask.size)} dense")
+
+    # Selector + kernel + verification.
+    rng = RngStream(7)
+    data = rng.fork("qkv")
+    shape = problem.qkv_shape
+    problem.q = (data.standard_normal(shape) * 0.5).astype(np.float16)
+    problem.k = (data.standard_normal(shape) * 0.5).astype(np.float16)
+    problem.v = (data.standard_normal(shape) * 0.5).astype(np.float16)
+
+    mha = UnifiedMHA(spec)
+    plan = mha.plan(problem)
+    out = mha.run(problem)
+    assert fp16_allclose(out, solve_reference(problem))
+    print(f"\nkernel: {plan.kernel_name} {plan.params}")
+    print(f"simulated: {format_time(plan.estimated_s)}; "
+          f"FlexAttention (coarse 128-blocks): "
+          f"{format_time(FlexAttention().estimate_time(problem, spec))}")
+    print("numerics verified against dense reference: True")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A look inside the two-stage search engine.
+
+Tunes one Transformer-layer operator chain and narrates everything the
+paper's Fig. 9 describes: the rule-based initial scheme, each
+expand/seize move with its accept/rollback verdict, the binary hash
+encoding of every scheme, and the reward-driven stage-2 sampling — plus
+the cache statistics that keep tuning cheap.
+
+Run:  python examples/tuning_deep_dive.py
+"""
+
+import numpy as np
+
+from repro import RngStream, get_spec
+from repro.core.units import format_time
+from repro.fusion.converter import FusionSchemeConverter, extract_chains
+from repro.fusion.encoding import encode_scheme, scheme_to_hex
+from repro.graph.trace import GraphBuilder
+from repro.ops import Add, BiasAdd, Gelu, Gemm, LayerNorm
+from repro.tuner.cache import EvalCostModel
+from repro.tuner.engine import TwoStageEngine
+
+
+def build_layer_tail(batch=8, seq=512, hidden=768):
+    """The post-attention half of a BERT layer: proj, residual+LN, FFN."""
+    gb = GraphBuilder("layer-tail", seed=3)
+    x = gb.input("x", (batch * seq, hidden))
+    res = gb.input("res", (batch * seq, hidden))
+    g = gb.const_param("gamma", np.ones(hidden, np.float16))
+    bt = gb.const_param("beta", np.zeros(hidden, np.float16))
+    w = gb.param("w_proj", (hidden, hidden))
+    b = gb.param("b_proj", (hidden,))
+    w1 = gb.param("w_fc1", (hidden, 4 * hidden))
+    b1 = gb.param("b_fc1", (4 * hidden,))
+    w2 = gb.param("w_fc2", (4 * hidden, hidden))
+    b2 = gb.param("b_fc2", (hidden,))
+
+    h = gb.call(Gemm("proj"), x, w, name="proj")
+    h = gb.call(BiasAdd(), h, b, name="proj_bias")
+    h = gb.call(Add(), h, res, name="residual")
+    h = gb.call(LayerNorm(), h, g, bt, name="ln1")
+    f = gb.call(Gemm("fc1"), h, w1, name="fc1")
+    f = gb.call(BiasAdd(), f, b1, name="fc1_bias")
+    f = gb.call(Gelu(), f, name="gelu")
+    f = gb.call(Gemm("fc2"), f, w2, name="fc2")
+    f = gb.call(BiasAdd(), f, b2, name="fc2_bias")
+    o = gb.call(Add(), f, h, name="residual2")
+    o = gb.call(LayerNorm(), o, g, bt, name="ln2")
+    gb.output(o)
+    return gb.finish(), batch * seq
+
+
+def main() -> None:
+    spec = get_spec("a100")
+    graph, tokens = build_layer_tail()
+    chains = extract_chains(graph)
+    print(f"operator chains: {[c.n_ops for c in chains]} "
+          "(the LayerNorm feeding both FFN and residual splits the layer)")
+
+    engine = TwoStageEngine(
+        spec,
+        rng=RngStream(5),
+        cost_model=EvalCostModel(),
+    )
+
+    for chain in chains:
+        names = [graph.node(n).op.name for n in chain.node_names]
+        print(f"\n--- chain: {names}")
+        result = engine.tune_chain(graph, chain, tokens)
+
+        print("search trace:")
+        for action, scheme, total in result.history:
+            code = "".join(map(str, encode_scheme(scheme)))
+            total_s = format_time(total) if total != float("inf") else "infeasible"
+            print(f"  {action:<28} scheme={scheme} bits={code} -> {total_s}")
+
+        print(f"final scheme {result.scheme} "
+              f"(hex {scheme_to_hex(result.scheme)}), segments:")
+        for seg in result.segments:
+            print(f"  [{seg.names:<28}] {type(seg.template).__name__:<24} "
+                  f"{format_time(seg.best_time_s):>10}  {seg.best_params}")
+        print(f"chain estimate: {format_time(result.estimated_time_s)}")
+
+    print(f"\ncache: {engine.cache.misses} evaluated, {engine.cache.hits} hits, "
+          f"{engine.cache.failures} infeasible")
+    print(f"simulated tuning cost: {engine.total_tuning_time_s:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

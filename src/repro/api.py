@@ -1,0 +1,204 @@
+"""High-level one-call API.
+
+For users who want the paper's workflow without assembling the pieces:
+
+>>> from repro.api import compile_model
+>>> compiled = compile_model("bert-small", batch=1, seq_len=64,
+...                          device="a100", mask="bigbird")
+>>> compiled.engine_name
+'stof'
+>>> compiled.latency_s > 0
+True
+
+``compile_model`` builds the model graph, generates (or accepts) the
+mask, prepares it under the chosen engine, and returns a
+:class:`CompiledModel` that can report simulated latency, execute
+functionally, and summarize itself.  ``compare_engines`` sweeps several
+engines over one workload — the one-liner behind Fig. 12-style studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.rng import RngStream
+from repro.core.units import format_time
+from repro.gpu.specs import GPUSpec, get_spec
+from repro.masks.patterns import causal_mask, make_pattern
+from repro.models.build import ModelInstance, build_model
+from repro.models.config import ModelConfig, get_model_config
+from repro.runtime.executor import EngineReport, PreparedModel
+from repro.runtime.frameworks import (
+    BoltEngine,
+    ByteTransformerEngine,
+    Engine,
+    MCFuserEngine,
+    PyTorchCompileEngine,
+    PyTorchNativeEngine,
+)
+from repro.runtime.stof import STOFEngine
+
+#: Engine registry for string lookup.
+ENGINES: dict[str, type[Engine]] = {
+    "stof": STOFEngine,
+    "pytorch-native": PyTorchNativeEngine,
+    "pytorch-compile": PyTorchCompileEngine,
+    "bytetransformer": ByteTransformerEngine,
+    "bolt": BoltEngine,
+    "mcfuser": MCFuserEngine,
+}
+
+
+@dataclass
+class CompiledModel:
+    """A model prepared under one engine, ready to inspect or run."""
+
+    instance: ModelInstance
+    prepared: PreparedModel
+    report: EngineReport
+    masks: dict[str, np.ndarray]
+    seed: int
+
+    @property
+    def engine_name(self) -> str:
+        return self.prepared.engine_name
+
+    @property
+    def latency_s(self) -> float:
+        """Simulated forward-pass latency."""
+        return self.report.time_s
+
+    @property
+    def tuning_time_s(self) -> float:
+        return self.report.tuning_time_s
+
+    def run(self, inputs: Mapping[str, np.ndarray] | None = None) -> np.ndarray:
+        """Functional forward pass; random token ids when inputs omitted."""
+        if inputs is None:
+            inputs = self.instance.make_inputs(
+                self.masks, rng=RngStream(self.seed).fork("api-inputs")
+            )
+        return self.prepared.execute(dict(inputs))
+
+    def summary(self) -> str:
+        """Human-readable one-screen description."""
+        r = self.report
+        lines = [
+            f"{self.instance.config.name} @ batch {self.instance.batch}, "
+            f"seq {self.instance.seq_len} on {self.prepared.spec.name}",
+            f"engine: {self.engine_name}",
+            f"latency: {format_time(r.time_s)} "
+            f"(mha {format_time(r.mha_time_s)}, "
+            f"downstream {format_time(r.downstream_time_s)})",
+            f"kernel launches: {r.kernel_launches}",
+            f"memory: {r.memory_bytes / 2**30:.2f} GiB",
+        ]
+        if r.tuning_time_s:
+            lines.append(f"tuning: {r.tuning_time_s:.1f} s (simulated)")
+        return "\n".join(lines)
+
+
+def _resolve_masks(
+    mask: str | np.ndarray,
+    inst: ModelInstance,
+    seed: int,
+) -> tuple[dict[str, np.ndarray], dict[str, str]]:
+    """Instantiate one mask spec for every mask input of the model."""
+    seq = inst.seq_len
+    masks: dict[str, np.ndarray] = {}
+    patterns: dict[str, str] = {}
+    rng = RngStream(seed).fork("api-mask")
+    if isinstance(mask, str):
+        base = make_pattern(mask, seq, rng=rng)
+        base_pattern = mask
+    else:
+        base = np.asarray(mask, dtype=bool)
+        if base.shape != (seq, seq):
+            raise ConfigError(
+                f"mask array must be ({seq}, {seq}), got {base.shape}"
+            )
+        base_pattern = "custom"
+    for name in inst.mask_inputs:
+        if name == "cross_mask":
+            masks[name] = np.ones((seq, seq), dtype=bool)
+            patterns[name] = "custom"
+        elif name == "dec_mask" or (
+            name == "mask" and inst.config.is_decoder_only
+        ):
+            masks[name] = base & causal_mask(seq)
+            patterns[name] = "custom"
+        else:
+            masks[name] = base
+            patterns[name] = base_pattern
+    return masks, patterns
+
+
+def compile_model(
+    model: str | ModelConfig,
+    batch: int,
+    seq_len: int,
+    device: str | GPUSpec = "a100",
+    mask: str | np.ndarray = "bigbird",
+    engine: str | Engine = "stof",
+    seed: int = 0,
+    check_memory: bool = True,
+    **engine_kwargs: Any,
+) -> CompiledModel:
+    """Build, mask, prepare, and plan a model in one call.
+
+    ``model`` is a zoo name (``"bert-base"``...) or a custom
+    :class:`ModelConfig`; ``mask`` a registered pattern name or an explicit
+    boolean array; ``engine`` a registry name or an :class:`Engine`
+    instance.  Raises the same :class:`UnsupportedInputError` /
+    :class:`DeviceOutOfMemoryError` the engines raise.
+    """
+    cfg = get_model_config(model) if isinstance(model, str) else model
+    spec = get_spec(device) if isinstance(device, str) else device
+    inst = build_model(cfg, batch, seq_len, seed=seed)
+    masks, patterns = _resolve_masks(mask, inst, seed)
+
+    if isinstance(engine, str):
+        key = engine.strip().lower()
+        if key not in ENGINES:
+            raise ConfigError(f"unknown engine {engine!r}; known: {sorted(ENGINES)}")
+        engine = ENGINES[key](**engine_kwargs)
+    prepared = engine.prepare(inst, spec, masks, patterns)
+    report = prepared.plan(check_memory=check_memory)
+    return CompiledModel(
+        instance=inst, prepared=prepared, report=report, masks=masks, seed=seed
+    )
+
+
+def compare_engines(
+    model: str | ModelConfig,
+    batch: int,
+    seq_len: int,
+    device: str | GPUSpec = "a100",
+    mask: str | np.ndarray = "bigbird",
+    engines: tuple[str, ...] = tuple(ENGINES),
+    seed: int = 0,
+) -> dict[str, CompiledModel | str]:
+    """Compile one workload under several engines.
+
+    Returns ``{engine: CompiledModel}``, with ``"unsupported"`` /
+    ``"oom"`` strings for engines that cannot run the workload (the
+    missing bars of the paper's figures).
+    """
+    from repro.core.errors import DeviceOutOfMemoryError, UnsupportedInputError
+
+    out: dict[str, CompiledModel | str] = {}
+    for name in engines:
+        try:
+            out[name] = compile_model(
+                model, batch, seq_len, device=device, mask=mask,
+                engine=name, seed=seed,
+            )
+        except UnsupportedInputError:
+            out[name] = "unsupported"
+        except DeviceOutOfMemoryError:
+            out[name] = "oom"
+    return out

@@ -1,0 +1,317 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main workflows:
+
+* ``masks``   — the Table-2 feature analysis for any pattern/seq-len.
+* ``mha``     — compare attention methods on one masked problem.
+* ``e2e``     — compare end-to-end engines on one model workload.
+* ``tune``    — run the two-stage search engine and print its trace.
+* ``decode``  — KV-cache generation throughput across attention methods.
+* ``trace``   — export a Chrome-trace JSON of one engine's execution plan.
+* ``report``  — collate benchmark result tables into one markdown report.
+* ``devices`` — list the simulated GPU specs.
+
+Examples::
+
+    python -m repro masks --seq-len 1024
+    python -m repro mha --pattern bigbird --batch 8 --seq-len 1024
+    python -m repro e2e --model bert-base --batch 8 --seq-len 512
+    python -m repro tune --model bert-small --batch 1 --seq-len 128
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.api import ENGINES, compare_engines, compile_model
+from repro.core.rng import RngStream
+from repro.core.units import format_time
+from repro.gpu.specs import KNOWN_GPUS, get_spec
+from repro.masks import PATTERN_REGISTRY, analyze_mask, make_pattern
+from repro.mha.baselines import (
+    ByteTransformerAttention,
+    FlashAttention2Attention,
+    FlexAttention,
+    MCFuserAttention,
+    NaiveAttention,
+)
+from repro.mha.module import UnifiedMHA
+from repro.mha.problem import AttentionProblem
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--device", default="a100", choices=sorted(KNOWN_GPUS))
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_devices(args: argparse.Namespace) -> int:
+    for key, spec in KNOWN_GPUS.items():
+        print(f"{key:>10}: {spec.name} ({spec.arch}), {spec.sm_count} SMs, "
+              f"{spec.memory_bytes / 2**30:.0f} GiB @ "
+              f"{spec.dram_bandwidth / 1e9:.0f} GB/s")
+    return 0
+
+
+def cmd_masks(args: argparse.Namespace) -> int:
+    from repro.masks.bsr import BlockSparseMask
+    from repro.masks.viz import block_summary, render_bsr, render_mask
+
+    rng = RngStream(args.seed)
+    patterns = [args.pattern] if args.pattern else sorted(PATTERN_REGISTRY)
+    print(f"{'pattern':>16} {'row':>11} {'column':>11} {'type':>13} {'sparsity':>9}")
+    for name in patterns:
+        if name not in PATTERN_REGISTRY:
+            print(f"unknown pattern {name!r}", file=sys.stderr)
+            return 2
+        mask = make_pattern(name, args.seq_len, rng=rng.fork(name))
+        stats = analyze_mask(
+            mask, name, known_random=PATTERN_REGISTRY[name].uses_randomness
+        )
+        print(f"{name:>16} {stats.row_distribution:>11} "
+              f"{stats.col_distribution:>11} {stats.sparsity_type:>13} "
+              f"{stats.sparsity_ratio:>8.1%}")
+        if args.show:
+            print(render_mask(mask, width=args.show_width))
+            bsr = BlockSparseMask.from_dense(mask, args.block, args.block)
+            print(f"\nblock grid ({args.block}x{args.block}): "
+                  f"{block_summary(bsr)}")
+            print(render_bsr(bsr))
+            print()
+    return 0
+
+
+def cmd_mha(args: argparse.Namespace) -> int:
+    spec = get_spec(args.device)
+    problem = AttentionProblem.build(
+        args.pattern, args.batch, args.heads, args.seq_len, args.head_size,
+        rng=RngStream(args.seed),
+    )
+    print(f"{problem}\n")
+    plan = UnifiedMHA(spec).plan(problem)
+    rows = [("stof", plan.estimated_s, plan.kernel_name)]
+    for kernel in (
+        NaiveAttention(),
+        FlashAttention2Attention(),
+        FlexAttention(),
+        ByteTransformerAttention(),
+        MCFuserAttention(),
+    ):
+        ok, reason = kernel.supports(problem)
+        if not ok:
+            rows.append((kernel.name, None, reason))
+            continue
+        rows.append((kernel.name, kernel.estimate_time(problem, spec), ""))
+    base = dict((n, t) for n, t, _ in rows)["pytorch-native"]
+    for name, t, note in rows:
+        if t is None:
+            print(f"  {name:>18}: unsupported ({note})")
+        else:
+            print(f"  {name:>18}: {format_time(t):>10} "
+                  f"({base / t:5.2f}x over native) {note}")
+    return 0
+
+
+def cmd_e2e(args: argparse.Namespace) -> int:
+    engines = tuple(args.engines.split(",")) if args.engines else tuple(ENGINES)
+    for e in engines:
+        if e not in ENGINES:
+            print(f"unknown engine {e!r}; known: {sorted(ENGINES)}", file=sys.stderr)
+            return 2
+    results = compare_engines(
+        args.model, args.batch, args.seq_len,
+        device=args.device, mask=args.mask, engines=engines, seed=args.seed,
+    )
+    base = results.get("pytorch-native")
+    base_t = base.latency_s if not isinstance(base, str) and base else None
+    print(f"{args.model} @ batch {args.batch}, seq {args.seq_len}, "
+          f"mask {args.mask}, {get_spec(args.device).name}:\n")
+    for name, c in results.items():
+        if isinstance(c, str):
+            print(f"  {name:>16}: {c.upper()}")
+            continue
+        rel = f"({base_t / c.latency_s:5.2f}x)" if base_t else ""
+        tuning = f"  tuning {c.tuning_time_s:7.1f}s" if c.tuning_time_s else ""
+        print(f"  {name:>16}: {format_time(c.latency_s):>10} {rel}{tuning}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    compiled = compile_model(
+        args.model, args.batch, args.seq_len,
+        device=args.device, mask=args.mask, engine="stof", seed=args.seed,
+    )
+    print(compiled.summary())
+    overhead = compiled.prepared.extras["overhead"]
+    print(f"\nframework overhead: {overhead.total_s * 1e3:.1f} ms "
+          f"(analytical {overhead.analytical_model_s * 1e3:.1f}, "
+          f"conversion {overhead.scheme_conversion_s * 1e3:.1f}, "
+          f"reward {overhead.reward_algorithm_s * 1e3:.1f})")
+    print("\nfused attention sites:")
+    for name, binding in compiled.prepared.attention:
+        print(f"  {name}: {binding.kernel.name} {binding.params or ''}")
+    print("\ndownstream chains:")
+    for cp in compiled.prepared.chains:
+        segs = " | ".join(t.segment.names for t in cp.templates)
+        print(f"  scheme {cp.scheme}: {segs}")
+    return 0
+
+
+def cmd_decode(args: argparse.Namespace) -> int:
+    from repro.mha.decode import DECODE_METHODS, simulate_decode
+
+    spec = get_spec(args.device)
+    print(f"decode: pattern {args.pattern}, prompt {args.prompt}, "
+          f"generate {args.generate}, batch {args.batch}, {spec.name}\n")
+    for method in DECODE_METHODS:
+        rep = simulate_decode(
+            args.pattern, spec, method,
+            batch=args.batch, heads=args.heads, head_size=args.head_size,
+            prompt_len=args.prompt, generate=args.generate,
+            rng=RngStream(args.seed),
+        )
+        print(f"  {method:>16}: {rep.tokens_per_s:>12,.0f} tok/s "
+              f"(mean step {format_time(rep.mean_step_s)})")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.gpu.trace import export_chrome_trace
+
+    compiled = compile_model(
+        args.model, args.batch, args.seq_len,
+        device=args.device, mask=args.mask, engine=args.engine, seed=args.seed,
+    )
+    path = export_chrome_trace(compiled.prepared, args.output)
+    print(f"wrote {path} ({compiled.engine_name}, "
+          f"{format_time(compiled.latency_s)} simulated)")
+    print("open chrome://tracing or https://ui.perfetto.dev and load it")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    results = Path(args.results_dir)
+    files = sorted(results.glob("*.txt"))
+    if not files:
+        print(f"no result tables in {results}; run "
+              "`pytest benchmarks/ --benchmark-only` first", file=sys.stderr)
+        return 2
+    lines = [
+        "# STOF reproduction — collected results",
+        "",
+        "Generated from `benchmarks/results/` (see EXPERIMENTS.md for the",
+        "paper-vs-measured discussion of every table).",
+        "",
+    ]
+    for f in files:
+        lines.append(f"## {f.stem}")
+        lines.append("")
+        lines.append("```")
+        lines.append(f.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    out = Path(args.output)
+    out.write_text("\n".join(lines))
+    print(f"wrote {out} ({len(files)} tables)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STOF reproduction: sparse Transformer acceleration "
+                    "on a simulated GPU.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("devices", help="list simulated GPUs")
+    p.set_defaults(func=cmd_devices)
+
+    p = sub.add_parser("masks", help="Table-2 style mask analysis")
+    p.add_argument("--pattern", default=None)
+    p.add_argument("--seq-len", type=int, default=1024)
+    p.add_argument("--show", action="store_true",
+                   help="render the mask and its BSR block grid")
+    p.add_argument("--show-width", type=int, default=64)
+    p.add_argument("--block", type=int, default=64,
+                   help="block size for the --show grid")
+    _add_common(p)
+    p.set_defaults(func=cmd_masks)
+
+    p = sub.add_parser("mha", help="compare attention methods")
+    p.add_argument("--pattern", default="bigbird", choices=sorted(PATTERN_REGISTRY))
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--seq-len", type=int, default=1024)
+    p.add_argument("--heads", type=int, default=12)
+    p.add_argument("--head-size", type=int, default=64)
+    _add_common(p)
+    p.set_defaults(func=cmd_mha)
+
+    p = sub.add_parser("e2e", help="compare end-to-end engines")
+    p.add_argument("--model", default="bert-base")
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--seq-len", type=int, default=512)
+    p.add_argument("--mask", default="bigbird")
+    p.add_argument("--engines", default=None,
+                   help="comma-separated subset (default: all)")
+    _add_common(p)
+    p.set_defaults(func=cmd_e2e)
+
+    p = sub.add_parser("trace", help="export a Chrome-trace of a plan")
+    p.add_argument("--model", default="bert-small")
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--seq-len", type=int, default=128)
+    p.add_argument("--mask", default="bigbird")
+    p.add_argument("--engine", default="stof")
+    p.add_argument("--output", default="stof_trace.json")
+    _add_common(p)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("report", help="collate benchmark tables to markdown")
+    p.add_argument("--results-dir", default="benchmarks/results")
+    p.add_argument("--output", default="REPORT.md")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("decode", help="KV-cache generation throughput")
+    p.add_argument("--pattern", default="sliding_window",
+                   choices=sorted(PATTERN_REGISTRY))
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--heads", type=int, default=12)
+    p.add_argument("--head-size", type=int, default=64)
+    p.add_argument("--prompt", type=int, default=128)
+    p.add_argument("--generate", type=int, default=128)
+    _add_common(p)
+    p.set_defaults(func=cmd_decode)
+
+    p = sub.add_parser("tune", help="run STOF's two-stage tuner and inspect it")
+    p.add_argument("--model", default="bert-small")
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--seq-len", type=int, default=128)
+    p.add_argument("--mask", default="bigbird")
+    _add_common(p)
+    p.set_defaults(func=cmd_tune)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Piping into `head` etc. closes stdout early; exit quietly like
+        # well-behaved Unix tools do.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests/main
+    raise SystemExit(main())

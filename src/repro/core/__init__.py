@@ -1,0 +1,52 @@
+"""Shared primitives used across every STOF subsystem.
+
+The :mod:`repro.core` package deliberately contains no domain logic — only
+the plumbing the rest of the library leans on:
+
+* :mod:`repro.core.errors` — the exception hierarchy.
+* :mod:`repro.core.rng` — seeded random streams so every simulation,
+  mask generation, and tuning run is exactly reproducible.
+* :mod:`repro.core.fp16` — half-precision storage helpers mirroring the
+  FP16-storage / FP32-accumulate contract of tensor-core kernels.
+* :mod:`repro.core.units` — byte / FLOP / time unit helpers and formatting.
+"""
+
+from repro.core.errors import (
+    ReproError,
+    ConfigError,
+    DeviceOutOfMemoryError,
+    UnsupportedInputError,
+    GraphError,
+    TuningError,
+)
+from repro.core.rng import RngStream, derive_seed
+from repro.core.fp16 import to_fp16, from_fp16, fp16_matmul, FP16_BYTES
+from repro.core.units import (
+    KiB,
+    MiB,
+    GiB,
+    format_bytes,
+    format_time,
+    format_flops,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "DeviceOutOfMemoryError",
+    "UnsupportedInputError",
+    "GraphError",
+    "TuningError",
+    "RngStream",
+    "derive_seed",
+    "to_fp16",
+    "from_fp16",
+    "fp16_matmul",
+    "FP16_BYTES",
+    "KiB",
+    "MiB",
+    "GiB",
+    "format_bytes",
+    "format_time",
+    "format_flops",
+]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the STOF reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied.
+
+    Raised for out-of-range launch parameters (e.g. a ``BLOCK_M`` that is not
+    a multiple of 16), malformed device specs, or inconsistent model
+    hyper-parameters.
+    """
+
+
+class DeviceOutOfMemoryError(ReproError):
+    """The simulated device cannot hold the requested working set.
+
+    Mirrors a CUDA OOM: engines that materialize oversized intermediates
+    (e.g. MCFuser's dense score workspace at large batch x sequence) raise
+    this, and the benchmark harness reports a missing bar exactly as the
+    paper's figures do.
+    """
+
+    def __init__(self, requested_bytes: int, capacity_bytes: int, what: str = ""):
+        self.requested_bytes = int(requested_bytes)
+        self.capacity_bytes = int(capacity_bytes)
+        self.what = what
+        detail = f" while allocating {what}" if what else ""
+        super().__init__(
+            f"simulated device out of memory{detail}: "
+            f"requested {requested_bytes / 2**30:.2f} GiB, "
+            f"capacity {capacity_bytes / 2**30:.2f} GiB"
+        )
+
+
+class UnsupportedInputError(ReproError):
+    """An engine was asked to run an input it does not support.
+
+    Mirrors the paper's missing bars for ByteTransformer beyond sequence
+    length 1,024 and for baselines lacking a given mask representation.
+    """
+
+
+class GraphError(ReproError):
+    """Malformed computational graph or failed pattern match / rewrite."""
+
+
+class TuningError(ReproError):
+    """The search engine was driven into an invalid state.
+
+    Examples: sampling from an empty parameter space, or expanding a fusion
+    segment past the operator sequence bounds.
+    """

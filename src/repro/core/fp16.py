@@ -1,0 +1,60 @@
+"""Half-precision storage helpers.
+
+The paper's kernels run in FP16 storage with FP32 accumulation on tensor
+cores.  The functional layer mirrors that contract: tensors are *stored* as
+``float16`` (so memory-footprint accounting uses 2 bytes/element and rounding
+behaviour matches a real FP16 pipeline) while matmuls *accumulate* in
+``float32`` before rounding the result back to half.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bytes per FP16 element; the unit for all global-memory traffic accounting.
+FP16_BYTES = 2
+
+#: Bytes per FP32 element, used for accumulators and norm statistics.
+FP32_BYTES = 4
+
+
+def to_fp16(x: np.ndarray) -> np.ndarray:
+    """Round an array to FP16 storage.
+
+    Values outside the FP16 range become ``inf`` exactly as on hardware
+    (the overflow is intentional, so NumPy's cast warning is suppressed).
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(x, dtype=np.float16)
+
+
+def from_fp16(x: np.ndarray) -> np.ndarray:
+    """Promote FP16 storage to an FP32 compute view (copy)."""
+    return np.asarray(x, dtype=np.float32)
+
+
+def fp16_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix multiply with the tensor-core numerics contract.
+
+    Inputs are rounded to FP16, the product accumulates in FP32, and the
+    result is rounded back to FP16 — matching ``wmma`` fragment semantics.
+    Works on stacked (batched) matrices via NumPy broadcasting.
+    """
+    a16 = to_fp16(a).astype(np.float32)
+    b16 = to_fp16(b).astype(np.float32)
+    return to_fp16(a16 @ b16)
+
+
+def fp16_allclose(a: np.ndarray, b: np.ndarray, rtol: float = 2e-2, atol: float = 2e-3) -> bool:
+    """Tolerance-aware comparison for FP16 pipelines.
+
+    FP16 has ~3 decimal digits; reductions over hundreds of terms accumulate
+    rounding that scales with sequence length, so the default tolerances are
+    looser than :func:`numpy.allclose` defaults.
+    """
+    return np.allclose(
+        np.asarray(a, dtype=np.float32),
+        np.asarray(b, dtype=np.float32),
+        rtol=rtol,
+        atol=atol,
+    )

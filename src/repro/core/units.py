@@ -1,0 +1,50 @@
+"""Units and human-readable formatting for bytes, FLOPs, and time."""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary suffix.
+
+    >>> format_bytes(2048)
+    '2.00 KiB'
+    """
+    n = float(n)
+    for suffix, scale in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an adaptive unit.
+
+    >>> format_time(2.5e-6)
+    '2.50 us'
+    """
+    s = float(seconds)
+    if abs(s) >= 1.0:
+        return f"{s:.2f} s"
+    if abs(s) >= MILLISECOND:
+        return f"{s / MILLISECOND:.2f} ms"
+    return f"{s / MICROSECOND:.2f} us"
+
+
+def format_flops(n: float) -> str:
+    """Render a FLOP count with a decimal suffix.
+
+    >>> format_flops(3.2e12)
+    '3.20 TFLOP'
+    """
+    n = float(n)
+    for suffix, scale in (("TFLOP", 1e12), ("GFLOP", 1e9), ("MFLOP", 1e6), ("KFLOP", 1e3)):
+        if abs(n) >= scale:
+            return f"{n / scale:.2f} {suffix}"
+    return f"{n:.0f} FLOP"

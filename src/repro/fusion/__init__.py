@@ -1,0 +1,57 @@
+"""Operator-fusion module (paper §4.3): scheme conversion and templates.
+
+* :mod:`repro.fusion.segment` — :class:`SegmentSpec`, one contiguous run of
+  the downstream operator sequence with its dataflow resolved.
+* :mod:`repro.fusion.encoding` — the binary hash encoding of fusion schemes
+  (and hex compression) plus numerical decoding back to segments.
+* :mod:`repro.fusion.templates` — compilation templates: MI chains, GEMM +
+  epilogue, GEMM + row reduction, and the two-GEMM chain; each exposes the
+  kernel parameters the search engine tunes.
+* :mod:`repro.fusion.rules` — the expand / seize / compete boundary moves.
+* :mod:`repro.fusion.converter` — :class:`FusionSchemeConverter`, mapping
+  schemes <-> encodings <-> template bindings (Fig. 8).
+"""
+
+from repro.fusion.segment import SegmentSpec, segment_sequence
+from repro.fusion.encoding import (
+    encode_scheme,
+    decode_scheme,
+    scheme_to_hex,
+    hex_to_scheme,
+    scheme_key,
+)
+from repro.fusion.templates import (
+    CompilationTemplate,
+    ElementwiseChainTemplate,
+    ReductionChainTemplate,
+    GemmEpilogueTemplate,
+    GemmReduceTemplate,
+    GemmChainTemplate,
+    match_template,
+)
+from repro.fusion.rules import FusionMove, legal_moves, apply_move, count_ci
+from repro.fusion.converter import FusionSchemeConverter, OperatorChain, extract_chains
+
+__all__ = [
+    "SegmentSpec",
+    "segment_sequence",
+    "encode_scheme",
+    "decode_scheme",
+    "scheme_to_hex",
+    "hex_to_scheme",
+    "scheme_key",
+    "CompilationTemplate",
+    "ElementwiseChainTemplate",
+    "ReductionChainTemplate",
+    "GemmEpilogueTemplate",
+    "GemmReduceTemplate",
+    "GemmChainTemplate",
+    "match_template",
+    "FusionMove",
+    "legal_moves",
+    "apply_move",
+    "count_ci",
+    "FusionSchemeConverter",
+    "OperatorChain",
+    "extract_chains",
+]

@@ -1,0 +1,266 @@
+"""The fusion scheme converter (paper Fig. 8).
+
+Sits between the search engine and the graph/templates:
+
+* **upwards** — expresses a scheme as its binary hash code / hex key,
+* **downwards** — decodes a scheme into :class:`SegmentSpec` s and binds
+  each to a compilation template,
+* extracts the *linear chains* of the downstream operator sequence that
+  schemes partition (branch points — e.g. a LayerNorm feeding Q/K/V
+  projections — are natural fusion barriers).
+
+Segment and template bindings are cached by ``(start, length)`` within a
+chain, so the search engine's incremental boundary moves only re-resolve
+the segments they touch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import GraphError
+from repro.fusion.encoding import decode_scheme, encode_scheme, scheme_key
+from repro.fusion.segment import SegmentSpec
+from repro.fusion.templates import CompilationTemplate, match_template
+from repro.graph.ir import Graph, Node, NodeKind
+from repro.ops.base import OpCategory
+
+
+@dataclass
+class OperatorChain:
+    """One maximal linear chain of plain-op nodes in the graph."""
+
+    node_names: list[str]
+    categories: list[OpCategory]
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.node_names)
+
+
+def extract_chains(graph: Graph) -> list[OperatorChain]:
+    """Partition the graph's plain-op nodes into maximal linear chains.
+
+    A chain continues from op ``a`` to op ``b`` when ``b`` consumes ``a``
+    and ``a`` has exactly one consumer.  FUSED nodes (captured MHA) and
+    branch points terminate chains.
+    """
+    counts = graph.consumer_counts()
+    op_names = [n.name for n in graph.op_nodes() if n.kind is NodeKind.OP]
+    op_set = set(op_names)
+
+    # Each op can be the chain-continuation of at most ONE producer: when a
+    # node like Add(h, residual) has several single-consumer producers, the
+    # first qualifying input wins and the others end their chains there.
+    next_of: dict[str, str] = {}
+    prev_of: dict[str, str] = {}
+    for name in op_names:
+        node = graph.nodes[name]
+        for dep in node.inputs:
+            if (
+                dep in op_set
+                and counts[dep] == 1
+                and dep not in next_of
+                and name not in prev_of
+            ):
+                next_of[dep] = name
+                prev_of[name] = dep
+                break
+
+    chains: list[OperatorChain] = []
+    for name in op_names:
+        if name in prev_of:
+            continue  # interior of some chain
+        chain = [name]
+        cur = name
+        while cur in next_of:
+            cur = next_of[cur]
+            chain.append(cur)
+        cats = [graph.node(n).op.category for n in chain]
+        chains.append(OperatorChain(chain, cats))
+    return chains
+
+
+@dataclass
+class ConversionStats:
+    """Host-side overhead accounting (feeds the Fig. 14 breakdown)."""
+
+    encode_s: float = 0.0
+    decode_s: float = 0.0
+    template_match_s: float = 0.0
+
+
+class FusionSchemeConverter:
+    """Scheme <-> encoding <-> template bindings for one operator chain."""
+
+    def __init__(self, graph: Graph, chain: OperatorChain):
+        self.graph = graph
+        self.chain = chain
+        self.stats = ConversionStats()
+        self._segment_cache: dict[tuple[int, int], SegmentSpec] = {}
+        self._template_cache: dict[tuple[int, int], CompilationTemplate | None] = {}
+
+    # ------------------------------------------------------------- encoding
+
+    def encode(self, scheme: tuple[int, ...]) -> np.ndarray:
+        t0 = time.perf_counter()
+        try:
+            return encode_scheme(scheme)
+        finally:
+            self.stats.encode_s += time.perf_counter() - t0
+
+    def key(self, scheme: tuple[int, ...]) -> str:
+        t0 = time.perf_counter()
+        try:
+            return scheme_key(scheme)
+        finally:
+            self.stats.encode_s += time.perf_counter() - t0
+
+    def decode(self, bits: np.ndarray) -> tuple[int, ...]:
+        t0 = time.perf_counter()
+        try:
+            return decode_scheme(bits)
+        finally:
+            self.stats.decode_s += time.perf_counter() - t0
+
+    # ------------------------------------------------------------- segments
+
+    def segment(self, start: int, length: int) -> SegmentSpec:
+        key = (start, length)
+        if key not in self._segment_cache:
+            names = self.chain.node_names[start : start + length]
+            self._segment_cache[key] = SegmentSpec.from_graph(self.graph, names)
+        return self._segment_cache[key]
+
+    def template(self, start: int, length: int) -> CompilationTemplate | None:
+        """Bind (start, length) to a template; None when untemplatable."""
+        key = (start, length)
+        if key not in self._template_cache:
+            t0 = time.perf_counter()
+            try:
+                self._template_cache[key] = match_template(self.segment(start, length))
+            except GraphError:
+                self._template_cache[key] = None
+            finally:
+                self.stats.template_match_s += time.perf_counter() - t0
+        return self._template_cache[key]
+
+    def scheme_templates(
+        self, scheme: tuple[int, ...]
+    ) -> list[CompilationTemplate] | None:
+        """Templates for every segment of a scheme, or None if any fails."""
+        if sum(scheme) != self.chain.n_ops:
+            raise GraphError(
+                f"scheme {scheme} does not cover chain of {self.chain.n_ops} ops"
+            )
+        out: list[CompilationTemplate] = []
+        pos = 0
+        for l in scheme:
+            t = self.template(pos, l)
+            if t is None:
+                return None
+            out.append(t)
+            pos += l
+        return out
+
+    def feasible(self, scheme: tuple[int, ...]) -> bool:
+        return self.scheme_templates(scheme) is not None
+
+    # --------------------------------------------------------- initial scheme
+
+    def initial_scheme(
+        self,
+        tokens: int,
+        ci_chain_token_limit: int = 512,
+        spec=None,
+    ) -> tuple[int, ...]:
+        """Rule-based initialization (paper §4.4).
+
+        Greedy pass over the chain: every CI op absorbs the element-wise MI
+        ops that follow it (classic epilogue fusion); runs of MI ops fuse
+        together; and — per the §3 conclusion — when the token count
+        (batch x seq_len) is at most ``ci_chain_token_limit``, adjacent CI
+        segments are merged into CI+CI chains.  When a device ``spec`` is
+        given, the CI+CI merge is additionally gated on the analytical
+        model predicting a gain (expansion can grow but never split a
+        segment, so the init must not bake in a losing merge).
+        """
+        from repro.fusion.templates import _is_reduction
+        from repro.ops.base import Operator
+
+        cats = self.chain.categories
+        ops: list[Operator] = [self.graph.node(n).op for n in self.chain.node_names]
+        n = len(cats)
+        lengths: list[int] = []
+        i = 0
+        while i < n:
+            if cats[i] is OpCategory.CI:
+                # Epilogue fusion: absorb following element-wise MI ops, but
+                # stop at reductions — GEMM+LayerNorm is aggressive and left
+                # to stage-1 expansion (accepted only on measured gain).
+                j = i + 1
+                while (
+                    j < n
+                    and cats[j] is not OpCategory.CI
+                    and not _is_reduction(ops[j])
+                ):
+                    if self.template(i, j - i + 1) is None:
+                        break
+                    j += 1
+                lengths.append(j - i)
+                i = j
+            else:
+                # Fuse the MI run (torch.inductor-style), reductions included.
+                j = i + 1
+                while j < n and cats[j] is not OpCategory.CI:
+                    if self.template(i, j - i + 1) is None:
+                        break
+                    j += 1
+                lengths.append(j - i)
+                i = j
+
+        if tokens <= ci_chain_token_limit:
+            merged: list[int] = []
+            pos = 0
+            k = 0
+            while k < len(lengths):
+                if k + 1 < len(lengths):
+                    combined = lengths[k] + lengths[k + 1]
+                    seg_cis = sum(
+                        1
+                        for c in cats[pos : pos + combined]
+                        if c is OpCategory.CI
+                    )
+                    tmpl = (
+                        self.template(pos, combined) if seg_cis == 2 else None
+                    )
+                    gain_ok = tmpl is not None
+                    if gain_ok and spec is not None:
+                        left = self.template(pos, lengths[k])
+                        right = self.template(pos + lengths[k], lengths[k + 1])
+                        if left is None or right is None:
+                            gain_ok = False
+                        else:
+                            try:
+                                fused_t = tmpl.estimate_time(spec)
+                                split_t = left.estimate_time(spec) + right.estimate_time(spec)
+                                gain_ok = fused_t < split_t
+                            except Exception:
+                                gain_ok = False
+                    if gain_ok:
+                        merged.append(combined)
+                        pos += combined
+                        k += 2
+                        continue
+                merged.append(lengths[k])
+                pos += lengths[k]
+                k += 1
+            lengths = merged
+
+        scheme = tuple(lengths)
+        if not self.feasible(scheme):  # pragma: no cover - greedy guards above
+            scheme = tuple(1 for _ in range(n))
+        return scheme

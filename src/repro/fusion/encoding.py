@@ -1,0 +1,107 @@
+"""Binary hash encoding of fusion schemes (paper §4.3).
+
+"Inspired by the high-low voltage levels of digital circuits": a fusion
+scheme over an ``N``-operator sequence is an array of ``N`` bits in which
+every operator of one segment carries the same value and adjacent segments
+carry *different* values — so boundaries are exactly the positions where
+the bit flips.  The numbers are unrelated to operator characteristics; they
+exist to make boundary moves and cache keys cheap.
+
+A scheme is canonically represented here as a tuple of segment lengths
+(e.g. ``(5, 3, 3, 2)`` for the paper's running example ``[#2-#6][#7-#9]
+[#10-#12][#13,#14]``).  ``encode_scheme`` produces the bit array (starting
+at 1, as in Fig. 8); ``decode_scheme`` inverts it; ``scheme_to_hex`` packs
+the bits for compact cache keys on deep networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+
+
+def _validate_lengths(lengths: tuple[int, ...]) -> None:
+    if not lengths:
+        raise ConfigError("a fusion scheme needs at least one segment")
+    if any(int(l) < 1 for l in lengths):
+        raise ConfigError(f"segment lengths must be >= 1, got {lengths}")
+
+
+def encode_scheme(lengths: tuple[int, ...] | list[int]) -> np.ndarray:
+    """Segment lengths -> alternating binary array.
+
+    >>> encode_scheme((3, 2, 1)).tolist()
+    [1, 1, 1, 0, 0, 1]
+    """
+    lengths = tuple(int(l) for l in lengths)
+    _validate_lengths(lengths)
+    bits: list[int] = []
+    value = 1
+    for l in lengths:
+        bits.extend([value] * l)
+        value ^= 1
+    return np.asarray(bits, dtype=np.uint8)
+
+
+def decode_scheme(bits: np.ndarray | list[int]) -> tuple[int, ...]:
+    """Binary array -> segment lengths (boundary at every bit flip).
+
+    >>> decode_scheme([1, 1, 1, 0, 0, 1])
+    (3, 2, 1)
+    """
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigError(f"encoding must be a non-empty 1-D bit array, got {arr.shape}")
+    if not np.isin(arr, (0, 1)).all():
+        raise ConfigError("encoding must contain only 0/1 values")
+    flips = np.flatnonzero(np.diff(arr.astype(np.int8)) != 0)
+    boundaries = np.concatenate([[-1], flips, [arr.size - 1]])
+    return tuple(int(b - a) for a, b in zip(boundaries[:-1], boundaries[1:]))
+
+
+def scheme_to_hex(lengths: tuple[int, ...] | list[int]) -> str:
+    """Hex compression of the binary encoding (4 bits per digit, MSB-first).
+
+    The operator count is prefixed so padding bits are unambiguous:
+
+    >>> scheme_to_hex((3, 2, 1))
+    '6:e4'
+    """
+    bits = encode_scheme(lengths)
+    n = bits.size
+    padded = np.zeros(((n + 3) // 4) * 4, dtype=np.uint8)
+    padded[:n] = bits
+    digits = []
+    for i in range(0, padded.size, 4):
+        nib = (padded[i] << 3) | (padded[i + 1] << 2) | (padded[i + 2] << 1) | padded[i + 3]
+        digits.append(format(int(nib), "x"))
+    return f"{n}:{''.join(digits)}"
+
+
+def hex_to_scheme(text: str) -> tuple[int, ...]:
+    """Invert :func:`scheme_to_hex`.
+
+    >>> hex_to_scheme('6:e4')
+    (3, 2, 1)
+    """
+    try:
+        n_str, hex_part = text.split(":", 1)
+        n = int(n_str)
+    except ValueError as exc:
+        raise ConfigError(f"malformed hex scheme {text!r}") from exc
+    if n < 1 or len(hex_part) != (n + 3) // 4:
+        raise ConfigError(f"hex scheme {text!r} has inconsistent length")
+    bits: list[int] = []
+    for ch in hex_part:
+        nib = int(ch, 16)
+        bits.extend([(nib >> 3) & 1, (nib >> 2) & 1, (nib >> 1) & 1, nib & 1])
+    bits = bits[:n]
+    if bits and bits[0] != 1:
+        raise ConfigError(f"hex scheme {text!r} does not start with 1")
+    return decode_scheme(bits)
+
+
+def scheme_key(lengths: tuple[int, ...] | list[int]) -> str:
+    """Canonical cache key for a scheme (the hex form)."""
+    return scheme_to_hex(tuple(lengths))

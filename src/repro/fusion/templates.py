@@ -1,0 +1,573 @@
+"""Compilation templates (paper §4.3).
+
+Each template is the cost/launch model of one fused-kernel *shape*, the
+Triton-template substitution of DESIGN.md §1.  A template binds to a
+:class:`~repro.fusion.segment.SegmentSpec` and exposes:
+
+* ``plan(spec, params)`` — the single fused launch (counters + config),
+* ``detached_plan(spec)`` — the launches of the same ops run separately
+  (what the tuner compares against, and what Fig. 3 plots),
+* ``compute(ext_values)`` — functional evaluation (identical numerics to
+  detached execution),
+* ``param_space()`` — the exposed kernel parameters.
+
+Template shapes:
+
+=====================  ==========================  =========================
+Template               Matches                     Key resource effect
+=====================  ==========================  =========================
+ElementwiseChain       MI only, no reduction       one stream, traffic of
+                                                   ends only
+ReductionChain         MI only, >=1 reduction      row kernel w/ fused
+                                                   pro/epilogue (Bias+LN)
+GemmEpilogue           1 CI + elementwise MI       GEMM with epilogue ops in
+                                                   registers (GEMM+Bias+GELU)
+GemmReduce             1 CI + reduction after it   full output row resident
+                                                   per block -> SMEM grows
+                                                   with hidden dim (GEMM+LN)
+GemmChain              2 CI (+ elementwise MI)     intermediate row resident;
+                                                   2nd weight re-read per
+                                                   block (GEMM+GEMM)
+=====================  ==========================  =========================
+
+The last two templates' SMEM/L2 pressure is what makes fused-vs-detached
+flip with the hidden dimension and input scale (the paper's Fig. 3).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigError, GraphError
+from repro.core.fp16 import FP16_BYTES
+from repro.gpu.cost import KernelCost, LaunchConfig
+from repro.gpu.specs import GPUSpec
+from repro.fusion.segment import SegmentSpec
+from repro.ops.base import Operator, OpCategory, Shape, numel
+from repro.ops.gemm import BLOCK_K, BatchedGemm, Gemm
+from repro.ops.normalization import LayerNorm, RMSNorm, Softmax
+
+#: FP32 accumulator bytes per element for row-resident output tiles.
+FP32_BYTES = 4
+
+#: N-chunk staged per pipeline step in row-resident templates.
+CHUNK_N = 64
+
+#: SMEM padding (FP16 elements) used by all templates.
+PAD = 16
+
+
+def _is_reduction(op: Operator) -> bool:
+    return isinstance(op, (LayerNorm, RMSNorm, Softmax))
+
+
+def _is_ci(op: Operator) -> bool:
+    return op.category is OpCategory.CI
+
+
+def _gemm_dims(segment: SegmentSpec, idx: int) -> tuple[int, int, int, int]:
+    """(batch, M, N, K) of the CI op at segment position ``idx``."""
+    in_shapes = segment.in_shapes[idx]
+    x_shape, w_shape = in_shapes[0], in_shapes[1]
+    if len(x_shape) == 2:
+        b, m, k = 1, x_shape[0], x_shape[1]
+    else:
+        b = 1
+        for d in x_shape[:-2]:
+            b *= d
+        m, k = x_shape[-2], x_shape[-1]
+    n = w_shape[-1]
+    return b, m, n, k
+
+
+def _reread(volume_bytes: float, times: float, spec: GPUSpec) -> tuple[float, float]:
+    """(dram, l2) split of an operand read ``times`` times."""
+    if times <= 1.0:
+        return volume_bytes * times, 0.0
+    extra = volume_bytes * (times - 1.0)
+    if volume_bytes <= spec.l2_bytes:
+        return volume_bytes, extra
+    return volume_bytes * times, 0.0
+
+
+class CompilationTemplate(ABC):
+    """One fused-kernel shape bound to a segment."""
+
+    name = "template"
+
+    def __init__(self, segment: SegmentSpec):
+        ok, reason = type(self).matches(segment)
+        if not ok:
+            raise GraphError(
+                f"{type(self).__name__} cannot bind segment [{segment.names}]: {reason}"
+            )
+        self.segment = segment
+
+    # ------------------------------------------------------------- interface
+
+    @staticmethod
+    @abstractmethod
+    def matches(segment: SegmentSpec) -> tuple[bool, str]:
+        """Whether this template shape fits the segment."""
+
+    @abstractmethod
+    def plan(self, spec: GPUSpec, params: dict[str, Any]) -> list[tuple[KernelCost, LaunchConfig]]:
+        """The fused launch(es)."""
+
+    @abstractmethod
+    def param_space(self) -> dict[str, tuple]:
+        """Exposed kernel parameters and candidate values."""
+
+    def default_params(self, spec: GPUSpec) -> dict[str, Any]:
+        return {k: v[0] for k, v in self.param_space().items()}
+
+    def compute(self, ext_values: Sequence[np.ndarray]) -> np.ndarray:
+        """Functional evaluation (fusion never changes numerics)."""
+        return self.segment.compute(ext_values)
+
+    def estimate_time(self, spec: GPUSpec, params: dict[str, Any] | None = None) -> float:
+        from repro.gpu.cost import estimate_kernel_time
+
+        params = params or self.default_params(spec)
+        return sum(
+            estimate_kernel_time(spec, c, cfg).total for c, cfg in self.plan(spec, params)
+        )
+
+    # ------------------------------------------------------ detached baseline
+
+    def detached_plan(
+        self, spec: GPUSpec, per_op_params: list[dict[str, Any]] | None = None
+    ) -> list[tuple[KernelCost, LaunchConfig]]:
+        """The same ops as separate kernels (each intermediate in DRAM)."""
+        launches = []
+        for i, op in enumerate(self.segment.ops):
+            p = (
+                per_op_params[i]
+                if per_op_params is not None
+                else op.default_params(self.segment.in_shapes[i], spec)
+            )
+            launches.append(op.cost(self.segment.in_shapes[i], spec, p))
+        return launches
+
+    def detached_time(
+        self, spec: GPUSpec, per_op_params: list[dict[str, Any]] | None = None
+    ) -> float:
+        from repro.gpu.cost import estimate_kernel_time
+
+        return sum(
+            estimate_kernel_time(spec, c, cfg).total
+            for c, cfg in self.detached_plan(spec, per_op_params)
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _mi_flops(self, spec: GPUSpec) -> float:
+        """Total SIMT FLOPs of the segment's MI ops (from their own costs)."""
+        total = 0.0
+        for i, op in enumerate(self.segment.ops):
+            if _is_ci(op):
+                continue
+            cost, _ = op.cost(
+                self.segment.in_shapes[i], spec, op.default_params(self.segment.in_shapes[i], spec)
+            )
+            total += cost.flops_simt
+        return total
+
+    def _ext_read_bytes(self) -> float:
+        """All external inputs read once (activations, weights, residuals)."""
+        total = 0.0
+        for shape in self.segment.ext_shapes:
+            total += numel(shape) * FP16_BYTES
+        return total
+
+    def _aux_write_bytes(self) -> float:
+        return sum(
+            numel(self.segment.out_shapes[i]) * FP16_BYTES
+            for i in self.segment.aux_write_indices
+        )
+
+    def _final_write_bytes(self) -> float:
+        return numel(self.segment.out_shape) * FP16_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}([{self.segment.names}])"
+
+
+# ---------------------------------------------------------------------------
+# MI-only templates
+# ---------------------------------------------------------------------------
+
+
+class ElementwiseChainTemplate(CompilationTemplate):
+    """Streaming fusion of element-wise MI ops (what torch.inductor does)."""
+
+    name = "ew-chain"
+
+    @staticmethod
+    def matches(segment: SegmentSpec) -> tuple[bool, str]:
+        if segment.n_ci > 0:
+            return False, "contains a CI op"
+        if any(_is_reduction(op) for op in segment.ops):
+            return False, "contains a reduction"
+        return True, ""
+
+    def param_space(self) -> dict[str, tuple]:
+        return {"num_warps": (4, 1, 2, 8)}
+
+    def plan(self, spec, params):
+        n = numel(self.segment.out_shape)
+        warps = params["num_warps"]
+        grid = max(1, math.ceil(n / (warps * spec.warp_size * 8)))
+        cost = KernelCost(
+            name=f"fused[{self.segment.names}]",
+            bytes_dram_read=self._ext_read_bytes(),
+            bytes_dram_written=self._final_write_bytes() + self._aux_write_bytes(),
+            flops_simt=self._mi_flops(spec),
+        )
+        return [(cost, LaunchConfig(grid_blocks=grid, warps_per_block=warps))]
+
+
+class ReductionChainTemplate(CompilationTemplate):
+    """MI chain containing LayerNorm/Softmax: fused row kernel (Bias+LN)."""
+
+    name = "reduce-chain"
+
+    @staticmethod
+    def matches(segment: SegmentSpec) -> tuple[bool, str]:
+        if segment.n_ci > 0:
+            return False, "contains a CI op"
+        if not any(_is_reduction(op) for op in segment.ops):
+            return False, "no reduction op"
+        return True, ""
+
+    def param_space(self) -> dict[str, tuple]:
+        return {"rows_per_block": (4, 1, 2, 8, 16), "num_warps": (4, 1, 2, 8)}
+
+    def plan(self, spec, params):
+        out = self.segment.out_shape
+        row_len = out[-1]
+        n_rows = numel(out) // row_len
+        rows_per_block = params["rows_per_block"]
+        warps = params["num_warps"]
+        grid = max(1, math.ceil(n_rows / rows_per_block))
+        smem = rows_per_block * row_len * FP16_BYTES
+        n = numel(out)
+        cost = KernelCost(
+            name=f"fused[{self.segment.names}]",
+            bytes_dram_read=self._ext_read_bytes(),
+            bytes_dram_written=self._final_write_bytes() + self._aux_write_bytes(),
+            bytes_smem=2.0 * n * FP16_BYTES,
+            flops_simt=self._mi_flops(spec),
+            sync_rounds=2.0 * math.ceil(math.log2(max(2, warps))),
+        )
+        config = LaunchConfig(
+            grid_blocks=grid,
+            warps_per_block=warps,
+            smem_per_block=smem,
+            pipelined=False,
+        )
+        return [(cost, config)]
+
+
+# ---------------------------------------------------------------------------
+# Single-CI templates
+# ---------------------------------------------------------------------------
+
+
+class _SingleGemmBase(CompilationTemplate):
+    """Shared dataflow for the one-CI templates."""
+
+    def _ci_index(self) -> int:
+        return next(i for i, op in enumerate(self.segment.ops) if _is_ci(op))
+
+
+class GemmEpilogueTemplate(_SingleGemmBase):
+    """GEMM with element-wise prologue/epilogue fused into registers.
+
+    GEMM+Bias, GEMM+Bias+GELU, GEMM+Bias+Add — the bread-and-butter CI+MI
+    fusion.  The GEMM's tiling is unchanged; the MI ops cost only their
+    FLOPs and any extra operand reads, because the data is already in
+    registers when they run.
+    """
+
+    name = "gemm-epilogue"
+
+    @staticmethod
+    def matches(segment: SegmentSpec) -> tuple[bool, str]:
+        if segment.n_ci != 1:
+            return False, f"needs exactly 1 CI op, has {segment.n_ci}"
+        if any(_is_reduction(op) for op in segment.ops):
+            return False, "contains a reduction (use GemmReduceTemplate)"
+        return True, ""
+
+    def param_space(self) -> dict[str, tuple]:
+        return {
+            "block_m": (64, 16, 32, 128),
+            "block_n": (64, 16, 32, 128),
+            "num_warps": (4, 1, 2, 8),
+            "num_stages": (2, 1, 3, 4),
+        }
+
+    def plan(self, spec, params):
+        ci = self._ci_index()
+        b, m, n, k = _gemm_dims(self.segment, ci)
+        bm, bn = params["block_m"], params["block_n"]
+        tiles_m = math.ceil(m / bm)
+        tiles_n = math.ceil(n / bn)
+        grid = b * tiles_m * tiles_n
+
+        x_bytes = b * m * k * FP16_BYTES
+        # Second operand may be a shared 2-D weight or a batched 3-D tensor.
+        w_shape = self.segment.in_shapes[ci][1]
+        w_bytes = numel(w_shape) * FP16_BYTES
+        x_dram, x_l2 = _reread(x_bytes, tiles_n, spec)
+        w_times = tiles_m * (b if len(w_shape) == 2 else 1)
+        w_dram, w_l2 = _reread(w_bytes, float(w_times), spec)
+        dram_read = x_dram + w_dram + self._epilogue_ext_bytes(ci)
+        l2_read = x_l2 + w_l2
+
+        smem = params["num_stages"] * (bm + bn) * BLOCK_K * FP16_BYTES
+        cost = KernelCost(
+            name=f"fused[{self.segment.names}]",
+            bytes_dram_read=dram_read,
+            bytes_dram_written=self._final_write_bytes() + self._aux_write_bytes(),
+            bytes_l2_read=l2_read,
+            bytes_smem=2.0 * (x_bytes * tiles_n + w_bytes * tiles_m * b),
+            flops_tensor=2.0 * b * m * n * k,
+            flops_simt=self._mi_flops(spec),
+            sync_rounds=math.ceil(k / BLOCK_K) / max(1, params["num_stages"]),
+        )
+        config = LaunchConfig(
+            grid_blocks=grid,
+            warps_per_block=params["num_warps"],
+            smem_per_block=smem,
+            pipelined=params["num_stages"] >= 2,
+        )
+        return [(cost, config)]
+
+    def _epilogue_ext_bytes(self, ci: int) -> float:
+        """External reads of the MI ops (bias vectors, residual tensors)."""
+        total = 0.0
+        counted: set[int] = set()
+        # The GEMM's own two inputs are counted in the tiled model above.
+        for kind, j in self.segment.sources[ci]:
+            if kind == "ext":
+                counted.add(j)
+        for j, shape in enumerate(self.segment.ext_shapes):
+            if j not in counted:
+                total += numel(shape) * FP16_BYTES
+        return total
+
+
+class GemmReduceTemplate(_SingleGemmBase):
+    """GEMM whose output flows into a row reduction (GEMM+LayerNorm).
+
+    The reduction needs the whole output row: the block holds a
+    ``BLOCK_M x N`` FP32 accumulator on-chip, so SMEM grows *linearly with
+    the hidden dimension* — the mechanism behind Fig. 3's flip from 12-26x
+    speedup at hidden 512 to slowdowns at hidden 1024.
+    """
+
+    name = "gemm-reduce"
+
+    @staticmethod
+    def matches(segment: SegmentSpec) -> tuple[bool, str]:
+        if segment.n_ci != 1:
+            return False, f"needs exactly 1 CI op, has {segment.n_ci}"
+        if not any(_is_reduction(op) for op in segment.ops):
+            return False, "no reduction op"
+        ci = next(i for i, op in enumerate(segment.ops) if _is_ci(op))
+        for i, op in enumerate(segment.ops):
+            if _is_reduction(op) and i < ci:
+                return False, "reduction before the GEMM cannot fuse"
+        return True, ""
+
+    def param_space(self) -> dict[str, tuple]:
+        return {
+            "block_m": (16, 32, 64),
+            "num_warps": (4, 1, 2, 8),
+            "num_stages": (2, 1, 3),
+        }
+
+    def plan(self, spec, params):
+        ci = self._ci_index()
+        b, m, n, k = _gemm_dims(self.segment, ci)
+        bm = params["block_m"]
+        grid = b * math.ceil(m / bm)
+
+        x_bytes = b * m * k * FP16_BYTES
+        w_bytes = k * n * FP16_BYTES
+        # Every block reads the whole weight once.
+        w_dram, w_l2 = _reread(w_bytes, float(grid), spec)
+        dram_read = x_bytes + w_dram + self._other_ext_bytes(ci)
+        l2_read = w_l2
+
+        # Full output row resident per block (chunk accumulation happens in
+        # registers; the completed row is staged in FP16 for the reduction
+        # pass) + staged chunk buffers.
+        smem = (
+            bm * (n + PAD) * FP16_BYTES
+            + params["num_stages"] * (bm + CHUNK_N) * BLOCK_K * FP16_BYTES
+        )
+        cost = KernelCost(
+            name=f"fused[{self.segment.names}]",
+            bytes_dram_read=dram_read,
+            bytes_dram_written=self._final_write_bytes() + self._aux_write_bytes(),
+            bytes_l2_read=l2_read,
+            bytes_smem=2.0 * (x_bytes + w_bytes * grid)
+            + 2.0 * b * m * n * FP32_BYTES,
+            flops_tensor=2.0 * b * m * n * k,
+            flops_simt=self._mi_flops(spec),
+            sync_rounds=math.ceil(k / BLOCK_K) * math.ceil(n / CHUNK_N)
+            / max(1, params["num_stages"]),
+        )
+        config = LaunchConfig(
+            grid_blocks=grid,
+            warps_per_block=params["num_warps"],
+            smem_per_block=smem,
+            pipelined=params["num_stages"] >= 2,
+        )
+        return [(cost, config)]
+
+    def _other_ext_bytes(self, ci: int) -> float:
+        total = 0.0
+        counted: set[int] = set()
+        for kind, j in self.segment.sources[ci]:
+            if kind == "ext":
+                counted.add(j)
+        for j, shape in enumerate(self.segment.ext_shapes):
+            if j not in counted:
+                total += numel(shape) * FP16_BYTES
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Two-CI template
+# ---------------------------------------------------------------------------
+
+
+class GemmChainTemplate(CompilationTemplate):
+    """Two chained GEMMs fused, intermediate row resident on-chip.
+
+    Matches GEMM+GEMM with optional element-wise MI ops between/after (e.g.
+    the feed-forward GEMM+GELU+GEMM when the scale is small enough).  Each
+    block computes ``BLOCK_M`` full rows end-to-end: the intermediate
+    ``BLOCK_M x N1`` tile never touches DRAM, but *both* weights are read
+    once per block — the re-read pressure that makes CI+CI fusion profitable
+    only at small input scales (paper §2.3.1, Fig. 3).
+    """
+
+    name = "gemm-chain"
+
+    @staticmethod
+    def matches(segment: SegmentSpec) -> tuple[bool, str]:
+        if segment.n_ci != 2:
+            return False, f"needs exactly 2 CI ops, has {segment.n_ci}"
+        if any(_is_reduction(op) for op in segment.ops):
+            return False, "reductions cannot fuse into a GEMM chain"
+        return True, ""
+
+    def param_space(self) -> dict[str, tuple]:
+        return {
+            "block_m": (16, 32, 64),
+            "block_n2": (64, 128, 256),   # second-GEMM N tile (recompute trade)
+            "num_warps": (4, 1, 2, 8),
+            "num_stages": (2, 1, 3),
+        }
+
+    def plan(self, spec, params):
+        ci_idx = [i for i, op in enumerate(self.segment.ops) if _is_ci(op)]
+        b1, m, n1, k1 = _gemm_dims(self.segment, ci_idx[0])
+        b2, m2, n2, k2 = _gemm_dims(self.segment, ci_idx[1])
+        bm = params["block_m"]
+        bn2 = min(params["block_n2"], n2)
+        tiles_m = math.ceil(m / bm)
+        tiles_n2 = math.ceil(n2 / bn2)
+        grid = b1 * tiles_m * tiles_n2
+
+        # Each (m, n2) block recomputes its BLOCK_M x N1 intermediate rows
+        # (the classic fused-GEMM-chain recompute-vs-reread trade): the first
+        # GEMM's FLOPs multiply by the n2 tiling, the first weight is read by
+        # every block, and the second weight slice once per m-tile.
+        recompute = float(tiles_n2)
+        x_bytes = b1 * m * k1 * FP16_BYTES
+        w1_bytes = k1 * n1 * FP16_BYTES
+        w2_bytes = k2 * n2 * FP16_BYTES
+        x_dram, x_l2 = _reread(x_bytes, recompute, spec)
+        w1_dram, w1_l2 = _reread(w1_bytes, float(grid), spec)
+        w2_dram, w2_l2 = _reread(w2_bytes, float(b1 * tiles_m), spec)
+        dram_read = x_dram + w1_dram + w2_dram + self._mi_ext_bytes(ci_idx)
+        l2_read = x_l2 + w1_l2 + w2_l2
+
+        smem = (
+            bm * (n1 + PAD) * FP16_BYTES
+            + params["num_stages"] * (bm + CHUNK_N) * BLOCK_K * FP16_BYTES
+        )
+        flops1 = 2.0 * b1 * m * n1 * k1 * recompute
+        flops2 = 2.0 * b2 * m2 * n2 * k2
+        cost = KernelCost(
+            name=f"fused[{self.segment.names}]",
+            bytes_dram_read=dram_read,
+            bytes_dram_written=self._final_write_bytes() + self._aux_write_bytes(),
+            bytes_l2_read=l2_read,
+            bytes_smem=2.0
+            * (x_bytes * recompute + w1_bytes * grid + w2_bytes * b1 * tiles_m)
+            + 2.0 * b1 * m * n1 * FP16_BYTES * recompute,
+            flops_tensor=flops1 + flops2,
+            flops_simt=self._mi_flops(spec) * recompute,
+            sync_rounds=(math.ceil(k1 / BLOCK_K) + math.ceil(k2 / BLOCK_K))
+            * math.ceil(n1 / CHUNK_N)
+            / max(1, params["num_stages"]),
+        )
+        config = LaunchConfig(
+            grid_blocks=grid,
+            warps_per_block=params["num_warps"],
+            smem_per_block=smem,
+            pipelined=params["num_stages"] >= 2,
+        )
+        return [(cost, config)]
+
+    def _mi_ext_bytes(self, ci_idx: list[int]) -> float:
+        total = 0.0
+        counted: set[int] = set()
+        for i in ci_idx:
+            for kind, j in self.segment.sources[i]:
+                if kind == "ext":
+                    counted.add(j)
+        for j, shape in enumerate(self.segment.ext_shapes):
+            if j not in counted:
+                total += numel(shape) * FP16_BYTES
+        return total
+
+
+#: Registry in match-priority order.
+TEMPLATE_CLASSES: tuple[type[CompilationTemplate], ...] = (
+    ElementwiseChainTemplate,
+    ReductionChainTemplate,
+    GemmEpilogueTemplate,
+    GemmReduceTemplate,
+    GemmChainTemplate,
+)
+
+
+def match_template(segment: SegmentSpec) -> CompilationTemplate:
+    """Bind the segment to the first matching template.
+
+    Raises :class:`~repro.core.errors.GraphError` when no template shape
+    fits (e.g. three CI ops, or a reduction feeding a GEMM) — the search
+    engine treats such schemes as infeasible and never selects them.
+    """
+    reasons = []
+    for cls in TEMPLATE_CLASSES:
+        ok, reason = cls.matches(segment)
+        if ok:
+            return cls(segment)
+        reasons.append(f"{cls.__name__}: {reason}")
+    raise GraphError(
+        f"no compilation template fits segment [{segment.names}]; "
+        + "; ".join(reasons)
+    )

@@ -1,0 +1,50 @@
+"""Simulated GPU execution model.
+
+This package is the substrate substitution for the paper's real NVIDIA
+RTX 4090 / A100 hardware (see DESIGN.md §1).  It provides:
+
+* :mod:`repro.gpu.specs` — device specifications (Table 3 of the paper plus
+  the throughput constants a roofline model needs).
+* :mod:`repro.gpu.occupancy` — the CUDA occupancy calculation: how many
+  thread blocks fit on an SM given SMEM / warp / register pressure.
+* :mod:`repro.gpu.bank` — shared-memory bank-conflict modelling for the
+  padding optimization of the paper's block-wise kernel (Fig. 7).
+* :mod:`repro.gpu.cost` — :class:`KernelCost` counters and the roofline
+  kernel-time estimator.
+* :mod:`repro.gpu.memory` — device-memory footprint tracking and simulated
+  OOM (the paper's missing MCFuser bars).
+* :mod:`repro.gpu.device` — :class:`SimulatedGPU`, which executes kernel
+  launches against a spec, accumulating a timeline.
+
+The model is deliberately *first-order*: kernel time is the max (pipelined)
+or sum (unpipelined) of DRAM, L2, SMEM, and compute phase times, each scaled
+by achieved occupancy and SM utilization, plus launch and barrier overheads.
+Every constant lives in :mod:`repro.gpu.specs`.
+"""
+
+from repro.gpu.specs import GPUSpec, RTX4090, A100, H100, get_spec, KNOWN_GPUS
+from repro.gpu.occupancy import Occupancy, compute_occupancy
+from repro.gpu.bank import bank_conflict_factor, conflict_free_padding
+from repro.gpu.cost import KernelCost, LaunchConfig, TimeBreakdown, estimate_kernel_time
+from repro.gpu.memory import MemoryTracker
+from repro.gpu.device import SimulatedGPU, KernelRecord
+
+__all__ = [
+    "GPUSpec",
+    "RTX4090",
+    "A100",
+    "H100",
+    "get_spec",
+    "KNOWN_GPUS",
+    "Occupancy",
+    "compute_occupancy",
+    "bank_conflict_factor",
+    "conflict_free_padding",
+    "KernelCost",
+    "LaunchConfig",
+    "TimeBreakdown",
+    "estimate_kernel_time",
+    "MemoryTracker",
+    "SimulatedGPU",
+    "KernelRecord",
+]

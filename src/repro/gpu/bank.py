@@ -1,0 +1,72 @@
+"""Shared-memory bank-conflict model.
+
+The paper's block-wise kernel pads SMEM tiles "during the read and write of
+SMEM to eliminate bank conflicts" (Fig. 7).  We model the classic mechanism:
+SMEM is organized in 32 banks of 4-byte words; when the 32 lanes of a warp
+access a *column* of a row-major tile of row pitch ``P`` words, lane ``i``
+touches word ``i * P``, i.e. bank ``(i * P) mod 32``.  The number of distinct
+banks touched is ``32 / gcd(P, 32)``, so the access serializes into
+``gcd(P, 32)`` phases — the *conflict factor*.
+
+A 64-half-wide tile (``head_size = 64`` in FP16) has pitch 32 words →
+32-way conflicts; padding the pitch makes it misaligned with the bank count
+and collapses the factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import FP16_BYTES
+
+
+def bank_conflict_factor(
+    row_pitch_elems: int,
+    elem_bytes: int = FP16_BYTES,
+    banks: int = 32,
+    bank_width_bytes: int = 4,
+) -> int:
+    """Serialization factor for a column access into a row-major SMEM tile.
+
+    ``row_pitch_elems`` is the allocated row pitch *including padding*, in
+    elements of ``elem_bytes`` each.  Returns an integer >= 1; 1 means
+    conflict-free.
+
+    >>> bank_conflict_factor(64)   # head_size=64 FP16, unpadded
+    32
+    >>> bank_conflict_factor(64 + 16)  # the paper's padding of 16 halves
+    8
+    >>> bank_conflict_factor(64 + 2)
+    1
+    """
+    if row_pitch_elems < 1:
+        raise ConfigError(f"row pitch must be >= 1 element, got {row_pitch_elems}")
+    pitch_bytes = row_pitch_elems * elem_bytes
+    if pitch_bytes % bank_width_bytes != 0:
+        # Sub-word pitches cannot be modelled with the word-granular rule;
+        # round up to the next word (hardware pads allocations anyway).
+        pitch_words = pitch_bytes // bank_width_bytes + 1
+    else:
+        pitch_words = pitch_bytes // bank_width_bytes
+    return math.gcd(pitch_words, banks)
+
+
+def conflict_free_padding(
+    width_elems: int,
+    elem_bytes: int = FP16_BYTES,
+    banks: int = 32,
+    bank_width_bytes: int = 4,
+    max_pad: int = 32,
+) -> int:
+    """Smallest padding (in elements) making column access conflict-free.
+
+    >>> conflict_free_padding(64)
+    1
+    """
+    for pad in range(max_pad + 1):
+        if bank_conflict_factor(width_elems + pad, elem_bytes, banks, bank_width_bytes) == 1:
+            return pad
+    raise ConfigError(
+        f"no conflict-free padding <= {max_pad} elements for width {width_elems}"
+    )

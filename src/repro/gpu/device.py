@@ -1,0 +1,106 @@
+"""The simulated GPU device.
+
+:class:`SimulatedGPU` binds a :class:`~repro.gpu.specs.GPUSpec` to a
+timeline of kernel launches and a :class:`~repro.gpu.memory.MemoryTracker`.
+Engines submit (cost, config) pairs; the device records the estimated time of
+each and accumulates totals.  A ``dispatch_overhead_s`` per launch models the
+host-side framework cost (eager PyTorch dispatch vs. CUDA-graph replay),
+which engines configure per their strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.cost import KernelCost, LaunchConfig, TimeBreakdown, estimate_kernel_time
+from repro.gpu.memory import MemoryTracker
+from repro.gpu.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One launched kernel on the device timeline."""
+
+    name: str
+    cost: KernelCost
+    config: LaunchConfig
+    breakdown: TimeBreakdown
+    dispatch_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.breakdown.total + self.dispatch_s
+
+
+class SimulatedGPU:
+    """Executes kernel launches against a device spec, keeping a timeline.
+
+    >>> from repro.gpu.specs import A100
+    >>> from repro.gpu.cost import KernelCost, LaunchConfig
+    >>> dev = SimulatedGPU(A100)
+    >>> rec = dev.launch(KernelCost(name="copy", bytes_dram_read=1e6,
+    ...                             bytes_dram_written=1e6),
+    ...                  LaunchConfig(grid_blocks=1024))
+    >>> rec.breakdown.total > 0
+    True
+    """
+
+    def __init__(self, spec: GPUSpec, dispatch_overhead_s: float = 0.0):
+        self.spec = spec
+        self.dispatch_overhead_s = float(dispatch_overhead_s)
+        self.memory = MemoryTracker(spec.memory_bytes)
+        self.timeline: list[KernelRecord] = []
+
+    # ------------------------------------------------------------------ launch
+
+    def estimate(self, cost: KernelCost, config: LaunchConfig) -> TimeBreakdown:
+        """Estimate time without recording on the timeline (for tuners)."""
+        return estimate_kernel_time(self.spec, cost, config)
+
+    def launch(self, cost: KernelCost, config: LaunchConfig) -> KernelRecord:
+        """Execute a kernel: estimate its time and append to the timeline."""
+        breakdown = estimate_kernel_time(self.spec, cost, config)
+        record = KernelRecord(
+            name=cost.name,
+            cost=cost,
+            config=config,
+            breakdown=breakdown,
+            dispatch_s=self.dispatch_overhead_s * cost.launches,
+        )
+        self.timeline.append(record)
+        return record
+
+    # --------------------------------------------------------------- totals
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total simulated time of everything launched so far."""
+        return sum(r.total_s for r in self.timeline)
+
+    @property
+    def kernel_count(self) -> int:
+        return sum(r.cost.launches for r in self.timeline)
+
+    def total_bytes_dram(self) -> float:
+        return sum(r.cost.bytes_dram for r in self.timeline)
+
+    def total_flops(self) -> float:
+        return sum(r.cost.flops for r in self.timeline)
+
+    def breakdown_by_kernel(self) -> dict[str, float]:
+        """Aggregate total time per kernel name (for profiles and examples)."""
+        agg: dict[str, float] = {}
+        for r in self.timeline:
+            agg[r.name] = agg.get(r.name, 0.0) + r.total_s
+        return agg
+
+    def reset(self) -> None:
+        """Clear the timeline and memory tracker (new measurement run)."""
+        self.timeline.clear()
+        self.memory.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulatedGPU({self.spec.name}, kernels={len(self.timeline)}, "
+            f"elapsed={self.elapsed_s:.6f}s)"
+        )

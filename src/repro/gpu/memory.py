@@ -1,0 +1,98 @@
+"""Device-memory footprint tracking.
+
+Engines register the buffers they materialize (weights, activations,
+workspaces).  Exceeding device capacity raises
+:class:`~repro.core.errors.DeviceOutOfMemoryError` — the mechanism behind the
+paper's missing MCFuser bars at large input scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigError, DeviceOutOfMemoryError
+
+
+@dataclass
+class _Allocation:
+    name: str
+    nbytes: int
+
+
+class MemoryTracker:
+    """Tracks live and peak simulated device-memory usage.
+
+    >>> mt = MemoryTracker(capacity_bytes=1024)
+    >>> mt.allocate("a", 512)
+    >>> mt.free("a")
+    >>> mt.peak_bytes
+    512
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self._live: dict[str, _Allocation] = {}
+        self._live_bytes = 0
+        self._peak_bytes = 0
+
+    @property
+    def live_bytes(self) -> int:
+        return self._live_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._live_bytes
+
+    def allocate(self, name: str, nbytes: int | float) -> None:
+        """Reserve ``nbytes``; raises on duplicate name or OOM."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ConfigError(f"allocation size must be >= 0, got {nbytes}")
+        if name in self._live:
+            raise ConfigError(f"buffer {name!r} is already allocated")
+        if self._live_bytes + nbytes > self.capacity_bytes:
+            raise DeviceOutOfMemoryError(
+                requested_bytes=self._live_bytes + nbytes,
+                capacity_bytes=self.capacity_bytes,
+                what=name,
+            )
+        self._live[name] = _Allocation(name, nbytes)
+        self._live_bytes += nbytes
+        self._peak_bytes = max(self._peak_bytes, self._live_bytes)
+
+    def free(self, name: str) -> None:
+        """Release a previously allocated buffer."""
+        alloc = self._live.pop(name, None)
+        if alloc is None:
+            raise ConfigError(f"buffer {name!r} is not allocated")
+        self._live_bytes -= alloc.nbytes
+
+    def check_fits(self, nbytes: int | float, what: str = "") -> None:
+        """Raise OOM if a transient working set of ``nbytes`` cannot fit now."""
+        if self._live_bytes + int(nbytes) > self.capacity_bytes:
+            raise DeviceOutOfMemoryError(
+                requested_bytes=self._live_bytes + int(nbytes),
+                capacity_bytes=self.capacity_bytes,
+                what=what,
+            )
+
+    def reset(self) -> None:
+        """Drop all allocations and the peak watermark."""
+        self._live.clear()
+        self._live_bytes = 0
+        self._peak_bytes = 0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._live
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryTracker(live={self._live_bytes}, peak={self._peak_bytes}, "
+            f"capacity={self.capacity_bytes})"
+        )

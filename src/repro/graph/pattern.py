@@ -1,0 +1,99 @@
+"""Sub-graph pattern matching (paper Fig. 8, "graph matching").
+
+Provides the generic single-consumer chain matcher used both to capture the
+MHA sub-graph (BatchedGemm -> Scale -> MaskAdd -> Softmax -> BatchedGemm)
+and to locate downstream operator chains for the fusion-scheme converter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Type
+
+from repro.graph.ir import Graph, Node, NodeKind
+from repro.ops.base import Operator
+from repro.ops.elementwise import MaskAdd, Scale
+from repro.ops.gemm import BatchedGemm
+from repro.ops.normalization import Softmax
+
+#: The native-operator spelling of scaled-dot-product attention that the
+#: DL framework emits and STOF captures (paper Fig. 2 / Fig. 8).
+MHA_PATTERN: tuple[Type[Operator], ...] = (
+    BatchedGemm,
+    Scale,
+    MaskAdd,
+    Softmax,
+    BatchedGemm,
+)
+
+
+def op_sequence(graph: Graph) -> list[Node]:
+    """The downstream operator sequence: OP/FUSED nodes in topo order."""
+    return graph.op_nodes()
+
+
+def find_chain(
+    graph: Graph, pattern: Sequence[Type[Operator]]
+) -> list[list[str]]:
+    """Find all single-consumer chains matching a sequence of op types.
+
+    A match is a list of node names ``[n0, ..., nk]`` where ``n_i`` is an OP
+    node of type ``pattern[i]``, ``n_{i+1}`` consumes ``n_i``, and every
+    interior node has exactly one consumer (so fusing it is always legal).
+    Matches are non-overlapping, reported in topological order.
+    """
+    counts = graph.consumer_counts()
+    claimed: set[str] = set()
+    matches: list[list[str]] = []
+
+    for start in graph.order:
+        node = graph.nodes[start]
+        if node.kind is not NodeKind.OP or not isinstance(node.op, pattern[0]):
+            continue
+        if start in claimed:
+            continue
+        chain = [start]
+        ok = True
+        current = node
+        for next_type in pattern[1:]:
+            if counts[current.name] != 1:
+                ok = False
+                break
+            nxt = graph.consumers(current.name)
+            if len(nxt) != 1:
+                ok = False
+                break
+            candidate = nxt[0]
+            if (
+                candidate.kind is not NodeKind.OP
+                or not isinstance(candidate.op, next_type)
+                or candidate.name in claimed
+            ):
+                ok = False
+                break
+            chain.append(candidate.name)
+            current = candidate
+        if ok:
+            matches.append(chain)
+            claimed.update(chain)
+    return matches
+
+
+def find_mha_subgraphs(graph: Graph) -> list[list[str]]:
+    """All captured MHA sub-graphs in the graph.
+
+    >>> from repro.graph.trace import GraphBuilder
+    >>> from repro.ops import BatchedGemm, Scale, MaskAdd, Softmax
+    >>> import numpy as np
+    >>> gb = GraphBuilder()
+    >>> q = gb.input("q", (2, 8, 4)); kt = gb.input("kt", (2, 4, 8))
+    >>> v = gb.input("v", (2, 8, 4)); m = gb.input("m", (8, 8))
+    >>> s = gb.call(BatchedGemm(), q, kt)
+    >>> s = gb.call(Scale(0.5), s)
+    >>> s = gb.call(MaskAdd(), s, m)
+    >>> p = gb.call(Softmax(), s)
+    >>> o = gb.call(BatchedGemm(), p, v)
+    >>> gb.output(o)
+    >>> len(find_mha_subgraphs(gb.finish()))
+    1
+    """
+    return find_chain(graph, MHA_PATTERN)

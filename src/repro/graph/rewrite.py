@@ -1,0 +1,114 @@
+"""Graph rewriting: replace a matched region with one fused node.
+
+"The captured adjacent nodes are replaced with fused nodes to complete the
+graph rewriting" (paper §4.3).  The fused node carries a
+:class:`FusedNodePayload` that the runtime dispatches on — either an MHA
+kernel binding or a compilation-template binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import GraphError
+from repro.graph.ir import Graph, Node, NodeKind
+
+
+@dataclass
+class FusedNodePayload:
+    """What a FUSED node executes.
+
+    ``kind`` selects the dispatch path in the runtime:
+
+    * ``"mha"`` — ``binding`` is an attention-kernel handle; ``meta`` holds
+      the :class:`~repro.mha.problem.AttentionProblem` geometry.
+    * ``"template"`` — ``binding`` is a compilation template instance over
+      the original operator chain; ``meta`` holds the segment description.
+    """
+
+    kind: str
+    binding: Any
+    meta: dict[str, Any] = field(default_factory=dict)
+    original_nodes: list[str] = field(default_factory=list)
+
+
+def replace_subgraph(
+    graph: Graph,
+    node_names: list[str],
+    payload: FusedNodePayload,
+    fused_name: str | None = None,
+) -> Graph:
+    """Return a new graph with ``node_names`` collapsed into one FUSED node.
+
+    Requirements (checked): the nodes form a contiguous region whose only
+    value escaping to the rest of the graph is the *last* node's output.
+    External inputs of the region become the fused node's inputs, in first-
+    use order.
+    """
+    if not node_names:
+        raise GraphError("cannot fuse an empty node list")
+    region = set(node_names)
+    for n in node_names:
+        if n not in graph.nodes:
+            raise GraphError(f"unknown node {n!r} in fusion region")
+        if graph.nodes[n].kind not in (NodeKind.OP, NodeKind.FUSED):
+            raise GraphError(f"cannot fuse non-op node {n!r}")
+
+    last = node_names[-1]
+    counts = graph.consumer_counts()
+    for n in node_names[:-1]:
+        external = [c for c in graph.consumers(n) if c.name not in region]
+        if external or n in graph.outputs:
+            raise GraphError(
+                f"interior node {n!r} of fusion region escapes to "
+                f"{[c.name for c in external]}; only the last node may"
+            )
+
+    # External inputs in first-use order, deduplicated.
+    ext_inputs: list[str] = []
+    for n in node_names:
+        for dep in graph.nodes[n].inputs:
+            if dep not in region and dep not in ext_inputs:
+                ext_inputs.append(dep)
+
+    fused_name = fused_name or f"fused_{last}"
+    if fused_name in graph.nodes and fused_name not in region:
+        raise GraphError(f"fused node name {fused_name!r} collides")
+
+    payload.original_nodes = list(node_names)
+    new = Graph(graph.name)
+    inserted = False
+    for name in graph.order:
+        if name in region:
+            if name == last:
+                new.add_node(
+                    Node(
+                        name=fused_name,
+                        kind=NodeKind.FUSED,
+                        shape=tuple(graph.nodes[last].shape),
+                        inputs=list(ext_inputs),
+                        payload=payload,
+                    )
+                )
+                inserted = True
+            continue
+        old = graph.nodes[name]
+        new.add_node(
+            Node(
+                name=old.name,
+                kind=old.kind,
+                shape=tuple(old.shape),
+                op=old.op,
+                inputs=[fused_name if d in region else d for d in old.inputs],
+                initializer=old.initializer,
+                payload=old.payload,
+                tags=dict(old.tags),
+            )
+        )
+    if not inserted:  # pragma: no cover - guarded by earlier checks
+        raise GraphError("fusion region last node never reached")
+
+    for out in graph.outputs:
+        new.mark_output(fused_name if out in region else out)
+    return new

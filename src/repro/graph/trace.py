@@ -1,0 +1,123 @@
+"""Graph construction API — the ``torch.fx`` stand-in.
+
+Model code receives a :class:`GraphBuilder` and writes ordinary-looking
+tensor programs against :class:`Symbol` handles; every ``call`` records an
+OP node with inferred shapes.  Deterministic parameter initializers are
+derived from the node name and a root seed, so two builds of the same model
+produce identical graphs *and* identical weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.errors import GraphError
+from repro.core.rng import RngStream
+from repro.graph.ir import Graph, Node, NodeKind
+from repro.ops.base import Operator, Shape
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A handle to one graph node's output."""
+
+    name: str
+    shape: Shape
+
+
+class GraphBuilder:
+    """Builds a :class:`Graph` through a tensor-program-like API.
+
+    >>> from repro.ops import Gemm
+    >>> gb = GraphBuilder("tiny")
+    >>> x = gb.input("x", (4, 8))
+    >>> w = gb.param("w", (8, 16))
+    >>> y = gb.call(Gemm(), x, w)
+    >>> gb.output(y)
+    >>> g = gb.finish()
+    >>> len(g.op_nodes())
+    1
+    """
+
+    def __init__(self, name: str = "graph", seed: int | None = None):
+        self.graph = Graph(name)
+        self._rng = RngStream(seed if seed is not None else 0).fork(f"params-{name}")
+        self._counter = 0
+
+    # ------------------------------------------------------------- node API
+
+    def input(self, name: str, shape: Shape) -> Symbol:
+        self.graph.add_node(Node(name=name, kind=NodeKind.INPUT, shape=tuple(shape)))
+        return Symbol(name, tuple(shape))
+
+    def param(
+        self,
+        name: str,
+        shape: Shape,
+        initializer: Callable[[], np.ndarray] | None = None,
+        scale: float = 0.02,
+        dtype=np.float16,
+    ) -> Symbol:
+        """Declare a weight; default init is seeded normal(0, scale)."""
+        if initializer is None:
+            stream = self._rng.fork(name)
+            shape_t = tuple(shape)
+
+            def initializer(stream=stream, shape_t=shape_t):
+                return (stream.fork("w").standard_normal(shape_t) * scale).astype(dtype)
+
+        self.graph.add_node(
+            Node(
+                name=name,
+                kind=NodeKind.PARAM,
+                shape=tuple(shape),
+                initializer=initializer,
+            )
+        )
+        return Symbol(name, tuple(shape))
+
+    def const_param(self, name: str, value: np.ndarray) -> Symbol:
+        """Declare a weight with a fixed value (e.g. LayerNorm ones)."""
+        value = np.asarray(value)
+        self.graph.add_node(
+            Node(
+                name=name,
+                kind=NodeKind.PARAM,
+                shape=tuple(value.shape),
+                initializer=lambda v=value: v,
+            )
+        )
+        return Symbol(name, tuple(value.shape))
+
+    def call(self, op: Operator, *args: Symbol, name: str | None = None) -> Symbol:
+        """Record an operator application."""
+        if name is None:
+            self._counter += 1
+            name = f"{op.name}_{self._counter}"
+        in_shapes = [a.shape for a in args]
+        out_shape = op.infer_shape(*in_shapes)
+        self.graph.add_node(
+            Node(
+                name=name,
+                kind=NodeKind.OP,
+                shape=tuple(out_shape),
+                op=op,
+                inputs=[a.name for a in args],
+            )
+        )
+        return Symbol(name, tuple(out_shape))
+
+    def output(self, *syms: Symbol) -> None:
+        for s in syms:
+            self.graph.mark_output(s.name)
+
+    # ------------------------------------------------------------- finalize
+
+    def finish(self) -> Graph:
+        if not self.graph.outputs:
+            raise GraphError("graph has no outputs")
+        self.graph.validate()
+        return self.graph

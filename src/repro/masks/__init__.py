@@ -1,0 +1,59 @@
+"""Sparse attention mask patterns and storage formats.
+
+Implements §2.1.2 (atomic and compound patterns), Table 2 (mask feature
+statistics), and §4.2 / Fig. 6 (the BSR-style block-sparse storage format
+with ``full`` / ``part`` / ``load`` arrays and deduplicated partial-block
+masks).
+
+Conventions
+-----------
+A mask is a boolean ``(seq_len, seq_len)`` array; ``mask[i, j] == True``
+means query ``i`` attends to key ``j``.  *Sparsity* is the fraction of
+``False`` entries.  A fully masked row produces an all-zero attention output
+(every kernel in :mod:`repro.mha` follows the same convention).
+"""
+
+from repro.masks.patterns import (
+    MaskPattern,
+    sliding_window_mask,
+    dilated_mask,
+    global_mask,
+    random_block_mask,
+    causal_mask,
+    make_pattern,
+    PATTERN_REGISTRY,
+)
+from repro.masks.compound import longformer_mask, bigbird_mask
+from repro.masks.stats import (
+    MaskStats,
+    sparsity_ratio,
+    classify_distribution,
+    classify_structure,
+    analyze_mask,
+    default_width,
+)
+from repro.masks.bsr import BlockSparseMask, BlockKind
+from repro.masks.ranges import ColumnRangeMask, column_run_counts
+
+__all__ = [
+    "MaskPattern",
+    "sliding_window_mask",
+    "dilated_mask",
+    "global_mask",
+    "random_block_mask",
+    "causal_mask",
+    "make_pattern",
+    "PATTERN_REGISTRY",
+    "longformer_mask",
+    "bigbird_mask",
+    "MaskStats",
+    "sparsity_ratio",
+    "classify_distribution",
+    "classify_structure",
+    "analyze_mask",
+    "default_width",
+    "BlockSparseMask",
+    "BlockKind",
+    "ColumnRangeMask",
+    "column_run_counts",
+]

@@ -1,0 +1,301 @@
+"""Block-compressed sparse row (BSR) mask storage (paper §4.2, Fig. 6).
+
+The mask matrix is tiled into ``(BLOCK_M, BLOCK_N)`` blocks.  Each block is
+classified as:
+
+* ``FULL``  — every element attended: the kernel does a dense tile with no
+  mask load at all,
+* ``PART``  — mixed: the kernel loads the block's element mask and applies
+  it after the score GEMM,
+* empty     — no element attended: the block (and the matching K/V tiles)
+  is *skipped entirely*.
+
+Storage follows the paper exactly:
+
+* ``full_row_ptr`` / ``full_col_idx`` — CSR over FULL blocks.
+* ``part_row_ptr`` / ``part_col_idx`` — CSR over PART blocks; each PART
+  block also carries an index into ``part_mask``, a stack of *deduplicated*
+  dense block masks ("we store the identical block masks only once and then
+  broadcast them to the indices").
+* ``load_row_ptr`` / ``load_col_idx`` — the merged CSR over all valid
+  (FULL ∪ PART) blocks, column-sorted per row; this is what the block-wise
+  kernel iterates.  ``load_kind``/``load_mask_idx`` run parallel to
+  ``load_col_idx`` so one pass yields everything the kernel needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+
+
+class BlockKind(enum.IntEnum):
+    """Kind tag stored per valid block in the merged load arrays."""
+
+    FULL = 0
+    PART = 1
+
+
+@dataclass
+class BlockSparseMask:
+    """BSR representation of an attention mask.
+
+    Build with :meth:`from_dense`; reconstruct with :meth:`to_dense` (an
+    exact round trip — property-tested).  All index arrays are ``int32``
+    (matching what a GPU kernel would consume); block masks are stored as a
+    single boolean stack ``part_mask`` of shape ``(n_unique, BLOCK_M,
+    BLOCK_N)``.
+    """
+
+    seq_len: int
+    kv_len: int
+    block_m: int
+    block_n: int
+
+    full_row_ptr: np.ndarray
+    full_col_idx: np.ndarray
+    part_row_ptr: np.ndarray
+    part_col_idx: np.ndarray
+    part_mask_idx: np.ndarray   # parallel to part_col_idx -> row of part_mask
+    part_mask: np.ndarray       # (n_unique, block_m, block_n) bool
+
+    load_row_ptr: np.ndarray
+    load_col_idx: np.ndarray
+    load_kind: np.ndarray       # parallel to load_col_idx, BlockKind values
+    load_mask_idx: np.ndarray   # parallel; -1 for FULL blocks
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_dense(
+        cls, mask: np.ndarray, block_m: int, block_n: int
+    ) -> "BlockSparseMask":
+        """Tile a dense boolean mask into BSR form.
+
+        The sequence length need not divide the block size: edge blocks are
+        padded with ``False`` (padding never counts toward "full").
+
+        >>> import numpy as np
+        >>> m = np.eye(4, dtype=bool)
+        >>> bsr = BlockSparseMask.from_dense(m, 2, 2)
+        >>> bsr.n_full, bsr.n_part
+        (0, 2)
+        >>> bool((bsr.to_dense() == m).all())
+        True
+        """
+        mask = np.asarray(mask)
+        if mask.ndim != 2:
+            raise ConfigError(f"mask must be 2-D, got shape {mask.shape}")
+        if mask.dtype != bool:
+            mask = mask.astype(bool)
+        if block_m < 1 or block_n < 1:
+            raise ConfigError(f"block sizes must be >= 1, got ({block_m}, {block_n})")
+
+        # Rectangular masks (query length != key length, e.g. KV-cache
+        # decode steps) are supported; ``seq_len``/``kv_len`` track the two
+        # extents separately.
+        seq_len, kv_len = mask.shape
+        n_rows = -(-seq_len // block_m)
+        n_cols = -(-kv_len // block_n)
+
+        padded = np.zeros((n_rows * block_m, n_cols * block_n), dtype=bool)
+        padded[:seq_len, :kv_len] = mask
+        blocks = padded.reshape(n_rows, block_m, n_cols, block_n).transpose(0, 2, 1, 3)
+        counts = blocks.sum(axis=(2, 3))
+
+        # "full" means every *in-bounds* element is attended; edge blocks are
+        # full when their un-padded region is saturated.
+        in_bounds = np.zeros_like(padded)
+        in_bounds[:seq_len, :kv_len] = True
+        bounds_blocks = in_bounds.reshape(
+            n_rows, block_m, n_cols, block_n
+        ).transpose(0, 2, 1, 3)
+        capacity = bounds_blocks.sum(axis=(2, 3))
+
+        is_valid = counts > 0
+        is_full = is_valid & (counts == capacity)
+        is_part = is_valid & ~is_full
+
+        full_row_ptr, full_col_idx = _csr_from_grid(is_full)
+        part_row_ptr, part_col_idx = _csr_from_grid(is_part)
+
+        # Deduplicate part-block masks by content (vectorized: unique over
+        # the flattened block rows, row-major order matches the CSR order).
+        p_rows, p_cols = np.nonzero(is_part)
+        if len(p_rows):
+            part_blocks = blocks[p_rows, p_cols].reshape(len(p_rows), -1)
+            # Bit-pack each block and compare as opaque fixed-size records:
+            # memcmp-based unique is far faster than axis=0 unique on bools.
+            packed = np.packbits(part_blocks, axis=1)
+            packed = np.ascontiguousarray(packed)
+            keys = packed.view(f"V{packed.shape[1]}").ravel()
+            _, first_idx, inverse = np.unique(
+                keys, return_index=True, return_inverse=True
+            )
+            # Re-number unique blocks by first appearance so ordering is
+            # deterministic and independent of np.unique's sort.
+            order = np.argsort(first_idx, kind="stable")
+            renumber = np.empty_like(order)
+            renumber[order] = np.arange(len(order))
+            part_mask_idx = renumber[inverse].astype(np.int32)
+            part_mask = part_blocks[np.sort(first_idx)].reshape(
+                -1, block_m, block_n
+            )
+        else:
+            part_mask_idx = np.zeros(0, dtype=np.int32)
+            part_mask = np.zeros((0, block_m, block_n), dtype=bool)
+
+        # Merged load arrays: FULL and PART interleaved in column order
+        # (vectorized lexsort over (row, col)).
+        f_rows, f_cols = np.nonzero(is_full)
+        all_rows = np.concatenate([f_rows, p_rows]).astype(np.int64)
+        all_cols = np.concatenate([f_cols, p_cols]).astype(np.int32)
+        all_kinds = np.concatenate(
+            [
+                np.full(len(f_rows), int(BlockKind.FULL), dtype=np.int8),
+                np.full(len(p_rows), int(BlockKind.PART), dtype=np.int8),
+            ]
+        )
+        all_midx = np.concatenate(
+            [np.full(len(f_rows), -1, dtype=np.int32), part_mask_idx]
+        )
+        order = np.lexsort((all_cols, all_rows))
+        load_cols = all_cols[order]
+        load_kinds = all_kinds[order]
+        load_midx = all_midx[order]
+        load_row_ptr = np.zeros(n_rows + 1, dtype=np.int32)
+        np.cumsum(
+            np.bincount(all_rows, minlength=n_rows), out=load_row_ptr[1:]
+        )
+
+        return cls(
+            seq_len=seq_len,
+            kv_len=kv_len,
+            block_m=block_m,
+            block_n=block_n,
+            full_row_ptr=full_row_ptr,
+            full_col_idx=full_col_idx,
+            part_row_ptr=part_row_ptr,
+            part_col_idx=part_col_idx,
+            part_mask_idx=part_mask_idx,
+            part_mask=part_mask,
+            load_row_ptr=load_row_ptr,
+            load_col_idx=np.asarray(load_cols, dtype=np.int32),
+            load_kind=np.asarray(load_kinds, dtype=np.int8),
+            load_mask_idx=np.asarray(load_midx, dtype=np.int32),
+        )
+
+    # ------------------------------------------------------------- round trip
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the exact dense boolean mask."""
+        n_rows = self.n_block_rows
+        out = np.zeros(
+            (n_rows * self.block_m, self.n_block_cols * self.block_n), dtype=bool
+        )
+        for bi in range(n_rows):
+            s, e = self.load_row_ptr[bi], self.load_row_ptr[bi + 1]
+            for k in range(s, e):
+                bj = int(self.load_col_idx[k])
+                r0, c0 = bi * self.block_m, bj * self.block_n
+                if self.load_kind[k] == BlockKind.FULL:
+                    out[r0 : r0 + self.block_m, c0 : c0 + self.block_n] = True
+                else:
+                    out[r0 : r0 + self.block_m, c0 : c0 + self.block_n] = (
+                        self.part_mask[self.load_mask_idx[k]]
+                    )
+        dense = out[: self.seq_len, : self.kv_len]
+        # FULL edge blocks legitimately cover padded region; clip handled by
+        # slicing above.  Padding inside part blocks was stored as False.
+        return dense
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def n_block_rows(self) -> int:
+        return -(-self.seq_len // self.block_m)
+
+    @property
+    def n_block_cols(self) -> int:
+        return -(-self.kv_len // self.block_n)
+
+    @property
+    def n_full(self) -> int:
+        return int(len(self.full_col_idx))
+
+    @property
+    def n_part(self) -> int:
+        return int(len(self.part_col_idx))
+
+    @property
+    def n_valid(self) -> int:
+        return int(len(self.load_col_idx))
+
+    @property
+    def n_total(self) -> int:
+        return self.n_block_rows * self.n_block_cols
+
+    @property
+    def valid_ratio(self) -> float:
+        """Fraction of blocks that must be computed (Eq. 1's first term)."""
+        return self.n_valid / self.n_total if self.n_total else 0.0
+
+    @property
+    def n_unique_part_masks(self) -> int:
+        return int(self.part_mask.shape[0])
+
+    def row_valid_counts(self) -> np.ndarray:
+        """Number of valid blocks per block row (kernel work distribution)."""
+        return np.diff(self.load_row_ptr)
+
+    def blocks_in_row(self, block_row: int) -> list[tuple[int, BlockKind, int]]:
+        """Iterate the valid blocks of one block row as (col, kind, mask_idx)."""
+        if not (0 <= block_row < self.n_block_rows):
+            raise ConfigError(
+                f"block_row {block_row} out of range [0, {self.n_block_rows})"
+            )
+        s, e = self.load_row_ptr[block_row], self.load_row_ptr[block_row + 1]
+        return [
+            (
+                int(self.load_col_idx[k]),
+                BlockKind(int(self.load_kind[k])),
+                int(self.load_mask_idx[k]),
+            )
+            for k in range(s, e)
+        ]
+
+    def metadata_bytes(self) -> int:
+        """Device bytes occupied by the index arrays and mask stack."""
+        return int(
+            self.full_row_ptr.nbytes
+            + self.full_col_idx.nbytes
+            + self.part_row_ptr.nbytes
+            + self.part_col_idx.nbytes
+            + self.part_mask_idx.nbytes
+            + self.part_mask.size  # stored as 1 byte/element on device
+            + self.load_row_ptr.nbytes
+            + self.load_col_idx.nbytes
+            + self.load_kind.nbytes
+            + self.load_mask_idx.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockSparseMask(seq={self.seq_len}, block=({self.block_m},"
+            f"{self.block_n}), full={self.n_full}, part={self.n_part}, "
+            f"valid={self.n_valid}/{self.n_total})"
+        )
+
+
+def _csr_from_grid(grid: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """CSR (row_ptr, col_idx) over the True cells of a 2-D boolean grid."""
+    n_rows = grid.shape[0]
+    rows, cols = np.nonzero(grid)  # row-major order: already row-sorted
+    row_ptr = np.zeros(n_rows + 1, dtype=np.int32)
+    np.cumsum(np.bincount(rows, minlength=n_rows), out=row_ptr[1:])
+    return row_ptr, cols.astype(np.int32)

@@ -1,0 +1,73 @@
+"""Compound sparse attention patterns (paper Fig. 1 e-f).
+
+Compound patterns are unions of atomic patterns:
+
+* **Longformer** = sliding window ∪ global — local context plus a few
+  task-specific global tokens.
+* **Bigbird** = sliding window ∪ global ∪ random blocks — the random
+  component introduces unstructured sparsity, which is the hard case for
+  mask representations (Table 2 marks it "Unstructured").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rng import RngStream
+from repro.masks.patterns import (
+    PATTERN_REGISTRY,
+    MaskPattern,
+    _sqrt_width,
+    global_mask,
+    random_block_mask,
+    sliding_window_mask,
+)
+
+
+def longformer_mask(seq_len: int, band_width: int, global_width: int) -> np.ndarray:
+    """Longformer: sliding window plus global tokens.
+
+    >>> m = longformer_mask(64, 4, 2)
+    >>> bool(m[:2].all()) and bool(m[:, :2].all())
+    True
+    """
+    return sliding_window_mask(seq_len, band_width) | global_mask(seq_len, global_width)
+
+
+def bigbird_mask(
+    seq_len: int,
+    band_width: int,
+    global_width: int,
+    filling_rate: float = 0.1,
+    block_size: int = 64,
+    rng: RngStream | None = None,
+) -> np.ndarray:
+    """Bigbird: window + global + random blocks (unstructured sparsity)."""
+    rng = rng or RngStream().fork("mask-bigbird")
+    return (
+        sliding_window_mask(seq_len, band_width)
+        | global_mask(seq_len, global_width)
+        | random_block_mask(seq_len, filling_rate, block_size=block_size, rng=rng)
+    )
+
+
+PATTERN_REGISTRY["longformer"] = MaskPattern(
+    name="longformer",
+    generator=longformer_mask,
+    uses_randomness=False,
+    default_params={"band_width": _sqrt_width, "global_width": _sqrt_width},
+)
+
+PATTERN_REGISTRY["bigbird"] = MaskPattern(
+    name="bigbird",
+    generator=bigbird_mask,
+    uses_randomness=True,
+    default_params={
+        "band_width": _sqrt_width,
+        "global_width": _sqrt_width,
+        "filling_rate": 0.1,
+    },
+)
+
+#: The four patterns the paper's evaluation sweeps (Figs. 10-11).
+EVALUATION_PATTERNS = ("sliding_window", "dilated", "longformer", "bigbird")

@@ -1,0 +1,139 @@
+"""Column-wise range mask representation (FlashMask's format, §3.1).
+
+FlashMask extends FlashAttention with a *column-wise* sparse
+representation: for every key column the mask stores the bounds of (at
+most) two skipped row-regions, i.e. four arrays — here named after their
+roles:
+
+* ``lower_start`` / ``lower_end`` — the skipped region below the attended
+  band: rows in ``[lower_start[j], lower_end[j])`` of column ``j`` are
+  masked out,
+* ``upper_start`` / ``upper_end`` — the skipped region above it.
+
+Equivalently, each column attends at most **two contiguous row runs**.
+This covers causal, sliding-window, global+band (Longformer-like), and
+document-mask patterns — but *not* discrete distributions: a dilated
+column has many runs, and Bigbird's random blocks add arbitrary extra
+runs.  That representational ceiling is precisely the motivation the
+paper gives for STOF's block-wise format, and
+:meth:`ColumnRangeMask.from_dense` raises
+:class:`~repro.core.errors.UnsupportedInputError` in exactly those cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError, UnsupportedInputError
+
+
+def column_run_counts(mask: np.ndarray) -> np.ndarray:
+    """Number of attended (True) runs per column.
+
+    >>> import numpy as np
+    >>> column_run_counts(np.eye(3, dtype=bool)).tolist()
+    [1, 1, 1]
+    """
+    m = np.asarray(mask, dtype=bool)
+    if m.ndim != 2:
+        raise ConfigError(f"mask must be 2-D, got shape {m.shape}")
+    padded = np.concatenate([np.zeros((1, m.shape[1]), dtype=bool), m], axis=0)
+    rises = (~padded[:-1]) & padded[1:]
+    return rises.sum(axis=0)
+
+
+@dataclass
+class ColumnRangeMask:
+    """FlashMask-style four-array column-range representation.
+
+    Arrays have one entry per key column.  Column ``j`` attends rows
+    ``[a0[j], a1[j]) ∪ [b0[j], b1[j])`` with ``a1 <= b0``; an unused second
+    run has ``b0 == b1``.  An entirely masked column has both runs empty.
+    """
+
+    seq_len: int
+    run0_start: np.ndarray
+    run0_end: np.ndarray
+    run1_start: np.ndarray
+    run1_end: np.ndarray
+
+    MAX_RUNS = 2
+
+    @classmethod
+    def from_dense(cls, mask: np.ndarray) -> "ColumnRangeMask":
+        """Convert a dense mask; raises if any column needs > 2 runs.
+
+        >>> import numpy as np
+        >>> crm = ColumnRangeMask.from_dense(np.tril(np.ones((4, 4), bool)))
+        >>> crm.run0_start.tolist()
+        [0, 1, 2, 3]
+        """
+        m = np.asarray(mask, dtype=bool)
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ConfigError(f"mask must be square 2-D, got {m.shape}")
+        runs = column_run_counts(m)
+        bad = np.flatnonzero(runs > cls.MAX_RUNS)
+        if len(bad):
+            raise UnsupportedInputError(
+                f"column-range representation supports at most {cls.MAX_RUNS} "
+                f"attended runs per column; column {int(bad[0])} has "
+                f"{int(runs[bad[0]])} (first of {len(bad)} such columns)"
+            )
+
+        n = m.shape[0]
+        a0 = np.zeros(n, dtype=np.int32)
+        a1 = np.zeros(n, dtype=np.int32)
+        b0 = np.zeros(n, dtype=np.int32)
+        b1 = np.zeros(n, dtype=np.int32)
+        padded = np.concatenate([np.zeros((1, n), bool), m, np.zeros((1, n), bool)])
+        for j in range(n):
+            col = padded[:, j]
+            starts = np.flatnonzero(~col[:-1] & col[1:])
+            ends = np.flatnonzero(col[:-1] & ~col[1:])
+            if len(starts) >= 1:
+                a0[j], a1[j] = starts[0], ends[0]
+            if len(starts) == 2:
+                b0[j], b1[j] = starts[1], ends[1]
+            else:
+                b0[j] = b1[j] = a1[j]
+        return cls(n, a0, a1, b0, b1)
+
+    def to_dense(self) -> np.ndarray:
+        """Exact inverse of :meth:`from_dense`."""
+        n = self.seq_len
+        rows = np.arange(n)[:, None]
+        in0 = (rows >= self.run0_start[None, :]) & (rows < self.run0_end[None, :])
+        in1 = (rows >= self.run1_start[None, :]) & (rows < self.run1_end[None, :])
+        return in0 | in1
+
+    @classmethod
+    def supports(cls, mask: np.ndarray) -> tuple[bool, str]:
+        """Cheap representability check without building the arrays."""
+        runs = column_run_counts(mask)
+        over = int(runs.max(initial=0))
+        if over > cls.MAX_RUNS:
+            return False, f"a column has {over} attended runs (max {cls.MAX_RUNS})"
+        return True, ""
+
+    @property
+    def nbytes(self) -> int:
+        """Device footprint of the four index arrays."""
+        return int(
+            self.run0_start.nbytes
+            + self.run0_end.nbytes
+            + self.run1_start.nbytes
+            + self.run1_end.nbytes
+        )
+
+    def attended_counts(self) -> np.ndarray:
+        """Attended rows per column (for load-balance analysis)."""
+        return (self.run0_end - self.run0_start) + (self.run1_end - self.run1_start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        two = int((self.run1_end > self.run1_start).sum())
+        return (
+            f"ColumnRangeMask(seq={self.seq_len}, two-run columns={two}, "
+            f"{self.nbytes} B)"
+        )

@@ -1,0 +1,92 @@
+"""Terminal visualization of masks and their BSR block structure.
+
+``render_mask`` draws the boolean matrix as character art (downsampled to a
+target width); ``render_bsr`` draws the block classification the block-wise
+kernel actually executes: full / part / skipped.  Used by the CLI's
+``masks --show`` and handy in notebooks and bug reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.masks.bsr import BlockKind, BlockSparseMask
+
+#: Density ramp for downsampled cells ('.' = empty .. '#' = full).
+RAMP = ".:-+*#"
+
+#: Block classification glyphs.
+GLYPH_FULL = "#"
+GLYPH_PART = "+"
+GLYPH_EMPTY = "."
+
+
+def render_mask(mask: np.ndarray, width: int = 64) -> str:
+    """ASCII-art a boolean mask, downsampled to at most ``width`` columns.
+
+    Each output cell shows the local attended density on the :data:`RAMP`.
+
+    >>> import numpy as np
+    >>> print(render_mask(np.eye(4, dtype=bool), width=4))
+    #...
+    .#..
+    ..#.
+    ...#
+    """
+    m = np.asarray(mask)
+    if m.ndim != 2:
+        raise ConfigError(f"mask must be 2-D, got {m.shape}")
+    m = m.astype(np.float32)
+    rows, cols = m.shape
+    step_r = max(1, -(-rows // width))
+    step_c = max(1, -(-cols // width))
+    out_lines = []
+    for r0 in range(0, rows, step_r):
+        cells = []
+        for c0 in range(0, cols, step_c):
+            block = m[r0 : r0 + step_r, c0 : c0 + step_c]
+            density = float(block.mean())
+            idx = min(len(RAMP) - 1, int(round(density * (len(RAMP) - 1))))
+            cells.append(RAMP[idx])
+        out_lines.append("".join(cells))
+    return "\n".join(out_lines)
+
+
+def render_bsr(bsr: BlockSparseMask, max_width: int = 96) -> str:
+    """Draw the block grid: ``#`` full, ``+`` part, ``.`` skipped.
+
+    This is exactly the work map of the block-wise kernel: every ``.`` is
+    a block whose K/V tiles are never loaded.
+
+    >>> import numpy as np
+    >>> from repro.masks.bsr import BlockSparseMask
+    >>> bsr = BlockSparseMask.from_dense(np.eye(4, dtype=bool), 2, 2)
+    >>> print(render_bsr(bsr))
+    +.
+    .+
+    """
+    grid = np.full((bsr.n_block_rows, bsr.n_block_cols), GLYPH_EMPTY, dtype="<U1")
+    for bi in range(bsr.n_block_rows):
+        for col, kind, _ in bsr.blocks_in_row(bi):
+            grid[bi, col] = GLYPH_FULL if kind is BlockKind.FULL else GLYPH_PART
+    lines = ["".join(row) for row in grid]
+    if bsr.n_block_cols > max_width:
+        lines = [line[:max_width] + "…" for line in lines]
+    return "\n".join(lines)
+
+
+def block_summary(bsr: BlockSparseMask) -> str:
+    """One-line block census for captions.
+
+    >>> import numpy as np
+    >>> from repro.masks.bsr import BlockSparseMask
+    >>> block_summary(BlockSparseMask.from_dense(np.eye(4, dtype=bool), 2, 2))
+    '0 full + 2 part of 4 blocks (50.0% skipped), 1 unique part masks'
+    """
+    skipped = bsr.n_total - bsr.n_valid
+    return (
+        f"{bsr.n_full} full + {bsr.n_part} part of {bsr.n_total} blocks "
+        f"({skipped / bsr.n_total:.1%} skipped), "
+        f"{bsr.n_unique_part_masks} unique part masks"
+    )

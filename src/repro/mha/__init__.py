@@ -1,0 +1,55 @@
+"""Unified multi-head attention module (paper §4.2).
+
+The package provides:
+
+* :mod:`repro.mha.problem` — :class:`AttentionProblem`, the (Q, K, V, mask)
+  bundle every kernel consumes, with cached BSR/CSR views of the mask.
+* :mod:`repro.mha.reference` — the dense ground-truth attention all kernels
+  are verified against.
+* :mod:`repro.mha.rowwise` — the row-wise kernel (warp-per-row, shuffle
+  reductions, no inter-warp synchronization; wins at small inputs).
+* :mod:`repro.mha.blockwise` — the block-wise kernel (BSR block skipping,
+  online softmax, wmma tiling, bank-conflict-free padding, async-copy
+  pipelining; wins at scale).
+* :mod:`repro.mha.selector` — the analytical model: Eq. 1 picks the kernel,
+  Eq. 2 picks ``BLOCK_M / BLOCK_N / num_warps``.
+* :mod:`repro.mha.module` — :class:`UnifiedMHA`, the user-facing facade.
+* :mod:`repro.mha.baselines` — re-implementations of the comparison
+  methods' attention strategies (Native, FlashAttention2, FlexAttention,
+  FlashMask, ByteTransformer).
+"""
+
+from repro.mha.problem import AttentionProblem
+from repro.mha.reference import reference_attention
+from repro.mha.rowwise import RowWiseKernel
+from repro.mha.blockwise import BlockWiseKernel
+from repro.mha.selector import (
+    KernelChoice,
+    eq1_threshold,
+    eq2_score,
+    select_kernel,
+    select_block_params,
+)
+from repro.mha.module import UnifiedMHA, MHAPlan
+from repro.mha.decode import DecodeReport, decode_step_problem, simulate_decode
+from repro.mha.varlen import VarLenBatch, packed_varlen_problem, padded_problem
+
+__all__ = [
+    "AttentionProblem",
+    "reference_attention",
+    "RowWiseKernel",
+    "BlockWiseKernel",
+    "KernelChoice",
+    "eq1_threshold",
+    "eq2_score",
+    "select_kernel",
+    "select_block_params",
+    "UnifiedMHA",
+    "MHAPlan",
+    "DecodeReport",
+    "decode_step_problem",
+    "simulate_decode",
+    "VarLenBatch",
+    "packed_varlen_problem",
+    "padded_problem",
+]

@@ -1,0 +1,190 @@
+"""KV-cache autoregressive decoding (extension beyond the paper's eval).
+
+The paper benchmarks full forward passes; generative inference instead
+issues one-query-row attention against a growing key/value cache.  This
+module models that regime on the same substrate:
+
+* each step is a *rectangular* :class:`~repro.mha.problem.AttentionProblem`
+  with ``seq_len = 1`` and ``kv_seq_len = t``,
+* the step mask is the ``t``-th row of the (causal ∧ pattern) mask, so a
+  sliding-window pattern bounds per-step work by the window size — decode
+  cost becomes O(window) instead of O(t),
+* STOF's row-wise kernel is the natural decode kernel (a single query row
+  is precisely its specialty); baselines run their usual strategies on
+  the same rectangular problems.
+
+:func:`simulate_decode` prices a whole generation loop and reports
+simulated tokens/second; ``benchmarks/bench_decode.py`` turns this into a
+GPT-decode study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.rng import RngStream
+from repro.gpu.specs import GPUSpec
+from repro.masks.patterns import causal_mask, make_pattern
+from repro.mha.baselines import FlashAttention2Attention, NaiveAttention
+from repro.mha.kernel import AttentionKernel
+from repro.mha.problem import AttentionProblem
+from repro.mha.rowwise import RowWiseKernel
+
+
+@dataclass
+class DecodeReport:
+    """Outcome of one simulated generation loop."""
+
+    method: str
+    pattern: str
+    batch: int
+    heads: int
+    head_size: int
+    prompt_len: int
+    generated: int
+    total_s: float
+    step_times_s: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.generated * self.batch / self.total_s if self.total_s else 0.0
+
+    @property
+    def mean_step_s(self) -> float:
+        return self.total_s / max(1, len(self.step_times_s))
+
+
+#: Decode strategies: name -> kernel factory.
+DECODE_METHODS = {
+    "stof": RowWiseKernel,
+    "pytorch-native": NaiveAttention,
+    "flashattention2": FlashAttention2Attention,
+}
+
+
+def decode_step_problem(
+    full_mask: np.ndarray,
+    t: int,
+    batch: int,
+    heads: int,
+    head_size: int,
+    pattern: str = "custom",
+) -> AttentionProblem:
+    """The rectangular problem of generating token ``t`` (0-indexed row).
+
+    ``full_mask`` is the (max_len, max_len) causal ∧ pattern matrix; the
+    step attends the first ``t+1`` cached positions through row ``t``.
+    """
+    if not (0 <= t < full_mask.shape[0]):
+        raise ConfigError(f"step {t} outside mask of {full_mask.shape[0]} rows")
+    row = np.asarray(full_mask[t : t + 1, : t + 1], dtype=bool)
+    return AttentionProblem(
+        batch=batch,
+        heads=heads,
+        seq_len=1,
+        head_size=head_size,
+        mask=row,
+        pattern=pattern,
+        kv_seq_len=t + 1,
+    )
+
+
+def simulate_decode(
+    pattern: str,
+    spec: GPUSpec,
+    method: str = "stof",
+    batch: int = 1,
+    heads: int = 12,
+    head_size: int = 64,
+    prompt_len: int = 128,
+    generate: int = 128,
+    rng: RngStream | None = None,
+    dispatch_s: float = 1e-6,
+    **pattern_overrides,
+) -> DecodeReport:
+    """Price a full generation loop under one attention strategy.
+
+    The pattern mask is built once at ``prompt_len + generate`` and each
+    step slices its row — exactly how a static sparse pattern is deployed
+    for generation.
+    """
+    if method not in DECODE_METHODS:
+        raise ConfigError(
+            f"unknown decode method {method!r}; known: {sorted(DECODE_METHODS)}"
+        )
+    rng = rng or RngStream()
+    max_len = prompt_len + generate
+    full_mask = make_pattern(
+        pattern, max_len, rng=rng.fork(f"decode-{pattern}"), **pattern_overrides
+    ) & causal_mask(max_len)
+
+    kernel: AttentionKernel = DECODE_METHODS[method]()
+    from repro.gpu.cost import estimate_kernel_time
+
+    step_times: list[float] = []
+    for t in range(prompt_len, max_len):
+        problem = decode_step_problem(
+            full_mask, t, batch, heads, head_size, pattern
+        )
+        step = sum(
+            estimate_kernel_time(spec, cost, config).total
+            + dispatch_s * cost.launches
+            for cost, config in kernel.plan(problem, spec)
+        )
+        step_times.append(step)
+
+    return DecodeReport(
+        method=method,
+        pattern=pattern,
+        batch=batch,
+        heads=heads,
+        head_size=head_size,
+        prompt_len=prompt_len,
+        generated=generate,
+        total_s=sum(step_times),
+        step_times_s=step_times,
+    )
+
+
+def verify_decode_step(
+    pattern: str,
+    t: int,
+    max_len: int,
+    rng: RngStream | None = None,
+    batch: int = 1,
+    heads: int = 2,
+    head_size: int = 16,
+) -> bool:
+    """Functional check: a decode step equals row ``t`` of the full pass.
+
+    Runs the row-wise kernel on the rectangular step problem and compares
+    against the corresponding output row of a full square attention over
+    the same tensors.
+    """
+    from repro.core.fp16 import fp16_allclose
+    from repro.mha.reference import reference_attention
+
+    rng = rng or RngStream()
+    full_mask = make_pattern(pattern, max_len, rng=rng.fork("vm")) & causal_mask(max_len)
+    data = rng.fork("vd")
+    q_full = (data.standard_normal((batch, heads, max_len, head_size)) * 0.5).astype(
+        np.float16
+    )
+    k_full = (data.standard_normal((batch, heads, max_len, head_size)) * 0.5).astype(
+        np.float16
+    )
+    v_full = (data.standard_normal((batch, heads, max_len, head_size)) * 0.5).astype(
+        np.float16
+    )
+
+    problem = decode_step_problem(full_mask, t, batch, heads, head_size, pattern)
+    problem.q = q_full[:, :, t : t + 1, :]
+    problem.k = k_full[:, :, : t + 1, :]
+    problem.v = v_full[:, :, : t + 1, :]
+    step_out = RowWiseKernel().run(problem)
+
+    full_out = reference_attention(q_full, k_full, v_full, full_mask)
+    return fp16_allclose(step_out[:, :, 0, :], full_out[:, :, t, :])

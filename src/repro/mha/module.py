@@ -1,0 +1,88 @@
+"""The unified MHA facade (paper Fig. 5, left half).
+
+:class:`UnifiedMHA` ties the pieces together: the analytical selector picks
+row-wise vs block-wise and the block parameters, and the chosen kernel
+serves both the functional ``run`` and the simulated ``plan``.  The
+``MHAPlan`` it returns records the decision for introspection (the ablation
+and overhead benchmarks read these fields).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.gpu.specs import GPUSpec
+from repro.mha.blockwise import BlockWiseKernel
+from repro.mha.kernel import AttentionKernel, Launch
+from repro.mha.problem import AttentionProblem
+from repro.mha.rowwise import RowWiseKernel
+from repro.mha.selector import KernelChoice, select_kernel
+
+
+@dataclass
+class MHAPlan:
+    """The resolved execution plan for one attention problem."""
+
+    choice: KernelChoice
+    params: dict[str, Any]
+    kernel: AttentionKernel
+    launches: list[Launch]
+    estimated_s: float
+    analysis_overhead_s: float   # host-side time spent in the analytical model
+
+    @property
+    def kernel_name(self) -> str:
+        return self.kernel.name
+
+
+class UnifiedMHA:
+    """STOF's unified MHA module.
+
+    >>> from repro.gpu.specs import A100
+    >>> prob = AttentionProblem.build("sliding_window", 1, 2, 64, 32,
+    ...                               with_tensors=True)
+    >>> mha = UnifiedMHA(A100)
+    >>> plan = mha.plan(prob)
+    >>> out = mha.run(prob)
+    >>> out.shape
+    (1, 2, 64, 32)
+    """
+
+    def __init__(self, spec: GPUSpec, tau: float | None = None, mode: str = "model"):
+        self.spec = spec
+        self.tau = tau
+        self.mode = mode
+        self._row = RowWiseKernel()
+        self._block = BlockWiseKernel()
+
+    def plan(self, problem: AttentionProblem) -> MHAPlan:
+        """Select kernel + parameters and price the launches."""
+        t0 = time.perf_counter()
+        kwargs = {} if self.tau is None else {"tau": self.tau}
+        choice, params = select_kernel(problem, self.spec, mode=self.mode, **kwargs)
+        analysis_s = time.perf_counter() - t0
+
+        kernel = self._row if choice is KernelChoice.ROW_WISE else self._block
+        launches = kernel.plan(problem, self.spec, params)
+        from repro.gpu.cost import estimate_kernel_time
+
+        est = sum(
+            estimate_kernel_time(self.spec, c, cfg).total for c, cfg in launches
+        )
+        return MHAPlan(
+            choice=choice,
+            params=params,
+            kernel=kernel,
+            launches=launches,
+            estimated_s=est,
+            analysis_overhead_s=analysis_s,
+        )
+
+    def run(self, problem: AttentionProblem) -> np.ndarray:
+        """Functionally execute with the selected kernel."""
+        plan = self.plan(problem)
+        return plan.kernel.run(problem, plan.params)

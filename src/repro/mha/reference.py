@@ -1,0 +1,63 @@
+"""Dense reference attention — the ground truth for every kernel.
+
+Computes scaled-dot-product attention with an arbitrary boolean mask in
+FP32 and rounds to FP16 at the end.  Rows with no attended position produce
+an all-zero output row; every kernel in this package and every baseline
+follows the same convention, so cross-implementation equality tests are
+exact up to FP16 rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import to_fp16
+from repro.mha.problem import AttentionProblem
+
+
+def reference_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Masked SDPA: ``softmax(mask(Q K^T * scale)) V`` in FP32, output FP16.
+
+    ``q/k/v`` are ``(..., seq_len, head_size)``; ``mask`` is a boolean
+    ``(seq_len, seq_len)`` broadcast over leading dims.
+    """
+    q = np.asarray(q, dtype=np.float32)
+    k = np.asarray(k, dtype=np.float32)
+    v = np.asarray(v, dtype=np.float32)
+    mask = np.asarray(mask, dtype=bool)
+    seq_len, head_size = q.shape[-2], q.shape[-1]
+    if mask.shape != (seq_len, k.shape[-2]):
+        raise ConfigError(
+            f"mask shape {mask.shape} incompatible with q {q.shape}, k {k.shape}"
+        )
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(head_size))
+
+    scores = (q @ np.swapaxes(k, -1, -2)) * scale
+    scores = np.where(mask, scores, -np.inf)
+
+    # Stable softmax with the all-masked-row -> zeros convention.
+    row_max = scores.max(axis=-1, keepdims=True)
+    finite = np.isfinite(row_max)
+    safe_max = np.where(finite, row_max, 0.0)
+    ex = np.exp(scores - safe_max)
+    ex = np.where(np.isfinite(scores), ex, 0.0)
+    denom = ex.sum(axis=-1, keepdims=True)
+    probs = np.divide(ex, denom, out=np.zeros_like(ex), where=denom > 0)
+    return to_fp16(probs @ v)
+
+
+def solve_reference(problem: AttentionProblem) -> np.ndarray:
+    """Run the reference on a concrete :class:`AttentionProblem`."""
+    if problem.q is None or problem.k is None or problem.v is None:
+        raise ConfigError("problem has no concrete tensors; build with with_tensors=True")
+    return reference_attention(
+        problem.q, problem.k, problem.v, problem.mask, problem.scale
+    )

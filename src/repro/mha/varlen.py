@@ -1,0 +1,158 @@
+"""Variable-length batching (extension; ByteTransformer's home turf).
+
+Serving batches mix sequence lengths.  The classic strategy *pads* every
+sequence to the batch maximum and wastes work on padding tokens; the
+modern strategy *packs* sequences back to back and runs one attention over
+a block-diagonal mask (FlashAttention's ``cu_seqlens`` view).
+
+STOF needs no special path for packing: the block-diagonal ∧ pattern mask
+is just another arbitrary mask, and the BSR format's block skipping
+automatically avoids every cross-sequence block.  This module builds both
+formulations so their costs (and numerics) can be compared:
+
+* :func:`packed_varlen_problem` — one batch-1 problem over the packed
+  mask, with ``cu_seqlens`` offsets,
+* :func:`padded_problem` — the pad-to-max baseline,
+* :func:`padding_waste` — the fraction of padded work that is pure waste.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.rng import RngStream
+from repro.masks.patterns import make_pattern
+from repro.mha.problem import AttentionProblem
+
+
+@dataclass(frozen=True)
+class VarLenBatch:
+    """A batch of sequences with individual lengths."""
+
+    lengths: tuple[int, ...]
+    heads: int
+    head_size: int
+    pattern: str = "causal"
+
+    def __post_init__(self) -> None:
+        if not self.lengths or any(l < 1 for l in self.lengths):
+            raise ConfigError(f"lengths must be positive, got {self.lengths}")
+
+    @property
+    def total_tokens(self) -> int:
+        return int(sum(self.lengths))
+
+    @property
+    def max_len(self) -> int:
+        return int(max(self.lengths))
+
+    @property
+    def cu_seqlens(self) -> np.ndarray:
+        """Cumulative offsets of each sequence in the packed layout."""
+        return np.concatenate([[0], np.cumsum(self.lengths)]).astype(np.int64)
+
+
+def packed_varlen_mask(
+    batch: VarLenBatch, rng: RngStream | None = None, **overrides
+) -> np.ndarray:
+    """Block-diagonal mask: each sequence gets its own pattern instance.
+
+    >>> b = VarLenBatch((2, 3), heads=1, head_size=8, pattern="causal")
+    >>> packed_varlen_mask(b).astype(int)
+    array([[1, 0, 0, 0, 0],
+           [1, 1, 0, 0, 0],
+           [0, 0, 1, 0, 0],
+           [0, 0, 1, 1, 0],
+           [0, 0, 1, 1, 1]])
+    """
+    rng = rng or RngStream().fork("varlen")
+    total = batch.total_tokens
+    mask = np.zeros((total, total), dtype=bool)
+    offsets = batch.cu_seqlens
+    for i, length in enumerate(batch.lengths):
+        s, e = int(offsets[i]), int(offsets[i + 1])
+        mask[s:e, s:e] = make_pattern(
+            batch.pattern, length, rng=rng.fork(f"seq-{i}"), **overrides
+        )
+    return mask
+
+
+def packed_varlen_problem(
+    batch: VarLenBatch,
+    rng: RngStream | None = None,
+    with_tensors: bool = False,
+    **overrides,
+) -> AttentionProblem:
+    """One packed attention problem over the block-diagonal mask."""
+    rng = rng or RngStream().fork("varlen")
+    mask = packed_varlen_mask(batch, rng=rng, **overrides)
+    prob = AttentionProblem(
+        batch=1,
+        heads=batch.heads,
+        seq_len=batch.total_tokens,
+        head_size=batch.head_size,
+        mask=mask,
+        pattern="varlen-packed",
+    )
+    if with_tensors:
+        data = rng.fork("qkv")
+        prob.q = (data.standard_normal(prob.qkv_shape) * 0.5).astype(np.float16)
+        prob.k = (data.standard_normal(prob.kv_shape) * 0.5).astype(np.float16)
+        prob.v = (data.standard_normal(prob.kv_shape) * 0.5).astype(np.float16)
+    return prob
+
+
+def padded_problem(
+    batch: VarLenBatch, rng: RngStream | None = None, **overrides
+) -> AttentionProblem:
+    """The pad-to-max baseline: every sequence computed at ``max_len``.
+
+    The shared mask is the pattern at ``max_len``; padding tokens do real
+    work — exactly the waste padding-free execution removes.
+    """
+    rng = rng or RngStream().fork("varlen-padded")
+    mask = make_pattern(
+        batch.pattern, batch.max_len, rng=rng.fork("pad"), **overrides
+    )
+    return AttentionProblem(
+        batch=len(batch.lengths),
+        heads=batch.heads,
+        seq_len=batch.max_len,
+        head_size=batch.head_size,
+        mask=mask,
+        pattern=batch.pattern,
+    )
+
+
+def padding_waste(batch: VarLenBatch) -> float:
+    """Fraction of padded tokens that are padding.
+
+    >>> padding_waste(VarLenBatch((64, 128), 1, 8))
+    0.25
+    """
+    padded = len(batch.lengths) * batch.max_len
+    return 1.0 - batch.total_tokens / padded
+
+
+def split_packed_output(
+    batch: VarLenBatch, packed_out: np.ndarray
+) -> list[np.ndarray]:
+    """Slice a packed kernel output back into per-sequence tensors.
+
+    ``packed_out`` is ``(1, heads, total_tokens, head_size)``; returns a
+    list of ``(heads, length_i, head_size)`` arrays.
+    """
+    if packed_out.shape[2] != batch.total_tokens:
+        raise ConfigError(
+            f"packed output has {packed_out.shape[2]} tokens, batch has "
+            f"{batch.total_tokens}"
+        )
+    offsets = batch.cu_seqlens
+    return [
+        packed_out[0, :, int(offsets[i]) : int(offsets[i + 1]), :]
+        for i in range(len(batch.lengths))
+    ]

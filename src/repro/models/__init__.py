@@ -1,0 +1,33 @@
+"""Transformer model zoo (paper §5.1.2).
+
+Graph builders for the five evaluation workloads — BERT-Small/Base/Large
+(encoder-only), GPT (decoder-only), and T5 (encoder-decoder) — expressed as
+native-operator graphs the engines transform: MHA sub-graphs are spelled
+out as BatchedGemm/Scale/MaskAdd/Softmax/BatchedGemm so the capture +
+rewrite machinery operates exactly as in Fig. 8.
+"""
+
+from repro.models.config import (
+    ModelConfig,
+    BERT_SMALL,
+    BERT_BASE,
+    BERT_LARGE,
+    GPT,
+    T5,
+    MODEL_ZOO,
+    get_model_config,
+)
+from repro.models.build import build_model, ModelInstance
+
+__all__ = [
+    "ModelConfig",
+    "BERT_SMALL",
+    "BERT_BASE",
+    "BERT_LARGE",
+    "GPT",
+    "T5",
+    "MODEL_ZOO",
+    "get_model_config",
+    "build_model",
+    "ModelInstance",
+]

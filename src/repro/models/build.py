@@ -1,0 +1,155 @@
+"""Whole-model graph construction.
+
+:func:`build_model` assembles a complete backbone graph for any
+:class:`~repro.models.config.ModelConfig` at a given (batch, seq_len):
+embeddings (token + learned position + LayerNorm), the encoder/decoder
+stacks, and the mask inputs the attention layers consume.  The result is a
+:class:`ModelInstance` bundling the graph with the metadata engines need
+(mask-input names, attention geometry, functional input generation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.rng import RngStream
+from repro.graph.ir import Graph
+from repro.graph.trace import GraphBuilder, Symbol
+from repro.models.config import ModelConfig
+from repro.models.layers import decoder_layer, encoder_layer, layer_norm
+from repro.ops import Add, Embedding, Reshape
+
+
+@dataclass
+class ModelInstance:
+    """A built model graph plus everything needed to run or plan it."""
+
+    config: ModelConfig
+    batch: int
+    seq_len: int
+    graph: Graph
+    ids_inputs: list[str]                 # integer token-id inputs
+    mask_inputs: dict[str, tuple[int, int]]  # name -> (rows, cols)
+
+    def make_inputs(
+        self,
+        masks: dict[str, np.ndarray],
+        rng: RngStream | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Runtime inputs: random token ids + the provided mask arrays."""
+        rng = rng or RngStream().fork("model-inputs")
+        inputs: dict[str, np.ndarray] = {}
+        for name in self.ids_inputs:
+            inputs[name] = rng.fork(name).integers(
+                0, self.config.vocab, size=(self.batch, self.seq_len)
+            ).astype(np.int32)
+        for name, shape in self.mask_inputs.items():
+            if name not in masks:
+                raise ConfigError(f"missing mask input {name!r}")
+            m = np.asarray(masks[name], dtype=bool)
+            if m.shape != shape:
+                raise ConfigError(
+                    f"mask {name!r} has shape {m.shape}, expected {shape}"
+                )
+            inputs[name] = m
+        return inputs
+
+    @property
+    def tokens(self) -> int:
+        return self.batch * self.seq_len
+
+
+def _embedding_stack(
+    gb: GraphBuilder,
+    cfg: ModelConfig,
+    batch: int,
+    seq_len: int,
+    prefix: str,
+) -> Symbol:
+    """Token embedding + learned positional add + LayerNorm."""
+    ids = gb.input(f"{prefix}.ids", (batch, seq_len))
+    table = gb.param(f"{prefix}.tok_emb", (cfg.vocab, cfg.hidden))
+    x = gb.call(Embedding(name=f"{prefix}.embed"), ids, table, name=f"{prefix}.embed")
+    x = gb.call(
+        Reshape((batch * seq_len, cfg.hidden), name=f"{prefix}.flatten"),
+        x,
+        name=f"{prefix}.flatten",
+    )
+    pos = gb.param(f"{prefix}.pos_emb", (batch * seq_len, cfg.hidden))
+    x = gb.call(Add(name=f"{prefix}.pos_add"), x, pos, name=f"{prefix}.pos_add")
+    return layer_norm(gb, x, cfg.hidden, f"{prefix}.emb", cfg.norm)
+
+
+def build_model(
+    cfg: ModelConfig,
+    batch: int,
+    seq_len: int,
+    seed: int = 0,
+) -> ModelInstance:
+    """Build the complete backbone graph.
+
+    Mask inputs created (all boolean, attended = True):
+
+    * encoder-only: ``mask`` (S, S)
+    * decoder-only: ``mask`` (S, S) — the harness supplies causal ∧ pattern
+    * encoder-decoder: ``enc_mask``, ``dec_mask`` (self), and ``cross_mask``
+
+    >>> inst = build_model(ModelConfig("tiny", 1, 0, 64, 2, 128, vocab=97),
+    ...                    batch=2, seq_len=8)
+    >>> sorted(inst.mask_inputs)
+    ['mask']
+    """
+    if batch < 1 or seq_len < 1:
+        raise ConfigError(f"batch/seq_len must be >= 1, got ({batch}, {seq_len})")
+    gb = GraphBuilder(f"{cfg.name}-b{batch}-s{seq_len}", seed=seed)
+    ids_inputs: list[str] = []
+    mask_inputs: dict[str, tuple[int, int]] = {}
+
+    if cfg.is_encoder_decoder:
+        enc_mask = gb.input("enc_mask", (seq_len, seq_len))
+        dec_mask = gb.input("dec_mask", (seq_len, seq_len))
+        cross_mask = gb.input("cross_mask", (seq_len, seq_len))
+        mask_inputs = {
+            "enc_mask": (seq_len, seq_len),
+            "dec_mask": (seq_len, seq_len),
+            "cross_mask": (seq_len, seq_len),
+        }
+
+        enc = _embedding_stack(gb, cfg, batch, seq_len, "enc")
+        ids_inputs.append("enc.ids")
+        for l in range(cfg.encoder_layers):
+            enc = encoder_layer(gb, cfg, enc, enc_mask, batch, seq_len, f"enc.l{l}")
+
+        dec = _embedding_stack(gb, cfg, batch, seq_len, "dec")
+        ids_inputs.append("dec.ids")
+        for l in range(cfg.decoder_layers):
+            dec = decoder_layer(
+                gb, cfg, dec, dec_mask, batch, seq_len, f"dec.l{l}",
+                enc_out=enc, cross_mask=cross_mask, enc_seq_len=seq_len,
+            )
+        gb.output(dec)
+    else:
+        mask = gb.input("mask", (seq_len, seq_len))
+        mask_inputs = {"mask": (seq_len, seq_len)}
+        x = _embedding_stack(gb, cfg, batch, seq_len, "emb")
+        ids_inputs.append("emb.ids")
+        if cfg.is_decoder_only:
+            for l in range(cfg.decoder_layers):
+                x = decoder_layer(gb, cfg, x, mask, batch, seq_len, f"l{l}")
+        else:
+            for l in range(cfg.encoder_layers):
+                x = encoder_layer(gb, cfg, x, mask, batch, seq_len, f"l{l}")
+        gb.output(x)
+
+    graph = gb.finish()
+    return ModelInstance(
+        config=cfg,
+        batch=batch,
+        seq_len=seq_len,
+        graph=graph,
+        ids_inputs=ids_inputs,
+        mask_inputs=mask_inputs,
+    )

@@ -1,0 +1,77 @@
+"""Model hyper-parameter configurations (the paper's standard models).
+
+All models use 64-dim heads, matching the paper's BERT-Base MHA setting
+(12 heads x 64).  Vocabulary projection (the LM head) is excluded from the
+end-to-end graphs, as is common when benchmarking Transformer *backbones*;
+embeddings and all encoder/decoder blocks are included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters of one Transformer backbone."""
+
+    name: str
+    encoder_layers: int
+    decoder_layers: int
+    hidden: int
+    heads: int
+    ffn_dim: int
+    vocab: int = 30522
+    activation: str = "gelu"      # "gelu" (BERT/GPT) or "relu" (T5)
+    norm: str = "layernorm"       # "layernorm" or "rms" (T5-style)
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.heads != 0:
+            raise ConfigError(
+                f"{self.name}: hidden {self.hidden} not divisible by heads {self.heads}"
+            )
+        if self.encoder_layers < 0 or self.decoder_layers < 0:
+            raise ConfigError(f"{self.name}: negative layer counts")
+        if self.encoder_layers == 0 and self.decoder_layers == 0:
+            raise ConfigError(f"{self.name}: model needs at least one layer")
+
+    @property
+    def head_size(self) -> int:
+        return self.hidden // self.heads
+
+    @property
+    def is_decoder_only(self) -> bool:
+        return self.encoder_layers == 0
+
+    @property
+    def is_encoder_decoder(self) -> bool:
+        return self.encoder_layers > 0 and self.decoder_layers > 0
+
+    @property
+    def total_layers(self) -> int:
+        return self.encoder_layers + self.decoder_layers
+
+
+BERT_SMALL = ModelConfig("bert-small", 4, 0, 512, 8, 2048)
+BERT_BASE = ModelConfig("bert-base", 12, 0, 768, 12, 3072)
+BERT_LARGE = ModelConfig("bert-large", 24, 0, 1024, 16, 4096)
+GPT = ModelConfig("gpt", 0, 12, 768, 12, 3072, vocab=50257)
+T5 = ModelConfig("t5", 12, 12, 768, 12, 3072, vocab=32128, activation="relu")
+
+MODEL_ZOO: dict[str, ModelConfig] = {
+    c.name: c for c in (BERT_SMALL, BERT_BASE, BERT_LARGE, GPT, T5)
+}
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Look up a model configuration by name.
+
+    >>> get_model_config("bert-base").heads
+    12
+    """
+    key = name.strip().lower()
+    if key not in MODEL_ZOO:
+        raise ConfigError(f"unknown model {name!r}; known: {sorted(MODEL_ZOO)}")
+    return MODEL_ZOO[key]

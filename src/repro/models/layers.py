@@ -1,0 +1,145 @@
+"""Reusable Transformer block builders.
+
+Every block emits *native* operators (the coarse-grained graph a framework
+would trace), including the spelled-out MHA pattern, so the engines'
+capture/fusion machinery has real work to do.
+"""
+
+from __future__ import annotations
+
+from repro.graph.trace import GraphBuilder, Symbol
+from repro.models.config import ModelConfig
+from repro.ops import (
+    Add,
+    BatchedGemm,
+    BiasAdd,
+    Gelu,
+    Gemm,
+    LayerNorm,
+    MaskAdd,
+    MergeHeads,
+    Relu,
+    RMSNorm,
+    Scale,
+    Softmax,
+    SplitHeads,
+    TransposeLast2,
+)
+
+
+def projection(
+    gb: GraphBuilder,
+    x: Symbol,
+    in_dim: int,
+    out_dim: int,
+    prefix: str,
+) -> Symbol:
+    """Linear projection: GEMM + bias."""
+    w = gb.param(f"{prefix}.w", (in_dim, out_dim))
+    b = gb.param(f"{prefix}.b", (out_dim,))
+    h = gb.call(Gemm(f"{prefix}.gemm"), x, w, name=f"{prefix}.gemm")
+    return gb.call(BiasAdd(f"{prefix}.bias"), h, b, name=f"{prefix}.bias")
+
+
+def layer_norm(
+    gb: GraphBuilder, x: Symbol, dim: int, prefix: str, kind: str = "layernorm"
+) -> Symbol:
+    """Normalization block; ``kind`` selects LayerNorm or T5-style RMSNorm."""
+    g = gb.param(f"{prefix}.gamma", (dim,), scale=0.02)
+    if kind == "rms":
+        return gb.call(RMSNorm(name=f"{prefix}.ln"), x, g, name=f"{prefix}.ln")
+    b = gb.param(f"{prefix}.beta", (dim,))
+    return gb.call(LayerNorm(name=f"{prefix}.ln"), x, g, b, name=f"{prefix}.ln")
+
+
+def attention_block(
+    gb: GraphBuilder,
+    cfg: ModelConfig,
+    x: Symbol,
+    mask: Symbol,
+    batch: int,
+    seq_len: int,
+    prefix: str,
+    kv_source: Symbol | None = None,
+    kv_seq_len: int | None = None,
+) -> Symbol:
+    """Full MHA block: projections, attention core, output proj, Add+LN.
+
+    ``kv_source`` switches to cross-attention (K/V from the encoder);
+    the attention core itself is the native five-op pattern.
+    """
+    h, d = cfg.heads, cfg.head_size
+    kv = kv_source if kv_source is not None else x
+    kv_seq = kv_seq_len if kv_seq_len is not None else seq_len
+
+    q = projection(gb, x, cfg.hidden, cfg.hidden, f"{prefix}.q")
+    k = projection(gb, kv, cfg.hidden, cfg.hidden, f"{prefix}.k")
+    v = projection(gb, kv, cfg.hidden, cfg.hidden, f"{prefix}.v")
+
+    qh = gb.call(SplitHeads(batch, seq_len, h, name=f"{prefix}.q.split"), q,
+                 name=f"{prefix}.q.split")
+    kh = gb.call(SplitHeads(batch, kv_seq, h, name=f"{prefix}.k.split"), k,
+                 name=f"{prefix}.k.split")
+    vh = gb.call(SplitHeads(batch, kv_seq, h, name=f"{prefix}.v.split"), v,
+                 name=f"{prefix}.v.split")
+    kt = gb.call(TransposeLast2(name=f"{prefix}.k.T"), kh, name=f"{prefix}.k.T")
+
+    s = gb.call(BatchedGemm(f"{prefix}.qk"), qh, kt, name=f"{prefix}.qk")
+    s = gb.call(Scale(1.0 / d**0.5, name=f"{prefix}.scale"), s,
+                name=f"{prefix}.scale")
+    s = gb.call(MaskAdd(name=f"{prefix}.mask"), s, mask, name=f"{prefix}.mask")
+    p = gb.call(Softmax(name=f"{prefix}.softmax"), s, name=f"{prefix}.softmax")
+    o = gb.call(BatchedGemm(f"{prefix}.pv"), p, vh, name=f"{prefix}.pv")
+
+    o = gb.call(MergeHeads(batch, seq_len, h, name=f"{prefix}.merge"), o,
+                name=f"{prefix}.merge")
+    o = projection(gb, o, cfg.hidden, cfg.hidden, f"{prefix}.out")
+    o = gb.call(Add(name=f"{prefix}.residual"), o, x, name=f"{prefix}.residual")
+    return layer_norm(gb, o, cfg.hidden, f"{prefix}.post", cfg.norm)
+
+
+def ffn_block(
+    gb: GraphBuilder, cfg: ModelConfig, x: Symbol, prefix: str
+) -> Symbol:
+    """Feed-forward block: GEMM+bias+activation, GEMM+bias, Add+LN."""
+    act_cls = Gelu if cfg.activation == "gelu" else Relu
+    h = projection(gb, x, cfg.hidden, cfg.ffn_dim, f"{prefix}.fc1")
+    h = gb.call(act_cls(name=f"{prefix}.act"), h, name=f"{prefix}.act")
+    h = projection(gb, h, cfg.ffn_dim, cfg.hidden, f"{prefix}.fc2")
+    h = gb.call(Add(name=f"{prefix}.residual"), h, x, name=f"{prefix}.residual")
+    return layer_norm(gb, h, cfg.hidden, f"{prefix}.post", cfg.norm)
+
+
+def encoder_layer(
+    gb: GraphBuilder,
+    cfg: ModelConfig,
+    x: Symbol,
+    mask: Symbol,
+    batch: int,
+    seq_len: int,
+    prefix: str,
+) -> Symbol:
+    x = attention_block(gb, cfg, x, mask, batch, seq_len, f"{prefix}.attn")
+    return ffn_block(gb, cfg, x, f"{prefix}.ffn")
+
+
+def decoder_layer(
+    gb: GraphBuilder,
+    cfg: ModelConfig,
+    x: Symbol,
+    self_mask: Symbol,
+    batch: int,
+    seq_len: int,
+    prefix: str,
+    enc_out: Symbol | None = None,
+    cross_mask: Symbol | None = None,
+    enc_seq_len: int | None = None,
+) -> Symbol:
+    x = attention_block(gb, cfg, x, self_mask, batch, seq_len, f"{prefix}.self")
+    if enc_out is not None:
+        assert cross_mask is not None
+        x = attention_block(
+            gb, cfg, x, cross_mask, batch, seq_len, f"{prefix}.cross",
+            kv_source=enc_out, kv_seq_len=enc_seq_len,
+        )
+    return ffn_block(gb, cfg, x, f"{prefix}.ffn")

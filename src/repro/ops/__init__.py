@@ -1,0 +1,41 @@
+"""Tensor operator library.
+
+Every Transformer building block the paper's downstream-operator fusion
+works over: GEMM (the CI anchor), bias/residual/activation element-wise ops,
+LayerNorm and Softmax reductions, and embedding lookup.  Each operator is
+both *functional* (computes real FP16-storage NumPy values) and *costed*
+(reports a :class:`~repro.gpu.cost.KernelCost` + launch configuration for
+the simulated device), with a tunable parameter space — the raw material of
+the fusion templates and the two-stage search engine.
+"""
+
+from repro.ops.base import Operator, OpCategory, elementwise_cost, rowwise_reduction_cost
+from repro.ops.gemm import Gemm, BatchedGemm
+from repro.ops.elementwise import BiasAdd, Add, Gelu, Relu, Scale, MaskAdd, Identity
+from repro.ops.normalization import LayerNorm, RMSNorm, Softmax
+from repro.ops.embedding import Embedding
+from repro.ops.movement import SplitHeads, MergeHeads, TransposeLast2, Reshape
+
+__all__ = [
+    "Operator",
+    "OpCategory",
+    "elementwise_cost",
+    "rowwise_reduction_cost",
+    "Gemm",
+    "BatchedGemm",
+    "BiasAdd",
+    "Add",
+    "Gelu",
+    "Relu",
+    "Scale",
+    "MaskAdd",
+    "Identity",
+    "LayerNorm",
+    "RMSNorm",
+    "Softmax",
+    "Embedding",
+    "SplitHeads",
+    "MergeHeads",
+    "TransposeLast2",
+    "Reshape",
+]

@@ -1,0 +1,184 @@
+"""Operator abstraction.
+
+An :class:`Operator` couples three views of one tensor computation:
+
+* **functional** — ``compute(*arrays)`` produces real values with FP16
+  storage semantics (tests verify kernels against these),
+* **costed** — ``cost(in_shapes, spec, params)`` produces the
+  :class:`~repro.gpu.cost.KernelCost` and :class:`~repro.gpu.cost.LaunchConfig`
+  the simulated device turns into time,
+* **tunable** — ``param_space()`` exposes the kernel parameters the search
+  engine samples (§4.4); ``default_params`` gives the rule-based setting a
+  framework would pick without tuning.
+
+Operators are classified **CI** (compute-intensive — GEMMs) or **MI**
+(memory-intensive — everything element-wise or reduction-shaped); §3.2 of
+the paper builds its fusion taxonomy on this split.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import FP16_BYTES
+from repro.gpu.cost import KernelCost, LaunchConfig
+from repro.gpu.specs import GPUSpec
+
+Shape = tuple[int, ...]
+
+
+class OpCategory(enum.Enum):
+    """Compute-intensive vs memory-intensive (paper §3.2)."""
+
+    CI = "compute-intensive"
+    MI = "memory-intensive"
+
+
+def numel(shape: Shape) -> int:
+    """Element count of a shape.
+
+    >>> numel((2, 3, 4))
+    24
+    """
+    n = 1
+    for d in shape:
+        n *= int(d)
+    return n
+
+
+class Operator(ABC):
+    """Base class for all tensor operators.
+
+    Subclasses set ``name`` and ``category`` and implement the three views.
+    ``params`` passed to :meth:`cost` must come from :meth:`param_space` /
+    :meth:`default_params`; invalid combinations raise
+    :class:`~repro.core.errors.ConfigError` exactly like an over-subscribed
+    CUDA launch, and tuners treat that as an infeasible sample.
+    """
+
+    name: str = "op"
+    category: OpCategory = OpCategory.MI
+
+    # --- functional view ------------------------------------------------------
+
+    @abstractmethod
+    def compute(self, *inputs: np.ndarray) -> np.ndarray:
+        """Evaluate the operator on FP16-storage arrays."""
+
+    @abstractmethod
+    def infer_shape(self, *in_shapes: Shape) -> Shape:
+        """Output shape from input shapes (validates arity and dims)."""
+
+    # --- costed view ----------------------------------------------------------
+
+    @abstractmethod
+    def cost(
+        self, in_shapes: Sequence[Shape], spec: GPUSpec, params: dict[str, Any]
+    ) -> tuple[KernelCost, LaunchConfig]:
+        """Kernel counters + launch configuration for the given shapes."""
+
+    # --- tunable view ---------------------------------------------------------
+
+    def param_space(self) -> dict[str, tuple]:
+        """Tunable kernel parameters and their candidate values."""
+        return {}
+
+    def default_params(self, in_shapes: Sequence[Shape], spec: GPUSpec) -> dict[str, Any]:
+        """Rule-based untuned parameter setting (first value of each axis)."""
+        return {k: v[0] for k, v in self.param_space().items()}
+
+    # --- misc -----------------------------------------------------------------
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        """Nominal FLOP count (used for reporting; cost() is authoritative)."""
+        c, _ = self.cost(in_shapes, _REF_SPEC, self.default_params(in_shapes, _REF_SPEC))
+        return c.flops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, {self.category.name})"
+
+
+# A fixed spec for shape-only queries (flops()); any valid spec works since
+# counters do not depend on the device.
+from repro.gpu.specs import A100 as _REF_SPEC  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# Shared cost builders
+# ---------------------------------------------------------------------------
+
+#: Elements processed per thread in element-wise kernels (vectorized loads).
+ELEMS_PER_THREAD = 8
+
+
+def elementwise_cost(
+    name: str,
+    n_elems: int,
+    bytes_read: float,
+    bytes_written: float,
+    flops_per_elem: float,
+    spec: GPUSpec,
+    num_warps: int = 4,
+) -> tuple[KernelCost, LaunchConfig]:
+    """Cost of a streaming element-wise kernel.
+
+    Grid-stride kernels: each thread handles :data:`ELEMS_PER_THREAD`
+    elements; no SMEM, no barriers, purely bandwidth-shaped.
+    """
+    if n_elems < 1:
+        raise ConfigError(f"element-wise kernel needs >= 1 element, got {n_elems}")
+    threads = num_warps * spec.warp_size
+    grid = max(1, math.ceil(n_elems / (threads * ELEMS_PER_THREAD)))
+    cost = KernelCost(
+        name=name,
+        bytes_dram_read=bytes_read,
+        bytes_dram_written=bytes_written,
+        flops_simt=flops_per_elem * n_elems,
+    )
+    config = LaunchConfig(grid_blocks=grid, warps_per_block=num_warps, smem_per_block=0)
+    return cost, config
+
+
+def rowwise_reduction_cost(
+    name: str,
+    n_rows: int,
+    row_len: int,
+    passes_read: float,
+    passes_write: float,
+    flops_per_elem: float,
+    spec: GPUSpec,
+    rows_per_block: int = 4,
+    num_warps: int = 4,
+) -> tuple[KernelCost, LaunchConfig]:
+    """Cost of a row-reduction kernel (Softmax, LayerNorm).
+
+    Each block owns ``rows_per_block`` rows, stages them in SMEM, reduces
+    with a small number of barrier rounds, and streams the result out.
+    """
+    if n_rows < 1 or row_len < 1:
+        raise ConfigError(f"reduction needs positive rows/len, got {n_rows}x{row_len}")
+    grid = max(1, math.ceil(n_rows / rows_per_block))
+    row_bytes = row_len * FP16_BYTES
+    smem_per_block = rows_per_block * row_bytes
+    n_elems = n_rows * row_len
+    cost = KernelCost(
+        name=name,
+        bytes_dram_read=passes_read * n_elems * FP16_BYTES,
+        bytes_dram_written=passes_write * n_elems * FP16_BYTES,
+        bytes_smem=2.0 * n_elems * FP16_BYTES,   # stage in + read back
+        flops_simt=flops_per_elem * n_elems,
+        sync_rounds=2.0 * math.ceil(math.log2(max(2, num_warps))),
+    )
+    config = LaunchConfig(
+        grid_blocks=grid,
+        warps_per_block=num_warps,
+        smem_per_block=smem_per_block,
+        pipelined=False,   # reduction reads must complete before compute
+    )
+    return cost, config

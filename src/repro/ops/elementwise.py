@@ -1,0 +1,221 @@
+"""Element-wise (memory-intensive) operators.
+
+These are the MI side of the paper's fusion taxonomy: bias add, residual
+add, activations, score scaling, and the additive mask application the
+non-sparse baselines fall back to ("resetting the score matrix by
+subtraction after GEMM", §3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import FP16_BYTES, to_fp16
+from repro.gpu.cost import KernelCost, LaunchConfig
+from repro.gpu.specs import GPUSpec
+from repro.ops.base import Operator, OpCategory, Shape, elementwise_cost, numel
+
+#: Additive value standing in for -inf in FP16 masked scores.  Real kernels
+#: use a large negative constant because FP16 -inf poisons the softmax max.
+MASK_NEG = -30000.0
+
+
+class _ElementwiseBase(Operator):
+    """Shared scaffolding: streaming kernels with a num_warps knob."""
+
+    category = OpCategory.MI
+    flops_per_elem: float = 1.0
+
+    def param_space(self) -> dict[str, tuple]:
+        return {"num_warps": (4, 1, 2, 8)}
+
+    def default_params(self, in_shapes: Sequence[Shape], spec: GPUSpec) -> dict[str, Any]:
+        return {"num_warps": 4}
+
+
+class BiasAdd(_ElementwiseBase):
+    """Broadcast bias over the last dimension: ``x + b``."""
+
+    flops_per_elem = 1.0
+
+    def __init__(self, name: str = "bias"):
+        self.name = name
+
+    def compute(self, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if b.ndim != 1 or b.shape[0] != x.shape[-1]:
+            raise ConfigError(f"bias shape {b.shape} does not match input {x.shape}")
+        return to_fp16(x.astype(np.float32) + b.astype(np.float32))
+
+    def infer_shape(self, x_shape: Shape, b_shape: Shape) -> Shape:
+        if len(b_shape) != 1 or b_shape[0] != x_shape[-1]:
+            raise ConfigError(f"bias shape {b_shape} does not match input {x_shape}")
+        return x_shape
+
+    def cost(self, in_shapes, spec, params):
+        x_shape, b_shape = in_shapes
+        n = numel(x_shape)
+        return elementwise_cost(
+            self.name,
+            n,
+            bytes_read=(n + b_shape[0]) * FP16_BYTES,
+            bytes_written=n * FP16_BYTES,
+            flops_per_elem=self.flops_per_elem,
+            spec=spec,
+            num_warps=params["num_warps"],
+        )
+
+
+class Add(_ElementwiseBase):
+    """Residual add of two same-shaped tensors."""
+
+    flops_per_elem = 1.0
+
+    def __init__(self, name: str = "add"):
+        self.name = name
+
+    def compute(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        if x.shape != y.shape:
+            raise ConfigError(f"Add shape mismatch: {x.shape} vs {y.shape}")
+        return to_fp16(x.astype(np.float32) + y.astype(np.float32))
+
+    def infer_shape(self, x_shape: Shape, y_shape: Shape) -> Shape:
+        if x_shape != y_shape:
+            raise ConfigError(f"Add shape mismatch: {x_shape} vs {y_shape}")
+        return x_shape
+
+    def cost(self, in_shapes, spec, params):
+        n = numel(in_shapes[0])
+        return elementwise_cost(
+            self.name,
+            n,
+            bytes_read=2 * n * FP16_BYTES,
+            bytes_written=n * FP16_BYTES,
+            flops_per_elem=self.flops_per_elem,
+            spec=spec,
+            num_warps=params["num_warps"],
+        )
+
+
+class _UnaryActivation(_ElementwiseBase):
+    """Shared cost shape for one-in one-out activations."""
+
+    def infer_shape(self, x_shape: Shape) -> Shape:
+        return x_shape
+
+    def cost(self, in_shapes, spec, params):
+        n = numel(in_shapes[0])
+        return elementwise_cost(
+            self.name,
+            n,
+            bytes_read=n * FP16_BYTES,
+            bytes_written=n * FP16_BYTES,
+            flops_per_elem=self.flops_per_elem,
+            spec=spec,
+            num_warps=params["num_warps"],
+        )
+
+
+class Gelu(_UnaryActivation):
+    """GELU activation (tanh approximation, as deployed kernels use)."""
+
+    flops_per_elem = 12.0
+
+    def __init__(self, name: str = "gelu"):
+        self.name = name
+
+    def compute(self, x: np.ndarray) -> np.ndarray:
+        xf = x.astype(np.float32)
+        inner = np.sqrt(2.0 / np.pi) * (xf + 0.044715 * xf**3)
+        return to_fp16(0.5 * xf * (1.0 + np.tanh(inner)))
+
+
+class Relu(_UnaryActivation):
+    """ReLU activation."""
+
+    flops_per_elem = 1.0
+
+    def __init__(self, name: str = "relu"):
+        self.name = name
+
+    def compute(self, x: np.ndarray) -> np.ndarray:
+        return to_fp16(np.maximum(x.astype(np.float32), 0.0))
+
+
+class Scale(_UnaryActivation):
+    """Multiply by a compile-time scalar (attention's ``1/sqrt(head_size)``)."""
+
+    flops_per_elem = 1.0
+
+    def __init__(self, factor: float, name: str = "scale"):
+        self.name = name
+        self.factor = float(factor)
+
+    def compute(self, x: np.ndarray) -> np.ndarray:
+        return to_fp16(x.astype(np.float32) * self.factor)
+
+
+class Identity(_UnaryActivation):
+    """No-op placeholder (dropout at inference time).
+
+    Zero-cost: graph rewrites eliminate it; if executed it charges nothing.
+    """
+
+    flops_per_elem = 0.0
+
+    def __init__(self, name: str = "identity"):
+        self.name = name
+
+    def compute(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x)
+
+    def cost(self, in_shapes, spec, params):
+        cost = KernelCost(name=self.name, launches=0)
+        return cost, LaunchConfig(grid_blocks=1, warps_per_block=1)
+
+
+class MaskAdd(_ElementwiseBase):
+    """Additive mask application on a score tensor.
+
+    ``scores + where(mask, 0, MASK_NEG)`` broadcast over leading batch/head
+    dims — the fallback path of every baseline that lacks native sparse-mask
+    support.  Reads the full score tensor plus the boolean mask (1 byte per
+    element on device) and writes the full tensor back: this round trip is
+    exactly the traffic the paper's fused kernels eliminate.
+    """
+
+    flops_per_elem = 2.0
+
+    def __init__(self, name: str = "mask_add"):
+        self.name = name
+
+    def compute(self, scores: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        if mask.shape != scores.shape[-2:]:
+            raise ConfigError(
+                f"mask shape {mask.shape} does not match scores {scores.shape}"
+            )
+        bias = np.where(mask, 0.0, MASK_NEG).astype(np.float32)
+        return to_fp16(scores.astype(np.float32) + bias)
+
+    def infer_shape(self, s_shape: Shape, m_shape: Shape) -> Shape:
+        if tuple(m_shape) != tuple(s_shape[-2:]):
+            raise ConfigError(
+                f"mask shape {m_shape} does not match scores {s_shape}"
+            )
+        return s_shape
+
+    def cost(self, in_shapes, spec, params):
+        s_shape, m_shape = in_shapes
+        n = numel(s_shape)
+        return elementwise_cost(
+            self.name,
+            n,
+            bytes_read=n * FP16_BYTES + numel(m_shape) * 1,  # bool mask: 1 B/elem
+            bytes_written=n * FP16_BYTES,
+            flops_per_elem=self.flops_per_elem,
+            spec=spec,
+            num_warps=params["num_warps"],
+        )

@@ -1,0 +1,60 @@
+"""Embedding lookup — the gather at the front of every model graph."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import FP16_BYTES, to_fp16
+from repro.gpu.specs import GPUSpec
+from repro.ops.base import Operator, OpCategory, Shape, elementwise_cost, numel
+
+
+class Embedding(Operator):
+    """Token-id gather: ``table[ids]``.
+
+    Inputs: ``(ids, table)`` where ids is integer ``(B, M)`` and table is
+    ``(vocab, hidden)``.  Purely bandwidth: one gathered read of
+    ``B*M*hidden`` elements plus the write.
+    """
+
+    category = OpCategory.MI
+
+    def __init__(self, name: str = "embedding"):
+        self.name = name
+
+    def compute(self, ids: np.ndarray, table: np.ndarray) -> np.ndarray:
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise ConfigError(f"embedding ids must be integer, got {ids.dtype}")
+        if ids.min() < 0 or ids.max() >= table.shape[0]:
+            raise ConfigError(
+                f"embedding ids out of range [0, {table.shape[0]})"
+            )
+        return to_fp16(table[ids])
+
+    def infer_shape(self, ids_shape: Shape, table_shape: Shape) -> Shape:
+        if len(table_shape) != 2:
+            raise ConfigError(f"embedding table must be 2-D, got {table_shape}")
+        return tuple(ids_shape) + (table_shape[1],)
+
+    def cost(self, in_shapes, spec, params):
+        ids_shape, table_shape = in_shapes
+        hidden = table_shape[1]
+        n = numel(ids_shape) * hidden
+        return elementwise_cost(
+            self.name,
+            n,
+            bytes_read=n * FP16_BYTES + numel(ids_shape) * 4,  # int32 ids
+            bytes_written=n * FP16_BYTES,
+            flops_per_elem=0.0,
+            spec=spec,
+            num_warps=params["num_warps"],
+        )
+
+    def param_space(self) -> dict[str, tuple]:
+        return {"num_warps": (4, 1, 2, 8)}
+
+    def default_params(self, in_shapes: Sequence[Shape], spec: GPUSpec) -> dict[str, Any]:
+        return {"num_warps": 4}

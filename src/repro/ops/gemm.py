@@ -1,0 +1,227 @@
+"""GEMM operators — the compute-intensive anchors of every fusion scheme.
+
+:class:`Gemm` multiplies an activation ``(B, M, K)`` (or ``(M, K)``) by a
+shared weight ``(K, N)``; :class:`BatchedGemm` multiplies two batched
+operands (attention's ``Q @ K^T`` and ``P @ V`` in the unfused baselines).
+
+The cost model is a tensor-core tiled GEMM: the grid is one block per
+``(BLOCK_M, BLOCK_N)`` output tile, operand tiles stream DRAM → SMEM →
+registers with ``num_stages``-deep async-copy pipelining, and operand
+*re*-reads across tiles hit L2 when the operand fits there (the classic
+reuse pattern the simulated L2 path exists for).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import FP16_BYTES, fp16_matmul
+from repro.gpu.cost import KernelCost, LaunchConfig
+from repro.gpu.specs import GPUSpec
+from repro.ops.base import Operator, OpCategory, Shape
+
+#: K-dimension chunk staged per pipeline step.
+BLOCK_K = 32
+
+
+def _as_bmk(shape: Shape) -> tuple[int, int, int]:
+    """Normalize an activation shape to (batch, M, K)."""
+    if len(shape) == 2:
+        return 1, shape[0], shape[1]
+    if len(shape) == 3:
+        return shape[0], shape[1], shape[2]
+    raise ConfigError(f"GEMM activation must be 2-D or 3-D, got {shape}")
+
+
+def gemm_cost(
+    name: str,
+    batch: int,
+    m: int,
+    n: int,
+    k: int,
+    spec: GPUSpec,
+    block_m: int,
+    block_n: int,
+    num_warps: int,
+    num_stages: int,
+    batched_rhs: bool,
+) -> tuple[KernelCost, LaunchConfig]:
+    """Shared cost builder for plain and batched GEMM."""
+    if block_m < 16 or block_n < 16:
+        raise ConfigError(f"GEMM blocks must be >= 16, got ({block_m}, {block_n})")
+    tiles_m = math.ceil(m / block_m)
+    tiles_n = math.ceil(n / block_n)
+    grid = batch * tiles_m * tiles_n
+
+    a_bytes = batch * m * k * FP16_BYTES
+    w_batch = batch if batched_rhs else 1
+    w_bytes = w_batch * k * n * FP16_BYTES
+    out_bytes = batch * m * n * FP16_BYTES
+
+    # First pass of each operand comes from DRAM; the (tiles - 1) re-reads
+    # hit L2 when the operand fits there, else fall back to DRAM.
+    a_reread = a_bytes * (tiles_n - 1)
+    w_reread = w_bytes * (tiles_m - 1) * (1 if batched_rhs else batch)
+    a_in_l2 = a_bytes <= spec.l2_bytes
+    w_in_l2 = w_bytes <= spec.l2_bytes
+    dram_read = a_bytes + w_bytes
+    l2_read = 0.0
+    if a_in_l2:
+        l2_read += a_reread
+    else:
+        dram_read += a_reread
+    if w_in_l2:
+        l2_read += w_reread
+    else:
+        dram_read += w_reread
+
+    total_tile_loads = a_bytes + a_reread + w_bytes + w_reread
+    smem_per_block = num_stages * (block_m + block_n) * BLOCK_K * FP16_BYTES
+
+    cost = KernelCost(
+        name=name,
+        bytes_dram_read=dram_read,
+        bytes_dram_written=out_bytes,
+        bytes_l2_read=l2_read,
+        bytes_smem=2.0 * total_tile_loads,   # SMEM write + read per staged byte
+        bank_conflict_factor=1.0,            # vendor-grade swizzled layout
+        flops_tensor=2.0 * batch * m * n * k,
+        sync_rounds=math.ceil(k / BLOCK_K) / max(1, num_stages),
+    )
+    config = LaunchConfig(
+        grid_blocks=grid,
+        warps_per_block=num_warps,
+        smem_per_block=smem_per_block,
+        pipelined=num_stages >= 2,
+    )
+    return cost, config
+
+
+_GEMM_PARAM_SPACE: dict[str, tuple] = {
+    "block_m": (64, 16, 32, 128),
+    "block_n": (64, 16, 32, 128),
+    "num_warps": (4, 1, 2, 8),
+    "num_stages": (2, 1, 3, 4),
+}
+
+
+class Gemm(Operator):
+    """Activation x shared-weight GEMM: ``(B, M, K) @ (K, N) -> (B, M, N)``."""
+
+    category = OpCategory.CI
+
+    def __init__(self, name: str = "gemm"):
+        self.name = name
+
+    def compute(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        if w.ndim != 2:
+            raise ConfigError(f"Gemm weight must be 2-D, got {w.shape}")
+        if x.shape[-1] != w.shape[0]:
+            raise ConfigError(
+                f"Gemm inner dims mismatch: {x.shape} @ {w.shape}"
+            )
+        return fp16_matmul(x, w)
+
+    def infer_shape(self, x_shape: Shape, w_shape: Shape) -> Shape:
+        if len(w_shape) != 2:
+            raise ConfigError(f"Gemm weight must be 2-D, got {w_shape}")
+        if x_shape[-1] != w_shape[0]:
+            raise ConfigError(f"Gemm inner dims mismatch: {x_shape} @ {w_shape}")
+        return x_shape[:-1] + (w_shape[1],)
+
+    def cost(
+        self, in_shapes: Sequence[Shape], spec: GPUSpec, params: dict[str, Any]
+    ) -> tuple[KernelCost, LaunchConfig]:
+        x_shape, w_shape = in_shapes
+        b, m, k = _as_bmk(x_shape)
+        n = w_shape[1]
+        return gemm_cost(
+            self.name, b, m, n, k, spec,
+            block_m=params["block_m"],
+            block_n=params["block_n"],
+            num_warps=params["num_warps"],
+            num_stages=params["num_stages"],
+            batched_rhs=False,
+        )
+
+    def param_space(self) -> dict[str, tuple]:
+        return dict(_GEMM_PARAM_SPACE)
+
+    def default_params(self, in_shapes: Sequence[Shape], spec: GPUSpec) -> dict[str, Any]:
+        x_shape, w_shape = in_shapes
+        _, m, _ = _as_bmk(x_shape)
+        n = w_shape[1]
+        # Rule a framework would apply: shrink tiles for small problems so the
+        # grid is not degenerate.
+        return {
+            "block_m": 64 if m >= 64 else 16,
+            "block_n": 64 if n >= 64 else 16,
+            "num_warps": 4,
+            "num_stages": 2,
+        }
+
+
+class BatchedGemm(Operator):
+    """Batched GEMM: ``(B, M, K) @ (B, K, N) -> (B, M, N)``.
+
+    The unfused attention baselines use this for score (``Q @ K^T``) and
+    context (``P @ V``) products; both operands are per-batch.
+    """
+
+    category = OpCategory.CI
+
+    def __init__(self, name: str = "bgemm"):
+        self.name = name
+
+    def compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if a.ndim != b.ndim or a.ndim < 3:
+            raise ConfigError(
+                f"BatchedGemm needs matching >=3-D operands, got {a.shape}, {b.shape}"
+            )
+        if a.shape[:-2] != b.shape[:-2] or a.shape[-1] != b.shape[-2]:
+            raise ConfigError(f"BatchedGemm shape mismatch: {a.shape} @ {b.shape}")
+        return fp16_matmul(a, b)
+
+    def infer_shape(self, a_shape: Shape, b_shape: Shape) -> Shape:
+        if len(a_shape) != len(b_shape) or len(a_shape) < 3:
+            raise ConfigError(
+                f"BatchedGemm needs matching >=3-D shapes, got {a_shape}, {b_shape}"
+            )
+        if a_shape[:-2] != b_shape[:-2] or a_shape[-1] != b_shape[-2]:
+            raise ConfigError(f"BatchedGemm shape mismatch: {a_shape} @ {b_shape}")
+        return a_shape[:-1] + (b_shape[-1],)
+
+    def cost(
+        self, in_shapes: Sequence[Shape], spec: GPUSpec, params: dict[str, Any]
+    ) -> tuple[KernelCost, LaunchConfig]:
+        a_shape, b_shape = in_shapes
+        batch = 1
+        for d in a_shape[:-2]:
+            batch *= d
+        m, k = a_shape[-2], a_shape[-1]
+        n = b_shape[-1]
+        return gemm_cost(
+            self.name, batch, m, n, k, spec,
+            block_m=params["block_m"],
+            block_n=params["block_n"],
+            num_warps=params["num_warps"],
+            num_stages=params["num_stages"],
+            batched_rhs=True,
+        )
+
+    def param_space(self) -> dict[str, tuple]:
+        return dict(_GEMM_PARAM_SPACE)
+
+    def default_params(self, in_shapes: Sequence[Shape], spec: GPUSpec) -> dict[str, Any]:
+        a_shape, _ = in_shapes
+        m = a_shape[-2]
+        return {
+            "block_m": 64 if m >= 64 else 16,
+            "block_n": 64,
+            "num_warps": 4,
+            "num_stages": 2,
+        }

@@ -1,0 +1,161 @@
+"""Data-movement operators: head splitting/merging and transposes.
+
+Real frameworks materialize these as copies when a downstream GEMM needs
+contiguous operands, so they are MI ops with pure read+write traffic.
+Fused engines absorb them into the attention kernel (strided loads) — the
+runtime elides them around fused MHA nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import FP16_BYTES, to_fp16
+from repro.gpu.specs import GPUSpec
+from repro.ops.base import Operator, OpCategory, Shape, elementwise_cost, numel
+
+
+class _CopyBase(Operator):
+    """Shared scaffolding for copy-shaped movement ops."""
+
+    category = OpCategory.MI
+
+    def param_space(self) -> dict[str, tuple]:
+        return {"num_warps": (4, 1, 2, 8)}
+
+    def default_params(self, in_shapes: Sequence[Shape], spec: GPUSpec) -> dict[str, Any]:
+        return {"num_warps": 4}
+
+    def cost(self, in_shapes, spec, params):
+        n = numel(in_shapes[0])
+        return elementwise_cost(
+            self.name,
+            n,
+            bytes_read=n * FP16_BYTES,
+            bytes_written=n * FP16_BYTES,
+            flops_per_elem=0.0,
+            spec=spec,
+            num_warps=params["num_warps"],
+        )
+
+
+class SplitHeads(_CopyBase):
+    """``(B*S, H) -> (B*heads, S, head_size)`` head split (copy).
+
+    >>> import numpy as np
+    >>> op = SplitHeads(batch=2, seq_len=3, heads=2)
+    >>> op.infer_shape((6, 8))
+    (4, 3, 4)
+    """
+
+    def __init__(self, batch: int, seq_len: int, heads: int, name: str = "split_heads"):
+        self.name = name
+        self.batch = int(batch)
+        self.seq_len = int(seq_len)
+        self.heads = int(heads)
+
+    def _head_size(self, hidden: int) -> int:
+        if hidden % self.heads != 0:
+            raise ConfigError(
+                f"hidden {hidden} not divisible by heads {self.heads}"
+            )
+        return hidden // self.heads
+
+    def compute(self, x: np.ndarray) -> np.ndarray:
+        b, s, h = self.batch, self.seq_len, self.heads
+        if x.shape[0] != b * s:
+            raise ConfigError(f"expected leading dim {b * s}, got {x.shape}")
+        d = self._head_size(x.shape[1])
+        return to_fp16(
+            x.reshape(b, s, h, d).transpose(0, 2, 1, 3).reshape(b * h, s, d)
+        )
+
+    def infer_shape(self, x_shape: Shape) -> Shape:
+        b, s, h = self.batch, self.seq_len, self.heads
+        if len(x_shape) != 2 or x_shape[0] != b * s:
+            raise ConfigError(
+                f"SplitHeads expects ({b * s}, hidden), got {x_shape}"
+            )
+        d = self._head_size(x_shape[1])
+        return (b * h, s, d)
+
+
+class MergeHeads(_CopyBase):
+    """``(B*heads, S, head_size) -> (B*S, H)`` head merge (copy)."""
+
+    def __init__(self, batch: int, seq_len: int, heads: int, name: str = "merge_heads"):
+        self.name = name
+        self.batch = int(batch)
+        self.seq_len = int(seq_len)
+        self.heads = int(heads)
+
+    def compute(self, x: np.ndarray) -> np.ndarray:
+        b, s, h = self.batch, self.seq_len, self.heads
+        if x.shape[0] != b * h or x.shape[1] != s:
+            raise ConfigError(f"expected ({b * h}, {s}, d), got {x.shape}")
+        d = x.shape[2]
+        return to_fp16(
+            x.reshape(b, h, s, d).transpose(0, 2, 1, 3).reshape(b * s, h * d)
+        )
+
+    def infer_shape(self, x_shape: Shape) -> Shape:
+        b, s, h = self.batch, self.seq_len, self.heads
+        if len(x_shape) != 3 or x_shape[0] != b * h or x_shape[1] != s:
+            raise ConfigError(
+                f"MergeHeads expects ({b * h}, {s}, d), got {x_shape}"
+            )
+        return (b * s, h * x_shape[2])
+
+
+class Reshape(Operator):
+    """Free reshape (a metadata-only view; no kernel, no traffic)."""
+
+    category = OpCategory.MI
+
+    def __init__(self, target: Shape, name: str = "reshape"):
+        self.name = name
+        self.target = tuple(int(d) for d in target)
+
+    def compute(self, x: np.ndarray) -> np.ndarray:
+        if numel(x.shape) != numel(self.target):
+            raise ConfigError(
+                f"cannot reshape {x.shape} ({numel(x.shape)} elems) to "
+                f"{self.target} ({numel(self.target)} elems)"
+            )
+        return np.ascontiguousarray(x).reshape(self.target)
+
+    def infer_shape(self, x_shape: Shape) -> Shape:
+        if numel(x_shape) != numel(self.target):
+            raise ConfigError(
+                f"cannot reshape {x_shape} to {self.target}: element counts differ"
+            )
+        return self.target
+
+    def cost(self, in_shapes, spec, params):
+        from repro.gpu.cost import KernelCost, LaunchConfig
+
+        return (
+            KernelCost(name=self.name, launches=0),
+            LaunchConfig(grid_blocks=1, warps_per_block=1),
+        )
+
+    def param_space(self) -> dict[str, tuple]:
+        return {}
+
+
+class TransposeLast2(_CopyBase):
+    """Swap the last two axes with a materializing copy (for K^T)."""
+
+    def __init__(self, name: str = "transpose"):
+        self.name = name
+
+    def compute(self, x: np.ndarray) -> np.ndarray:
+        return to_fp16(np.ascontiguousarray(np.swapaxes(x, -1, -2)))
+
+    def infer_shape(self, x_shape: Shape) -> Shape:
+        if len(x_shape) < 2:
+            raise ConfigError(f"TransposeLast2 needs >= 2 dims, got {x_shape}")
+        return x_shape[:-2] + (x_shape[-1], x_shape[-2])

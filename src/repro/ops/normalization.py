@@ -1,0 +1,142 @@
+"""Row-reduction operators: LayerNorm and Softmax.
+
+Both reduce along the last axis.  Numerics follow the standard deployed
+kernels: FP32 statistics over FP16 storage, max-subtracted softmax, and the
+all-masked-row convention (a row whose scores are all ``MASK_NEG``-level
+still produces finite probabilities; fully *skipped* rows are only possible
+in the sparse kernels, which emit zeros — see :mod:`repro.mha`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import to_fp16
+from repro.gpu.specs import GPUSpec
+from repro.ops.base import (
+    Operator,
+    OpCategory,
+    Shape,
+    numel,
+    rowwise_reduction_cost,
+)
+
+
+class _RowReduction(Operator):
+    """Shared scaffolding for last-axis reductions."""
+
+    category = OpCategory.MI
+    flops_per_elem: float = 8.0
+    passes_read: float = 1.0
+    passes_write: float = 1.0
+
+    def param_space(self) -> dict[str, tuple]:
+        return {"rows_per_block": (4, 1, 2, 8, 16), "num_warps": (4, 1, 2, 8)}
+
+    def default_params(self, in_shapes: Sequence[Shape], spec: GPUSpec) -> dict[str, Any]:
+        return {"rows_per_block": 4, "num_warps": 4}
+
+    def _rows_and_len(self, x_shape: Shape) -> tuple[int, int]:
+        if len(x_shape) < 1:
+            raise ConfigError(f"reduction input must have >= 1 dim, got {x_shape}")
+        row_len = x_shape[-1]
+        return numel(x_shape) // row_len, row_len
+
+    def cost(self, in_shapes, spec, params):
+        n_rows, row_len = self._rows_and_len(in_shapes[0])
+        return rowwise_reduction_cost(
+            self.name,
+            n_rows,
+            row_len,
+            passes_read=self.passes_read,
+            passes_write=self.passes_write,
+            flops_per_elem=self.flops_per_elem,
+            spec=spec,
+            rows_per_block=params["rows_per_block"],
+            num_warps=params["num_warps"],
+        )
+
+
+class LayerNorm(_RowReduction):
+    """LayerNorm over the last axis with learned gain/shift.
+
+    Inputs: ``(x, gamma, beta)``; statistics in FP32, output in FP16.
+    """
+
+    flops_per_elem = 9.0  # mean, var, normalize, scale, shift
+
+    def __init__(self, eps: float = 1e-5, name: str = "layernorm"):
+        self.name = name
+        self.eps = float(eps)
+
+    def compute(self, x: np.ndarray, gamma: np.ndarray, beta: np.ndarray) -> np.ndarray:
+        if gamma.shape != (x.shape[-1],) or beta.shape != (x.shape[-1],):
+            raise ConfigError(
+                f"LayerNorm affine shapes {gamma.shape}/{beta.shape} do not "
+                f"match input {x.shape}"
+            )
+        xf = x.astype(np.float32)
+        mean = xf.mean(axis=-1, keepdims=True)
+        var = xf.var(axis=-1, keepdims=True)
+        normed = (xf - mean) / np.sqrt(var + self.eps)
+        return to_fp16(normed * gamma.astype(np.float32) + beta.astype(np.float32))
+
+    def infer_shape(self, x_shape: Shape, g_shape: Shape, b_shape: Shape) -> Shape:
+        if g_shape != (x_shape[-1],) or b_shape != (x_shape[-1],):
+            raise ConfigError(
+                f"LayerNorm affine shapes {g_shape}/{b_shape} do not match "
+                f"input {x_shape}"
+            )
+        return x_shape
+
+
+class RMSNorm(_RowReduction):
+    """Root-mean-square normalization (T5-style: no mean, no shift).
+
+    Inputs: ``(x, gamma)``.  One pass fewer statistics than LayerNorm —
+    slightly lower FLOP count, same traffic shape.
+    """
+
+    flops_per_elem = 6.0  # square, mean, rsqrt, scale, gain
+
+    def __init__(self, eps: float = 1e-6, name: str = "rmsnorm"):
+        self.name = name
+        self.eps = float(eps)
+
+    def compute(self, x: np.ndarray, gamma: np.ndarray) -> np.ndarray:
+        if gamma.shape != (x.shape[-1],):
+            raise ConfigError(
+                f"RMSNorm gain shape {gamma.shape} does not match input {x.shape}"
+            )
+        xf = x.astype(np.float32)
+        rms = np.sqrt((xf * xf).mean(axis=-1, keepdims=True) + self.eps)
+        return to_fp16(xf / rms * gamma.astype(np.float32))
+
+    def infer_shape(self, x_shape: Shape, g_shape: Shape) -> Shape:
+        if g_shape != (x_shape[-1],):
+            raise ConfigError(
+                f"RMSNorm gain shape {g_shape} does not match input {x_shape}"
+            )
+        return x_shape
+
+
+class Softmax(_RowReduction):
+    """Numerically stable softmax over the last axis."""
+
+    flops_per_elem = 7.0  # max, subtract, exp, sum, divide (+reduction steps)
+
+    def __init__(self, name: str = "softmax"):
+        self.name = name
+
+    def compute(self, x: np.ndarray) -> np.ndarray:
+        xf = x.astype(np.float32)
+        xmax = xf.max(axis=-1, keepdims=True)
+        ex = np.exp(xf - xmax)
+        denom = ex.sum(axis=-1, keepdims=True)
+        return to_fp16(ex / denom)
+
+    def infer_shape(self, x_shape: Shape) -> Shape:
+        return x_shape

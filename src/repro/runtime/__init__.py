@@ -1,0 +1,53 @@
+"""Runtime engines and the execution planner.
+
+* :mod:`repro.runtime.capture` — extended MHA sub-graph capture.
+* :mod:`repro.runtime.executor` — :class:`PreparedModel` (plan + execute),
+  memory-footprint checks, chain segmentation helpers.
+* :mod:`repro.runtime.frameworks` — the baseline engines (PyTorch Native,
+  PyTorch Compile, FlashAttention2, FlexAttention, ByteTransformer, Bolt,
+  MCFuser).
+* :mod:`repro.runtime.stof` — :class:`STOFEngine` with ablation flags.
+"""
+
+from repro.runtime.capture import MHACapture, capture_attention_sites
+from repro.runtime.executor import (
+    ChainPlan,
+    EngineReport,
+    MHABinding,
+    PreparedModel,
+    plan_chains,
+    rewrite_attention,
+)
+from repro.runtime.frameworks import (
+    BASELINE_ENGINES,
+    BoltEngine,
+    ByteTransformerEngine,
+    Engine,
+    FlashAttention2Engine,
+    FlexAttentionEngine,
+    MCFuserEngine,
+    PyTorchCompileEngine,
+    PyTorchNativeEngine,
+)
+from repro.runtime.stof import STOFEngine
+
+__all__ = [
+    "MHACapture",
+    "capture_attention_sites",
+    "ChainPlan",
+    "EngineReport",
+    "MHABinding",
+    "PreparedModel",
+    "plan_chains",
+    "rewrite_attention",
+    "BASELINE_ENGINES",
+    "BoltEngine",
+    "ByteTransformerEngine",
+    "Engine",
+    "FlashAttention2Engine",
+    "FlexAttentionEngine",
+    "MCFuserEngine",
+    "PyTorchCompileEngine",
+    "PyTorchNativeEngine",
+    "STOFEngine",
+]

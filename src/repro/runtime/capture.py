@@ -1,0 +1,90 @@
+"""MHA sub-graph capture for the runtime engines.
+
+Extends the core pattern match (BatchedGemm/Scale/MaskAdd/Softmax/
+BatchedGemm, Fig. 8) outward to the SplitHeads / TransposeLast2 producers
+and the MergeHeads consumer: a fused attention kernel reads Q/K/V strided
+directly from the projection outputs, so the copies disappear into the
+fused node.  The result carries everything the engines need to construct
+:class:`~repro.mha.problem.AttentionProblem` objects at plan/run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import GraphError
+from repro.graph.ir import Graph, NodeKind
+from repro.graph.pattern import find_mha_subgraphs
+from repro.ops.movement import MergeHeads, SplitHeads, TransposeLast2
+
+
+@dataclass(frozen=True)
+class MHACapture:
+    """One captured attention site."""
+
+    region: tuple[str, ...]       # node names, graph order, last = MergeHeads
+    q_src: str                    # (B*S, H) tensors feeding the head splits
+    k_src: str
+    v_src: str
+    mask_input: str               # graph node holding the (S, S) bool mask
+    batch: int
+    heads: int
+    seq_len: int                  # query length
+    kv_seq_len: int               # key/value length (cross-attn may differ)
+    head_size: int
+
+
+def capture_attention_sites(graph: Graph) -> list[MHACapture]:
+    """Find every extended MHA region in the graph.
+
+    Raises :class:`GraphError` if a core match lacks the surrounding
+    movement ops (our model builders always emit them).
+    """
+    captures: list[MHACapture] = []
+    counts = graph.consumer_counts()
+
+    for core in find_mha_subgraphs(graph):
+        qk, scale, maskadd, softmax, pv = (graph.node(n) for n in core)
+
+        qh = graph.node(qk.inputs[0])
+        kt = graph.node(qk.inputs[1])
+        vh = graph.node(pv.inputs[1])
+        mask_input = maskadd.inputs[1]
+
+        if not isinstance(qh.op, SplitHeads) or counts[qh.name] != 1:
+            raise GraphError(f"MHA at {qk.name}: Q producer is not a dedicated SplitHeads")
+        if not isinstance(kt.op, TransposeLast2) or counts[kt.name] != 1:
+            raise GraphError(f"MHA at {qk.name}: K^T producer is not a dedicated transpose")
+        kh = graph.node(kt.inputs[0])
+        if not isinstance(kh.op, SplitHeads) or counts[kh.name] != 1:
+            raise GraphError(f"MHA at {qk.name}: K producer is not a dedicated SplitHeads")
+        if not isinstance(vh.op, SplitHeads) or counts[vh.name] != 1:
+            raise GraphError(f"MHA at {qk.name}: V producer is not a dedicated SplitHeads")
+
+        consumers = graph.consumers(pv.name)
+        if counts[pv.name] != 1 or len(consumers) != 1 or not isinstance(
+            consumers[0].op, MergeHeads
+        ):
+            raise GraphError(f"MHA at {qk.name}: PV output is not merged back")
+        merge = consumers[0]
+
+        region_set = {qh.name, kh.name, kt.name, vh.name, *core, merge.name}
+        region = tuple(n for n in graph.order if n in region_set)
+
+        q_split: SplitHeads = qh.op
+        k_split: SplitHeads = kh.op
+        captures.append(
+            MHACapture(
+                region=region,
+                q_src=qh.inputs[0],
+                k_src=kh.inputs[0],
+                v_src=vh.inputs[0],
+                mask_input=mask_input,
+                batch=q_split.batch,
+                heads=q_split.heads,
+                seq_len=q_split.seq_len,
+                kv_seq_len=k_split.seq_len,
+                head_size=qh.shape[-1],
+            )
+        )
+    return captures

@@ -1,0 +1,30 @@
+"""Hierarchical search engine (paper §4.4) and comparison tuners.
+
+* :mod:`repro.tuner.cache` — the performance cache: every evaluated
+  (segment, parameter-setting) pair is priced once (simulated compile +
+  measurement runs) and then free, "particularly effective in saving tuning
+  time at large input scales".
+* :mod:`repro.tuner.sampler` — reward-based parameter sampling (stage 2).
+* :mod:`repro.tuner.engine` — :class:`TwoStageEngine`: rule-based scheme
+  initialization, stage-1 fusion expansion (expand/seize/compete + DFS +
+  rollback), stage-2 reward sampling.
+* :mod:`repro.tuner.baseline_tuners` — MCFuser-style exhaustive loop-space
+  tuning and Bolt-style template enumeration for the Table 4 comparison.
+"""
+
+from repro.tuner.cache import EvalCostModel, PerformanceCache
+from repro.tuner.sampler import RewardSampler
+from repro.tuner.engine import TwoStageEngine, TuningResult, SegmentState, OverheadBreakdown
+from repro.tuner.baseline_tuners import ExhaustiveLoopTuner, TemplateEnumerationTuner
+
+__all__ = [
+    "EvalCostModel",
+    "PerformanceCache",
+    "RewardSampler",
+    "TwoStageEngine",
+    "TuningResult",
+    "SegmentState",
+    "OverheadBreakdown",
+    "ExhaustiveLoopTuner",
+    "TemplateEnumerationTuner",
+]

@@ -1,0 +1,160 @@
+"""Performance cache and tuning-cost accounting.
+
+Tuning cost on real hardware is compile time plus measurement runs; here
+both are *simulated* deterministically: compiling an unseen (template,
+params) binary charges ``compile_s``, measuring charges ``runs`` x the
+device-model kernel time (capped per candidate).  The cache guarantees
+"the same parameter setting in each fusion scheme will not be executed
+repeatedly" (paper §4.4) — a hit charges nothing.
+
+The cache can be persisted to JSON (:meth:`PerformanceCache.save` /
+:meth:`PerformanceCache.load`) so a later session warm-starts from prior
+tuning — a natural extension of the paper's caching mechanism — and can
+be disabled entirely (``enabled=False``) to quantify its contribution
+(see ``benchmarks/bench_ablation_cache.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Hashable
+
+from repro.core.errors import ConfigError
+
+
+def params_key(params: dict[str, Any]) -> tuple:
+    """Canonical hashable form of a parameter dict."""
+    return tuple(sorted(params.items()))
+
+
+@dataclass
+class EvalCostModel:
+    """What one tuning evaluation costs, in simulated seconds.
+
+    Calibration targets Table 4's magnitudes: compilation dominates at
+    small inputs (every candidate pays it once), measurement repetitions
+    dominate at large inputs (kernel time grows with scale), which is what
+    makes every tuner's cost grow with input scale.
+    """
+
+    compile_s: float = 0.15       # JIT template compilation (Triton-like)
+    runs: int = 400               # warm-up + measurement iterations
+    measure_budget_s: float = 8.0 # per-candidate measurement cap (slow
+                                  # kernels get fewer repetitions)
+
+    def cost_of(self, kernel_time_s: float) -> float:
+        return self.compile_s + min(
+            self.runs * kernel_time_s, self.measure_budget_s
+        )
+
+
+@dataclass
+class PerformanceCache:
+    """Measured kernel times keyed by (segment-identity, params).
+
+    ``evaluate`` prices an entry on first sight and returns the cached time
+    thereafter.  ``tuning_time_s`` accumulates the simulated cost of every
+    *miss*; hits are free.  Segment identities are normalized through
+    ``repr`` so they survive JSON persistence.
+    """
+
+    cost_model: EvalCostModel = field(default_factory=EvalCostModel)
+    enabled: bool = True
+    entries: dict[tuple[str, tuple], float] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    failures: int = 0
+    tuning_time_s: float = 0.0
+
+    @staticmethod
+    def _norm(segment_id: Hashable) -> str:
+        return segment_id if isinstance(segment_id, str) else repr(segment_id)
+
+    def evaluate(
+        self,
+        segment_id: Hashable,
+        params: dict[str, Any],
+        measure: Callable[[], float],
+    ) -> float | None:
+        """Return the kernel time for (segment, params), pricing a miss.
+
+        ``measure`` runs the device model; if it raises (infeasible launch
+        configuration) the failure is cached as ``inf`` — a real tuner also
+        remembers configs that failed to launch — and ``None`` is returned.
+        """
+        key = (self._norm(segment_id), params_key(params))
+        if self.enabled and key in self.entries:
+            self.hits += 1
+            t = self.entries[key]
+            return None if t == float("inf") else t
+        self.misses += 1
+        try:
+            t = float(measure())
+        except Exception:
+            self.failures += 1
+            if self.enabled:
+                self.entries[key] = float("inf")
+            # A failed compile still costs compile time.
+            self.tuning_time_s += self.cost_model.compile_s
+            return None
+        if self.enabled:
+            self.entries[key] = t
+        self.tuning_time_s += self.cost_model.cost_of(t)
+        return t
+
+    def best_for(self, segment_id: Hashable) -> tuple[float, tuple] | None:
+        """(best time, params key) over all cached settings of a segment."""
+        norm = self._norm(segment_id)
+        best: tuple[float, tuple] | None = None
+        for (sid, pkey), t in self.entries.items():
+            if sid != norm or t == float("inf"):
+                continue
+            if best is None or t < best[0]:
+                best = (t, pkey)
+        return best
+
+    @property
+    def evaluations(self) -> int:
+        return self.hits + self.misses
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: str | Path) -> None:
+        """Persist all cached measurements to JSON (warm-start later runs)."""
+        payload = {
+            "version": 1,
+            "entries": [
+                [sid, [list(kv) for kv in pkey], t if t != float("inf") else None]
+                for (sid, pkey), t in self.entries.items()
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        cost_model: EvalCostModel | None = None,
+    ) -> "PerformanceCache":
+        """Rebuild a cache from :meth:`save` output."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot load performance cache from {path}: {exc}")
+        if payload.get("version") != 1:
+            raise ConfigError(
+                f"unsupported cache version {payload.get('version')!r} in {path}"
+            )
+        cache = cls(cost_model=cost_model or EvalCostModel())
+        for sid, pkey_list, t in payload["entries"]:
+            pkey = tuple(tuple(kv) for kv in pkey_list)
+            cache.entries[(sid, pkey)] = float("inf") if t is None else float(t)
+        return cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PerformanceCache(entries={len(self.entries)}, hits={self.hits}, "
+            f"misses={self.misses}, tuning={self.tuning_time_s:.1f}s)"
+        )

@@ -1,0 +1,346 @@
+"""The two-stage search engine (paper §4.4, Fig. 9).
+
+Per operator chain:
+
+1. **Initialization** — the converter's rule-based scheme (network
+   hyper-parameters + operator dependencies + §3's CI+CI-at-small-scale
+   heuristic).
+2. **Stage 1: fusion expansion** — depth-first application of
+   expand/seize/compete boundary moves; each candidate scheme is evaluated
+   by sampling a fixed number of parameter settings for its changed
+   segments, kept on gain and rolled back otherwise.  Schemes and settings
+   already seen are served from the cache.
+3. **Stage 2: reward-based parameter sampling** — a fixed per-round sample
+   budget distributed across the frozen scheme's segments, re-weighted
+   toward whichever segment yielded the round's best improvement.
+
+Chains with identical operator/shape signatures share cache entries, so a
+24-layer model tunes each distinct segment once — this, plus the reward
+allocation, is where STOF's Table 4 advantage comes from.
+
+Host-side bookkeeping time (hash encoding, template matching, reward
+algorithm, the analytical initialization) is measured separately into
+:class:`OverheadBreakdown` — the Fig. 14 data.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import TuningError
+from repro.core.rng import RngStream
+from repro.fusion.converter import FusionSchemeConverter, OperatorChain, extract_chains
+from repro.fusion.rules import apply_move, legal_moves
+from repro.fusion.templates import CompilationTemplate
+from repro.graph.ir import Graph
+from repro.gpu.specs import GPUSpec
+from repro.tuner.cache import EvalCostModel, PerformanceCache, params_key
+from repro.tuner.sampler import RewardSampler
+
+
+def segment_signature(template: CompilationTemplate) -> tuple:
+    """Shape-based identity of a segment (shared across identical layers)."""
+    seg = template.segment
+    return tuple(
+        (type(op).__name__, tuple(map(tuple, seg.in_shapes[i])))
+        for i, op in enumerate(seg.ops)
+    )
+
+
+@dataclass
+class SegmentState:
+    """Best-known configuration of one segment of the final scheme."""
+
+    start: int
+    length: int
+    template: CompilationTemplate
+    best_time_s: float
+    best_params: dict[str, Any]
+
+    @property
+    def names(self) -> str:
+        return self.template.segment.names
+
+
+@dataclass
+class OverheadBreakdown:
+    """Host-side overhead of the framework itself (Fig. 14)."""
+
+    analytical_model_s: float = 0.0
+    scheme_conversion_s: float = 0.0
+    reward_algorithm_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.analytical_model_s + self.scheme_conversion_s + self.reward_algorithm_s
+
+    def merged(self, other: "OverheadBreakdown") -> "OverheadBreakdown":
+        return OverheadBreakdown(
+            self.analytical_model_s + other.analytical_model_s,
+            self.scheme_conversion_s + other.scheme_conversion_s,
+            self.reward_algorithm_s + other.reward_algorithm_s,
+        )
+
+
+@dataclass
+class TuningResult:
+    """Outcome of tuning one chain (or, aggregated, a whole graph)."""
+
+    scheme: tuple[int, ...]
+    segments: list[SegmentState]
+    estimated_time_s: float
+    tuning_time_s: float
+    overhead: OverheadBreakdown
+    schemes_tried: int
+    cache_hits: int
+    cache_misses: int
+    history: list[tuple[str, tuple[int, ...], float]] = field(default_factory=list)
+
+
+class TwoStageEngine:
+    """STOF's search engine over one graph's downstream operator chains."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        rng: RngStream | None = None,
+        stage1_samples: int = 3,
+        stage2_rounds: int = 4,
+        stage2_total: int = 24,
+        max_expansion_steps: int = 64,
+        ci_chain_token_limit: int = 512,
+        cost_model: EvalCostModel | None = None,
+        cache: PerformanceCache | None = None,
+    ):
+        self.spec = spec
+        self.rng = (rng or RngStream()).fork("two-stage-engine")
+        self.stage1_samples = stage1_samples
+        self.stage2_rounds = stage2_rounds
+        self.stage2_total = stage2_total
+        self.max_expansion_steps = max_expansion_steps
+        self.ci_chain_token_limit = ci_chain_token_limit
+        self.cache = cache or PerformanceCache(cost_model or EvalCostModel())
+
+    # ----------------------------------------------------------- primitives
+
+    def _measure(self, template: CompilationTemplate, params: dict[str, Any]) -> float | None:
+        sig = segment_signature(template)
+        return self.cache.evaluate(
+            sig, params, lambda: template.estimate_time(self.spec, params)
+        )
+
+    def _eval_segment(
+        self,
+        template: CompilationTemplate,
+        n_samples: int,
+        rng: RngStream,
+    ) -> tuple[float, dict[str, Any]] | None:
+        """Default + ``n_samples`` random settings; best observed.
+
+        The sample stream is keyed by the segment's *content* signature, so
+        identical segments (repeated layers) draw identical candidates and
+        the shared cache absorbs every repeat.
+        """
+        space = template.param_space()
+        candidates: list[dict[str, Any]] = [template.default_params(self.spec)]
+        keys = list(space)
+        stream = rng.fork(f"s1-{segment_signature(template)}").generator
+        for _ in range(n_samples):
+            candidates.append({k: space[k][stream.integers(len(space[k]))] for k in keys})
+        best: tuple[float, dict[str, Any]] | None = None
+        for params in candidates:
+            t = self._measure(template, params)
+            if t is None:
+                continue
+            if best is None or t < best[0]:
+                best = (t, params)
+        # Fold in anything already cached for this signature (cross-layer reuse).
+        cached = self.cache.best_for(segment_signature(template))
+        if cached is not None and (best is None or cached[0] < best[0]):
+            best = (cached[0], dict(cached[1]))
+        return best
+
+    # ----------------------------------------------------------- chain tuning
+
+    def tune_chain(
+        self, graph: Graph, chain: OperatorChain, tokens: int
+    ) -> TuningResult:
+        converter = FusionSchemeConverter(graph, chain)
+        overhead = OverheadBreakdown()
+        history: list[tuple[str, tuple[int, ...], float]] = []
+        # Content-keyed stream: identical chains tune identically, so the
+        # shared cache collapses repeated layers to free hits.
+        chain_sig = str(
+            [
+                (type(graph.node(n).op).__name__, tuple(graph.node(n).shape))
+                for n in chain.node_names
+            ]
+        )
+        rng = self.rng.fork(f"chain-{chain_sig}")
+
+        # ---- initialization (analytical model) ------------------------------
+        t0 = time.perf_counter()
+        scheme = converter.initial_scheme(
+            tokens, self.ci_chain_token_limit, spec=self.spec
+        )
+        overhead.analytical_model_s += time.perf_counter() - t0
+
+        seg_best: dict[tuple[int, int], tuple[float, dict[str, Any]]] = {}
+
+        def eval_scheme(s: tuple[int, ...]) -> float | None:
+            """Total best-known time of a scheme; None if infeasible."""
+            templates = converter.scheme_templates(s)
+            if templates is None:
+                return None
+            total = 0.0
+            pos = 0
+            for length, template in zip(s, templates):
+                key = (pos, length)
+                if key not in seg_best:
+                    best = self._eval_segment(template, self.stage1_samples, rng)
+                    if best is None:
+                        return None
+                    seg_best[key] = best
+                total += seg_best[key][0]
+                pos += length
+            return total
+
+        current = eval_scheme(scheme)
+        if current is None:
+            # The rule-based init produced segments with no launchable
+            # setting (e.g. every candidate failed to compile): fall back to
+            # fully detached execution before giving up.
+            fallback = tuple(1 for _ in range(chain.n_ops))
+            if fallback != scheme:
+                scheme = fallback
+                current = eval_scheme(scheme)
+        if current is None:
+            raise TuningError(
+                f"no launchable configuration for chain "
+                f"{chain.node_names[:3]}... even fully detached"
+            )
+        history.append(("init", scheme, current))
+
+        # ---- stage 1: fusion expansion (DFS with rollback) ------------------
+        tried: set[str] = {converter.key(scheme)}
+        steps = 0
+        improved = True
+        while improved and steps < self.max_expansion_steps:
+            improved = False
+            for move in legal_moves(scheme, chain.categories):
+                steps += 1
+                if steps >= self.max_expansion_steps:
+                    break
+                try:
+                    candidate = apply_move(scheme, move)
+                except TuningError:
+                    continue
+                key = converter.key(candidate)
+                if key in tried:
+                    continue
+                tried.add(key)
+                total = eval_scheme(candidate)
+                if total is None:
+                    history.append((f"reject-infeasible {move.describe()}", candidate, float("inf")))
+                    continue
+                if total < current:
+                    scheme, current = candidate, total
+                    history.append((f"accept {move.describe()}", scheme, current))
+                    improved = True
+                    break  # DFS: descend from the improved scheme
+                history.append((f"rollback {move.describe()}", candidate, total))
+
+        # ---- stage 2: reward-based parameter sampling -----------------------
+        templates = converter.scheme_templates(scheme)
+        assert templates is not None
+        t0 = time.perf_counter()
+        sampler = RewardSampler(
+            [t.param_space() for t in templates],
+            rng,
+            segment_keys=[str(segment_signature(t)) for t in templates],
+        )
+        overhead.reward_algorithm_s += time.perf_counter() - t0
+
+        bounds = []
+        pos = 0
+        for length in scheme:
+            bounds.append((pos, length))
+            pos += length
+        best_times = [seg_best[b][0] for b in bounds]
+        best_params = [dict(seg_best[b][1]) for b in bounds]
+
+        for _ in range(self.stage2_rounds):
+            if sampler.exhausted:
+                break
+            t0 = time.perf_counter()
+            alloc = sampler.allocate(self.stage2_total)
+            overhead.reward_algorithm_s += time.perf_counter() - t0
+            improvements = [0.0] * len(templates)
+            for i, (template, count) in enumerate(zip(templates, alloc)):
+                if count == 0:
+                    continue
+                t0 = time.perf_counter()
+                draws = sampler.draw(i, count)
+                overhead.reward_algorithm_s += time.perf_counter() - t0
+                for params in draws:
+                    t = self._measure(template, params)
+                    if t is None:
+                        continue
+                    t0 = time.perf_counter()
+                    sampler.record(i, params, t)
+                    overhead.reward_algorithm_s += time.perf_counter() - t0
+                    if t < best_times[i]:
+                        improvements[i] = max(improvements[i], best_times[i] - t)
+                        best_times[i] = t
+                        best_params[i] = dict(params)
+            if max(improvements, default=0.0) > 0.0:
+                t0 = time.perf_counter()
+                sampler.reward(improvements.index(max(improvements)))
+                overhead.reward_algorithm_s += time.perf_counter() - t0
+
+        overhead.scheme_conversion_s += (
+            converter.stats.encode_s
+            + converter.stats.decode_s
+            + converter.stats.template_match_s
+        )
+
+        segments = [
+            SegmentState(
+                start=bounds[i][0],
+                length=bounds[i][1],
+                template=templates[i],
+                best_time_s=best_times[i],
+                best_params=best_params[i],
+            )
+            for i in range(len(templates))
+        ]
+        return TuningResult(
+            scheme=scheme,
+            segments=segments,
+            estimated_time_s=sum(best_times),
+            tuning_time_s=self.cache.tuning_time_s,
+            overhead=overhead,
+            schemes_tried=len(tried),
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            history=history,
+        )
+
+    # ----------------------------------------------------------- graph tuning
+
+    def tune_graph(self, graph: Graph, tokens: int) -> dict[str, TuningResult]:
+        """Tune every downstream chain; returns {first-node-name: result}.
+
+        The shared cache makes repeated layer structures nearly free after
+        the first occurrence.
+        """
+        results: dict[str, TuningResult] = {}
+        for chain in extract_chains(graph):
+            results[chain.node_names[0]] = self.tune_chain(graph, chain, tokens)
+        return results
+
+    @property
+    def total_tuning_time_s(self) -> float:
+        return self.cache.tuning_time_s

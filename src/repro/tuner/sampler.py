@@ -1,0 +1,124 @@
+"""Reward-based parameter sampling (paper §4.4, stage 2).
+
+Each tuning iteration distributes a fixed total number of samples across
+the segments of the (now frozen) fusion scheme.  The first iteration is
+uniform; afterwards "when the highest overall gain is achieved when tuning
+a segment, STOF rewards the segment with an increase in the number of
+sampled settings in the next iteration".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.errors import TuningError
+from repro.core.rng import RngStream
+
+#: Multiplicative weight boost for the best-improving segment per round.
+REWARD_FACTOR = 1.5
+
+
+@dataclass
+class SamplerState:
+    """Per-segment sampling bookkeeping."""
+
+    space: dict[str, tuple]
+    unexplored: list[dict[str, Any]]
+    weight: float = 1.0
+    best_time: float = float("inf")
+    best_params: dict[str, Any] | None = None
+
+
+class RewardSampler:
+    """Allocates parameter samples across segments by reward weights."""
+
+    def __init__(
+        self,
+        spaces: Sequence[dict[str, tuple]],
+        rng: RngStream,
+        max_candidates_per_segment: int = 256,
+        segment_keys: Sequence[str] | None = None,
+    ):
+        """``segment_keys`` (optional) name each segment *by content*; two
+        identical segments (e.g. the same layer repeated 24 times) then draw
+        identical candidate sequences, so a shared performance cache turns
+        every repeat into hits."""
+        if not spaces:
+            raise TuningError("reward sampler needs at least one segment")
+        self.rng = rng.fork("reward-sampler")
+        self.states: list[SamplerState] = []
+        for i, space in enumerate(spaces):
+            key = segment_keys[i] if segment_keys is not None else f"seg-{i}"
+            candidates = self._enumerate(space, max_candidates_per_segment, key)
+            self.states.append(SamplerState(space=space, unexplored=candidates))
+
+    def _enumerate(
+        self, space: dict[str, tuple], cap: int, key: str
+    ) -> list[dict[str, Any]]:
+        keys = list(space)
+        combos = [dict(zip(keys, vals)) for vals in itertools.product(*space.values())]
+        stream = self.rng.fork(f"seg-{key}")
+        stream.shuffle(combos)
+        return combos[:cap]
+
+    # --------------------------------------------------------------- rounds
+
+    def allocate(self, total_samples: int) -> list[int]:
+        """Samples per segment this round, proportional to weights.
+
+        Segments with nothing left to explore receive zero; their share is
+        redistributed.  At least one sample goes to every segment that still
+        has candidates (until the total runs out).
+        """
+        if total_samples < 1:
+            raise TuningError(f"total_samples must be >= 1, got {total_samples}")
+        active = [i for i, s in enumerate(self.states) if s.unexplored]
+        alloc = [0] * len(self.states)
+        if not active:
+            return alloc
+        weight_sum = sum(self.states[i].weight for i in active)
+        remaining = total_samples
+        # Guarantee coverage first.
+        for i in active:
+            if remaining == 0:
+                break
+            alloc[i] = 1
+            remaining -= 1
+        # Distribute the rest by weight.
+        for i in active:
+            share = int(remaining * self.states[i].weight / weight_sum)
+            alloc[i] += share
+        leftover = total_samples - sum(alloc)
+        for i in sorted(active, key=lambda i: -self.states[i].weight):
+            if leftover <= 0:
+                break
+            alloc[i] += 1
+            leftover -= 1
+        # Clamp to what is actually explorable.
+        for i in active:
+            alloc[i] = min(alloc[i], len(self.states[i].unexplored))
+        return alloc
+
+    def draw(self, segment: int, count: int) -> list[dict[str, Any]]:
+        """Take up to ``count`` unexplored settings for a segment."""
+        state = self.states[segment]
+        batch = state.unexplored[:count]
+        state.unexplored = state.unexplored[count:]
+        return batch
+
+    def record(self, segment: int, params: dict[str, Any], time_s: float) -> None:
+        """Report a measured time for bookkeeping."""
+        state = self.states[segment]
+        if time_s < state.best_time:
+            state.best_time = time_s
+            state.best_params = dict(params)
+
+    def reward(self, segment: int) -> None:
+        """Boost the best-improving segment's share for the next round."""
+        self.states[segment].weight *= REWARD_FACTOR
+
+    @property
+    def exhausted(self) -> bool:
+        return all(not s.unexplored for s in self.states)

@@ -1,0 +1,73 @@
+"""Tests for FP16 storage semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.fp16 import (
+    FP16_BYTES,
+    fp16_allclose,
+    fp16_matmul,
+    from_fp16,
+    to_fp16,
+)
+
+
+class TestConversion:
+    def test_round_trip_dtype(self):
+        x = np.array([1.0, 2.5, -3.25])
+        assert to_fp16(x).dtype == np.float16
+        assert from_fp16(to_fp16(x)).dtype == np.float32
+
+    def test_rounding_to_half_precision(self):
+        # 1 + 2^-12 is not representable in FP16 (10 mantissa bits).
+        x = np.array([1.0 + 2.0**-12])
+        assert to_fp16(x)[0] == np.float16(1.0)
+
+    def test_overflow_becomes_inf(self):
+        assert np.isinf(to_fp16(np.array([1e6]))[0])
+
+    def test_fp16_bytes_constant(self):
+        assert FP16_BYTES == np.dtype(np.float16).itemsize
+
+
+class TestMatmul:
+    def test_matches_fp32_for_small_values(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((8, 16)) * 0.1
+        b = rng.standard_normal((16, 4)) * 0.1
+        out = fp16_matmul(a, b)
+        assert out.dtype == np.float16
+        assert np.allclose(out.astype(np.float32), a @ b, rtol=1e-2, atol=1e-3)
+
+    def test_accumulates_in_fp32(self):
+        # Summing 4096 copies of 0.25 = 1024; pure-FP16 accumulation loses
+        # increments once the partial sum passes 2048 ulp territory, FP32
+        # accumulation is exact here.
+        a = np.full((1, 4096), 0.5, dtype=np.float16)
+        b = np.full((4096, 1), 0.5, dtype=np.float16)
+        out = fp16_matmul(a, b)
+        assert out[0, 0] == np.float16(1024.0)
+
+    def test_batched_broadcasting(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 4, 8)).astype(np.float16)
+        b = rng.standard_normal((3, 8, 5)).astype(np.float16)
+        out = fp16_matmul(a, b)
+        assert out.shape == (3, 4, 5)
+
+    def test_inputs_rounded_before_multiply(self):
+        # An FP32 value that rounds to a different FP16 value must behave
+        # as its rounded form.
+        a = np.array([[1.0 + 2.0**-12]])
+        b = np.array([[1.0]])
+        assert fp16_matmul(a, b)[0, 0] == np.float16(1.0)
+
+
+class TestAllclose:
+    def test_accepts_fp16_noise(self):
+        x = np.array([1.0, 2.0, 3.0])
+        noisy = x * (1 + 5e-3)
+        assert fp16_allclose(x, noisy)
+
+    def test_rejects_large_error(self):
+        assert not fp16_allclose(np.array([1.0]), np.array([1.2]))

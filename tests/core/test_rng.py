@@ -1,0 +1,76 @@
+"""Tests for seeded random streams."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import DEFAULT_SEED, RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", "b") == derive_seed(7, "a", "b")
+
+    def test_differs_by_name(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_differs_by_root(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_differs_by_path_depth(self):
+        assert derive_seed(7, "a") != derive_seed(7, "a", "a")
+
+    def test_path_not_concatenation_ambiguous(self):
+        # ("ab",) must differ from ("a", "b") — the separator matters.
+        assert derive_seed(7, "ab") != derive_seed(7, "a", "b")
+
+    def test_nonnegative_31bit(self):
+        for i in range(50):
+            s = derive_seed(i, "x")
+            assert 0 <= s < 2**31
+
+
+class TestRngStream:
+    def test_same_seed_same_values(self):
+        a = RngStream(5).random(10)
+        b = RngStream(5).random(10)
+        assert np.array_equal(a, b)
+
+    def test_fork_independent_of_consumption(self):
+        r1 = RngStream(5)
+        r1.random(1000)  # consume a lot
+        child_after = r1.fork("child").random(5)
+        child_fresh = RngStream(5).fork("child").random(5)
+        assert np.array_equal(child_after, child_fresh)
+
+    def test_forks_are_distinct(self):
+        r = RngStream(5)
+        a = r.fork("a").random(8)
+        b = r.fork("b").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_nested_fork_path(self):
+        r = RngStream(5)
+        assert np.array_equal(
+            r.fork("a").fork("b").random(4),
+            RngStream(5, ("a", "b")).random(4),
+        )
+
+    def test_integers_bounds(self):
+        vals = RngStream(3).integers(0, 10, size=1000)
+        assert vals.min() >= 0 and vals.max() < 10
+
+    def test_permutation_is_permutation(self):
+        p = RngStream(3).permutation(64)
+        assert sorted(p.tolist()) == list(range(64))
+
+    def test_shuffle_in_place(self):
+        x = list(range(32))
+        RngStream(3).shuffle(x)
+        assert sorted(x) == list(range(32))
+
+    def test_default_seed_constant(self):
+        assert RngStream().root_seed == DEFAULT_SEED
+
+    def test_choice_with_probabilities(self):
+        vals = RngStream(3).choice([0, 1], size=500, p=[0.9, 0.1])
+        assert (vals == 0).mean() > 0.7

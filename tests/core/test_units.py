@@ -1,0 +1,48 @@
+"""Tests for unit formatting helpers."""
+
+import pytest
+
+from repro.core.units import GiB, KiB, MiB, format_bytes, format_flops, format_time
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (512, "512 B"),
+            (2 * KiB, "2.00 KiB"),
+            (3 * MiB, "3.00 MiB"),
+            (5 * GiB, "5.00 GiB"),
+            (0, "0 B"),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert format_bytes(value) == expected
+
+
+class TestFormatTime:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (2.5, "2.50 s"),
+            (3e-3, "3.00 ms"),
+            (4e-6, "4.00 us"),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert format_time(value) == expected
+
+
+class TestFormatFlops:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (12, "12 FLOP"),
+            (2e3, "2.00 KFLOP"),
+            (3e6, "3.00 MFLOP"),
+            (4e9, "4.00 GFLOP"),
+            (5e12, "5.00 TFLOP"),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert format_flops(value) == expected

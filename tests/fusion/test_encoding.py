@@ -1,0 +1,92 @@
+"""Tests for the binary hash encoding of fusion schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigError
+from repro.fusion.encoding import (
+    decode_scheme,
+    encode_scheme,
+    hex_to_scheme,
+    scheme_key,
+    scheme_to_hex,
+)
+
+
+class TestEncode:
+    def test_paper_example(self):
+        """Fig. 8: segments [#7-#9][#10-#12][#13,#14] after the 5-op MHA."""
+        bits = encode_scheme((5, 3, 3, 2))
+        assert bits.tolist() == [1] * 5 + [0] * 3 + [1] * 3 + [0] * 2
+
+    def test_adjacent_segments_differ(self):
+        bits = encode_scheme((1, 1, 1, 1))
+        assert bits.tolist() == [1, 0, 1, 0]
+
+    def test_single_segment(self):
+        assert encode_scheme((4,)).tolist() == [1, 1, 1, 1]
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ConfigError):
+            encode_scheme(())
+        with pytest.raises(ConfigError):
+            encode_scheme((2, 0, 1))
+
+
+class TestDecode:
+    def test_boundaries_at_flips(self):
+        assert decode_scheme([1, 1, 0, 1, 1, 1]) == (2, 1, 3)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigError):
+            decode_scheme([1, 2, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            decode_scheme([])
+
+
+class TestHex:
+    def test_round_trip_example(self):
+        assert hex_to_scheme(scheme_to_hex((5, 3, 3, 2))) == (5, 3, 3, 2)
+
+    def test_compression_rate(self):
+        """Hex form is ~4x denser than the bit string for deep networks."""
+        scheme = tuple([2] * 64)  # 128 operators
+        hex_form = scheme_to_hex(scheme)
+        assert len(hex_form) < 128 / 2
+
+    def test_malformed_rejected(self):
+        for bad in ("", "x", "5:", "5:ff00", "0:"):
+            with pytest.raises(ConfigError):
+                hex_to_scheme(bad)
+
+    def test_key_is_stable(self):
+        assert scheme_key((3, 2)) == scheme_key((3, 2))
+        assert scheme_key((3, 2)) != scheme_key((2, 3))
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=40))
+def test_encode_decode_round_trip(lengths):
+    """Property: any partition survives the bit encoding exactly."""
+    scheme = tuple(lengths)
+    assert decode_scheme(encode_scheme(scheme)) == scheme
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=40))
+def test_hex_round_trip(lengths):
+    scheme = tuple(lengths)
+    assert hex_to_scheme(scheme_to_hex(scheme)) == scheme
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=9), min_size=2, max_size=30))
+def test_encoding_is_injective_on_partitions(lengths):
+    """Different schemes of the same length never share an encoding."""
+    scheme = tuple(lengths)
+    # Perturb: merge the first two segments.
+    other = (scheme[0] + scheme[1],) + scheme[2:]
+    assert not np.array_equal(encode_scheme(scheme), encode_scheme(other))

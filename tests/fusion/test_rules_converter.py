@@ -1,0 +1,187 @@
+"""Tests for fusion rules (expand/seize/compete) and the scheme converter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import TuningError
+from repro.fusion.converter import FusionSchemeConverter, extract_chains
+from repro.fusion.rules import (
+    MAX_CI_PER_SEGMENT,
+    FusionMove,
+    apply_move,
+    count_ci,
+    legal_moves,
+)
+from repro.graph.trace import GraphBuilder
+from repro.gpu.specs import A100
+from repro.ops import Add, BiasAdd, Gelu, Gemm, LayerNorm, OpCategory
+
+CI = OpCategory.CI
+MI = OpCategory.MI
+
+
+class TestMoves:
+    def test_expand_merges(self):
+        assert apply_move((2, 3, 1), FusionMove("expand", 0, +1)) == (5, 1)
+        assert apply_move((2, 3, 1), FusionMove("expand", 2, -1)) == (2, 4)
+
+    def test_seize_shifts_boundary(self):
+        assert apply_move((2, 3), FusionMove("seize", 0, +1)) == (3, 2)
+        assert apply_move((2, 3), FusionMove("seize", 1, -1)) == (1, 4)
+
+    def test_seize_cannot_empty_neighbor(self):
+        with pytest.raises(TuningError):
+            apply_move((2, 1), FusionMove("seize", 0, +1))
+
+    def test_out_of_bounds(self):
+        with pytest.raises(TuningError):
+            apply_move((2, 2), FusionMove("expand", 1, +1))
+
+    def test_moves_preserve_total(self):
+        cats = [CI, MI, MI, CI, MI]
+        scheme = (1, 2, 1, 1)
+        for move in legal_moves(scheme, cats):
+            assert sum(apply_move(scheme, move)) == 5
+
+
+class TestLegalMoves:
+    def test_ci_limit_respected(self):
+        cats = [CI, CI, CI]
+        moves = legal_moves((2, 1), cats)  # first segment already has 2 CI
+        for m in moves:
+            new = apply_move((2, 1), m)
+            assert max(count_ci(new, cats)) <= MAX_CI_PER_SEGMENT
+
+    def test_no_expand_past_two_ci(self):
+        cats = [CI, CI, CI, CI]
+        moves = legal_moves((2, 2), cats)
+        assert not any(m.kind == "expand" for m in moves)
+
+    def test_seize_requires_mi_only_victim(self):
+        cats = [CI, CI, MI]
+        moves = legal_moves((1, 2), cats)
+        # Segment 1 (CI,MI) is not MI-only: segment 0 cannot seize from it.
+        assert not any(m.kind == "seize" and m.segment == 0 for m in moves)
+
+    def test_seize_generated_when_legal(self):
+        cats = [CI, MI, MI, MI]
+        moves = legal_moves((2, 2), cats)
+        assert FusionMove("seize", 0, +1) in moves
+
+    def test_compete_priority_one_ci_first(self):
+        # S0 has 1 CI, S1 is the contested MI singleton, S2 has 2 CI.
+        cats = [CI, MI, CI, CI]
+        moves = legal_moves((1, 1, 2), cats)
+        growers = [m for m in moves if m.kind == "expand"]
+        assert growers[0].segment == 0  # the 1-CI segment extends first
+
+    def test_count_ci_validates_coverage(self):
+        with pytest.raises(TuningError):
+            count_ci((2, 2), [CI, MI, MI])
+
+
+def bert_tail(B=2, S=64, H=32):
+    gb = GraphBuilder("tail", seed=2)
+    x = gb.input("x", (B * S, H))
+    res = gb.input("res", (B * S, H))
+    w = gb.param("w", (H, H))
+    b = gb.param("b", (H,))
+    g = gb.const_param("g", np.ones(H, np.float16))
+    bt = gb.const_param("bt", np.zeros(H, np.float16))
+    w1 = gb.param("w1", (H, 4 * H))
+    b1 = gb.param("b1", (4 * H,))
+    w2 = gb.param("w2", (4 * H, H))
+    b2 = gb.param("b2", (H,))
+    h = gb.call(Gemm("proj"), x, w, name="proj")
+    h = gb.call(BiasAdd(), h, b, name="bias")
+    h = gb.call(Add(), h, res, name="residual")
+    h = gb.call(LayerNorm(), h, g, bt, name="ln")
+    f = gb.call(Gemm("ffn1"), h, w1, name="ffn1")
+    f = gb.call(BiasAdd(), f, b1, name="fbias1")
+    f = gb.call(Gelu(), f, name="act")
+    f = gb.call(Gemm("ffn2"), f, w2, name="ffn2")
+    f = gb.call(BiasAdd(), f, b2, name="fbias2")
+    o = gb.call(Add(), f, h, name="res2")
+    o = gb.call(LayerNorm(), o, g, bt, name="ln2")
+    gb.output(o)
+    return gb.finish()
+
+
+class TestExtractChains:
+    def test_branch_points_split_chains(self):
+        g = bert_tail()
+        chains = extract_chains(g)
+        # "ln" feeds both ffn1 and res2 -> chain break after ln.
+        sizes = sorted(c.n_ops for c in chains)
+        assert sizes == [4, 7]
+
+    def test_chains_cover_all_ops_once(self, tiny_model):
+        chains = extract_chains(tiny_model.graph)
+        all_names = [n for c in chains for n in c.node_names]
+        assert len(all_names) == len(set(all_names))
+        op_names = {n.name for n in tiny_model.graph.op_nodes()}
+        assert set(all_names) == op_names
+
+    def test_categories_recorded(self):
+        g = bert_tail()
+        chains = extract_chains(g)
+        for c in chains:
+            assert len(c.categories) == c.n_ops
+
+
+class TestConverter:
+    def make(self, tokens=128):
+        g = bert_tail()
+        chain = [c for c in extract_chains(g) if c.n_ops == 7][0]
+        return FusionSchemeConverter(g, chain)
+
+    def test_initial_scheme_feasible(self):
+        conv = self.make()
+        scheme = conv.initial_scheme(tokens=4096)
+        assert sum(scheme) == 7
+        assert conv.feasible(scheme)
+
+    def test_initial_epilogue_fusion(self):
+        conv = self.make()
+        scheme = conv.initial_scheme(tokens=4096)
+        # ffn1+bias+gelu fused, ffn2+bias fused... reductions separate.
+        templates = conv.scheme_templates(scheme)
+        names = [t.segment.names for t in templates]
+        assert names[0] == "ffn1+bias+gelu"
+
+    def test_small_tokens_tries_ci_chain_with_gain_gate(self):
+        conv = self.make()
+        gated = conv.initial_scheme(tokens=64, spec=A100)
+        assert conv.feasible(gated)
+        # Whatever the decision, it must not be slower than the ungated
+        # epilogue split according to the model.
+        split = conv.initial_scheme(tokens=4096)
+        t_gated = sum(t.estimate_time(A100) for t in conv.scheme_templates(gated))
+        t_split = sum(t.estimate_time(A100) for t in conv.scheme_templates(split))
+        assert t_gated <= t_split + 1e-12
+
+    def test_template_cache_reused(self):
+        conv = self.make()
+        t1 = conv.template(0, 3)
+        t2 = conv.template(0, 3)
+        assert t1 is t2
+
+    def test_untemplatable_returns_none(self):
+        conv = self.make()
+        # ln at index 6 preceded by gemm at 3: [act,ffn2] ... try a segment
+        # with a reduction before a CI op: indices 3..7? Use (2,5): gelu..ln2
+        # contains ffn2 then ln2 -> valid GemmReduce; instead force 3 CI:
+        assert conv.template(0, 7) is None  # 2 CI + reduction at the end
+
+    def test_scheme_key_round_trip(self):
+        conv = self.make()
+        scheme = (3, 2, 1, 1)
+        assert conv.decode(conv.encode(scheme)) == scheme
+        assert conv.stats.encode_s >= 0
+
+    def test_infeasible_scheme_none(self):
+        conv = self.make()
+        assert conv.scheme_templates((7,)) is None
+        with pytest.raises(Exception):
+            conv.scheme_templates((3, 3))  # does not cover 7 ops

@@ -1,0 +1,230 @@
+"""Tests for segments and compilation templates."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GraphError
+from repro.core.fp16 import fp16_allclose
+from repro.fusion.segment import SegmentSpec, segment_sequence
+from repro.fusion.templates import (
+    ElementwiseChainTemplate,
+    GemmChainTemplate,
+    GemmEpilogueTemplate,
+    GemmReduceTemplate,
+    ReductionChainTemplate,
+    match_template,
+)
+from repro.graph.trace import GraphBuilder
+from repro.gpu.specs import A100, RTX4090
+from repro.ops import Add, BiasAdd, Gelu, Gemm, LayerNorm, Softmax
+
+
+def layer_tail_graph(B=4, S=64, H=32):
+    gb = GraphBuilder("tail", seed=5)
+    x = gb.input("x", (B * S, H))
+    res = gb.input("res", (B * S, H))
+    w = gb.param("w", (H, H))
+    b = gb.param("b", (H,))
+    g = gb.const_param("g", np.ones(H, np.float16))
+    bt = gb.const_param("bt", np.zeros(H, np.float16))
+    h = gb.call(Gemm(), x, w, name="proj")
+    h = gb.call(BiasAdd(), h, b, name="bias")
+    h = gb.call(Add(), h, res, name="residual")
+    h = gb.call(LayerNorm(), h, g, bt, name="ln")
+    gb.output(h)
+    return gb.finish()
+
+
+def ffn_graph(B=2, S=32, H=16, F=32):
+    gb = GraphBuilder("ffn", seed=5)
+    x = gb.input("x", (B * S, H))
+    w1 = gb.param("w1", (H, F))
+    w2 = gb.param("w2", (F, H))
+    h = gb.call(Gemm("g1"), x, w1, name="g1")
+    h = gb.call(Gelu(), h, name="act")
+    h = gb.call(Gemm("g2"), h, w2, name="g2")
+    gb.output(h)
+    return gb.finish()
+
+
+class TestSegmentSpec:
+    def test_dataflow_resolution(self):
+        g = layer_tail_graph()
+        seg = SegmentSpec.from_graph(g, ["proj", "bias", "residual", "ln"])
+        assert seg.n_ops == 4 and seg.n_ci == 1
+        assert seg.ext_names == ["x", "w", "b", "res", "g", "bt"]
+        assert seg.sources[0] == [("ext", 0), ("ext", 1)]
+        assert seg.sources[2] == [("prev", -1), ("ext", 3)]
+        assert seg.aux_write_indices == []
+
+    def test_aux_write_detection(self):
+        gb = GraphBuilder("aux")
+        x = gb.input("x", (4, 8))
+        w = gb.param("w", (8, 8))
+        h = gb.call(Gemm(), x, w, name="g1")
+        h2 = gb.call(Gelu(), h, name="act")
+        t = gb.call(Add(), h2, h, name="tail")  # g1 escapes
+        gb.output(t)
+        g = gb.finish()
+        seg = SegmentSpec.from_graph(g, ["g1", "act"])
+        assert seg.aux_write_indices == [0]
+
+    def test_non_chain_rejected(self):
+        g = layer_tail_graph()
+        with pytest.raises(GraphError):
+            SegmentSpec.from_graph(g, ["proj", "ln"])  # ln doesn't consume proj
+
+    def test_compute_equals_detached(self):
+        g = layer_tail_graph(B=2, S=8, H=16)
+        seg = SegmentSpec.from_graph(g, ["proj", "bias", "residual", "ln"])
+        rng = np.random.default_rng(0)
+        vals = {
+            "x": (rng.standard_normal((16, 16)) * 0.3).astype(np.float16),
+            "res": (rng.standard_normal((16, 16)) * 0.3).astype(np.float16),
+            "w": g.node("w").initializer(),
+            "b": g.node("b").initializer(),
+            "g": g.node("g").initializer(),
+            "bt": g.node("bt").initializer(),
+        }
+        fused = seg.compute([vals[n] for n in seg.ext_names])
+        ref = g.run({"x": vals["x"], "res": vals["res"]})["ln"]
+        assert fp16_allclose(fused, ref)
+
+    def test_segment_sequence_partitions(self):
+        g = layer_tail_graph()
+        names = [n.name for n in g.op_nodes()]
+        segs = segment_sequence(g, names, (2, 2))
+        assert [s.n_ops for s in segs] == [2, 2]
+        with pytest.raises(GraphError):
+            segment_sequence(g, names, (3, 2))
+
+
+class TestTemplateMatching:
+    def test_dispatch_table(self):
+        g = layer_tail_graph()
+        cases = {
+            ("proj",): GemmEpilogueTemplate,
+            ("proj", "bias"): GemmEpilogueTemplate,
+            ("proj", "bias", "residual", "ln"): GemmReduceTemplate,
+            ("bias", "residual"): ElementwiseChainTemplate,
+            ("residual", "ln"): ReductionChainTemplate,
+            ("ln",): ReductionChainTemplate,
+        }
+        for names, cls in cases.items():
+            seg = SegmentSpec.from_graph(g, list(names))
+            assert isinstance(match_template(seg), cls), names
+
+    def test_gemm_chain_matched(self):
+        g = ffn_graph()
+        seg = SegmentSpec.from_graph(g, ["g1", "act", "g2"])
+        assert isinstance(match_template(seg), GemmChainTemplate)
+
+    def test_reduction_before_gemm_unfusable(self):
+        gb = GraphBuilder("lg")
+        x = gb.input("x", (8, 16))
+        g_ = gb.const_param("g", np.ones(16, np.float16))
+        bt = gb.const_param("bt", np.zeros(16, np.float16))
+        w = gb.param("w", (16, 16))
+        h = gb.call(LayerNorm(), x, g_, bt, name="ln")
+        h = gb.call(Gemm(), h, w, name="mm")
+        gb.output(h)
+        seg = SegmentSpec.from_graph(gb.finish(), ["ln", "mm"])
+        with pytest.raises(GraphError):
+            match_template(seg)
+
+    def test_three_ci_unfusable(self):
+        gb = GraphBuilder("3ci")
+        x = gb.input("x", (8, 16))
+        w = gb.param("w", (16, 16))
+        h = gb.call(Gemm(), x, w, name="a")
+        h = gb.call(Gemm(), h, w, name="b")
+        h = gb.call(Gemm(), h, w, name="c")
+        gb.output(h)
+        seg = SegmentSpec.from_graph(gb.finish(), ["a", "b", "c"])
+        with pytest.raises(GraphError):
+            match_template(seg)
+
+
+class TestTemplateCosts:
+    def test_fusion_eliminates_intermediate_traffic(self):
+        g = layer_tail_graph(B=8, S=512, H=768)
+        seg = SegmentSpec.from_graph(g, ["proj", "bias", "residual"])
+        t = match_template(seg)
+        (fused_cost, _), = t.plan(A100, t.default_params(A100))
+        detached = t.detached_plan(A100)
+        fused_traffic = fused_cost.bytes_dram
+        detached_traffic = sum(c.bytes_dram for c, _ in detached)
+        assert fused_traffic < detached_traffic
+        # The fused kernel keeps the exact same FLOP count.
+        assert fused_cost.flops == pytest.approx(
+            sum(c.flops for c, _ in detached), rel=1e-6
+        )
+
+    def test_single_launch(self):
+        g = layer_tail_graph()
+        seg = SegmentSpec.from_graph(g, ["proj", "bias"])
+        t = match_template(seg)
+        launches = t.plan(A100, t.default_params(A100))
+        assert len(launches) == 1 and launches[0][0].launches == 1
+
+    def test_gemm_reduce_smem_grows_with_hidden(self):
+        """The Fig. 3 mechanism: GEMM+LN SMEM scales with hidden dim."""
+        smem = {}
+        for H in (512, 1024):
+            g = layer_tail_graph(B=1, S=128, H=H)
+            seg = SegmentSpec.from_graph(g, ["proj", "bias", "residual", "ln"])
+            t = match_template(seg)
+            (_, cfg), = t.plan(A100, {"block_m": 16, "num_warps": 4, "num_stages": 2})
+            smem[H] = cfg.smem_per_block
+        assert smem[1024] > 1.5 * smem[512]
+
+    def test_gemm_chain_recompute_tradeoff(self):
+        """Smaller block_n2 -> more grid parallelism but more recompute."""
+        g = ffn_graph(B=1, S=64, H=256, F=256)
+        seg = SegmentSpec.from_graph(g, ["g1", "act", "g2"])
+        t = match_template(seg)
+        base = {"block_m": 16, "num_warps": 4, "num_stages": 2}
+        (c64, cfg64), = t.plan(A100, {**base, "block_n2": 64})
+        (c256, cfg256), = t.plan(A100, {**base, "block_n2": 256})
+        assert cfg64.grid_blocks > cfg256.grid_blocks
+        assert c64.flops_tensor > c256.flops_tensor
+
+    def test_compute_matches_detached_numerics(self):
+        g = ffn_graph(B=1, S=8, H=16, F=32)
+        seg = SegmentSpec.from_graph(g, ["g1", "act", "g2"])
+        t = match_template(seg)
+        rng = np.random.default_rng(1)
+        x = (rng.standard_normal((8, 16)) * 0.3).astype(np.float16)
+        vals = {"x": x, "w1": g.node("w1").initializer(), "w2": g.node("w2").initializer()}
+        fused = t.compute([vals[n] for n in seg.ext_names])
+        ref = g.run({"x": x})["g2"]
+        assert fp16_allclose(fused, ref)
+
+    def test_aux_writes_charged(self):
+        gb = GraphBuilder("aux2")
+        x = gb.input("x", (64, 64))
+        w = gb.param("w", (64, 64))
+        h = gb.call(Gemm(), x, w, name="g1")
+        h2 = gb.call(Gelu(), h, name="act")
+        t_ = gb.call(Add(), h2, h, name="tail")
+        gb.output(t_)
+        g = gb.finish()
+        seg_aux = SegmentSpec.from_graph(g, ["g1", "act"])
+        t = match_template(seg_aux)
+        (cost, _), = t.plan(A100, t.default_params(A100))
+        # Both the final output AND the escaping g1 value are written.
+        assert cost.bytes_dram_written == 2 * 64 * 64 * 2
+
+    def test_detached_time_respects_tuned_params(self):
+        g = layer_tail_graph(B=8, S=256, H=512)
+        seg = SegmentSpec.from_graph(g, ["proj", "bias"])
+        t = match_template(seg)
+        default = t.detached_time(A100)
+        tuned = t.detached_time(
+            A100,
+            per_op_params=[
+                {"block_m": 128, "block_n": 128, "num_warps": 8, "num_stages": 4},
+                {"num_warps": 8},
+            ],
+        )
+        assert tuned != default

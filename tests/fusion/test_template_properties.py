@@ -1,0 +1,148 @@
+"""Property-style invariants of the compilation templates.
+
+These pin the physics of fusion the whole evaluation rests on: fusing
+never changes FLOPs, always removes interior DRAM round trips, always
+collapses to one launch, and detached plans always equal the sum of the
+member ops' own plans.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.fusion.segment import SegmentSpec
+from repro.fusion.templates import match_template
+from repro.graph.trace import GraphBuilder
+from repro.gpu.specs import A100, RTX4090
+from repro.ops import Add, BiasAdd, Gelu, Gemm, LayerNorm, Relu, Softmax
+
+
+def build_chain(ops_spec, B=4, S=64, H=64, F=128):
+    """Build a graph from a compact op-spec list and return its segment."""
+    gb = GraphBuilder("prop", seed=9)
+    x = gb.input("x", (B * S, H))
+    res = gb.input("res", (B * S, H))
+    g = gb.const_param("g", np.ones(H, np.float16))
+    bt = gb.const_param("bt", np.zeros(H, np.float16))
+    gf = gb.const_param("gf", np.ones(F, np.float16))
+    btf = gb.const_param("btf", np.zeros(F, np.float16))
+    cur = x
+    cur_dim = H
+    names = []
+    for i, kind in enumerate(ops_spec):
+        name = f"{kind}{i}"
+        if kind == "gemm":
+            out_dim = F if cur_dim == H else H
+            w = gb.param(f"w{i}", (cur_dim, out_dim))
+            cur = gb.call(Gemm(name), cur, w, name=name)
+            cur_dim = out_dim
+        elif kind == "bias":
+            b = gb.param(f"b{i}", (cur_dim,))
+            cur = gb.call(BiasAdd(), cur, b, name=name)
+        elif kind == "gelu":
+            cur = gb.call(Gelu(), cur, name=name)
+        elif kind == "relu":
+            cur = gb.call(Relu(), cur, name=name)
+        elif kind == "add":
+            assert cur_dim == H
+            cur = gb.call(Add(), cur, res, name=name)
+        elif kind == "ln":
+            gg, bb = (g, bt) if cur_dim == H else (gf, btf)
+            cur = gb.call(LayerNorm(), cur, gg, bb, name=name)
+        elif kind == "softmax":
+            cur = gb.call(Softmax(), cur, name=name)
+        else:  # pragma: no cover
+            raise ValueError(kind)
+        names.append(name)
+    gb.output(cur)
+    return match_template(SegmentSpec.from_graph(gb.finish(), names))
+
+
+FUSABLE_CHAINS = [
+    ("bias",),
+    ("bias", "gelu"),
+    ("bias", "add"),
+    ("bias", "ln"),
+    ("add", "ln"),
+    ("softmax",),
+    ("gemm",),
+    ("gemm", "bias"),
+    ("gemm", "bias", "gelu"),
+    ("gemm", "bias", "relu"),
+    ("gemm", "ln"),
+    ("gemm", "bias", "ln"),
+    ("gemm", "bias", "gelu", "gemm"),
+    ("gemm", "gemm"),
+]
+
+
+@pytest.mark.parametrize("chain", FUSABLE_CHAINS, ids=lambda c: "+".join(c))
+class TestTemplateInvariants:
+    def test_flops_preserved(self, chain):
+        """Fusion changes data movement, never arithmetic (up to the
+        GEMM-chain recompute, which only multiplies declared FLOPs up)."""
+        t = build_chain(chain)
+        params = t.default_params(A100)
+        (fused, _), = t.plan(A100, params)
+        detached = sum(c.flops for c, _ in t.detached_plan(A100))
+        assert fused.flops >= detached - 1e-6
+        if t.segment.n_ci < 2:  # no recompute: exact
+            assert fused.flops == pytest.approx(detached)
+
+    def test_single_launch(self, chain):
+        t = build_chain(chain)
+        launches = t.plan(A100, t.default_params(A100))
+        assert sum(c.launches for c, _ in launches) == 1
+
+    def test_multi_op_fusion_saves_dram(self, chain):
+        if len(chain) < 2:
+            pytest.skip("single op: nothing to save")
+        t = build_chain(chain)
+        (fused, _), = t.plan(A100, t.default_params(A100))
+        detached_dram = sum(c.bytes_dram for c, _ in t.detached_plan(A100))
+        assert fused.bytes_dram < detached_dram
+
+    def test_write_volume_is_final_output(self, chain):
+        t = build_chain(chain)
+        (fused, _), = t.plan(A100, t.default_params(A100))
+        from repro.ops.base import numel
+
+        assert fused.bytes_dram_written == numel(t.segment.out_shape) * 2
+
+    def test_counters_nonnegative(self, chain):
+        t = build_chain(chain)
+        for spec in (A100, RTX4090):
+            for cost, config in t.plan(spec, t.default_params(spec)):
+                assert cost.bytes_dram_read >= 0
+                assert cost.bytes_l2_read >= 0
+                assert cost.flops >= 0
+                assert config.grid_blocks >= 1
+
+    def test_default_params_launchable(self, chain):
+        from repro.gpu.cost import estimate_kernel_time
+
+        t = build_chain(chain)
+        for cost, config in t.plan(A100, t.default_params(A100)):
+            bd = estimate_kernel_time(A100, cost, config)
+            assert bd.total > 0
+
+    def test_param_space_mostly_launchable(self, chain):
+        """At least half the advertised settings must launch on the A100
+        (tuners need a live search space, not a minefield)."""
+        from repro.core.errors import ConfigError
+        from repro.gpu.cost import estimate_kernel_time
+
+        t = build_chain(chain)
+        space = t.param_space()
+        keys = list(space)
+        ok = bad = 0
+        for combo in itertools.product(*space.values()):
+            params = dict(zip(keys, combo))
+            try:
+                for cost, config in t.plan(A100, params):
+                    estimate_kernel_time(A100, cost, config)
+                ok += 1
+            except ConfigError:
+                bad += 1
+        assert ok > bad

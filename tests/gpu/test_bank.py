@@ -1,0 +1,54 @@
+"""Tests for the SMEM bank-conflict model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ConfigError
+from repro.gpu.bank import bank_conflict_factor, conflict_free_padding
+
+
+class TestConflictFactor:
+    def test_unpadded_head64_worst_case(self):
+        # 64 halves = 32 words: every lane hits the same bank.
+        assert bank_conflict_factor(64) == 32
+
+    def test_paper_padding_16(self):
+        # The paper's padding of 16 halves reduces but does not eliminate.
+        assert bank_conflict_factor(64 + 16) == 8
+
+    def test_odd_word_pitch_conflict_free(self):
+        assert bank_conflict_factor(66) == 1  # 33 words
+
+    def test_half_element_rounding(self):
+        # 65 halves = 130 B -> rounds to 33 words -> conflict-free.
+        assert bank_conflict_factor(65) == 1
+
+    def test_fp32_elements(self):
+        assert bank_conflict_factor(32, elem_bytes=4) == 32
+        assert bank_conflict_factor(33, elem_bytes=4) == 1
+
+    def test_invalid_pitch(self):
+        with pytest.raises(ConfigError):
+            bank_conflict_factor(0)
+
+    @given(st.integers(min_value=1, max_value=4096))
+    def test_factor_bounds_and_divisibility(self, pitch):
+        f = bank_conflict_factor(pitch)
+        assert 1 <= f <= 32
+        assert 32 % f == 0  # factor divides the bank count
+
+
+class TestConflictFreePadding:
+    @pytest.mark.parametrize("width", [16, 32, 64, 128, 80, 96])
+    def test_padding_eliminates_conflicts(self, width):
+        pad = conflict_free_padding(width)
+        assert bank_conflict_factor(width + pad) == 1
+        assert 0 <= pad <= 32
+
+    def test_already_conflict_free_needs_none(self):
+        assert conflict_free_padding(66) == 0
+
+    def test_padding_is_minimal(self):
+        pad = conflict_free_padding(64)
+        for smaller in range(pad):
+            assert bank_conflict_factor(64 + smaller) > 1

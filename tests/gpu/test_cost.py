@@ -1,0 +1,193 @@
+"""Tests for the roofline kernel-time estimator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigError
+from repro.gpu.cost import (
+    KernelCost,
+    LaunchConfig,
+    estimate_kernel_time,
+)
+from repro.gpu.specs import A100, RTX4090
+
+
+def copy_cost(nbytes: float) -> KernelCost:
+    return KernelCost(
+        name="copy", bytes_dram_read=nbytes / 2, bytes_dram_written=nbytes / 2
+    )
+
+
+BIG_GRID = LaunchConfig(grid_blocks=8192, warps_per_block=4)
+
+
+class TestRooflineBasics:
+    def test_bandwidth_bound_copy_near_peak(self, a100):
+        """A huge, well-parallelized copy approaches peak DRAM bandwidth."""
+        nbytes = 8e9
+        bd = estimate_kernel_time(a100, copy_cost(nbytes), BIG_GRID)
+        ideal = nbytes / a100.dram_bandwidth
+        assert ideal <= bd.total <= ideal * 1.3
+        assert bd.bound == "dram"
+
+    def test_compute_bound_gemm_near_peak(self, a100):
+        flops = 1e13
+        cost = KernelCost(name="gemm", flops_tensor=flops, bytes_dram_read=1e6)
+        cfg = LaunchConfig(grid_blocks=8192, warps_per_block=8, smem_per_block=32 * 1024)
+        bd = estimate_kernel_time(a100, cost, cfg)
+        ideal = flops / a100.fp16_tensor_flops
+        assert ideal <= bd.total <= ideal * 1.3
+        assert bd.bound == "compute"
+
+    def test_volume_monotonicity(self, spec):
+        t1 = estimate_kernel_time(spec, copy_cost(1e8), BIG_GRID).total
+        t2 = estimate_kernel_time(spec, copy_cost(2e8), BIG_GRID).total
+        assert t2 > t1
+
+    def test_empty_kernel_costs_launch_overhead(self, spec):
+        bd = estimate_kernel_time(spec, KernelCost(name="noop"), BIG_GRID)
+        assert bd.total == pytest.approx(spec.kernel_launch_overhead_s)
+
+    def test_zero_launch_kernel_is_free(self, spec):
+        bd = estimate_kernel_time(spec, KernelCost(name="view", launches=0), BIG_GRID)
+        assert bd.total == 0.0
+
+
+class TestUtilizationEffects:
+    def test_small_grid_is_slower_per_byte(self, a100):
+        nbytes = 1e8
+        small = LaunchConfig(grid_blocks=4, warps_per_block=4)
+        t_small = estimate_kernel_time(a100, copy_cost(nbytes), small).total
+        t_big = estimate_kernel_time(a100, copy_cost(nbytes), BIG_GRID).total
+        assert t_small > t_big * 2
+
+    def test_low_occupancy_derates_bandwidth(self, a100):
+        nbytes = 1e9
+        # Same grid, but huge SMEM blocks limit residency to 1 block/SM.
+        fat = LaunchConfig(grid_blocks=8192, warps_per_block=1, smem_per_block=160 * 1024)
+        t_fat = estimate_kernel_time(a100, copy_cost(nbytes), fat).total
+        t_thin = estimate_kernel_time(a100, copy_cost(nbytes), BIG_GRID).total
+        assert t_fat > t_thin
+
+    def test_wave_count(self, a100):
+        cfg = LaunchConfig(grid_blocks=a100.sm_count * 100, warps_per_block=4)
+        bd = estimate_kernel_time(a100, copy_cost(1e6), cfg)
+        assert bd.waves >= 2
+
+    def test_utilization_capped_at_one(self, spec):
+        bd = estimate_kernel_time(spec, copy_cost(1e6), BIG_GRID)
+        assert 0 < bd.utilization <= 1.0
+
+
+class TestPhaseComposition:
+    def test_pipelined_overlaps_memory_and_compute(self, a100):
+        cost = KernelCost(
+            name="k", bytes_dram_read=1e9, flops_tensor=1e11
+        )
+        over = estimate_kernel_time(
+            a100, cost, LaunchConfig(grid_blocks=8192, warps_per_block=4, pipelined=True)
+        )
+        serial = estimate_kernel_time(
+            a100, cost, LaunchConfig(grid_blocks=8192, warps_per_block=4, pipelined=False)
+        )
+        assert serial.total > over.total
+
+    def test_bank_conflicts_inflate_smem_phase(self, a100):
+        base = KernelCost(name="k", bytes_smem=1e9)
+        conflicted = KernelCost(name="k", bytes_smem=1e9, bank_conflict_factor=8.0)
+        t0 = estimate_kernel_time(a100, base, BIG_GRID)
+        t1 = estimate_kernel_time(a100, conflicted, BIG_GRID)
+        assert t1.smem == pytest.approx(t0.smem * 8.0)
+
+    def test_l2_reads_cheaper_than_dram(self, a100):
+        dram = KernelCost(name="k", bytes_dram_read=1e9)
+        l2 = KernelCost(name="k", bytes_l2_read=1e9)
+        t_dram = estimate_kernel_time(a100, dram, BIG_GRID).total
+        t_l2 = estimate_kernel_time(a100, l2, BIG_GRID).total
+        assert t_l2 < t_dram
+
+    def test_sync_rounds_scale_with_waves(self, a100):
+        cost = KernelCost(name="k", sync_rounds=100.0)
+        one_wave = LaunchConfig(grid_blocks=64, warps_per_block=4)
+        many_waves = LaunchConfig(grid_blocks=64 * 100, warps_per_block=4)
+        t1 = estimate_kernel_time(a100, cost, one_wave)
+        t2 = estimate_kernel_time(a100, cost, many_waves)
+        assert t2.sync > t1.sync
+
+
+class TestKernelCostAlgebra:
+    def test_merged_adds_volumes_single_launch(self):
+        a = KernelCost(name="a", bytes_dram_read=10, flops_simt=5, bytes_smem=4)
+        b = KernelCost(name="b", bytes_dram_written=20, flops_tensor=7, bytes_smem=12)
+        m = a.merged_with(b)
+        assert m.bytes_dram == 30
+        assert m.flops == 12
+        assert m.bytes_smem == 16
+        assert m.launches == 1
+
+    def test_merged_conflict_factor_weighted(self):
+        a = KernelCost(name="a", bytes_smem=100, bank_conflict_factor=1.0)
+        b = KernelCost(name="b", bytes_smem=300, bank_conflict_factor=5.0)
+        m = a.merged_with(b)
+        assert m.bank_conflict_factor == pytest.approx(4.0)
+
+    def test_scaled(self):
+        a = KernelCost(name="a", bytes_dram_read=10, flops_tensor=4, sync_rounds=2)
+        s = a.scaled(0.5)
+        assert s.bytes_dram_read == 5 and s.flops_tensor == 2 and s.sync_rounds == 1
+
+    def test_invalid_conflict_factor(self):
+        with pytest.raises(ConfigError):
+            KernelCost(name="bad", bank_conflict_factor=0.5)
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigError):
+            LaunchConfig(grid_blocks=0)
+
+
+class TestCrossDevice:
+    def test_a100_faster_for_bandwidth(self):
+        cost = copy_cost(4e9)
+        t_a = estimate_kernel_time(A100, cost, BIG_GRID).total
+        t_r = estimate_kernel_time(RTX4090, cost, BIG_GRID).total
+        assert t_a < t_r  # 1555 vs 1008 GB/s
+
+    def test_a100_faster_for_tensor_flops(self):
+        cost = KernelCost(name="g", flops_tensor=1e13)
+        cfg = LaunchConfig(grid_blocks=8192, warps_per_block=8)
+        assert (
+            estimate_kernel_time(A100, cost, cfg).total
+            < estimate_kernel_time(RTX4090, cost, cfg).total
+        )
+
+    def test_4090_faster_for_simt_flops(self):
+        cost = KernelCost(name="e", flops_simt=1e12)
+        cfg = LaunchConfig(grid_blocks=8192, warps_per_block=8)
+        assert (
+            estimate_kernel_time(RTX4090, cost, cfg).total
+            < estimate_kernel_time(A100, cost, cfg).total
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rd=st.floats(0, 1e10),
+    wr=st.floats(0, 1e10),
+    ftc=st.floats(0, 1e13),
+    fsimt=st.floats(0, 1e12),
+    grid=st.integers(1, 100000),
+    warps=st.sampled_from([1, 2, 4, 8]),
+)
+def test_time_positive_and_finite(rd, wr, ftc, fsimt, grid, warps):
+    """Property: any well-formed cost yields a finite positive time."""
+    cost = KernelCost(
+        name="p",
+        bytes_dram_read=rd,
+        bytes_dram_written=wr,
+        flops_tensor=ftc,
+        flops_simt=fsimt,
+    )
+    cfg = LaunchConfig(grid_blocks=grid, warps_per_block=warps)
+    bd = estimate_kernel_time(A100, cost, cfg)
+    assert bd.total > 0
+    assert bd.total < 1e6

@@ -1,0 +1,77 @@
+"""Tests for the device-memory tracker."""
+
+import pytest
+
+from repro.core.errors import ConfigError, DeviceOutOfMemoryError
+from repro.gpu.memory import MemoryTracker
+
+
+class TestAllocation:
+    def test_allocate_and_free(self):
+        mt = MemoryTracker(1000)
+        mt.allocate("a", 400)
+        assert mt.live_bytes == 400
+        mt.free("a")
+        assert mt.live_bytes == 0
+
+    def test_peak_tracks_high_water(self):
+        mt = MemoryTracker(1000)
+        mt.allocate("a", 400)
+        mt.allocate("b", 500)
+        mt.free("a")
+        mt.allocate("c", 100)
+        assert mt.peak_bytes == 900
+
+    def test_oom_raises_with_details(self):
+        mt = MemoryTracker(1000)
+        mt.allocate("a", 800)
+        with pytest.raises(DeviceOutOfMemoryError) as ei:
+            mt.allocate("b", 300)
+        assert ei.value.requested_bytes == 1100
+        assert ei.value.capacity_bytes == 1000
+        assert "b" in str(ei.value)
+
+    def test_oom_leaves_state_unchanged(self):
+        mt = MemoryTracker(1000)
+        mt.allocate("a", 800)
+        with pytest.raises(DeviceOutOfMemoryError):
+            mt.allocate("b", 300)
+        assert mt.live_bytes == 800
+        assert "b" not in mt
+
+    def test_duplicate_name_rejected(self):
+        mt = MemoryTracker(1000)
+        mt.allocate("a", 10)
+        with pytest.raises(ConfigError):
+            mt.allocate("a", 10)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryTracker(100).free("nope")
+
+    def test_exact_fit_allowed(self):
+        mt = MemoryTracker(1000)
+        mt.allocate("a", 1000)
+        assert mt.free_bytes == 0
+
+    def test_check_fits_transient(self):
+        mt = MemoryTracker(1000)
+        mt.allocate("a", 600)
+        mt.check_fits(400)  # ok
+        with pytest.raises(DeviceOutOfMemoryError):
+            mt.check_fits(401, what="workspace")
+
+    def test_reset(self):
+        mt = MemoryTracker(1000)
+        mt.allocate("a", 600)
+        mt.reset()
+        assert mt.live_bytes == 0 and mt.peak_bytes == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryTracker(0)
+
+    def test_fractional_bytes_truncated(self):
+        mt = MemoryTracker(1000)
+        mt.allocate("a", 99.9)
+        assert mt.live_bytes == 99

@@ -1,0 +1,81 @@
+"""Tests for the CUDA occupancy calculator."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.specs import A100, RTX4090
+
+
+class TestLimits:
+    def test_warp_limited(self, a100):
+        occ = compute_occupancy(a100, warps_per_block=8, smem_per_block=0)
+        assert occ.limiter in ("warps", "blocks")
+        assert occ.blocks_per_sm == min(
+            a100.max_warps_per_sm // 8, a100.max_blocks_per_sm
+        )
+
+    def test_smem_limited(self, a100):
+        # 48 KiB blocks on a 164 KiB carveout -> 3 blocks.
+        occ = compute_occupancy(a100, warps_per_block=4, smem_per_block=48 * 1024)
+        assert occ.limiter == "smem"
+        assert occ.blocks_per_sm == 3
+
+    def test_register_limited(self, a100):
+        occ = compute_occupancy(
+            a100, warps_per_block=4, smem_per_block=0, regs_per_thread=255
+        )
+        assert occ.limiter == "registers"
+        assert occ.blocks_per_sm == a100.registers_per_sm // (255 * 4 * 32)
+
+    def test_block_cap(self, a100):
+        occ = compute_occupancy(a100, warps_per_block=1, smem_per_block=0)
+        assert occ.blocks_per_sm == a100.max_blocks_per_sm
+
+    def test_occupancy_in_unit_interval(self, spec):
+        for warps in (1, 2, 4, 8):
+            for smem in (0, 16 * 1024, 64 * 1024):
+                occ = compute_occupancy(spec, warps, smem)
+                assert 0.0 < occ.occupancy <= 1.0
+
+    def test_full_occupancy_achievable(self, a100):
+        occ = compute_occupancy(a100, warps_per_block=4, smem_per_block=4096)
+        assert occ.occupancy == 1.0
+
+
+class TestRejections:
+    def test_too_much_smem(self, a100):
+        with pytest.raises(ConfigError):
+            compute_occupancy(a100, 4, a100.smem_carveout_per_sm + 1)
+
+    def test_too_many_threads(self, a100):
+        with pytest.raises(ConfigError):
+            compute_occupancy(a100, warps_per_block=33, smem_per_block=0)
+
+    def test_zero_warps(self, a100):
+        with pytest.raises(ConfigError):
+            compute_occupancy(a100, warps_per_block=0, smem_per_block=0)
+
+    def test_negative_smem(self, a100):
+        with pytest.raises(ConfigError):
+            compute_occupancy(a100, warps_per_block=4, smem_per_block=-1)
+
+    def test_register_overflow(self, a100):
+        # 255 regs/thread at 32 warps cannot fit a single block.
+        with pytest.raises(ConfigError):
+            compute_occupancy(
+                a100, warps_per_block=32, smem_per_block=0, regs_per_thread=255
+            )
+
+
+class TestDeviceDifferences:
+    def test_a100_allows_more_warps_than_ada(self):
+        a = compute_occupancy(A100, warps_per_block=4, smem_per_block=0)
+        r = compute_occupancy(RTX4090, warps_per_block=4, smem_per_block=0)
+        assert a.active_warps_per_sm > r.active_warps_per_sm
+
+    def test_a100_fits_bigger_smem_blocks(self):
+        big = 120 * 1024
+        compute_occupancy(A100, 4, big)  # fits
+        with pytest.raises(ConfigError):
+            compute_occupancy(RTX4090, 4, big)

@@ -1,0 +1,92 @@
+"""Tests for device specs and the simulated GPU timeline."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.gpu.cost import KernelCost, LaunchConfig
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.specs import A100, KNOWN_GPUS, RTX4090, GPUSpec, get_spec
+
+
+class TestSpecs:
+    def test_table3_rtx4090(self):
+        assert RTX4090.sm_count == 128
+        assert RTX4090.cuda_cores == 16384
+        assert RTX4090.l2_bytes == 72 * 2**20
+        assert RTX4090.memory_bytes == 24 * 2**30
+        assert RTX4090.dram_bandwidth == pytest.approx(1008e9)
+
+    def test_table3_a100(self):
+        assert A100.sm_count == 108
+        assert A100.cuda_cores == 6912
+        assert A100.l2_bytes == 40 * 2**20
+        assert A100.memory_bytes == 40 * 2**30
+        assert A100.dram_bandwidth == pytest.approx(1555e9)
+
+    def test_get_spec_aliases(self):
+        assert get_spec("A100") is A100
+        assert get_spec("rtx4090") is RTX4090
+        assert get_spec("RTX-4090") is RTX4090
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(ConfigError):
+            get_spec("tpu-v5")
+
+    def test_with_overrides(self):
+        hacked = A100.with_overrides(sm_count=1)
+        assert hacked.sm_count == 1
+        assert A100.sm_count == 108  # original untouched
+
+    def test_smem_bandwidth_positive(self):
+        for spec in KNOWN_GPUS.values():
+            assert spec.smem_bandwidth > 1e12
+
+    def test_invalid_carveout_rejected(self):
+        with pytest.raises(ConfigError):
+            A100.with_overrides(smem_carveout_per_sm=A100.l1_smem_per_sm + 1)
+
+
+class TestSimulatedGPU:
+    def test_timeline_accumulates(self, a100):
+        dev = SimulatedGPU(a100)
+        cfg = LaunchConfig(grid_blocks=1024)
+        dev.launch(KernelCost(name="a", bytes_dram_read=1e6), cfg)
+        dev.launch(KernelCost(name="b", bytes_dram_read=1e6), cfg)
+        assert len(dev.timeline) == 2
+        assert dev.elapsed_s == pytest.approx(
+            sum(r.total_s for r in dev.timeline)
+        )
+        assert dev.kernel_count == 2
+
+    def test_dispatch_overhead_applied(self, a100):
+        cfg = LaunchConfig(grid_blocks=1024)
+        cost = KernelCost(name="a", bytes_dram_read=1e6)
+        plain = SimulatedGPU(a100).launch(cost, cfg)
+        eager = SimulatedGPU(a100, dispatch_overhead_s=8e-6).launch(cost, cfg)
+        assert eager.total_s == pytest.approx(plain.total_s + 8e-6)
+
+    def test_estimate_does_not_record(self, a100):
+        dev = SimulatedGPU(a100)
+        dev.estimate(KernelCost(name="a", bytes_dram_read=1e6), LaunchConfig(grid_blocks=64))
+        assert len(dev.timeline) == 0
+
+    def test_breakdown_by_kernel(self, a100):
+        dev = SimulatedGPU(a100)
+        cfg = LaunchConfig(grid_blocks=1024)
+        dev.launch(KernelCost(name="x", bytes_dram_read=1e6), cfg)
+        dev.launch(KernelCost(name="x", bytes_dram_read=1e6), cfg)
+        dev.launch(KernelCost(name="y", bytes_dram_read=1e6), cfg)
+        agg = dev.breakdown_by_kernel()
+        assert set(agg) == {"x", "y"}
+        assert agg["x"] == pytest.approx(2 * agg["y"])
+
+    def test_totals_and_reset(self, a100):
+        dev = SimulatedGPU(a100)
+        dev.launch(
+            KernelCost(name="a", bytes_dram_read=3e6, flops_tensor=1e9),
+            LaunchConfig(grid_blocks=64),
+        )
+        assert dev.total_bytes_dram() == 3e6
+        assert dev.total_flops() == 1e9
+        dev.reset()
+        assert dev.elapsed_s == 0 and len(dev.timeline) == 0

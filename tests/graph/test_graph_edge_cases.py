@@ -1,0 +1,130 @@
+"""Edge-case tests for the graph IR and chain extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GraphError
+from repro.fusion.converter import extract_chains
+from repro.graph.ir import Graph, Node, NodeKind
+from repro.graph.rewrite import FusedNodePayload, replace_subgraph
+from repro.graph.trace import GraphBuilder
+from repro.ops import Add, BiasAdd, Gelu, Gemm
+
+
+class TestSelfConsumingOps:
+    def test_add_of_same_value_twice(self):
+        """Add(h, h): one producer consumed twice by one node."""
+        gb = GraphBuilder("dup")
+        x = gb.input("x", (4, 8))
+        w = gb.param("w", (8, 8))
+        h = gb.call(Gemm(), x, w, name="mm")
+        d = gb.call(Add(), h, h, name="double")
+        gb.output(d)
+        g = gb.finish()
+        out = g.run({"x": np.ones((4, 8), np.float16)})
+        # Chain extraction must not duplicate or lose ops.
+        chains = extract_chains(g)
+        names = [n for c in chains for n in c.node_names]
+        assert sorted(names) == ["double", "mm"]
+        # mm has consumer count 2 -> chain must break between them.
+        assert all(c.n_ops == 1 for c in chains)
+
+    def test_diamond_dataflow(self):
+        """x -> (a, b) -> add: classic diamond."""
+        gb = GraphBuilder("diamond")
+        x = gb.input("x", (4, 8))
+        a = gb.call(Gelu(), x, name="a")
+        b = gb.call(Gelu(), x, name="b")
+        s = gb.call(Add(), a, b, name="join")
+        gb.output(s)
+        g = gb.finish()
+        chains = extract_chains(g)
+        names = [n for c in chains for n in c.node_names]
+        assert sorted(names) == ["a", "b", "join"]
+        out = g.run({"x": np.ones((4, 8), np.float16)})
+        assert out["join"].shape == (4, 8)
+
+    def test_multi_output_graph(self):
+        gb = GraphBuilder("multi")
+        x = gb.input("x", (4,))
+        a = gb.call(Gelu(), x, name="a")
+        b = gb.call(Gelu(), a, name="b")
+        gb.output(a)
+        gb.output(b)
+        g = gb.finish()
+        out = g.run({"x": np.ones(4, np.float16)})
+        assert set(out) == {"a", "b"}
+        # 'a' escapes as an output: fusing [a, b] must be rejected.
+        with pytest.raises(GraphError):
+            replace_subgraph(g, ["a", "b"], FusedNodePayload("t", None))
+
+
+class TestRewriteInteractions:
+    def test_two_disjoint_regions_sequentially(self):
+        gb = GraphBuilder("two-regions")
+        x = gb.input("x", (4, 8))
+        w = gb.param("w", (8, 8))
+        b = gb.param("b", (8,))
+        h = gb.call(Gemm(), x, w, name="g1")
+        h = gb.call(BiasAdd(), h, b, name="b1")
+        h = gb.call(Gemm(), h, w, name="g2")
+        h = gb.call(BiasAdd(), h, b, name="b2")
+        gb.output(h)
+        g = gb.finish()
+        g = replace_subgraph(g, ["g1", "b1"], FusedNodePayload("t", 1), "f1")
+        g = replace_subgraph(g, ["g2", "b2"], FusedNodePayload("t", 2), "f2")
+        assert g.node("f2").inputs == ["f1", "w", "b"]
+        out = g.run(
+            {"x": np.ones((4, 8), np.float16)},
+            fused_executor=lambda node, args: np.ones(node.shape, np.float16),
+        )
+        assert out["f2"].shape == (4, 8)
+
+    def test_fused_nodes_break_chains(self):
+        gb = GraphBuilder("fchain")
+        x = gb.input("x", (4, 8))
+        a = gb.call(Gelu(), x, name="a")
+        b = gb.call(Gelu(), a, name="b")
+        c = gb.call(Gelu(), b, name="c")
+        gb.output(c)
+        g = replace_subgraph(
+            gb.finish(), ["b"], FusedNodePayload("t", None), "fb"
+        )
+        chains = extract_chains(g)
+        names = sorted(n for ch in chains for n in ch.node_names)
+        assert names == ["a", "c"]  # the FUSED node is not a chain member
+
+    def test_validate_passes_with_fused(self):
+        gb = GraphBuilder("v")
+        x = gb.input("x", (4,))
+        a = gb.call(Gelu(), x, name="a")
+        gb.output(a)
+        g = replace_subgraph(gb.finish(), ["a"], FusedNodePayload("t", None))
+        g.validate()  # FUSED nodes skip op shape inference
+
+
+class TestGraphMisc:
+    def test_len_counts_nodes(self, tiny_model):
+        assert len(tiny_model.graph) == len(tiny_model.graph.nodes)
+
+    def test_output_marked_twice_deduped(self):
+        gb = GraphBuilder("dd")
+        x = gb.input("x", (2,))
+        a = gb.call(Gelu(), x, name="a")
+        gb.output(a)
+        gb.output(a)
+        g = gb.finish()
+        assert g.outputs == ["a"]
+
+    def test_mark_output_unknown(self):
+        g = Graph("empty")
+        with pytest.raises(GraphError):
+            g.mark_output("ghost")
+
+    def test_param_without_initializer_rejected_at_run(self):
+        g = Graph("noinit")
+        g.add_node(Node("w", NodeKind.PARAM, (4,)))
+        g.add_node(Node("o", NodeKind.OP, (4,), op=Gelu(), inputs=["w"]))
+        g.mark_output("o")
+        with pytest.raises(GraphError):
+            g.run({})

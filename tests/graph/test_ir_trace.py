@@ -1,0 +1,124 @@
+"""Tests for the graph IR and the builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GraphError
+from repro.graph.ir import Graph, Node, NodeKind
+from repro.graph.trace import GraphBuilder
+from repro.ops import Add, BiasAdd, Gemm, LayerNorm
+
+
+def simple_graph():
+    gb = GraphBuilder("g", seed=3)
+    x = gb.input("x", (4, 8))
+    w = gb.param("w", (8, 8))
+    b = gb.param("b", (8,))
+    h = gb.call(Gemm(), x, w, name="mm")
+    h = gb.call(BiasAdd(), h, b, name="bias")
+    gb.output(h)
+    return gb.finish()
+
+
+class TestBuilder:
+    def test_shapes_inferred(self):
+        g = simple_graph()
+        assert g.node("mm").shape == (4, 8)
+        assert g.node("bias").shape == (4, 8)
+
+    def test_shape_errors_surface_at_build(self):
+        gb = GraphBuilder()
+        x = gb.input("x", (4, 8))
+        w = gb.param("w", (9, 8))
+        with pytest.raises(Exception):
+            gb.call(Gemm(), x, w)
+
+    def test_duplicate_names_rejected(self):
+        gb = GraphBuilder()
+        gb.input("x", (4,))
+        with pytest.raises(GraphError):
+            gb.input("x", (4,))
+
+    def test_no_outputs_rejected(self):
+        gb = GraphBuilder()
+        gb.input("x", (4,))
+        with pytest.raises(GraphError):
+            gb.finish()
+
+    def test_param_initializer_deterministic(self):
+        g1 = simple_graph()
+        g2 = simple_graph()
+        assert np.array_equal(g1.node("w").initializer(), g2.node("w").initializer())
+
+    def test_param_initializers_distinct_per_name(self):
+        g = simple_graph()
+        assert not np.array_equal(
+            g.node("w").initializer().ravel()[:8], g.node("b").initializer()
+        )
+
+    def test_const_param(self):
+        gb = GraphBuilder()
+        x = gb.input("x", (2, 4))
+        ones = gb.const_param("g", np.ones(4, np.float16))
+        beta = gb.const_param("bta", np.zeros(4, np.float16))
+        h = gb.call(LayerNorm(), x, ones, beta)
+        gb.output(h)
+        g = gb.finish()
+        assert np.array_equal(g.node("g").initializer(), np.ones(4, np.float16))
+
+
+class TestGraphExecution:
+    def test_run_produces_outputs(self):
+        g = simple_graph()
+        out = g.run({"x": np.ones((4, 8), np.float16)})
+        assert set(out) == {"bias"}
+        assert out["bias"].shape == (4, 8)
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(GraphError):
+            simple_graph().run({})
+
+    def test_fused_node_requires_executor(self):
+        g = Graph("f")
+        g.add_node(Node("x", NodeKind.INPUT, (4,)))
+        g.add_node(Node("f", NodeKind.FUSED, (4,), inputs=["x"]))
+        g.mark_output("f")
+        with pytest.raises(GraphError):
+            g.run({"x": np.ones(4)})
+        out = g.run({"x": np.ones(4)}, fused_executor=lambda node, args: args[0] * 2)
+        assert np.array_equal(out["f"], np.full(4, 2.0))
+
+
+class TestGraphQueries:
+    def test_consumers(self):
+        g = simple_graph()
+        assert [n.name for n in g.consumers("mm")] == ["bias"]
+        assert g.consumers("bias") == []
+
+    def test_consumer_counts_include_outputs(self):
+        g = simple_graph()
+        counts = g.consumer_counts()
+        assert counts["mm"] == 1
+        assert counts["bias"] == 1  # graph output counts as a consumer
+
+    def test_op_nodes_topological(self):
+        g = simple_graph()
+        assert [n.name for n in g.op_nodes()] == ["mm", "bias"]
+
+    def test_validate_catches_shape_drift(self):
+        g = simple_graph()
+        g.node("mm").shape = (4, 9)
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_clone_independent(self):
+        g = simple_graph()
+        c = g.clone()
+        c.node("mm").shape = (1, 1)
+        assert g.node("mm").shape == (4, 8)
+        assert c.outputs == g.outputs
+
+    def test_dependency_order_enforced(self):
+        g = Graph("bad")
+        with pytest.raises(GraphError):
+            g.add_node(Node("a", NodeKind.OP, (1,), op=Add(), inputs=["missing"]))

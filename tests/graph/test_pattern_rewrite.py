@@ -1,0 +1,134 @@
+"""Tests for pattern matching and graph rewriting."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GraphError
+from repro.graph.pattern import find_chain, find_mha_subgraphs
+from repro.graph.rewrite import FusedNodePayload, replace_subgraph
+from repro.graph.trace import GraphBuilder
+from repro.ops import Add, BatchedGemm, BiasAdd, Gemm, MaskAdd, Scale, Softmax
+
+
+def mha_graph():
+    gb = GraphBuilder("mha")
+    q = gb.input("q", (2, 8, 4))
+    kt = gb.input("kt", (2, 4, 8))
+    v = gb.input("v", (2, 8, 4))
+    m = gb.input("m", (8, 8))
+    s = gb.call(BatchedGemm(), q, kt, name="qk")
+    s = gb.call(Scale(0.5), s, name="scale")
+    s = gb.call(MaskAdd(), s, m, name="mask")
+    p = gb.call(Softmax(), s, name="softmax")
+    o = gb.call(BatchedGemm(), p, v, name="pv")
+    gb.output(o)
+    return gb.finish()
+
+
+class TestFindChain:
+    def test_mha_pattern_found(self):
+        matches = find_mha_subgraphs(mha_graph())
+        assert matches == [["qk", "scale", "mask", "softmax", "pv"]]
+
+    def test_no_match_when_interior_escapes(self):
+        gb = GraphBuilder("esc")
+        q = gb.input("q", (2, 8, 4))
+        kt = gb.input("kt", (2, 4, 8))
+        v = gb.input("v", (2, 8, 4))
+        m = gb.input("m", (8, 8))
+        s = gb.call(BatchedGemm(), q, kt, name="qk")
+        s2 = gb.call(Scale(0.5), s, name="scale")
+        s3 = gb.call(MaskAdd(), s2, m, name="mask")
+        p = gb.call(Softmax(), s3, name="softmax")
+        o = gb.call(BatchedGemm(), p, v, name="pv")
+        aux = gb.call(Scale(1.0), s2, name="leak")  # second consumer of scale
+        gb.output(o)
+        gb.output(aux)
+        assert find_mha_subgraphs(gb.finish()) == []
+
+    def test_multiple_matches_non_overlapping(self):
+        gb = GraphBuilder("two")
+        x = gb.input("x", (4, 8))
+        w = gb.param("w", (8, 8))
+        b = gb.param("b", (8,))
+        h = gb.call(Gemm(), x, w, name="g1")
+        h = gb.call(BiasAdd(), h, b, name="b1")
+        h = gb.call(Gemm(), h, w, name="g2")
+        h = gb.call(BiasAdd(), h, b, name="b2")
+        gb.output(h)
+        matches = find_chain(gb.finish(), (Gemm, BiasAdd))
+        assert matches == [["g1", "b1"], ["g2", "b2"]]
+
+    def test_type_specific(self):
+        assert find_chain(mha_graph(), (Scale, Softmax)) == []
+
+
+class TestReplaceSubgraph:
+    def test_mha_region_rewritten(self):
+        g = mha_graph()
+        payload = FusedNodePayload(kind="mha", binding=None)
+        new = replace_subgraph(
+            g, ["qk", "scale", "mask", "softmax", "pv"], payload, "fused_mha"
+        )
+        assert "fused_mha" in new.nodes
+        for name in ("qk", "scale", "mask", "softmax", "pv"):
+            assert name not in new.nodes
+        node = new.node("fused_mha")
+        assert node.inputs == ["q", "kt", "m", "v"]
+        assert node.shape == (2, 8, 4)
+        assert new.outputs == ["fused_mha"]
+        assert payload.original_nodes[-1] == "pv"
+
+    def test_fused_execution(self):
+        g = mha_graph()
+        payload = FusedNodePayload(kind="test", binding=None)
+        new = replace_subgraph(
+            g, ["qk", "scale", "mask", "softmax", "pv"], payload, "f"
+        )
+
+        def exe(node, args):
+            return np.zeros(node.shape, np.float16)
+
+        out = new.run(
+            {
+                "q": np.ones((2, 8, 4), np.float16),
+                "kt": np.ones((2, 4, 8), np.float16),
+                "v": np.ones((2, 8, 4), np.float16),
+                "m": np.ones((8, 8), bool),
+            },
+            fused_executor=exe,
+        )
+        assert out["f"].shape == (2, 8, 4)
+
+    def test_interior_escape_rejected(self):
+        gb = GraphBuilder("esc2")
+        x = gb.input("x", (4, 8))
+        w = gb.param("w", (8, 8))
+        h1 = gb.call(Gemm(), x, w, name="g1")
+        h2 = gb.call(Gemm(), h1, w, name="g2")
+        aux = gb.call(Add(), h1, h2, name="aux")  # h1 escapes the region
+        gb.output(aux)
+        g = gb.finish()
+        with pytest.raises(GraphError):
+            replace_subgraph(g, ["g1", "g2"], FusedNodePayload("t", None))
+
+    def test_downstream_consumers_repointed(self):
+        gb = GraphBuilder("dr")
+        x = gb.input("x", (4, 8))
+        w = gb.param("w", (8, 8))
+        b = gb.param("b", (8,))
+        h = gb.call(Gemm(), x, w, name="g1")
+        h = gb.call(BiasAdd(), h, b, name="b1")
+        t = gb.call(Add(), h, h, name="tail")
+        gb.output(t)
+        g = gb.finish()
+        new = replace_subgraph(g, ["g1", "b1"], FusedNodePayload("t", None), "fz")
+        assert new.node("tail").inputs == ["fz", "fz"]
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(GraphError):
+            replace_subgraph(mha_graph(), [], FusedNodePayload("t", None))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(GraphError):
+            replace_subgraph(mha_graph(), ["nope"], FusedNodePayload("t", None))

@@ -1,0 +1,179 @@
+"""Integration tests pinning the paper's headline experimental shapes.
+
+These are the claims EXPERIMENTS.md reports against; each test exercises
+the full stack (masks -> kernels -> selector / engines -> simulated device)
+at reduced-but-representative scales so the suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import RngStream
+from repro.gpu.specs import A100, RTX4090
+from repro.masks import make_pattern
+from repro.mha.baselines import (
+    FlashAttention2Attention,
+    FlexAttention,
+    NaiveAttention,
+)
+from repro.mha.module import UnifiedMHA
+from repro.mha.problem import AttentionProblem
+from repro.models import ModelConfig, build_model
+from repro.runtime import PyTorchCompileEngine, PyTorchNativeEngine, STOFEngine
+from repro.runtime.frameworks import EAGER_DISPATCH_S, STANDALONE_DISPATCH_S, FLEX_DISPATCH_S
+
+
+def mha_time(kernel, problem, spec, dispatch_s):
+    launches = kernel.plan(problem, spec)
+    from repro.gpu.cost import estimate_kernel_time
+
+    return sum(
+        estimate_kernel_time(spec, c, cfg).total + dispatch_s * c.launches
+        for c, cfg in launches
+    )
+
+
+@pytest.fixture(scope="module")
+def root_rng():
+    return RngStream(42)
+
+
+class TestMHAHeadlines:
+    """Figs. 10-11 shapes at reduced sweep."""
+
+    @pytest.mark.parametrize("pattern", ["sliding_window", "dilated", "longformer", "bigbird"])
+    @pytest.mark.parametrize("spec", [A100, RTX4090], ids=["a100", "4090"])
+    def test_stof_beats_all_baselines(self, pattern, spec, root_rng):
+        prob = AttentionProblem.build(
+            pattern, 8, 12, 1024, 64, rng=root_rng.fork(f"h-{pattern}-{spec.name}")
+        )
+        t_stof = UnifiedMHA(spec).plan(prob).estimated_s
+        t_native = mha_time(NaiveAttention(), prob, spec, EAGER_DISPATCH_S)
+        t_fa2 = mha_time(FlashAttention2Attention(), prob, spec, STANDALONE_DISPATCH_S)
+        t_flex = mha_time(FlexAttention(), prob, spec, FLEX_DISPATCH_S)
+        assert t_stof < t_flex < t_native
+        assert t_stof < t_fa2
+
+    def test_speedup_over_native_grows_with_scale(self, root_rng):
+        """Paper: 4.7x at (1,128) rising to ~33x at (16,4096) on A100."""
+        speedups = {}
+        for bs, seq in [(1, 128), (8, 1024), (16, 2048)]:
+            prob = AttentionProblem.build(
+                "sliding_window", bs, 12, seq, 64, rng=root_rng.fork(f"g{bs}-{seq}")
+            )
+            t_stof = UnifiedMHA(A100).plan(prob).estimated_s
+            t_native = mha_time(NaiveAttention(), prob, A100, EAGER_DISPATCH_S)
+            speedups[(bs, seq)] = t_native / t_stof
+        assert speedups[(1, 128)] > 2.0
+        assert speedups[(16, 2048)] > speedups[(8, 1024)] > speedups[(1, 128)]
+        assert speedups[(16, 2048)] > 15.0
+
+    def test_atomic_masks_beat_compound(self, root_rng):
+        """'The effect of STOF on atomic masks is better than on compound
+        masks' (sparser, more concentrated)."""
+        gains = {}
+        for pattern in ("sliding_window", "bigbird"):
+            prob = AttentionProblem.build(
+                pattern, 16, 12, 2048, 64, rng=root_rng.fork(f"a-{pattern}")
+            )
+            t_stof = UnifiedMHA(A100).plan(prob).estimated_s
+            t_flex = mha_time(FlexAttention(), prob, A100, FLEX_DISPATCH_S)
+            gains[pattern] = t_flex / t_stof
+        assert gains["sliding_window"] > gains["bigbird"]
+
+    def test_rowwise_at_small_sliding_window(self, root_rng):
+        prob = AttentionProblem.build(
+            "sliding_window", 1, 12, 128, 64, rng=root_rng.fork("rws")
+        )
+        plan = UnifiedMHA(A100).plan(prob)
+        assert plan.kernel_name == "stof-rowwise"
+
+    def test_blockwise_at_long_sequences(self, root_rng):
+        prob = AttentionProblem.build(
+            "sliding_window", 16, 12, 2048, 64, rng=root_rng.fork("bwl")
+        )
+        plan = UnifiedMHA(A100).plan(prob)
+        assert plan.kernel_name == "stof-blockwise"
+
+
+class TestEndToEndHeadlines:
+    """Fig. 12 / Fig. 13 shapes on a small-but-real model."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        cfg = ModelConfig("bert-micro", 2, 0, 128, 2, 512, vocab=997)
+        results = {}
+        for bs, seq in [(1, 64), (4, 256)]:
+            inst = build_model(cfg, bs, seq)
+            rng = RngStream(17)
+            mask = make_pattern("bigbird", seq, rng=rng.fork(f"m{bs}-{seq}"))
+            masks = {"mask": mask}
+            pats = {"mask": "bigbird"}
+            times = {}
+            for label, engine in [
+                ("native", PyTorchNativeEngine()),
+                ("compile", PyTorchCompileEngine()),
+                ("stof", STOFEngine()),
+                ("stof-mha", STOFEngine(use_fusion_module=False)),
+                ("stof-fusion", STOFEngine(use_mha_module=False)),
+            ]:
+                times[label] = engine.prepare(inst, A100, masks, pats).plan().time_s
+            results[(bs, seq)] = times
+        return results
+
+    def test_stof_beats_compile(self, setup):
+        for times in setup.values():
+            assert times["stof"] < times["compile"] < times["native"]
+
+    def test_ablation_both_modules_best(self, setup):
+        for times in setup.values():
+            assert times["stof"] <= times["stof-mha"]
+            assert times["stof"] <= times["stof-fusion"]
+
+    def test_ablation_crossover(self, setup):
+        """Fig. 13: fusion module dominates at small scale, the MHA module
+        catches up as the input grows."""
+        small = setup[(1, 64)]
+        large = setup[(4, 256)]
+        fusion_gain_small = small["native"] / small["stof-fusion"]
+        mha_gain_small = small["native"] / small["stof-mha"]
+        fusion_gain_large = large["native"] / large["stof-fusion"]
+        mha_gain_large = large["native"] / large["stof-mha"]
+        assert fusion_gain_small > mha_gain_small
+        # The MHA module's relative contribution grows with scale.
+        assert (mha_gain_large / fusion_gain_large) > (
+            mha_gain_small / fusion_gain_small
+        )
+
+
+class TestPlanningStaysFast:
+    """Regression net: paper-scale analytical planning must stay cheap.
+
+    The harness regenerates every figure in minutes; these bounds catch
+    accidental quadratic blowups in BSR analysis or the tuner.
+    """
+
+    def test_paper_scale_mha_planning_under_budget(self):
+        import time
+
+        from repro.mha.module import UnifiedMHA
+
+        prob = AttentionProblem.build(
+            "bigbird", 16, 12, 4096, 64, rng=RngStream(2).fork("fast")
+        )
+        t0 = time.perf_counter()
+        UnifiedMHA(A100).plan(prob)
+        assert time.perf_counter() - t0 < 10.0
+
+    def test_paper_scale_engine_prepare_under_budget(self):
+        import time
+
+        from repro.masks import make_pattern
+        from repro.models import get_model_config
+
+        inst = build_model(get_model_config("bert-base"), 16, 2048)
+        mask = make_pattern("bigbird", 2048, rng=RngStream(2).fork("f2"))
+        masks = {"mask": mask}
+        t0 = time.perf_counter()
+        STOFEngine().prepare(inst, A100, masks, {"mask": "bigbird"}).plan()
+        assert time.perf_counter() - t0 < 30.0

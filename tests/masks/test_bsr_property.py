@@ -1,0 +1,89 @@
+"""Property-based tests for the BSR format (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.masks.bsr import BlockKind, BlockSparseMask
+
+
+@st.composite
+def masks(draw):
+    seq = draw(st.integers(min_value=1, max_value=96))
+    density = draw(st.floats(min_value=0.0, max_value=1.0))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return rng.random((seq, seq)) < density
+
+
+@st.composite
+def block_shapes(draw):
+    return (
+        draw(st.sampled_from([1, 2, 4, 8, 16, 32])),
+        draw(st.sampled_from([1, 2, 4, 8, 16, 32])),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(mask=masks(), blocks=block_shapes())
+def test_round_trip_exact(mask, blocks):
+    """from_dense -> to_dense is the identity for ANY mask and block size."""
+    bsr = BlockSparseMask.from_dense(mask, *blocks)
+    assert np.array_equal(bsr.to_dense(), mask)
+
+
+@settings(max_examples=80, deadline=None)
+@given(mask=masks(), blocks=block_shapes())
+def test_csr_invariants(mask, blocks):
+    """Structural invariants of the index arrays."""
+    bsr = BlockSparseMask.from_dense(mask, *blocks)
+
+    # Row pointers are monotone and end at the column counts.
+    for ptr, cols in (
+        (bsr.full_row_ptr, bsr.full_col_idx),
+        (bsr.part_row_ptr, bsr.part_col_idx),
+        (bsr.load_row_ptr, bsr.load_col_idx),
+    ):
+        assert (np.diff(ptr) >= 0).all()
+        assert ptr[0] == 0 and ptr[-1] == len(cols)
+
+    # Column indices within bounds; load columns sorted per row.
+    if len(bsr.load_col_idx):
+        assert bsr.load_col_idx.max() < bsr.n_block_cols
+    for bi in range(bsr.n_block_rows):
+        s, e = bsr.load_row_ptr[bi], bsr.load_row_ptr[bi + 1]
+        row_cols = bsr.load_col_idx[s:e]
+        assert (np.diff(row_cols) > 0).all()  # strictly increasing = unique
+
+    # The merged view partitions exactly into FULL + PART.
+    assert bsr.n_valid == bsr.n_full + bsr.n_part
+    kinds = bsr.load_kind
+    assert (kinds == BlockKind.FULL).sum() == bsr.n_full
+    assert (kinds == BlockKind.PART).sum() == bsr.n_part
+
+    # Every PART entry points at a real deduplicated mask; FULL entries at -1.
+    part_sel = kinds == BlockKind.PART
+    if part_sel.any():
+        assert bsr.load_mask_idx[part_sel].min() >= 0
+        assert bsr.load_mask_idx[part_sel].max() < bsr.n_unique_part_masks
+    full_sel = kinds == BlockKind.FULL
+    if full_sel.any():
+        assert (bsr.load_mask_idx[full_sel] == -1).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(mask=masks(), blocks=block_shapes())
+def test_population_preserved(mask, blocks):
+    """The element population of the mask survives the format exactly."""
+    bsr = BlockSparseMask.from_dense(mask, *blocks)
+    assert bsr.to_dense().sum() == mask.sum()
+
+
+@settings(max_examples=60, deadline=None)
+@given(mask=masks(), blocks=block_shapes())
+def test_part_masks_never_empty_nor_full_interior(mask, blocks):
+    """Each deduplicated PART mask is mixed within its in-bounds region
+    (empty blocks are skipped, saturated ones are FULL)."""
+    bsr = BlockSparseMask.from_dense(mask, *blocks)
+    for i in range(bsr.n_unique_part_masks):
+        blk = bsr.part_mask[i]
+        assert blk.any()  # never empty

@@ -1,0 +1,132 @@
+"""Tests for compound patterns and Table 2 mask statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import RngStream
+from repro.masks.compound import EVALUATION_PATTERNS, bigbird_mask, longformer_mask
+from repro.masks.patterns import (
+    PATTERN_REGISTRY,
+    dilated_mask,
+    global_mask,
+    make_pattern,
+    sliding_window_mask,
+)
+from repro.masks.stats import (
+    analyze_mask,
+    classify_distribution,
+    classify_structure,
+    default_width,
+    sparsity_ratio,
+)
+
+
+class TestCompound:
+    def test_longformer_is_union(self):
+        lf = longformer_mask(128, 6, 4)
+        assert np.array_equal(
+            lf, sliding_window_mask(128, 6) | global_mask(128, 4)
+        )
+
+    def test_bigbird_superset_of_longformer(self, rng):
+        bb = bigbird_mask(128, 6, 4, 0.1, rng=rng.fork("bb"))
+        lf = longformer_mask(128, 6, 4)
+        assert (bb | lf).sum() == bb.sum()  # lf subset of bb
+
+    def test_evaluation_patterns_registered(self):
+        for name in EVALUATION_PATTERNS:
+            assert name in PATTERN_REGISTRY
+
+    def test_bigbird_denser_than_longformer(self, rng):
+        bb = bigbird_mask(512, 16, 16, 0.1, rng=rng.fork("bb2"))
+        lf = longformer_mask(512, 16, 16)
+        assert bb.mean() > lf.mean()
+
+
+class TestSparsityRatio:
+    def test_eye(self):
+        assert sparsity_ratio(np.eye(4, dtype=bool)) == 0.75
+
+    def test_full_and_empty(self):
+        assert sparsity_ratio(np.ones((4, 4), bool)) == 0.0
+        assert sparsity_ratio(np.zeros((4, 4), bool)) == 1.0
+
+    def test_table2_values(self, rng):
+        """The paper's Table 2 sparsity ratios at seq 1024, width 32."""
+        expected = {
+            "sliding_window": (0.938, 0.005),
+            "dilated": (0.938, 0.005),
+            "longformer": (0.888, 0.015),
+            "bigbird": (0.808, 0.03),
+        }
+        for name, (target, tol) in expected.items():
+            m = make_pattern(name, 1024, rng=rng.fork(f"t2-{name}"))
+            assert sparsity_ratio(m) == pytest.approx(target, abs=tol), name
+
+
+class TestDistribution:
+    def test_window_continuous(self):
+        assert classify_distribution(sliding_window_mask(128, 8)) == (
+            "continuous",
+            "continuous",
+        )
+
+    def test_dilated_discrete(self):
+        assert classify_distribution(dilated_mask(128, 8, 1)) == (
+            "discrete",
+            "discrete",
+        )
+
+    def test_longformer_discrete(self):
+        # Global rows/cols plus a separated band -> two runs.
+        m = longformer_mask(256, 8, 8)
+        assert classify_distribution(m) == ("discrete", "discrete")
+
+    def test_empty_mask_continuous(self):
+        assert classify_distribution(np.zeros((8, 8), bool)) == (
+            "continuous",
+            "continuous",
+        )
+
+    def test_asymmetric_case(self):
+        m = np.zeros((8, 8), bool)
+        m[:, 0] = True   # each row: single run; column 0: single run
+        m[0, 4] = True   # row 0 now has two runs
+        row, col = classify_distribution(m)
+        assert row == "discrete" and col == "continuous"
+
+
+class TestStructure:
+    def test_band_structured(self):
+        assert classify_structure(sliding_window_mask(256, 8)) == "structured"
+
+    def test_random_unstructured(self, rng):
+        m = rng.fork("rand").random((256, 256)) < 0.1
+        assert classify_structure(m) == "unstructured"
+
+    def test_registry_metadata_drives_table2(self, rng):
+        m = make_pattern("bigbird", 256, rng=rng.fork("bb3"))
+        stats = analyze_mask(m, "bigbird", known_random=True)
+        assert stats.sparsity_type == "unstructured"
+        stats2 = analyze_mask(m, "bigbird", known_random=False)
+        assert stats2.sparsity_type == "structured"
+
+    def test_empty_mask(self):
+        assert classify_structure(np.zeros((16, 16), bool)) == "structured"
+
+
+class TestAnalyzeMask:
+    def test_table_row_fields(self):
+        stats = analyze_mask(
+            sliding_window_mask(64, 4), "sliding_window", {"band_width": 4}
+        )
+        row = stats.as_table_row()
+        assert row["pattern"] == "sliding_window"
+        assert row["row"] == "continuous"
+        assert row["parameters"] == "band_width=4"
+        assert isinstance(row["sparsity_%"], float)
+
+    def test_default_width(self):
+        assert default_width(1024) == 32
+        assert default_width(128) == 11
+        assert default_width(1) == 1

@@ -1,0 +1,132 @@
+"""Tests for the FlashMask-style column-range representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigError, UnsupportedInputError
+from repro.masks.patterns import (
+    causal_mask,
+    dilated_mask,
+    global_mask,
+    sliding_window_mask,
+)
+from repro.masks.compound import bigbird_mask, longformer_mask
+from repro.masks.ranges import ColumnRangeMask, column_run_counts
+
+
+class TestColumnRunCounts:
+    def test_eye(self):
+        assert column_run_counts(np.eye(4, dtype=bool)).tolist() == [1, 1, 1, 1]
+
+    def test_empty(self):
+        assert column_run_counts(np.zeros((4, 4), bool)).tolist() == [0] * 4
+
+    def test_two_runs(self):
+        m = np.zeros((6, 1), bool)
+        m[[0, 1, 4], 0] = True
+        assert column_run_counts(m).tolist() == [2]
+
+    def test_dilated_many_runs(self):
+        runs = column_run_counts(dilated_mask(64, 8, 1))
+        assert runs.max() > 2
+
+
+class TestRepresentability:
+    @pytest.mark.parametrize(
+        "mask_fn",
+        [
+            lambda: causal_mask(64),
+            lambda: sliding_window_mask(64, 5),
+            lambda: global_mask(64, 4),
+            lambda: longformer_mask(128, 8, 8),
+            lambda: np.ones((32, 32), bool),
+            lambda: np.zeros((32, 32), bool),
+        ],
+        ids=["causal", "window", "global", "longformer", "full", "empty"],
+    )
+    def test_round_trip_supported_patterns(self, mask_fn):
+        m = mask_fn()
+        crm = ColumnRangeMask.from_dense(m)
+        assert np.array_equal(crm.to_dense(), m)
+
+    def test_dilated_rejected(self):
+        with pytest.raises(UnsupportedInputError):
+            ColumnRangeMask.from_dense(dilated_mask(64, 8, 1))
+
+    def test_bigbird_rejected(self, rng):
+        # Small random blocks scattered over a long sequence guarantee
+        # columns with more than two attended runs.
+        m = bigbird_mask(512, 16, 16, 0.15, block_size=32, rng=rng.fork("bb"))
+        ok, reason = ColumnRangeMask.supports(m)
+        assert not ok and "runs" in reason
+
+    def test_supports_is_consistent_with_from_dense(self, rng):
+        for m in (causal_mask(32), dilated_mask(32, 4, 1)):
+            ok, _ = ColumnRangeMask.supports(m)
+            if ok:
+                ColumnRangeMask.from_dense(m)
+            else:
+                with pytest.raises(UnsupportedInputError):
+                    ColumnRangeMask.from_dense(m)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigError):
+            ColumnRangeMask.from_dense(np.zeros((4, 8), bool))
+
+
+class TestArrays:
+    def test_causal_bounds(self):
+        crm = ColumnRangeMask.from_dense(causal_mask(5))
+        # Column j attends rows [j, 5).
+        assert crm.run0_start.tolist() == [0, 1, 2, 3, 4]
+        assert crm.run0_end.tolist() == [5] * 5
+        assert np.array_equal(crm.run1_start, crm.run1_end)
+
+    def test_footprint_linear_not_quadratic(self):
+        crm = ColumnRangeMask.from_dense(causal_mask(512))
+        assert crm.nbytes == 4 * 512 * 4  # four int32 arrays
+        assert crm.nbytes < 512 * 512      # << dense
+
+    def test_attended_counts(self):
+        crm = ColumnRangeMask.from_dense(causal_mask(4))
+        assert crm.attended_counts().tolist() == [4, 3, 2, 1]
+
+    def test_two_run_column(self):
+        m = longformer_mask(64, 4, 4)
+        crm = ColumnRangeMask.from_dense(m)
+        mid = 32  # a column far from the global stripe: global run + band run
+        assert crm.run0_end[mid] - crm.run0_start[mid] == 4   # global rows
+        assert crm.run1_end[mid] > crm.run1_start[mid]        # the band
+
+
+@st.composite
+def two_run_masks(draw):
+    """Random masks guaranteed representable: two runs per column."""
+    n = draw(st.integers(min_value=1, max_value=48))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    g = np.random.default_rng(seed)
+    m = np.zeros((n, n), dtype=bool)
+    for j in range(n):
+        bounds = np.sort(g.integers(0, n + 1, size=4))
+        m[bounds[0]:bounds[1], j] = True
+        m[bounds[2]:bounds[3], j] = True
+    return m
+
+
+@settings(max_examples=60, deadline=None)
+@given(mask=two_run_masks())
+def test_round_trip_property(mask):
+    """Any mask with <= 2 runs per column survives the format exactly."""
+    crm = ColumnRangeMask.from_dense(mask)
+    assert np.array_equal(crm.to_dense(), mask)
+
+
+@settings(max_examples=60, deadline=None)
+@given(mask=two_run_masks())
+def test_run_invariants(mask):
+    crm = ColumnRangeMask.from_dense(mask)
+    assert (crm.run0_start <= crm.run0_end).all()
+    assert (crm.run0_end <= crm.run1_start).all()
+    assert (crm.run1_start <= crm.run1_end).all()
+    assert (crm.attended_counts() == mask.sum(axis=0)).all()

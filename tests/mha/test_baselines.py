@@ -1,0 +1,136 @@
+"""Tests for the baseline attention strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import UnsupportedInputError
+from repro.core.fp16 import fp16_allclose
+from repro.gpu.specs import A100
+from repro.mha.baselines import (
+    BYTETRANSFORMER_MAX_SEQ,
+    ByteTransformerAttention,
+    FlashAttention2Attention,
+    FlashMaskAttention,
+    FlexAttention,
+    MCFuserAttention,
+    NaiveAttention,
+)
+from repro.mha.blockwise import BlockWiseKernel
+from repro.mha.problem import AttentionProblem
+from repro.mha.reference import solve_reference
+from repro.mha.selector import select_block_params
+
+ALL_BASELINES = [
+    NaiveAttention,
+    FlashAttention2Attention,
+    FlexAttention,
+    ByteTransformerAttention,
+    MCFuserAttention,
+]
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_matches_reference(self, cls, small_problem):
+        out = cls().run(small_problem)
+        assert fp16_allclose(out, solve_reference(small_problem), rtol=8e-2, atol=8e-3)
+
+    def test_naive_composes_real_op_pipeline(self, small_problem):
+        """NaiveAttention must actually run the five-op pipeline, not just
+        delegate; check it produces FP16 intermediate rounding (weaker
+        than bit-equality with reference)."""
+        out = NaiveAttention().run(small_problem)
+        assert out.dtype == np.float16
+        assert out.shape == small_problem.qkv_shape
+
+
+class TestSupportGates:
+    def test_bytetransformer_seq_limit(self, rng):
+        prob = AttentionProblem.build(
+            "causal", 1, 2, BYTETRANSFORMER_MAX_SEQ + 1, 16, rng=rng.fork("bt")
+        )
+        ok, reason = ByteTransformerAttention().supports(prob)
+        assert not ok and "1024" in reason
+        with pytest.raises(UnsupportedInputError):
+            ByteTransformerAttention().plan(prob, A100)
+
+    def test_bytetransformer_at_limit_ok(self, rng):
+        prob = AttentionProblem.build("causal", 1, 1, 1024, 16, rng=rng.fork("bt2"))
+        assert ByteTransformerAttention().supports(prob)[0]
+
+    def test_flashmask_rejects_discrete_columns(self, rng):
+        dil = AttentionProblem.build("dilated", 1, 1, 128, 16, rng=rng.fork("fm"))
+        ok, reason = FlashMaskAttention().supports(dil)
+        assert not ok and "column" in reason
+
+    def test_flashmask_accepts_two_run_columns(self, rng):
+        lf = AttentionProblem.build("longformer", 1, 1, 256, 16, rng=rng.fork("fm2"))
+        assert FlashMaskAttention().supports(lf)[0]
+
+    def test_flashmask_accepts_sliding_and_causal(self, rng):
+        for pat in ("sliding_window", "causal"):
+            prob = AttentionProblem.build(pat, 1, 1, 128, 16, rng=rng.fork(pat))
+            assert FlashMaskAttention().supports(prob)[0]
+
+    def test_flashmask_rejects_bigbird(self, rng):
+        bb = AttentionProblem.build("bigbird", 1, 1, 256, 16, rng=rng.fork("bb"))
+        assert not FlashMaskAttention().supports(bb)[0]
+
+
+class TestStrategyCosts:
+    def make(self, pattern, rng, seq=512, bs=4):
+        return AttentionProblem.build(pattern, bs, 12, seq, 64, rng=rng.fork(f"{pattern}{seq}"))
+
+    def test_naive_materializes_scores(self, rng):
+        prob = self.make("bigbird", rng)
+        launches = NaiveAttention().plan(prob, A100)
+        assert len(launches) == 5
+        total_write = sum(c.bytes_dram_written for c, _ in launches)
+        assert total_write > 2 * prob.scores_bytes  # S written repeatedly
+
+    def test_fa2_skips_only_native_patterns(self, rng):
+        sw = self.make("sliding_window", rng)
+        bb = self.make("bigbird", rng)
+        (c_sw, _), = FlashAttention2Attention().plan(sw, A100)
+        (c_bb, _), = FlashAttention2Attention().plan(bb, A100)
+        # Sliding window: fewer flops than dense bigbird fallback despite
+        # bigbird having higher sparsity available in principle.
+        assert c_sw.flops_tensor < c_bb.flops_tensor
+
+    def test_flex_skips_coarsely(self, rng):
+        prob = self.make("sliding_window", rng, seq=2048)
+        (c_flex, _), = FlexAttention().plan(prob, A100)
+        stof = BlockWiseKernel()
+        (c_stof, _), = stof.plan(prob, A100, select_block_params(prob, A100))
+        # Both skip, but Flex's fixed 128x128 granularity covers more area.
+        assert c_stof.flops_tensor < c_flex.flops_tensor
+
+    def test_mcfuser_spills_scores_at_long_seq(self, rng):
+        short = self.make("bigbird", rng, seq=256)
+        long = self.make("bigbird", rng, seq=1024)
+        (c_short, _), = MCFuserAttention().plan(short, A100)
+        (c_long, _), = MCFuserAttention().plan(long, A100)
+        assert c_short.bytes_dram_written == short.qkv_bytes
+        assert c_long.bytes_dram_written > long.qkv_bytes  # spilled S
+
+    def test_mcfuser_workspace_grows_quadratically(self, rng):
+        a = MCFuserAttention().workspace_bytes(self.make("bigbird", rng, seq=512))
+        b = MCFuserAttention().workspace_bytes(self.make("bigbird", rng, seq=1024))
+        assert b == pytest.approx(4 * a)
+
+    def test_single_fused_launch_for_fused_baselines(self, rng):
+        prob = self.make("bigbird", rng)
+        for cls in (FlashAttention2Attention, FlexAttention, MCFuserAttention):
+            launches = cls().plan(prob, A100)
+            assert len(launches) == 1
+            assert launches[0][0].launches == 1
+
+    def test_stof_beats_flex_on_every_evaluation_mask(self, rng):
+        """Figs. 10-11 headline: STOF >= FlexAttention across all masks."""
+        for pattern in ("sliding_window", "dilated", "longformer", "bigbird"):
+            prob = self.make(pattern, rng, seq=1024, bs=8)
+            t_flex = FlexAttention().estimate_time(prob, A100)
+            t_stof = BlockWiseKernel().estimate_time(
+                prob, A100, select_block_params(prob, A100)
+            )
+            assert t_stof < t_flex, pattern

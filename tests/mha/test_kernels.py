@@ -1,0 +1,169 @@
+"""Tests for the row-wise and block-wise STOF kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import fp16_allclose
+from repro.core.rng import RngStream
+from repro.gpu.specs import A100
+from repro.mha.blockwise import BlockWiseKernel, required_smem_elems
+from repro.mha.problem import AttentionProblem
+from repro.mha.reference import solve_reference
+from repro.mha.rowwise import RowWiseKernel, _contiguous_row_fraction
+
+PATTERNS = ["sliding_window", "dilated", "longformer", "bigbird", "causal", "global"]
+
+
+def problem_for(pattern, rng, seq=96, batch=2, heads=3, d=32):
+    return AttentionProblem.build(
+        pattern, batch, heads, seq, d, rng=rng.fork(f"p-{pattern}-{seq}"),
+        with_tensors=True,
+    )
+
+
+class TestBlockwiseCorrectness:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_matches_reference(self, pattern, rng):
+        prob = problem_for(pattern, rng)
+        out = BlockWiseKernel().run(
+            prob, {"block_m": 16, "block_n": 16, "num_warps": 4, "padding": 16}
+        )
+        assert fp16_allclose(out, solve_reference(prob))
+
+    @pytest.mark.parametrize("bm,bn", [(16, 32), (32, 16), (64, 64), (128, 16)])
+    def test_block_size_invariance(self, bm, bn, rng):
+        prob = problem_for("bigbird", rng, seq=128)
+        out = BlockWiseKernel().run(
+            prob, {"block_m": bm, "block_n": bn, "num_warps": 4, "padding": 16}
+        )
+        assert fp16_allclose(out, solve_reference(prob))
+
+    def test_non_divisible_seq(self, rng):
+        prob = problem_for("sliding_window", rng, seq=100)
+        out = BlockWiseKernel().run(
+            prob, {"block_m": 32, "block_n": 32, "num_warps": 4, "padding": 16}
+        )
+        assert fp16_allclose(out, solve_reference(prob))
+
+    def test_fully_masked_rows_zero(self, rng):
+        mask = np.zeros((64, 64), bool)
+        mask[: 32, :32] = True
+        prob = AttentionProblem(2, 2, 64, 16, mask)
+        data = rng.fork("fm")
+        for name in ("q", "k", "v"):
+            setattr(prob, name, data.standard_normal(prob.qkv_shape).astype(np.float16))
+        out = BlockWiseKernel().run(
+            prob, {"block_m": 16, "block_n": 16, "num_warps": 4, "padding": 16}
+        )
+        assert not out[..., 32:, :].astype(np.float32).any()
+        assert fp16_allclose(out, solve_reference(prob))
+
+    def test_invalid_block_sizes_rejected(self, rng):
+        prob = problem_for("causal", rng)
+        for bad in (8, 24, 48):
+            with pytest.raises(ConfigError):
+                BlockWiseKernel().run(
+                    prob, {"block_m": bad, "block_n": 16, "num_warps": 4, "padding": 16}
+                )
+
+
+class TestBlockwisePlan:
+    def test_skips_empty_blocks(self, rng):
+        sparse = problem_for("sliding_window", rng, seq=512)
+        dense = AttentionProblem(2, 3, 512, 32, np.ones((512, 512), bool))
+        params = {"block_m": 64, "block_n": 64, "num_warps": 4, "padding": 16}
+        kern = BlockWiseKernel()
+        (c_sparse, _), = kern.plan(sparse, A100, params)
+        (c_dense, _), = kern.plan(dense, A100, params)
+        assert c_sparse.flops_tensor < 0.5 * c_dense.flops_tensor
+        assert c_sparse.bytes_dram + c_sparse.bytes_l2_read < (
+            c_dense.bytes_dram + c_dense.bytes_l2_read
+        )
+
+    def test_flops_proportional_to_valid_blocks(self, rng):
+        prob = problem_for("bigbird", rng, seq=256)
+        params = {"block_m": 32, "block_n": 32, "num_warps": 4, "padding": 16}
+        (cost, _), = BlockWiseKernel().plan(prob, A100, params)
+        bsr = prob.bsr(32, 32)
+        expected = prob.n_bh * bsr.n_valid * 4.0 * 32 * 32 * 32
+        assert cost.flops_tensor == expected
+
+    def test_grid_one_block_per_query_tile(self, rng):
+        prob = problem_for("causal", rng, seq=256)
+        params = {"block_m": 64, "block_n": 32, "num_warps": 4, "padding": 16}
+        (_, cfg), = BlockWiseKernel().plan(prob, A100, params)
+        assert cfg.grid_blocks == prob.n_bh * (256 // 64)
+
+    def test_smem_matches_eq2_formula(self, rng):
+        prob = problem_for("causal", rng)
+        params = {"block_m": 32, "block_n": 64, "num_warps": 4, "padding": 16}
+        (_, cfg), = BlockWiseKernel().plan(prob, A100, params)
+        assert cfg.smem_per_block == required_smem_elems(32, 64, 32, 16) * 2
+
+    def test_padding_kills_conflicts(self, rng):
+        prob = problem_for("causal", rng, d=64)
+        base = {"block_m": 32, "block_n": 32, "num_warps": 4}
+        (c_pad, _), = BlockWiseKernel().plan(prob, A100, {**base, "padding": 16})
+        (c_raw, _), = BlockWiseKernel().plan(prob, A100, {**base, "padding": 0})
+        assert c_raw.bank_conflict_factor > c_pad.bank_conflict_factor
+
+    def test_empty_mask_writes_only(self):
+        prob = AttentionProblem(1, 2, 64, 16, np.zeros((64, 64), bool))
+        params = {"block_m": 16, "block_n": 16, "num_warps": 4, "padding": 16}
+        (cost, _), = BlockWiseKernel().plan(prob, A100, params)
+        assert cost.flops_tensor == 0
+        assert cost.bytes_dram_written == prob.qkv_bytes
+
+
+class TestRowwise:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_matches_reference(self, pattern, rng):
+        prob = problem_for(pattern, rng, seq=64)
+        assert fp16_allclose(RowWiseKernel().run(prob), solve_reference(prob))
+
+    def test_fully_masked_rows_zero(self, rng):
+        mask = np.eye(32, dtype=bool)
+        mask[10] = False
+        prob = AttentionProblem(1, 2, 32, 8, mask)
+        data = rng.fork("rw")
+        for name in ("q", "k", "v"):
+            setattr(prob, name, data.standard_normal(prob.qkv_shape).astype(np.float16))
+        out = RowWiseKernel().run(prob)
+        assert not out[..., 10, :].astype(np.float32).any()
+
+    def test_no_smem_no_sync(self, rng):
+        prob = problem_for("sliding_window", rng)
+        (cost, cfg), = RowWiseKernel().plan(prob, A100)
+        assert cost.bytes_smem == 0
+        assert cost.sync_rounds == 0
+        assert cfg.smem_per_block == 0
+
+    def test_simt_only(self, rng):
+        prob = problem_for("sliding_window", rng)
+        (cost, _), = RowWiseKernel().plan(prob, A100)
+        assert cost.flops_tensor == 0 and cost.flops_simt > 0
+
+    def test_grid_covers_all_rows(self, rng):
+        prob = problem_for("causal", rng, seq=64, batch=2, heads=3)
+        (_, cfg), = RowWiseKernel().plan(prob, A100, {"num_warps": 4})
+        assert cfg.grid_blocks == (2 * 3 * 64) // 4
+
+    def test_contiguous_rows_cheaper(self, rng):
+        """Band masks gather coalesced; scattered masks pay the tax."""
+        band = problem_for("sliding_window", rng, seq=256)
+        dil = problem_for("dilated", rng, seq=256)
+        # Match populations approximately by construction (same Table 2 row).
+        (c_band, _), = RowWiseKernel().plan(band, A100)
+        (c_dil, _), = RowWiseKernel().plan(dil, A100)
+        band_per_nnz = c_band.bytes_dram_read / band.nnz
+        dil_per_nnz = c_dil.bytes_dram_read / dil.nnz
+        assert band_per_nnz < dil_per_nnz
+
+    def test_contiguous_fraction_helper(self):
+        m = np.zeros((4, 8), bool)
+        m[0, 2:5] = True          # one run
+        m[1, [0, 4]] = True       # two runs
+        m[2] = True               # one run
+        assert _contiguous_row_fraction(m) == pytest.approx(2 / 3)
+        assert _contiguous_row_fraction(np.zeros((3, 3), bool)) == 1.0

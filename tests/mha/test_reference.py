@@ -1,0 +1,88 @@
+"""Tests for the dense reference attention."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.mha.problem import AttentionProblem
+from repro.mha.reference import reference_attention, solve_reference
+
+
+@pytest.fixture
+def qkv(rng):
+    g = rng.fork("ref").generator
+    shape = (2, 2, 16, 8)
+    return tuple((g.standard_normal(shape) * 0.5).astype(np.float16) for _ in range(3))
+
+
+class TestReferenceAttention:
+    def test_full_mask_is_plain_softmax_attention(self, qkv):
+        q, k, v = qkv
+        mask = np.ones((16, 16), bool)
+        out = reference_attention(q, k, v, mask).astype(np.float32)
+        scale = 1 / np.sqrt(8)
+        s = (q.astype(np.float32) @ np.swapaxes(k.astype(np.float32), -1, -2)) * scale
+        p = np.exp(s - s.max(-1, keepdims=True))
+        p /= p.sum(-1, keepdims=True)
+        ref = p @ v.astype(np.float32)
+        assert np.allclose(out, ref, rtol=2e-2, atol=2e-3)
+
+    def test_identity_mask_returns_v(self, qkv):
+        q, k, v = qkv
+        out = reference_attention(q, k, v, np.eye(16, dtype=bool))
+        # Each row attends only itself: softmax over one element = 1.
+        assert np.allclose(
+            out.astype(np.float32), v.astype(np.float32), rtol=2e-2, atol=2e-3
+        )
+
+    def test_fully_masked_rows_zero(self, qkv):
+        q, k, v = qkv
+        mask = np.ones((16, 16), bool)
+        mask[5, :] = False
+        out = reference_attention(q, k, v, mask).astype(np.float32)
+        assert (out[..., 5, :] == 0).all()
+        assert (out[..., 4, :] != 0).any()
+
+    def test_empty_mask_all_zero(self, qkv):
+        q, k, v = qkv
+        out = reference_attention(q, k, v, np.zeros((16, 16), bool))
+        assert not out.astype(np.float32).any()
+
+    def test_mask_column_invariance(self, qkv):
+        """Values at masked positions cannot influence the output."""
+        q, k, v = qkv
+        mask = np.ones((16, 16), bool)
+        mask[:, 7] = False
+        out1 = reference_attention(q, k, v, mask)
+        k2, v2 = k.copy(), v.copy()
+        k2[..., 7, :] = 99.0
+        v2[..., 7, :] = -99.0
+        out2 = reference_attention(q, k2, v2, mask)
+        assert np.array_equal(out1, out2)
+
+    def test_custom_scale(self, qkv):
+        q, k, v = qkv
+        mask = np.ones((16, 16), bool)
+        a = reference_attention(q, k, v, mask, scale=1.0)
+        b = reference_attention(q, k, v, mask, scale=0.01)
+        assert not np.array_equal(a, b)
+
+    def test_mask_shape_check(self, qkv):
+        q, k, v = qkv
+        with pytest.raises(ConfigError):
+            reference_attention(q, k, v, np.ones((8, 8), bool))
+
+    def test_output_fp16(self, qkv):
+        q, k, v = qkv
+        assert reference_attention(q, k, v, np.ones((16, 16), bool)).dtype == np.float16
+
+
+class TestSolveReference:
+    def test_requires_tensors(self):
+        prob = AttentionProblem.build("causal", 1, 1, 8, 4)
+        with pytest.raises(ConfigError):
+            solve_reference(prob)
+
+    def test_runs_on_concrete_problem(self, small_problem):
+        out = solve_reference(small_problem)
+        assert out.shape == small_problem.qkv_shape

@@ -1,0 +1,138 @@
+"""Tests for model configurations and graph builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.graph.pattern import find_mha_subgraphs
+from repro.masks import make_pattern
+from repro.models import (
+    BERT_BASE,
+    BERT_LARGE,
+    BERT_SMALL,
+    GPT,
+    MODEL_ZOO,
+    T5,
+    ModelConfig,
+    build_model,
+    get_model_config,
+)
+
+
+class TestConfigs:
+    def test_paper_standard_sizes(self):
+        assert (BERT_SMALL.encoder_layers, BERT_SMALL.hidden, BERT_SMALL.heads) == (4, 512, 8)
+        assert (BERT_BASE.encoder_layers, BERT_BASE.hidden, BERT_BASE.heads) == (12, 768, 12)
+        assert (BERT_LARGE.encoder_layers, BERT_LARGE.hidden, BERT_LARGE.heads) == (24, 1024, 16)
+        assert GPT.is_decoder_only and GPT.decoder_layers == 12
+        assert T5.is_encoder_decoder and T5.activation == "relu"
+
+    def test_all_heads_are_64_dim(self):
+        """§5.1.2: head size 64 across the evaluation models."""
+        for cfg in MODEL_ZOO.values():
+            assert cfg.head_size == 64
+
+    def test_lookup(self):
+        assert get_model_config("BERT-Base") is BERT_BASE
+        with pytest.raises(ConfigError):
+            get_model_config("llama")
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelConfig("bad", 1, 0, 100, 3, 128)  # 100 % 3 != 0
+        with pytest.raises(ConfigError):
+            ModelConfig("empty", 0, 0, 64, 2, 128)
+
+
+class TestBuildEncoder:
+    def test_mha_per_layer(self, tiny_model_config):
+        inst = build_model(tiny_model_config, 2, 16)
+        assert len(find_mha_subgraphs(inst.graph)) == tiny_model_config.encoder_layers
+
+    def test_mask_inputs(self, tiny_model_config):
+        inst = build_model(tiny_model_config, 2, 16)
+        assert inst.mask_inputs == {"mask": (16, 16)}
+        assert inst.ids_inputs == ["emb.ids"]
+
+    def test_forward_shapes_and_finiteness(self, tiny_model, tiny_masks):
+        inputs = tiny_model.make_inputs(tiny_masks)
+        out = tiny_model.graph.run(inputs)
+        (arr,) = out.values()
+        assert arr.shape == (tiny_model.batch * tiny_model.seq_len,
+                             tiny_model.config.hidden)
+        assert np.isfinite(arr.astype(np.float32)).all()
+
+    def test_two_builds_identical(self, tiny_model_config, tiny_masks):
+        a = build_model(tiny_model_config, 2, 32, seed=5)
+        b = build_model(tiny_model_config, 2, 32, seed=5)
+        inputs = a.make_inputs(tiny_masks)
+        out_a = a.graph.run(inputs)
+        out_b = b.graph.run(inputs)
+        assert np.array_equal(next(iter(out_a.values())), next(iter(out_b.values())))
+
+    def test_seed_changes_weights(self, tiny_model_config, tiny_masks):
+        a = build_model(tiny_model_config, 2, 32, seed=5)
+        b = build_model(tiny_model_config, 2, 32, seed=6)
+        inputs = a.make_inputs(tiny_masks)
+        assert not np.array_equal(
+            next(iter(a.graph.run(inputs).values())),
+            next(iter(b.graph.run(inputs).values())),
+        )
+
+    def test_mask_actually_gates_attention(self, tiny_model, rng):
+        inputs_dense = tiny_model.make_inputs(
+            {"mask": np.ones((32, 32), bool)}, rng=rng.fork("i")
+        )
+        inputs_sparse = tiny_model.make_inputs(
+            {"mask": np.eye(32, dtype=bool)}, rng=rng.fork("i")
+        )
+        out_d = next(iter(tiny_model.graph.run(inputs_dense).values()))
+        out_s = next(iter(tiny_model.graph.run(inputs_sparse).values()))
+        assert not np.array_equal(out_d, out_s)
+
+
+class TestBuildDecoderAndT5:
+    def test_decoder_only(self):
+        cfg = ModelConfig("dtiny", 0, 2, 64, 2, 128, vocab=97)
+        inst = build_model(cfg, 1, 16)
+        assert len(find_mha_subgraphs(inst.graph)) == 2
+        assert inst.mask_inputs == {"mask": (16, 16)}
+
+    def test_t5_three_masks(self):
+        cfg = ModelConfig("t5tiny", 1, 1, 64, 2, 128, vocab=97, activation="relu")
+        inst = build_model(cfg, 1, 8)
+        assert set(inst.mask_inputs) == {"enc_mask", "dec_mask", "cross_mask"}
+        # enc self + dec self + dec cross = 3 attention sites.
+        assert len(find_mha_subgraphs(inst.graph)) == 3
+
+    def test_t5_forward(self, rng):
+        cfg = ModelConfig("t5tiny", 1, 1, 64, 2, 128, vocab=97, activation="relu")
+        inst = build_model(cfg, 1, 8)
+        masks = {k: np.ones((8, 8), bool) for k in inst.mask_inputs}
+        out = inst.graph.run(inst.make_inputs(masks, rng=rng.fork("t5")))
+        (arr,) = out.values()
+        assert arr.shape == (8, 64)
+        assert np.isfinite(arr.astype(np.float32)).all()
+
+    def test_missing_mask_rejected(self, tiny_model):
+        with pytest.raises(ConfigError):
+            tiny_model.make_inputs({})
+
+    def test_wrong_mask_shape_rejected(self, tiny_model):
+        with pytest.raises(ConfigError):
+            tiny_model.make_inputs({"mask": np.ones((8, 8), bool)})
+
+    def test_invalid_batch(self, tiny_model_config):
+        with pytest.raises(ConfigError):
+            build_model(tiny_model_config, 0, 16)
+
+
+class TestGraphScale:
+    def test_bert_base_node_count(self):
+        inst = build_model(BERT_BASE, 1, 128)
+        ops = len(inst.graph.op_nodes())
+        # 12 layers x ~29 ops/layer plus embeddings.
+        assert 300 < ops < 450
+
+    def test_tokens(self, tiny_model):
+        assert tiny_model.tokens == 64

@@ -1,0 +1,132 @@
+"""Tests for element-wise operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.gpu.specs import A100
+from repro.ops.elementwise import (
+    MASK_NEG,
+    Add,
+    BiasAdd,
+    Gelu,
+    Identity,
+    MaskAdd,
+    Relu,
+    Scale,
+)
+
+
+class TestBiasAdd:
+    def test_broadcast(self):
+        x = np.zeros((3, 4), np.float16)
+        b = np.arange(4, dtype=np.float16)
+        out = BiasAdd().compute(x, b)
+        assert np.array_equal(out, np.tile(b, (3, 1)))
+
+    def test_shape_check(self):
+        with pytest.raises(ConfigError):
+            BiasAdd().compute(np.zeros((3, 4), np.float16), np.zeros(5, np.float16))
+
+    def test_cost_reads_bias_once(self):
+        op = BiasAdd()
+        shapes = [(128, 512), (512,)]
+        c, _ = op.cost(shapes, A100, {"num_warps": 4})
+        assert c.bytes_dram_read == (128 * 512 + 512) * 2
+        assert c.bytes_dram_written == 128 * 512 * 2
+        assert c.flops_tensor == 0
+
+
+class TestAdd:
+    def test_values(self):
+        a = np.full((4,), 1.5, np.float16)
+        b = np.full((4,), 2.0, np.float16)
+        assert np.array_equal(Add().compute(a, b), np.full((4,), 3.5, np.float16))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            Add().compute(np.zeros(3, np.float16), np.zeros(4, np.float16))
+
+    def test_cost_reads_both(self):
+        c, _ = Add().cost([(64, 64), (64, 64)], A100, {"num_warps": 4})
+        assert c.bytes_dram_read == 2 * 64 * 64 * 2
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0], np.float16)
+        assert np.array_equal(Relu().compute(x), np.array([0, 0, 2], np.float16))
+
+    def test_gelu_reference_points(self):
+        x = np.array([0.0, 1.0, -1.0], np.float32)
+        out = Gelu().compute(x).astype(np.float32)
+        # GELU(0)=0; GELU(1)~0.841; GELU(-1)~-0.159 (tanh approximation).
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(0.841, abs=5e-3)
+        assert out[2] == pytest.approx(-0.159, abs=5e-3)
+
+    def test_gelu_monotone_on_positive(self):
+        x = np.linspace(0, 4, 50, dtype=np.float32)
+        out = Gelu().compute(x).astype(np.float32)
+        assert (np.diff(out) >= 0).all()
+
+    def test_scale(self):
+        out = Scale(0.25).compute(np.full(4, 8.0, np.float16))
+        assert np.array_equal(out, np.full(4, 2.0, np.float16))
+
+    def test_gelu_costlier_than_relu(self):
+        shapes = [(1024, 1024)]
+        cg, _ = Gelu().cost(shapes, A100, {"num_warps": 4})
+        cr, _ = Relu().cost(shapes, A100, {"num_warps": 4})
+        assert cg.flops_simt > cr.flops_simt
+        assert cg.bytes_dram == cr.bytes_dram
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        x = np.arange(4, dtype=np.float16)
+        assert Identity().compute(x) is not None
+        assert np.array_equal(Identity().compute(x), x)
+
+    def test_zero_cost(self):
+        c, _ = Identity().cost([(64, 64)], A100, {"num_warps": 4})
+        assert c.launches == 0 and c.flops == 0
+
+
+class TestMaskAdd:
+    def test_masked_positions_sunk(self):
+        s = np.zeros((2, 4, 4), np.float16)
+        m = np.eye(4, dtype=bool)
+        out = MaskAdd().compute(s, m).astype(np.float32)
+        assert (out[:, ~m] <= MASK_NEG + 1).all()
+        assert (out[:, m] == 0).all()
+
+    def test_softmax_after_mask_ignores_masked(self):
+        from repro.ops.normalization import Softmax
+
+        s = np.zeros((1, 2, 4), np.float16)
+        m = np.zeros((2, 4), bool)
+        m[:, :2] = True
+        p = Softmax().compute(MaskAdd().compute(s, m)).astype(np.float32)
+        assert p[0, 0, :2].sum() == pytest.approx(1.0, abs=1e-3)
+        assert p[0, 0, 2:].max() < 1e-4
+
+    def test_mask_shape_check(self):
+        with pytest.raises(ConfigError):
+            MaskAdd().compute(np.zeros((2, 4, 4), np.float16), np.eye(3, dtype=bool))
+
+    def test_cost_counts_bool_mask_as_one_byte(self):
+        shapes = [(12, 64, 64), (64, 64)]
+        c, _ = MaskAdd().cost(shapes, A100, {"num_warps": 4})
+        assert c.bytes_dram_read == 12 * 64 * 64 * 2 + 64 * 64 * 1
+
+
+class TestParamSpaces:
+    @pytest.mark.parametrize("op", [BiasAdd(), Add(), Gelu(), Relu(), Scale(2.0), MaskAdd()])
+    def test_num_warps_exposed(self, op):
+        assert "num_warps" in op.param_space()
+
+    def test_grid_scales_with_elements(self):
+        c1, cfg1 = Gelu().cost([(1024,)], A100, {"num_warps": 4})
+        c2, cfg2 = Gelu().cost([(1024 * 64,)], A100, {"num_warps": 4})
+        assert cfg2.grid_blocks > cfg1.grid_blocks

@@ -1,0 +1,144 @@
+"""Tests for GEMM operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.gpu.specs import A100
+from repro.ops.gemm import BLOCK_K, BatchedGemm, Gemm
+
+
+@pytest.fixture
+def data(rng):
+    g = rng.fork("gemm").generator
+    x = (g.standard_normal((2, 24, 16)) * 0.2).astype(np.float16)
+    w = (g.standard_normal((16, 32)) * 0.2).astype(np.float16)
+    return x, w
+
+
+class TestGemmFunctional:
+    def test_matches_numpy(self, data):
+        x, w = data
+        out = Gemm().compute(x, w)
+        ref = x.astype(np.float32) @ w.astype(np.float32)
+        assert np.allclose(out.astype(np.float32), ref, rtol=2e-2, atol=2e-3)
+
+    def test_output_dtype_fp16(self, data):
+        x, w = data
+        assert Gemm().compute(x, w).dtype == np.float16
+
+    def test_2d_input(self, data):
+        _, w = data
+        x2 = np.ones((5, 16), np.float16)
+        assert Gemm().compute(x2, w).shape == (5, 32)
+
+    def test_shape_mismatch(self, data):
+        x, _ = data
+        with pytest.raises(ConfigError):
+            Gemm().compute(x, np.ones((8, 4), np.float16))
+
+    def test_infer_shape(self):
+        assert Gemm().infer_shape((2, 24, 16), (16, 32)) == (2, 24, 32)
+
+    def test_infer_shape_rejects_3d_weight(self):
+        with pytest.raises(ConfigError):
+            Gemm().infer_shape((2, 24, 16), (2, 16, 32))
+
+
+class TestBatchedGemmFunctional:
+    def test_matches_numpy(self, rng):
+        g = rng.fork("bgemm").generator
+        a = (g.standard_normal((3, 8, 4)) * 0.3).astype(np.float16)
+        b = (g.standard_normal((3, 4, 6)) * 0.3).astype(np.float16)
+        out = BatchedGemm().compute(a, b)
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        assert np.allclose(out.astype(np.float32), ref, rtol=2e-2, atol=2e-3)
+
+    def test_batch_mismatch(self):
+        with pytest.raises(ConfigError):
+            BatchedGemm().compute(
+                np.ones((2, 4, 4), np.float16), np.ones((3, 4, 4), np.float16)
+            )
+
+    def test_requires_3d(self):
+        with pytest.raises(ConfigError):
+            BatchedGemm().infer_shape((4, 4), (4, 4))
+
+
+class TestGemmCost:
+    def shapes(self):
+        return [(4, 512, 256), (256, 1024)]
+
+    def test_flop_count_exact(self):
+        op = Gemm()
+        c, _ = op.cost(self.shapes(), A100, op.default_params(self.shapes(), A100))
+        assert c.flops_tensor == 2 * 4 * 512 * 1024 * 256
+
+    def test_write_volume_exact(self):
+        op = Gemm()
+        c, _ = op.cost(self.shapes(), A100, op.default_params(self.shapes(), A100))
+        assert c.bytes_dram_written == 4 * 512 * 1024 * 2
+
+    def test_grid_matches_tiling(self):
+        op = Gemm()
+        params = {"block_m": 64, "block_n": 64, "num_warps": 4, "num_stages": 2}
+        _, cfg = op.cost(self.shapes(), A100, params)
+        assert cfg.grid_blocks == 4 * (512 // 64) * (1024 // 64)
+
+    def test_smem_scales_with_stages(self):
+        op = Gemm()
+        p1 = {"block_m": 64, "block_n": 64, "num_warps": 4, "num_stages": 1}
+        p3 = dict(p1, num_stages=3)
+        _, c1 = op.cost(self.shapes(), A100, p1)
+        _, c3 = op.cost(self.shapes(), A100, p3)
+        assert c3.smem_per_block == 3 * c1.smem_per_block
+        assert c1.smem_per_block == (64 + 64) * BLOCK_K * 2
+
+    def test_reuse_hits_l2_when_fits(self):
+        op = Gemm()
+        params = {"block_m": 64, "block_n": 64, "num_warps": 4, "num_stages": 2}
+        c, _ = op.cost(self.shapes(), A100, params)
+        # Both operands fit A100's 40 MiB L2: re-reads are L2 traffic.
+        assert c.bytes_l2_read > 0
+        first_pass = (4 * 512 * 256 + 256 * 1024) * 2
+        assert c.bytes_dram_read == first_pass
+
+    def test_huge_operand_spills_to_dram(self):
+        op = Gemm()
+        shapes = [(1, 65536, 512), (512, 512)]
+        params = {"block_m": 64, "block_n": 64, "num_warps": 4, "num_stages": 2}
+        c, _ = op.cost(shapes, A100, params)
+        # X is 64 MiB > L2: its re-reads are DRAM.
+        assert c.bytes_dram_read > 65536 * 512 * 2
+
+    def test_small_blocks_rejected(self):
+        op = Gemm()
+        with pytest.raises(ConfigError):
+            op.cost(self.shapes(), A100, {"block_m": 8, "block_n": 64, "num_warps": 4, "num_stages": 2})
+
+    def test_default_params_shrink_for_tiny_problems(self):
+        op = Gemm()
+        p = op.default_params([(1, 16, 64), (64, 16)], A100)
+        assert p["block_m"] == 16 and p["block_n"] == 16
+
+    def test_param_space_contains_defaults(self):
+        op = Gemm()
+        space = op.param_space()
+        p = op.default_params(self.shapes(), A100)
+        for k, v in p.items():
+            assert v in space[k]
+
+
+class TestBatchedGemmCost:
+    def test_batched_weight_traffic(self):
+        op = BatchedGemm()
+        shapes = [(24, 128, 64), (24, 64, 128)]
+        c, _ = op.cost(shapes, A100, op.default_params(shapes, A100))
+        # Both operands at least read once, fully.
+        assert c.bytes_dram_read >= 2 * 24 * 128 * 64 * 2
+
+    def test_flops(self):
+        op = BatchedGemm()
+        shapes = [(6, 32, 16), (6, 16, 8)]
+        c, _ = op.cost(shapes, A100, op.default_params(shapes, A100))
+        assert c.flops_tensor == 2 * 6 * 32 * 8 * 16

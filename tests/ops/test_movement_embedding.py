@@ -1,0 +1,96 @@
+"""Tests for movement ops and embedding lookup."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.gpu.specs import A100
+from repro.ops.embedding import Embedding
+from repro.ops.movement import MergeHeads, Reshape, SplitHeads, TransposeLast2
+
+
+class TestSplitMergeHeads:
+    def test_split_layout(self):
+        b, s, h, d = 2, 3, 2, 4
+        x = np.arange(b * s * h * d, dtype=np.float16).reshape(b * s, h * d)
+        out = SplitHeads(b, s, h).compute(x)
+        assert out.shape == (b * h, s, d)
+        # Element (batch 0, seq 1, head 1, dim 2) must land at [h*0+1, 1, 2].
+        assert out[1, 1, 2] == x[1, 1 * d + 2]
+
+    def test_merge_inverts_split(self, rng):
+        b, s, h, d = 2, 5, 4, 8
+        x = rng.fork("mh").standard_normal((b * s, h * d)).astype(np.float16)
+        split = SplitHeads(b, s, h).compute(x)
+        merged = MergeHeads(b, s, h).compute(split)
+        assert np.array_equal(merged, x)
+
+    def test_split_shape_inference(self):
+        assert SplitHeads(2, 3, 2).infer_shape((6, 8)) == (4, 3, 4)
+
+    def test_split_rejects_wrong_leading(self):
+        with pytest.raises(ConfigError):
+            SplitHeads(2, 3, 2).infer_shape((7, 8))
+
+    def test_split_rejects_indivisible_hidden(self):
+        with pytest.raises(ConfigError):
+            SplitHeads(2, 3, 3).infer_shape((6, 8))
+
+    def test_copy_cost(self):
+        op = SplitHeads(2, 128, 8)
+        c, _ = op.cost([(256, 512)], A100, {"num_warps": 4})
+        assert c.bytes_dram_read == 256 * 512 * 2
+        assert c.bytes_dram_written == 256 * 512 * 2
+
+
+class TestTranspose:
+    def test_swaps_last_two(self):
+        x = np.arange(24, dtype=np.float16).reshape(2, 3, 4)
+        out = TransposeLast2().compute(x)
+        assert out.shape == (2, 4, 3)
+        assert np.array_equal(out, np.swapaxes(x, -1, -2))
+
+    def test_needs_two_dims(self):
+        with pytest.raises(ConfigError):
+            TransposeLast2().infer_shape((4,))
+
+
+class TestReshape:
+    def test_values_preserved(self):
+        x = np.arange(12, dtype=np.float16).reshape(3, 4)
+        out = Reshape((2, 6)).compute(x)
+        assert np.array_equal(out.ravel(), x.ravel())
+
+    def test_element_count_check(self):
+        with pytest.raises(ConfigError):
+            Reshape((5, 5)).infer_shape((3, 4))
+
+    def test_free_of_charge(self):
+        c, _ = Reshape((4, 4)).cost([(16,)], A100, {})
+        assert c.launches == 0 and c.bytes_dram == 0
+
+
+class TestEmbedding:
+    def test_gather(self):
+        table = np.arange(20, dtype=np.float16).reshape(5, 4)
+        ids = np.array([[0, 4], [2, 2]], np.int32)
+        out = Embedding().compute(ids, table)
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out[0, 1], table[4])
+        assert np.array_equal(out[1, 0], out[1, 1])
+
+    def test_rejects_float_ids(self):
+        with pytest.raises(ConfigError):
+            Embedding().compute(np.zeros((1, 2)), np.zeros((4, 4), np.float16))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigError):
+            Embedding().compute(
+                np.array([[7]], np.int32), np.zeros((4, 4), np.float16)
+            )
+
+    def test_cost_is_gather_traffic(self):
+        c, _ = Embedding().cost([(2, 128), (30000, 512)], A100, {"num_warps": 4})
+        n = 2 * 128 * 512
+        assert c.bytes_dram_read == n * 2 + 2 * 128 * 4
+        assert c.bytes_dram_written == n * 2

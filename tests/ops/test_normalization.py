@@ -1,0 +1,84 @@
+"""Tests for LayerNorm and Softmax."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.gpu.specs import A100
+from repro.ops.normalization import LayerNorm, Softmax
+
+
+class TestLayerNorm:
+    def test_normalizes_mean_and_variance(self, rng):
+        x = (rng.fork("ln").standard_normal((16, 64)) * 3 + 5).astype(np.float16)
+        g = np.ones(64, np.float16)
+        b = np.zeros(64, np.float16)
+        out = LayerNorm().compute(x, g, b).astype(np.float32)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-2)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=3e-2)
+
+    def test_affine_applied(self):
+        x = np.array([[1.0, -1.0]], np.float16)
+        g = np.array([2.0, 2.0], np.float16)
+        b = np.array([1.0, 1.0], np.float16)
+        out = LayerNorm().compute(x, g, b).astype(np.float32)
+        assert out[0, 0] == pytest.approx(3.0, abs=1e-2)
+        assert out[0, 1] == pytest.approx(-1.0, abs=1e-2)
+
+    def test_constant_row_stable(self):
+        x = np.full((1, 8), 4.0, np.float16)
+        out = LayerNorm().compute(x, np.ones(8, np.float16), np.zeros(8, np.float16))
+        assert np.isfinite(out.astype(np.float32)).all()
+        assert np.allclose(out.astype(np.float32), 0.0, atol=1e-2)
+
+    def test_affine_shape_check(self):
+        with pytest.raises(ConfigError):
+            LayerNorm().compute(
+                np.zeros((2, 4), np.float16),
+                np.ones(3, np.float16),
+                np.zeros(4, np.float16),
+            )
+
+    def test_cost_single_pass(self):
+        op = LayerNorm()
+        c, cfg = op.cost([(128, 512), (512,), (512,)], A100, op.default_params([(128, 512)], A100))
+        assert c.bytes_dram_read == 128 * 512 * 2
+        assert c.bytes_dram_written == 128 * 512 * 2
+        assert cfg.pipelined is False
+
+    def test_smem_scales_with_rows_per_block(self):
+        op = LayerNorm()
+        shapes = [(128, 512), (512,), (512,)]
+        _, c1 = op.cost(shapes, A100, {"rows_per_block": 1, "num_warps": 4})
+        _, c8 = op.cost(shapes, A100, {"rows_per_block": 8, "num_warps": 4})
+        assert c8.smem_per_block == 8 * c1.smem_per_block
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = (rng.fork("sm").standard_normal((8, 32)) * 2).astype(np.float16)
+        p = Softmax().compute(x).astype(np.float32)
+        assert np.allclose(p.sum(axis=-1), 1.0, atol=2e-3)
+        assert (p >= 0).all()
+
+    def test_numerically_stable_large_inputs(self):
+        x = np.array([[60000.0, 60000.0]], np.float32)
+        p = Softmax().compute(x).astype(np.float32)
+        assert np.allclose(p, 0.5, atol=1e-3)
+
+    def test_argmax_preserved(self, rng):
+        x = rng.fork("am").standard_normal((16, 16)).astype(np.float16)
+        p = Softmax().compute(x)
+        assert np.array_equal(
+            p.astype(np.float32).argmax(-1), x.astype(np.float32).argmax(-1)
+        )
+
+    def test_multi_axis_batched(self):
+        x = np.zeros((2, 3, 4), np.float16)
+        p = Softmax().compute(x).astype(np.float32)
+        assert np.allclose(p, 0.25, atol=1e-3)
+
+    def test_grid_from_rows(self):
+        op = Softmax()
+        _, cfg = op.cost([(64, 128, 128)], A100, {"rows_per_block": 4, "num_warps": 4})
+        assert cfg.grid_blocks == (64 * 128) // 4

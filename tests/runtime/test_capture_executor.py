@@ -1,0 +1,116 @@
+"""Tests for MHA capture and the execution planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError, DeviceOutOfMemoryError
+from repro.core.fp16 import fp16_allclose
+from repro.gpu.specs import A100
+from repro.mha.baselines import FlashAttention2Attention
+from repro.runtime.capture import capture_attention_sites
+from repro.runtime.executor import (
+    MHABinding,
+    PreparedModel,
+    plan_chains,
+    rewrite_attention,
+)
+from repro.runtime.frameworks import PyTorchNativeEngine, singleton_scheme
+
+
+class TestCapture:
+    def test_sites_found_with_geometry(self, tiny_model):
+        sites = capture_attention_sites(tiny_model.graph)
+        assert len(sites) == 2
+        for cap in sites:
+            assert cap.batch == 2
+            assert cap.heads == 2
+            assert cap.seq_len == cap.kv_seq_len == 32
+            assert cap.head_size == 32
+            assert cap.mask_input == "mask"
+            assert len(cap.region) == 10  # 3 splits + transpose + 5 core + merge
+
+    def test_sources_are_bias_outputs(self, tiny_model):
+        cap = capture_attention_sites(tiny_model.graph)[0]
+        for src in (cap.q_src, cap.k_src, cap.v_src):
+            assert tiny_model.graph.node(src).op.name.endswith("bias")
+
+    def test_t5_cross_attention_capture(self):
+        from repro.models import ModelConfig, build_model
+
+        cfg = ModelConfig("t5tiny", 1, 1, 64, 2, 128, vocab=97, activation="relu")
+        inst = build_model(cfg, 1, 8)
+        sites = capture_attention_sites(inst.graph)
+        mask_inputs = {c.mask_input for c in sites}
+        assert mask_inputs == {"enc_mask", "dec_mask", "cross_mask"}
+
+
+class TestRewriteAttention:
+    def test_rewrites_all_sites(self, tiny_model, tiny_masks):
+        kernel = FlashAttention2Attention()
+
+        def binding(capture, problem):
+            return MHABinding(capture, kernel, None, problem)
+
+        graph, bindings = rewrite_attention(tiny_model.graph, tiny_masks, binding)
+        assert len(bindings) == 2
+        assert capture_attention_sites(graph) == []  # nothing left to capture
+        from repro.graph.ir import NodeKind
+
+        fused = [n for n in graph.nodes.values() if n.kind is NodeKind.FUSED]
+        assert len(fused) == 2
+
+    def test_missing_mask_rejected(self, tiny_model):
+        with pytest.raises(ConfigError):
+            rewrite_attention(
+                tiny_model.graph, {}, lambda c, p: None
+            )
+
+
+class TestPreparedModelPlan:
+    def test_report_consistency(self, tiny_model, tiny_masks, a100):
+        prepared = PyTorchNativeEngine().prepare(tiny_model, a100, tiny_masks)
+        report = prepared.plan()
+        assert report.time_s == pytest.approx(
+            report.mha_time_s + report.downstream_time_s
+        )
+        assert report.kernel_launches > 0
+        assert report.dram_bytes > 0
+        assert report.flops > 0
+        assert report.memory_bytes > 0
+
+    def test_native_counts_every_op_as_kernel(self, tiny_model, tiny_masks, a100):
+        prepared = PyTorchNativeEngine().prepare(tiny_model, a100, tiny_masks)
+        report = prepared.plan()
+        launchable = [
+            n for n in tiny_model.graph.op_nodes()
+            if n.op is not None and n.op.name not in ("reshape", "identity")
+        ]
+        assert report.kernel_launches == len(launchable)
+
+    def test_memory_check_raises(self, tiny_model, tiny_masks, a100):
+        prepared = PyTorchNativeEngine().prepare(tiny_model, a100, tiny_masks)
+        prepared.workspace_bytes = a100.memory_bytes  # force overflow
+        with pytest.raises(DeviceOutOfMemoryError):
+            prepared.plan()
+        # ... unless the check is disabled.
+        report = prepared.plan(check_memory=False)
+        assert report.memory_bytes > a100.memory_bytes
+
+    def test_execute_matches_reference(self, tiny_model, tiny_masks, a100):
+        prepared = PyTorchNativeEngine().prepare(tiny_model, a100, tiny_masks)
+        inputs = tiny_model.make_inputs(tiny_masks)
+        out = prepared.execute(inputs)
+        ref = next(iter(tiny_model.graph.run(inputs).values()))
+        assert fp16_allclose(out, ref, rtol=8e-2, atol=8e-3)
+
+
+class TestPlanChains:
+    def test_singleton_covers_all_ops(self, tiny_model, a100):
+        plans = plan_chains(
+            tiny_model.graph, a100, singleton_scheme, tiny_model.tokens
+        )
+        total_ops = sum(sum(cp.scheme) for cp in plans)
+        assert total_ops == len(tiny_model.graph.op_nodes())
+        for cp in plans:
+            assert all(l == 1 for l in cp.scheme)
+            assert len(cp.templates) == len(cp.params) == len(cp.scheme)

@@ -1,0 +1,144 @@
+"""Tests for the end-to-end engines (baselines + STOF)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DeviceOutOfMemoryError, UnsupportedInputError
+from repro.core.fp16 import fp16_allclose
+from repro.gpu.specs import A100, RTX4090
+from repro.masks import make_pattern
+from repro.models import ModelConfig, build_model
+from repro.runtime import (
+    BoltEngine,
+    ByteTransformerEngine,
+    MCFuserEngine,
+    PyTorchCompileEngine,
+    PyTorchNativeEngine,
+    STOFEngine,
+)
+
+ALL_ENGINES = [
+    PyTorchNativeEngine,
+    PyTorchCompileEngine,
+    ByteTransformerEngine,
+    MCFuserEngine,
+    BoltEngine,
+    STOFEngine,
+]
+
+
+@pytest.fixture
+def tiny_setup(tiny_model, tiny_masks):
+    patterns = {name: "bigbird" for name in tiny_masks}
+    return tiny_model, tiny_masks, patterns
+
+
+class TestFunctionalAgreement:
+    @pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+    def test_engine_output_matches_native(self, engine_cls, tiny_setup, a100):
+        inst, masks, patterns = tiny_setup
+        inputs = inst.make_inputs(masks)
+        ref = PyTorchNativeEngine().prepare(inst, a100, masks, patterns).execute(inputs)
+        out = engine_cls().prepare(inst, a100, masks, patterns).execute(inputs)
+        assert fp16_allclose(out, ref, rtol=1e-1, atol=1e-2)
+
+
+class TestEngineStrategies:
+    def test_native_is_slowest(self, tiny_setup, a100):
+        inst, masks, patterns = tiny_setup
+        t_native = PyTorchNativeEngine().prepare(inst, a100, masks, patterns).plan().time_s
+        for cls in (PyTorchCompileEngine, STOFEngine):
+            t = cls().prepare(inst, a100, masks, patterns).plan().time_s
+            assert t < t_native, cls.__name__
+
+    def test_stof_fastest(self, tiny_setup, a100):
+        inst, masks, patterns = tiny_setup
+        t_stof = STOFEngine().prepare(inst, a100, masks, patterns).plan().time_s
+        for cls in (PyTorchNativeEngine, PyTorchCompileEngine, ByteTransformerEngine,
+                    BoltEngine, MCFuserEngine):
+            t = cls().prepare(inst, a100, masks, patterns).plan().time_s
+            assert t_stof < t, cls.__name__
+
+    def test_compile_fuses_fewer_launches_than_native(self, tiny_setup, a100):
+        inst, masks, patterns = tiny_setup
+        n_native = PyTorchNativeEngine().prepare(inst, a100, masks, patterns).plan().kernel_launches
+        n_compile = PyTorchCompileEngine().prepare(inst, a100, masks, patterns).plan().kernel_launches
+        assert n_compile < n_native
+
+    def test_bolt_keeps_native_attention(self, tiny_setup, a100):
+        inst, masks, patterns = tiny_setup
+        prepared = BoltEngine().prepare(inst, a100, masks, patterns)
+        assert prepared.attention == []
+        report = prepared.plan()
+        assert report.mha_time_s == 0.0  # attention priced inside the chains
+
+    def test_bytetransformer_rejects_long_sequences(self, a100, rng):
+        cfg = ModelConfig("tiny", 1, 0, 64, 2, 128, vocab=97)
+        inst = build_model(cfg, 1, 2048)
+        mask = make_pattern("bigbird", 2048, rng=rng.fork("long"))
+        with pytest.raises(UnsupportedInputError):
+            ByteTransformerEngine().prepare(inst, a100, {"mask": mask})
+
+    def test_mcfuser_ooms_at_scale(self, rng):
+        """Fig. 12's missing MCFuser bars: big workspace at large scale."""
+        from repro.models import BERT_LARGE
+
+        inst = build_model(BERT_LARGE, 16, 2048)
+        mask = make_pattern("bigbird", 2048, rng=rng.fork("oom"))
+        masks = {"mask": mask}
+        prepared = MCFuserEngine().prepare(inst, RTX4090, masks, {"mask": "bigbird"})
+        with pytest.raises(DeviceOutOfMemoryError):
+            prepared.plan()
+
+    def test_tuning_times_reported(self, tiny_setup, a100):
+        inst, masks, patterns = tiny_setup
+        for cls in (BoltEngine, MCFuserEngine, STOFEngine):
+            report = cls().prepare(inst, a100, masks, patterns).plan()
+            assert report.tuning_time_s > 0, cls.__name__
+        report = PyTorchNativeEngine().prepare(inst, a100, masks, patterns).plan()
+        assert report.tuning_time_s == 0.0
+
+
+class TestSTOFAblation:
+    def test_four_variants_named(self):
+        assert STOFEngine().name == "stof"
+        assert STOFEngine(use_fusion_module=False).name == "stof-mha-only"
+        assert STOFEngine(use_mha_module=False).name == "stof-fusion-only"
+        assert STOFEngine(False, False).name == "stof-neither"
+
+    def test_both_modules_fastest(self, tiny_setup, a100):
+        """Fig. 13: 'STOF with both modules always achieves the highest
+        speedup'."""
+        inst, masks, patterns = tiny_setup
+        times = {}
+        for mha, fusion in [(True, True), (True, False), (False, True), (False, False)]:
+            e = STOFEngine(use_mha_module=mha, use_fusion_module=fusion)
+            times[(mha, fusion)] = e.prepare(inst, a100, masks, patterns).plan().time_s
+        assert times[(True, True)] <= min(times.values()) + 1e-15
+
+    def test_ablated_variants_functionally_correct(self, tiny_setup, a100):
+        inst, masks, patterns = tiny_setup
+        inputs = inst.make_inputs(masks)
+        ref = PyTorchNativeEngine().prepare(inst, a100, masks, patterns).execute(inputs)
+        for mha, fusion in [(True, False), (False, True)]:
+            e = STOFEngine(use_mha_module=mha, use_fusion_module=fusion)
+            out = e.prepare(inst, a100, masks, patterns).execute(inputs)
+            assert fp16_allclose(out, ref, rtol=1e-1, atol=1e-2)
+
+    def test_overhead_breakdown_populated(self, tiny_setup, a100):
+        inst, masks, patterns = tiny_setup
+        e = STOFEngine()
+        prepared = e.prepare(inst, a100, masks, patterns)
+        overhead = prepared.extras["overhead"]
+        assert overhead.analytical_model_s > 0
+        assert overhead.total_s < prepared.tuning_time_s  # Fig. 14's claim
+
+    def test_stof_deterministic(self, tiny_setup, a100):
+        from repro.core.rng import RngStream
+
+        inst, masks, patterns = tiny_setup
+        t = [
+            STOFEngine(rng=RngStream(9)).prepare(inst, a100, masks, patterns).plan().time_s
+            for _ in range(2)
+        ]
+        assert t[0] == t[1]

@@ -1,0 +1,138 @@
+"""Tests for segmentation policies and the feasibility-repair path."""
+
+import numpy as np
+import pytest
+
+from repro.fusion.converter import FusionSchemeConverter, extract_chains
+from repro.graph.trace import GraphBuilder
+from repro.gpu.specs import A100, RTX4090
+from repro.ops import Add, BiasAdd, Gelu, Gemm, LayerNorm, OpCategory
+from repro.runtime.executor import _first_feasible_params, _segment_feasible, plan_chains
+from repro.runtime.frameworks import (
+    ci_chain_scheme,
+    epilogue_scheme,
+    inductor_scheme,
+    singleton_scheme,
+)
+
+
+def wide_ffn_graph(B=16, S=2048, H=768, F=3072):
+    """BERT-Base-sized FFN: its fused GEMM chain overflows 4090 SMEM."""
+    gb = GraphBuilder("wffn", seed=1)
+    x = gb.input("x", (B * S, H))
+    g = gb.const_param("g", np.ones(H, np.float16))
+    bt = gb.const_param("bt", np.zeros(H, np.float16))
+    w1 = gb.param("w1", (H, F))
+    b1 = gb.param("b1", (F,))
+    w2 = gb.param("w2", (F, H))
+    b2 = gb.param("b2", (H,))
+    h = gb.call(Gemm("fc1"), x, w1, name="fc1")
+    h = gb.call(BiasAdd(), h, b1, name="b1op")
+    h = gb.call(Gelu(), h, name="act")
+    h = gb.call(Gemm("fc2"), h, w2, name="fc2")
+    h = gb.call(BiasAdd(), h, b2, name="b2op")
+    h = gb.call(LayerNorm(), h, g, bt, name="ln")
+    gb.output(h)
+    return gb.finish()
+
+
+@pytest.fixture
+def converter():
+    graph = wide_ffn_graph()
+    chain = extract_chains(graph)[0]
+    return FusionSchemeConverter(graph, chain)
+
+
+class TestPolicies:
+    def test_singleton(self, converter):
+        assert singleton_scheme(converter, 128) == (1,) * 6
+
+    def test_inductor_keeps_ci_alone(self, converter):
+        scheme = inductor_scheme(converter, 128)
+        cats = converter.chain.categories
+        pos = 0
+        for length in scheme:
+            segment_cats = cats[pos : pos + length]
+            if OpCategory.CI in segment_cats:
+                assert length == 1
+            pos += length
+
+    def test_epilogue_attaches_elementwise(self, converter):
+        scheme = epilogue_scheme(converter, 128)
+        # fc1 absorbs bias+gelu; fc2 absorbs bias; ln stands alone.
+        assert scheme == (3, 2, 1)
+
+    def test_ci_chain_spans_elementwise(self, converter):
+        scheme = ci_chain_scheme(converter, 128)
+        assert scheme[0] == 4   # fc1+bias+gelu+fc2 (MCFuser-style)
+
+    def test_all_policies_cover_chain(self, converter):
+        for policy in (singleton_scheme, inductor_scheme, epilogue_scheme, ci_chain_scheme):
+            assert sum(policy(converter, 128)) == converter.chain.n_ops
+
+
+class TestFeasibilityRepair:
+    def test_wide_gemm_chain_infeasible_on_4090(self, converter):
+        template = converter.template(0, 4)  # fc1..fc2 chain
+        assert template is not None
+        assert not _segment_feasible(template, RTX4090)
+        assert _segment_feasible(template, A100)  # bigger carveout fits
+
+    def test_first_feasible_params_none_when_impossible(self, converter):
+        template = converter.template(0, 4)
+        assert _first_feasible_params(template, RTX4090) is None
+        params = _first_feasible_params(template, A100)
+        assert params is not None
+        template.plan(A100, params)  # must actually launch
+
+    def test_plan_chains_repairs_on_4090(self):
+        graph = wide_ffn_graph()
+        plans = plan_chains(graph, RTX4090, ci_chain_scheme, tokens=32768)
+        (cp,) = plans
+        # The infeasible 4-op chain fell back to singletons.
+        assert cp.scheme[0] == 1
+        # Everything in the plan must be launchable.
+        from repro.gpu.cost import estimate_kernel_time
+
+        for template, params in zip(cp.templates, cp.params):
+            for cost, config in template.plan(RTX4090, params):
+                estimate_kernel_time(RTX4090, cost, config)
+
+    def test_plan_chains_keeps_feasible_fusion_on_a100(self):
+        graph = wide_ffn_graph()
+        plans = plan_chains(graph, A100, ci_chain_scheme, tokens=32768)
+        (cp,) = plans
+        assert cp.scheme[0] == 4  # chain survives on the 164 KiB carveout
+
+
+class TestMemoryEstimation:
+    def test_params_counted(self, tiny_model, tiny_masks, a100):
+        from repro.runtime import PyTorchNativeEngine
+
+        prepared = PyTorchNativeEngine().prepare(tiny_model, a100, tiny_masks)
+        mem = prepared.estimate_memory_bytes()
+        # At minimum the embedding table: vocab x hidden x 2 bytes.
+        cfg = tiny_model.config
+        assert mem > cfg.vocab * cfg.hidden * 2
+
+    def test_workspace_added(self, tiny_model, tiny_masks, a100):
+        from repro.runtime import PyTorchNativeEngine
+
+        prepared = PyTorchNativeEngine().prepare(tiny_model, a100, tiny_masks)
+        base = prepared.estimate_memory_bytes()
+        prepared.workspace_bytes = 12345.0
+        assert prepared.estimate_memory_bytes() == pytest.approx(base + 12345.0)
+
+    def test_mcfuser_workspace_quadratic_in_seq(self, rng):
+        from repro.masks import make_pattern
+        from repro.models import ModelConfig, build_model
+        from repro.runtime import MCFuserEngine
+
+        cfg = ModelConfig("wtiny", 1, 0, 64, 2, 128, vocab=97)
+        sizes = {}
+        for seq in (64, 128):
+            inst = build_model(cfg, 1, seq)
+            mask = make_pattern("causal", seq)
+            prepared = MCFuserEngine().prepare(inst, A100, {"mask": mask})
+            sizes[seq] = prepared.workspace_bytes
+        assert sizes[128] == pytest.approx(4 * sizes[64])

@@ -1,0 +1,114 @@
+"""Tests for the high-level compile API."""
+
+import numpy as np
+import pytest
+
+from repro.api import ENGINES, CompiledModel, compare_engines, compile_model
+from repro.core.errors import ConfigError
+from repro.core.fp16 import fp16_allclose
+from repro.models import ModelConfig
+
+TINY = ModelConfig("api-tiny", 2, 0, 64, 2, 128, vocab=97)
+
+
+class TestCompileModel:
+    def test_basic_stof(self):
+        c = compile_model(TINY, 1, 32)
+        assert c.engine_name == "stof"
+        assert c.latency_s > 0
+        assert c.tuning_time_s > 0
+        assert "latency" in c.summary()
+
+    def test_zoo_name_lookup(self):
+        c = compile_model("bert-small", 1, 32, engine="pytorch-native")
+        assert c.instance.config.name == "bert-small"
+        assert c.tuning_time_s == 0.0
+
+    def test_engine_by_name_and_instance(self):
+        from repro.runtime import PyTorchCompileEngine
+
+        by_name = compile_model(TINY, 1, 32, engine="pytorch-compile")
+        by_inst = compile_model(TINY, 1, 32, engine=PyTorchCompileEngine())
+        assert by_name.latency_s == by_inst.latency_s
+
+    def test_unknown_engine(self):
+        with pytest.raises(ConfigError):
+            compile_model(TINY, 1, 32, engine="tvm")
+
+    def test_custom_mask_array(self):
+        mask = np.eye(32, dtype=bool)
+        c = compile_model(TINY, 1, 32, mask=mask, engine="pytorch-native")
+        assert c.latency_s > 0
+
+    def test_wrong_mask_shape(self):
+        with pytest.raises(ConfigError):
+            compile_model(TINY, 1, 32, mask=np.eye(16, dtype=bool))
+
+    def test_run_executes(self):
+        c = compile_model(TINY, 1, 32, engine="pytorch-native", seed=3)
+        out = c.run()
+        assert out.shape == (32, 64)
+        assert np.isfinite(out.astype(np.float32)).all()
+
+    def test_run_deterministic_per_seed(self):
+        a = compile_model(TINY, 1, 32, engine="pytorch-native", seed=3).run()
+        b = compile_model(TINY, 1, 32, engine="pytorch-native", seed=3).run()
+        assert np.array_equal(a, b)
+
+    def test_engines_functionally_agree(self):
+        a = compile_model(TINY, 1, 32, engine="pytorch-native", seed=5).run()
+        b = compile_model(TINY, 1, 32, engine="stof", seed=5).run()
+        assert fp16_allclose(a, b, rtol=1e-1, atol=1e-2)
+
+    def test_decoder_mask_gets_causality(self):
+        dec = ModelConfig("api-dec", 0, 1, 64, 2, 128, vocab=97)
+        c = compile_model(dec, 1, 16, engine="pytorch-native")
+        mask = c.masks["mask"]
+        assert not mask[0, 1]  # causal upper triangle masked
+
+    def test_engine_kwargs_forwarded(self):
+        c = compile_model(TINY, 1, 32, engine="stof", use_fusion_module=False)
+        assert c.engine_name == "stof-mha-only"
+        assert c.tuning_time_s == 0.0
+
+
+class TestCompareEngines:
+    def test_missing_bars_reported(self):
+        res = compare_engines(
+            TINY, 1, 2048, engines=("bytetransformer", "pytorch-native")
+        )
+        assert res["bytetransformer"] == "unsupported"
+        assert isinstance(res["pytorch-native"], CompiledModel)
+
+    def test_all_registry_engines_usable(self):
+        res = compare_engines(TINY, 1, 32)
+        assert set(res) == set(ENGINES)
+        for name, c in res.items():
+            assert isinstance(c, CompiledModel), name
+
+    def test_stof_fastest(self):
+        res = compare_engines(TINY, 1, 32)
+        stof = res["stof"].latency_s
+        for name, c in res.items():
+            assert stof <= c.latency_s + 1e-15, name
+
+
+class TestOOMPath:
+    def test_compare_engines_reports_oom(self):
+        """MCFuser's workspace exceeds the 24 GB RTX 4090 at scale; the
+        comparison must report 'oom' rather than raising."""
+        res = compare_engines(
+            "bert-large", 16, 2048, device="rtx4090",
+            engines=("mcfuser",),
+        )
+        assert res["mcfuser"] == "oom"
+
+    def test_compile_model_check_memory_toggle(self):
+        from repro.core.errors import DeviceOutOfMemoryError
+
+        with pytest.raises(DeviceOutOfMemoryError):
+            compile_model("bert-large", 16, 2048, device="rtx4090",
+                          engine="mcfuser")
+        c = compile_model("bert-large", 16, 2048, device="rtx4090",
+                          engine="mcfuser", check_memory=False)
+        assert c.report.memory_bytes > 24 * 2**30

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_devices_parses(self):
+        args = build_parser().parse_args(["devices"])
+        assert args.command == "devices"
+
+    def test_mha_defaults(self):
+        args = build_parser().parse_args(["mha"])
+        assert args.pattern == "bigbird"
+        assert args.device == "a100"
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mha", "--pattern", "nope"])
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "A100" in out and "4090" in out
+
+    def test_masks_all(self, capsys):
+        assert main(["masks", "--seq-len", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "bigbird" in out and "sparsity" in out
+
+    def test_masks_single_pattern(self, capsys):
+        assert main(["masks", "--pattern", "causal", "--seq-len", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "causal" in out and "bigbird" not in out
+
+    def test_masks_unknown_pattern(self, capsys):
+        assert main(["masks", "--pattern", "nope"]) == 2
+
+    def test_mha(self, capsys):
+        assert main(["mha", "--pattern", "sliding_window", "--batch", "1",
+                     "--seq-len", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "stof" in out and "over native" in out
+
+    def test_mha_reports_unsupported(self, capsys):
+        assert main(["mha", "--pattern", "causal", "--batch", "1",
+                     "--seq-len", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "unsupported" in out  # ByteTransformer past 1,024
+
+    def test_e2e_subset(self, capsys):
+        assert main(["e2e", "--model", "bert-small", "--batch", "1",
+                     "--seq-len", "64",
+                     "--engines", "pytorch-native,pytorch-compile"]) == 0
+        out = capsys.readouterr().out
+        assert "pytorch-compile" in out
+
+    def test_e2e_unknown_engine(self, capsys):
+        assert main(["e2e", "--engines", "tvm"]) == 2
+
+    def test_tune(self, capsys):
+        assert main(["tune", "--model", "bert-small", "--batch", "1",
+                     "--seq-len", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "framework overhead" in out
+        assert "downstream chains" in out
+        assert "scheme" in out
+
+
+class TestTraceAndReport:
+    def test_trace_export(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["trace", "--model", "bert-small", "--batch", "1",
+                     "--seq-len", "64", "--output", str(out)]) == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        assert payload["otherData"]["engine"] == "stof"
+
+    def test_report_collates(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table_x.txt").write_text("hello\nworld\n")
+        out = tmp_path / "REPORT.md"
+        assert main(["report", "--results-dir", str(results),
+                     "--output", str(out)]) == 0
+        text = out.read_text()
+        assert "## table_x" in text and "hello" in text
+
+    def test_report_empty_dir_errors(self, tmp_path, capsys):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert main(["report", "--results-dir", str(empty),
+                     "--output", str(tmp_path / "r.md")]) == 2
+
+    def test_decode_command(self, capsys):
+        assert main(["decode", "--pattern", "sliding_window", "--batch", "1",
+                     "--prompt", "32", "--generate", "8",
+                     "--heads", "2", "--head-size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "tok/s" in out and "stof" in out
+
+    def test_masks_show(self, capsys):
+        assert main(["masks", "--pattern", "causal", "--seq-len", "64",
+                     "--show", "--show-width", "16", "--block", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "block grid" in out
+        assert "#" in out

@@ -1,0 +1,86 @@
+"""Tests for the error hierarchy and operator-base helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    ConfigError,
+    DeviceOutOfMemoryError,
+    GraphError,
+    ReproError,
+    TuningError,
+    UnsupportedInputError,
+)
+from repro.gpu.specs import A100
+from repro.ops.base import elementwise_cost, numel, rowwise_reduction_cost
+from repro.ops import Gemm
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [ConfigError, GraphError, TuningError, UnsupportedInputError],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+        with pytest.raises(ReproError):
+            raise cls("boom")
+
+    def test_oom_carries_sizes(self):
+        err = DeviceOutOfMemoryError(3 * 2**30, 2**30, what="scores")
+        assert isinstance(err, ReproError)
+        assert err.requested_bytes == 3 * 2**30
+        assert err.capacity_bytes == 2**30
+        assert "scores" in str(err)
+        assert "3.00 GiB" in str(err)
+
+    def test_library_never_raises_bare_exceptions(self):
+        """Representative API misuses all surface as ReproError subclasses."""
+        from repro.masks import BlockSparseMask, make_pattern
+        from repro.mha.problem import AttentionProblem
+
+        with pytest.raises(ReproError):
+            make_pattern("nope", 8)
+        with pytest.raises(ReproError):
+            BlockSparseMask.from_dense(np.zeros((2, 2, 2), bool), 1, 1)
+        with pytest.raises(ReproError):
+            AttentionProblem(0, 1, 8, 8, np.ones((8, 8), bool))
+
+
+class TestBaseHelpers:
+    def test_numel(self):
+        assert numel(()) == 1
+        assert numel((3,)) == 3
+        assert numel((2, 3, 4)) == 24
+
+    def test_elementwise_cost_validation(self):
+        with pytest.raises(ConfigError):
+            elementwise_cost("x", 0, 1.0, 1.0, 1.0, A100)
+
+    def test_elementwise_grid_covers_elements(self):
+        cost, cfg = elementwise_cost("x", 10_000_000, 2e7, 2e7, 1.0, A100,
+                                     num_warps=4)
+        elems_per_block = 4 * 32 * 8
+        assert cfg.grid_blocks * elems_per_block >= 10_000_000
+
+    def test_rowwise_reduction_validation(self):
+        with pytest.raises(ConfigError):
+            rowwise_reduction_cost("x", 0, 8, 1, 1, 1.0, A100)
+        with pytest.raises(ConfigError):
+            rowwise_reduction_cost("x", 8, 0, 1, 1, 1.0, A100)
+
+    def test_rowwise_reduction_not_pipelined(self):
+        _, cfg = rowwise_reduction_cost("x", 64, 128, 1, 1, 2.0, A100)
+        assert cfg.pipelined is False
+
+    def test_operator_flops_helper(self):
+        op = Gemm()
+        shapes = [(2, 64, 32), (32, 16)]
+        assert op.flops(shapes) == 2 * 2 * 64 * 16 * 32
+
+    def test_default_params_subset_of_space(self):
+        op = Gemm()
+        shapes = [(2, 64, 32), (32, 16)]
+        space = op.param_space()
+        for k, v in op.default_params(shapes, A100).items():
+            assert v in space[k]

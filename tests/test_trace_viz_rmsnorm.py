@@ -1,0 +1,171 @@
+"""Tests for trace export, mask visualization, and RMSNorm."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.gpu.specs import A100
+from repro.gpu.trace import export_chrome_trace, trace_events
+from repro.masks.bsr import BlockSparseMask
+from repro.masks.patterns import causal_mask, sliding_window_mask
+from repro.masks.viz import GLYPH_EMPTY, GLYPH_FULL, GLYPH_PART, block_summary, render_bsr, render_mask
+from repro.models import ModelConfig, build_model
+from repro.ops.normalization import LayerNorm, RMSNorm
+from repro.runtime import STOFEngine
+
+
+class TestRenderMask:
+    def test_eye_small(self):
+        art = render_mask(np.eye(4, dtype=bool), width=4)
+        assert art.splitlines() == ["#...", ".#..", "..#.", "...#"]
+
+    def test_downsampling_width(self):
+        art = render_mask(sliding_window_mask(256, 8), width=32)
+        lines = art.splitlines()
+        assert len(lines) == 32 and all(len(l) == 32 for l in lines)
+
+    def test_density_ordering(self):
+        m = np.zeros((64, 64), bool)
+        m[:, :32] = True  # left half dense
+        art = render_mask(m, width=2)
+        for line in art.splitlines():
+            assert line[0] == "#" and line[1] == "."
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigError):
+            render_mask(np.zeros((2, 2, 2), bool))
+
+
+class TestRenderBsr:
+    def test_block_classification_glyphs(self):
+        m = np.zeros((8, 8), bool)
+        m[0:2, 0:2] = True      # full block
+        m[2:4, 2:3] = True      # part block
+        bsr = BlockSparseMask.from_dense(m, 2, 2)
+        lines = render_bsr(bsr).splitlines()
+        assert lines[0][0] == GLYPH_FULL
+        assert lines[1][1] == GLYPH_PART
+        assert lines[3][3] == GLYPH_EMPTY
+
+    def test_grid_shape(self):
+        bsr = BlockSparseMask.from_dense(causal_mask(64), 16, 16)
+        lines = render_bsr(bsr).splitlines()
+        assert len(lines) == 4 and all(len(l) == 4 for l in lines)
+
+    def test_summary_counts(self):
+        bsr = BlockSparseMask.from_dense(causal_mask(64), 16, 16)
+        text = block_summary(bsr)
+        assert f"{bsr.n_full} full" in text
+        assert f"{bsr.n_part} part" in text
+
+
+class TestChromeTrace:
+    @pytest.fixture
+    def prepared(self, tiny_model, tiny_masks, a100):
+        return STOFEngine().prepare(tiny_model, a100, tiny_masks)
+
+    def test_events_structure(self, prepared):
+        events = trace_events(prepared)
+        slices = [e for e in events if e.get("ph") == "X"]
+        assert slices
+        for e in slices:
+            assert e["dur"] > 0
+            assert e["tid"] in (0, 1, 2)
+        names = {e["name"] for e in slices}
+        assert any(n.startswith("stof-") for n in names)  # attention kernels
+
+    def test_events_nonoverlapping_and_ordered(self, prepared):
+        slices = sorted(
+            (e for e in trace_events(prepared) if e.get("ph") == "X"),
+            key=lambda e: e["ts"],
+        )
+        end = 0.0
+        for e in slices:
+            assert e["ts"] >= end - 1e-6
+            end = e["ts"] + e["dur"]
+
+    def test_total_matches_plan(self, prepared):
+        slices = [e for e in trace_events(prepared) if e.get("ph") == "X"]
+        total_us = sum(e["dur"] for e in slices)
+        report = prepared.plan()
+        # Trace floors tiny durations at 0.01us; allow small slack.
+        assert total_us == pytest.approx(report.time_s * 1e6, rel=0.02)
+
+    def test_export_file(self, prepared, tmp_path):
+        path = export_chrome_trace(prepared, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["otherData"]["engine"] == "stof"
+        assert payload["traceEvents"]
+
+    def test_breakdown_args_attached(self, prepared):
+        slices = [e for e in trace_events(prepared) if e.get("ph") == "X"
+                  and e["cat"] != "host"]
+        for e in slices:
+            assert "bound" in e["args"]
+            assert e["args"]["occupancy"] > 0
+
+
+class TestRMSNorm:
+    def test_normalizes_rms(self, rng):
+        x = (rng.fork("r").standard_normal((8, 64)) * 3).astype(np.float16)
+        out = RMSNorm().compute(x, np.ones(64, np.float16)).astype(np.float32)
+        rms = np.sqrt((out * out).mean(axis=-1))
+        assert np.allclose(rms, 1.0, atol=5e-2)
+
+    def test_no_mean_subtraction(self):
+        """Unlike LayerNorm, a constant offset survives RMSNorm."""
+        x = np.full((1, 16), 3.0, np.float16)
+        out = RMSNorm().compute(x, np.ones(16, np.float16)).astype(np.float32)
+        assert out[0, 0] == pytest.approx(1.0, abs=1e-2)  # 3/rms(3)=1
+        ln = LayerNorm().compute(
+            x, np.ones(16, np.float16), np.zeros(16, np.float16)
+        ).astype(np.float32)
+        assert abs(ln[0, 0]) < 1e-2  # LayerNorm kills the offset
+
+    def test_gain_applied(self):
+        x = np.ones((1, 4), np.float16)
+        out = RMSNorm().compute(x, np.full(4, 2.0, np.float16)).astype(np.float32)
+        assert np.allclose(out, 2.0, atol=1e-2)
+
+    def test_shape_check(self):
+        with pytest.raises(ConfigError):
+            RMSNorm().compute(np.ones((2, 4), np.float16), np.ones(3, np.float16))
+
+    def test_cheaper_than_layernorm(self, a100):
+        shapes_rms = [(128, 512), (512,)]
+        shapes_ln = [(128, 512), (512,), (512,)]
+        c_rms, _ = RMSNorm().cost(shapes_rms, a100, {"rows_per_block": 4, "num_warps": 4})
+        c_ln, _ = LayerNorm().cost(shapes_ln, a100, {"rows_per_block": 4, "num_warps": 4})
+        assert c_rms.flops_simt < c_ln.flops_simt
+
+    def test_rms_model_through_stof(self, a100, rng):
+        from repro.core.fp16 import fp16_allclose
+        from repro.masks import make_pattern
+        from repro.runtime import PyTorchNativeEngine
+
+        cfg = ModelConfig("rms-t", 1, 0, 64, 2, 128, vocab=97, norm="rms")
+        inst = build_model(cfg, 1, 16)
+        masks = {"mask": make_pattern("causal", 16)}
+        inputs = inst.make_inputs(masks, rng=rng.fork("rmsm"))
+        ref = PyTorchNativeEngine().prepare(inst, a100, masks).execute(inputs)
+        out = STOFEngine().prepare(inst, a100, masks).execute(inputs)
+        assert fp16_allclose(out, ref, rtol=1e-1, atol=1e-2)
+
+    def test_rms_segment_fusable(self, a100):
+        """Add+RMSNorm fuses through the reduction-chain template."""
+        from repro.fusion.segment import SegmentSpec
+        from repro.fusion.templates import ReductionChainTemplate, match_template
+        from repro.graph.trace import GraphBuilder
+        from repro.ops import Add
+
+        gb = GraphBuilder("rms-seg")
+        x = gb.input("x", (32, 64))
+        y = gb.input("y", (32, 64))
+        g = gb.const_param("g", np.ones(64, np.float16))
+        h = gb.call(Add(), x, y, name="add")
+        h = gb.call(RMSNorm(), h, g, name="rms")
+        gb.output(h)
+        seg = SegmentSpec.from_graph(gb.finish(), ["add", "rms"])
+        assert isinstance(match_template(seg), ReductionChainTemplate)

@@ -1,0 +1,77 @@
+"""Tests for the MCFuser- and Bolt-style comparison tuners."""
+
+import pytest
+
+from repro.core.rng import RngStream
+from repro.gpu.specs import A100
+from repro.tuner.baseline_tuners import (
+    ExhaustiveLoopTuner,
+    TemplateEnumerationTuner,
+)
+from repro.tuner.cache import EvalCostModel
+from repro.tuner.engine import TwoStageEngine
+
+from .test_engine import ffn_chain_graph
+
+
+class TestBaselineTuners:
+    def test_results_well_formed(self):
+        for cls in (ExhaustiveLoopTuner, TemplateEnumerationTuner):
+            tuner = cls(A100, cost_model=EvalCostModel(compile_s=0.02, runs=20))
+            result = tuner.tune_graph(ffn_chain_graph(), tokens=128)
+            assert result.segments
+            assert result.estimated_time_s > 0
+            assert result.tuning_time_s > 0
+            assert result.evaluations > 0
+
+    def test_mcfuser_fuses_ci_chains_unconditionally(self):
+        tuner = ExhaustiveLoopTuner(A100)
+        # At large tokens the gemm chain is a bad idea, but MCFuser's rule
+        # is scale-oblivious: the chain with adjacent GEMMs still merges
+        # where a template exists.
+        result = tuner.tune_graph(ffn_chain_graph(B=16, S=256), tokens=4096)
+        names = [s.names for s in result.segments]
+        assert any("+" in n and n.count("gemm") + n.count("ffn") >= 2 for n in names) or any(
+            s.template.segment.n_ci == 2 for s in result.segments
+        )
+
+    def test_unroll_variants_inflate_mcfuser_evals(self):
+        cm = EvalCostModel(compile_s=0.02, runs=20)
+        mc = ExhaustiveLoopTuner(A100, cost_model=cm)
+        bolt = TemplateEnumerationTuner(A100, cost_model=cm)
+        g = ffn_chain_graph()
+        r_mc = mc.tune_graph(g, tokens=128)
+        r_bolt = bolt.tune_graph(g, tokens=128)
+        assert r_mc.evaluations > r_bolt.evaluations
+
+    def test_stof_cheaper_than_both(self):
+        """Table 4's headline ordering."""
+        cm = EvalCostModel()
+        g = ffn_chain_graph(B=8, S=256, layers=2)
+        stof = TwoStageEngine(A100, rng=RngStream(5), cost_model=cm)
+        stof.tune_graph(g, tokens=2048)
+        t_stof = stof.total_tuning_time_s
+        for cls in (ExhaustiveLoopTuner, TemplateEnumerationTuner):
+            baseline = cls(A100, cost_model=EvalCostModel())
+            t_base = baseline.tune_graph(g, tokens=2048).tuning_time_s
+            assert t_stof < t_base, cls.__name__
+
+    def test_tuning_cost_grows_with_scale(self):
+        """Table 4's second trend: cost rises with the input scale."""
+        tuner_small = ExhaustiveLoopTuner(A100)
+        tuner_large = ExhaustiveLoopTuner(A100)
+        t_small = tuner_small.tune_graph(
+            ffn_chain_graph(B=1, S=128, H=512), tokens=128
+        ).tuning_time_s
+        t_large = tuner_large.tune_graph(
+            ffn_chain_graph(B=16, S=2048, H=512), tokens=32768
+        ).tuning_time_s
+        assert t_large > 1.5 * t_small
+
+    def test_cache_dedupes_repeated_layers(self):
+        cm = EvalCostModel(compile_s=0.02, runs=20)
+        one = ExhaustiveLoopTuner(A100, cost_model=cm)
+        four = ExhaustiveLoopTuner(A100, cost_model=cm)
+        t1 = one.tune_graph(ffn_chain_graph(layers=1), tokens=128).tuning_time_s
+        t4 = four.tune_graph(ffn_chain_graph(layers=4), tokens=128).tuning_time_s
+        assert t4 < 1.2 * t1

@@ -1,0 +1,138 @@
+"""Tests for the performance cache and reward sampler."""
+
+import pytest
+
+from repro.core.errors import TuningError
+from repro.core.rng import RngStream
+from repro.tuner.cache import EvalCostModel, PerformanceCache, params_key
+from repro.tuner.sampler import REWARD_FACTOR, RewardSampler
+
+
+class TestEvalCostModel:
+    def test_compile_plus_runs(self):
+        cm = EvalCostModel(compile_s=0.1, runs=100, measure_budget_s=10.0)
+        assert cm.cost_of(1e-3) == pytest.approx(0.1 + 0.1)
+
+    def test_measurement_budget_caps_slow_kernels(self):
+        cm = EvalCostModel(compile_s=0.1, runs=400, measure_budget_s=1.0)
+        assert cm.cost_of(0.1) == pytest.approx(1.1)
+
+
+class TestPerformanceCache:
+    def test_miss_then_hit(self):
+        cache = PerformanceCache(EvalCostModel(compile_s=1.0, runs=0))
+        calls = []
+
+        def measure():
+            calls.append(1)
+            return 0.5
+
+        t1 = cache.evaluate("seg", {"a": 1}, measure)
+        t2 = cache.evaluate("seg", {"a": 1}, measure)
+        assert t1 == t2 == 0.5
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.tuning_time_s == pytest.approx(1.0)  # only the miss
+
+    def test_params_order_insensitive(self):
+        assert params_key({"a": 1, "b": 2}) == params_key({"b": 2, "a": 1})
+
+    def test_distinct_segments_not_shared(self):
+        cache = PerformanceCache(EvalCostModel(compile_s=1.0, runs=0))
+        cache.evaluate("s1", {}, lambda: 0.1)
+        cache.evaluate("s2", {}, lambda: 0.2)
+        assert cache.misses == 2
+
+    def test_failure_cached_as_infeasible(self):
+        cache = PerformanceCache(EvalCostModel(compile_s=1.0, runs=0))
+
+        def boom():
+            raise ValueError("launch failed")
+
+        assert cache.evaluate("s", {"x": 1}, boom) is None
+        # Second attempt: cached failure, returns None without re-raising.
+        assert cache.evaluate("s", {"x": 1}, boom) is None
+        assert cache.failures == 1
+        assert cache.tuning_time_s == pytest.approx(1.0)  # compile still paid
+
+    def test_best_for(self):
+        cache = PerformanceCache(EvalCostModel(compile_s=0.0, runs=0))
+        cache.evaluate("s", {"x": 1}, lambda: 0.5)
+        cache.evaluate("s", {"x": 2}, lambda: 0.2)
+        cache.evaluate("s", {"x": 3}, lambda: 0.9)
+        best = cache.best_for("s")
+        assert best is not None
+        t, pkey = best
+        assert t == 0.2 and dict(pkey) == {"x": 2}
+
+    def test_best_for_ignores_failures(self):
+        cache = PerformanceCache(EvalCostModel(compile_s=0.0, runs=0))
+
+        def boom():
+            raise ValueError()
+
+        cache.evaluate("s", {"x": 1}, boom)
+        assert cache.best_for("s") is None
+
+
+class TestRewardSampler:
+    def spaces(self):
+        return [
+            {"a": (1, 2, 3, 4), "b": (10, 20)},   # 8 combos
+            {"c": (1, 2)},                          # 2 combos
+        ]
+
+    def test_allocation_sums_to_total(self):
+        s = RewardSampler(self.spaces(), RngStream(1))
+        alloc = s.allocate(6)
+        assert sum(alloc) <= 6
+        assert all(a >= 1 for a in alloc)  # coverage guarantee
+
+    def test_draw_without_replacement(self):
+        s = RewardSampler(self.spaces(), RngStream(1))
+        seen = []
+        for _ in range(4):
+            seen.extend(tuple(sorted(p.items())) for p in s.draw(0, 2))
+        assert len(seen) == len(set(seen)) == 8
+        assert s.draw(0, 2) == []  # exhausted
+
+    def test_exhausted_flag(self):
+        s = RewardSampler([{"a": (1,)}], RngStream(1))
+        assert not s.exhausted
+        s.draw(0, 1)
+        assert s.exhausted
+
+    def test_record_tracks_best(self):
+        s = RewardSampler(self.spaces(), RngStream(1))
+        s.record(0, {"a": 1, "b": 10}, 0.9)
+        s.record(0, {"a": 2, "b": 10}, 0.4)
+        s.record(0, {"a": 3, "b": 20}, 0.7)
+        assert s.states[0].best_time == 0.4
+        assert s.states[0].best_params == {"a": 2, "b": 10}
+
+    def test_rewarded_segment_gets_more_samples(self):
+        spaces = [
+            {"a": tuple(range(30))},
+            {"b": tuple(range(30))},
+        ]
+        s = RewardSampler(spaces, RngStream(1))
+        s.reward(0)
+        alloc = s.allocate(12)
+        assert alloc[0] > alloc[1]
+        assert s.states[0].weight == pytest.approx(REWARD_FACTOR)
+
+    def test_identical_segment_keys_draw_identical_candidates(self):
+        space = {"a": (1, 2, 3, 4), "b": (10, 20)}
+        s = RewardSampler(
+            [space, space], RngStream(1), segment_keys=["K", "K"]
+        )
+        assert s.draw(0, 4) == s.draw(1, 4)
+
+    def test_empty_spaces_rejected(self):
+        with pytest.raises(TuningError):
+            RewardSampler([], RngStream(1))
+
+    def test_invalid_total(self):
+        s = RewardSampler(self.spaces(), RngStream(1))
+        with pytest.raises(TuningError):
+            s.allocate(0)
