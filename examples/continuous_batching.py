@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Continuous-batching serving simulation, step by step.
+
+A burst of requests hits a simulated A100 server.  Request-level (static)
+batching locks a batch until its slowest member drains; iteration-level
+(continuous) batching joins and evicts requests every step.  The same
+seeded trace runs under both policies, then a deliberately starved KV
+cache shows paged preemption keeping the server alive under pressure.
+
+Run:  python examples/continuous_batching.py
+"""
+
+from repro import RngStream, get_spec
+from repro.core.units import format_time
+from repro.serving import (
+    ServingConfig,
+    make_scheduler,
+    simulate_serving,
+    synthetic_trace,
+)
+
+
+def main() -> None:
+    spec = get_spec("a100")
+
+    # A bursty trace: 24 requests at 1,000 req/s with sliding-window masks,
+    # so each decode row touches O(window) cached keys, not O(context).
+    trace = synthetic_trace(
+        24,
+        1000.0,
+        rng=RngStream(42).fork("trace"),
+        pattern="sliding_window",
+        pattern_overrides={"band_width": 32},
+    )
+    span = trace[-1].arrival_s - trace[0].arrival_s
+    print(f"trace: {len(trace)} requests over {format_time(span)}, "
+          f"prompts {min(r.prompt_len for r in trace)}-"
+          f"{max(r.prompt_len for r in trace)} tokens\n")
+
+    config = ServingConfig()
+    reports = {}
+    for policy in ("static", "continuous"):
+        reports[policy] = simulate_serving(
+            trace, spec, make_scheduler(policy), config, rng=RngStream(42)
+        )
+        print(reports[policy].summary())
+        print()
+
+    ratio = reports["continuous"].tokens_per_s / reports["static"].tokens_per_s
+    print(f"continuous batching serves {ratio:.2f}x the tokens/s "
+          "(same trace, same masks, same GPU)\n")
+
+    # Starve the KV cache: pages run out mid-generation, the engine
+    # preempts the newest request (freeing its pages) and re-admits it
+    # later — requests finish late instead of the server failing.
+    starved = ServingConfig(kv_capacity_frac=0.0008)
+    report = simulate_serving(
+        trace, spec, make_scheduler("continuous"), starved, rng=RngStream(42)
+    )
+    print("same trace on a starved KV cache:")
+    print(f"  completed {report.completed}/{report.n_requests} requests with "
+          f"{report.preemptions} preemptions at "
+          f"{report.kv_peak_occupancy:.0%} peak cache occupancy")
+
+
+if __name__ == "__main__":
+    main()

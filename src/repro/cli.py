@@ -7,6 +7,8 @@
 * ``e2e``     — compare end-to-end engines on one model workload.
 * ``tune``    — run the two-stage search engine and print its trace.
 * ``decode``  — KV-cache generation throughput across attention methods.
+* ``serve-sim`` — continuous-batching serving simulation (static vs
+  continuous scheduling over a synthetic arrival trace).
 * ``trace``   — export a Chrome-trace JSON of one engine's execution plan.
 * ``report``  — collate benchmark result tables into one markdown report.
 * ``devices`` — list the simulated GPU specs.
@@ -178,6 +180,47 @@ def cmd_decode(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.serving import (
+        ServingConfig,
+        make_scheduler,
+        simulate_serving,
+        synthetic_trace,
+    )
+
+    spec = get_spec(args.device)
+    trace = synthetic_trace(
+        args.num_requests,
+        args.rate,
+        rng=RngStream(args.seed).fork("trace"),
+        prompt_range=(args.prompt_min, args.prompt_max),
+        max_new_range=(args.new_min, args.new_max),
+        pattern=args.pattern,
+    )
+    config = ServingConfig(
+        heads=args.heads,
+        head_size=args.head_size,
+        n_layers=args.layers,
+        kv_capacity_frac=args.kv_frac,
+        kv_page_tokens=args.page_tokens,
+    )
+    policies = ("static", "continuous") if args.policy == "both" else (args.policy,)
+    print(
+        f"serve-sim: {args.num_requests} requests @ {args.rate:.0f} req/s, "
+        f"pattern {args.pattern}, {spec.name}\n"
+    )
+    for policy in policies:
+        scheduler = make_scheduler(
+            policy, args.max_batch, args.max_batch_tokens
+        )
+        report = simulate_serving(
+            trace, spec, scheduler, config, rng=RngStream(args.seed)
+        )
+        print(report.summary())
+        print()
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.gpu.trace import export_chrome_trace
 
@@ -287,6 +330,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--generate", type=int, default=128)
     _add_common(p)
     p.set_defaults(func=cmd_decode)
+
+    p = sub.add_parser("serve-sim", help="continuous-batching serving simulation")
+    p.add_argument("--policy", default="both",
+                   choices=("static", "continuous", "both"))
+    p.add_argument("--pattern", default="causal", choices=sorted(PATTERN_REGISTRY))
+    p.add_argument("--num-requests", type=int, default=32)
+    p.add_argument("--rate", type=float, default=500.0,
+                   help="mean arrival rate (requests/s)")
+    p.add_argument("--prompt-min", type=int, default=32)
+    p.add_argument("--prompt-max", type=int, default=160)
+    p.add_argument("--new-min", type=int, default=16)
+    p.add_argument("--new-max", type=int, default=64)
+    p.add_argument("--heads", type=int, default=12)
+    p.add_argument("--head-size", type=int, default=64)
+    p.add_argument("--layers", type=int, default=12)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--max-batch-tokens", type=int, default=65536)
+    p.add_argument("--kv-frac", type=float, default=0.3,
+                   help="fraction of device memory granted to the KV cache")
+    p.add_argument("--page-tokens", type=int, default=16)
+    _add_common(p)
+    p.set_defaults(func=cmd_serve_sim)
 
     p = sub.add_parser("tune", help="run STOF's two-stage tuner and inspect it")
     p.add_argument("--model", default="bert-small")

@@ -1,0 +1,52 @@
+"""Continuous-batching serving simulation (S12; extension beyond the paper).
+
+The paper evaluates single static batches; production inference serves a
+*stream* of requests.  This package simulates that regime on the existing
+substrate — the decode/var-len attention problems of :mod:`repro.mha`
+priced by the :mod:`repro.gpu` cost model — with request-level (static)
+and iteration-level (continuous) batching policies, a paged KV-cache
+manager bounded by the device spec, and fleet latency/throughput metrics.
+
+* :mod:`repro.serving.request`   — requests, trackers, synthetic traces.
+* :mod:`repro.serving.kvcache`   — block-granular paged KV allocation.
+* :mod:`repro.serving.scheduler` — static vs continuous batch assembly.
+* :mod:`repro.serving.engine`    — the discrete-event simulation loop.
+* :mod:`repro.serving.metrics`   — TTFT / ITL / tokens-per-second reports.
+"""
+
+from repro.serving.engine import ServingConfig, ServingEngine, simulate_serving
+from repro.serving.kvcache import KVCacheConfig, PagedKVCache
+from repro.serving.metrics import RequestMetrics, ServingReport, percentile
+from repro.serving.request import (
+    Request,
+    RequestState,
+    RequestTracker,
+    synthetic_trace,
+)
+from repro.serving.scheduler import (
+    SCHEDULERS,
+    ContinuousBatchScheduler,
+    Scheduler,
+    StaticBatchScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "ContinuousBatchScheduler",
+    "KVCacheConfig",
+    "PagedKVCache",
+    "percentile",
+    "Request",
+    "RequestMetrics",
+    "RequestState",
+    "RequestTracker",
+    "Scheduler",
+    "SCHEDULERS",
+    "ServingConfig",
+    "ServingEngine",
+    "ServingReport",
+    "simulate_serving",
+    "StaticBatchScheduler",
+    "make_scheduler",
+    "synthetic_trace",
+]

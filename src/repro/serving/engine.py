@@ -1,0 +1,288 @@
+"""The discrete-event continuous-batching serving engine.
+
+Simulates a single-GPU inference server: requests arrive over (simulated)
+time, a :class:`~repro.serving.scheduler.Scheduler` composes each engine
+step, and the step's attention work is priced through the existing kernel
+substrate — prefills as square masked problems through
+:class:`~repro.mha.module.UnifiedMHA`, and the whole decode batch as ONE
+packed rectangular :class:`~repro.mha.problem.AttentionProblem` (a
+block-diagonal row-per-request mask, the var-len decode regime) through
+the row-wise kernel.  Batching therefore pays one launch + dispatch per
+step regardless of batch size, and sparse masks shrink each row's gathered
+KV — the two effects the serving study measures.
+
+KV storage goes through :class:`~repro.serving.kvcache.PagedKVCache`.
+When a decode step cannot grow a request's page run, the engine preempts
+the *latest-arrived* resident request (recompute-style: pages are freed,
+the request re-queues and re-prefills its kept context), so memory
+pressure degrades throughput instead of raising out of the scheduler.
+
+Everything is a pure function of (trace, scheduler, config, seed): two
+runs produce bit-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.rng import RngStream
+from repro.gpu.cost import estimate_kernel_time
+from repro.gpu.specs import GPUSpec
+from repro.mha.module import UnifiedMHA
+from repro.mha.problem import AttentionProblem
+from repro.mha.rowwise import RowWiseKernel
+from repro.serving.kvcache import KVCacheConfig, PagedKVCache
+from repro.serving.metrics import RequestMetrics, ServingReport
+from repro.serving.request import Request, RequestState, RequestTracker
+from repro.serving.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Model shape and host-side constants of the simulated server."""
+
+    heads: int = 12
+    head_size: int = 64
+    n_layers: int = 12
+    kv_page_tokens: int = 16
+    kv_capacity_frac: float = 0.3    # device memory granted to the KV cache
+    dispatch_s: float = 1e-6         # per-launch host dispatch (CUDA-graph)
+    step_overhead_s: float = 2e-5    # scheduler bookkeeping per engine step
+
+    def __post_init__(self) -> None:
+        if min(self.heads, self.head_size, self.n_layers) < 1:
+            raise ConfigError("heads, head_size and n_layers must be >= 1")
+        if self.dispatch_s < 0 or self.step_overhead_s < 0:
+            raise ConfigError("overheads must be >= 0")
+
+
+class ServingEngine:
+    """One simulated inference server: a GPU, a policy, a KV cache."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        scheduler: Scheduler,
+        config: ServingConfig | None = None,
+    ):
+        self.spec = spec
+        self.scheduler = scheduler
+        self.config = config or ServingConfig()
+        self._mha = UnifiedMHA(spec)
+        self._decode_kernel = RowWiseKernel()
+
+    # ----------------------------------------------------------- step pricing
+
+    def _prefill_time(self, tr: RequestTracker, rng: RngStream) -> tuple[float, int]:
+        """Simulated seconds + launch count of (re)computing the context."""
+        ctx = tr.context_len
+        problem = AttentionProblem(
+            batch=1,
+            heads=self.config.heads,
+            seq_len=ctx,
+            head_size=self.config.head_size,
+            mask=tr.prefill_mask(rng),
+            pattern="custom",
+        )
+        plan = self._mha.plan(problem)
+        launches = sum(cost.launches for cost, _ in plan.launches)
+        return plan.estimated_s * self.config.n_layers, launches * self.config.n_layers
+
+    def _decode_time(
+        self, members: list[tuple[RequestTracker, int]], rng: RngStream
+    ) -> tuple[float, int]:
+        """Price one packed decode step: one row per member, block-diagonal
+        over each member's own KV run."""
+        if not members:
+            return 0.0, 0
+        rows = [tr.full_mask(rng)[pos, : pos + 1] for tr, pos in members]
+        kv_lens = [len(r) for r in rows]
+        total_kv = sum(kv_lens)
+        mask = np.zeros((len(rows), total_kv), dtype=bool)
+        offset = 0
+        for i, row in enumerate(rows):
+            mask[i, offset : offset + len(row)] = row
+            offset += len(row)
+        problem = AttentionProblem(
+            batch=1,
+            heads=self.config.heads,
+            seq_len=len(rows),
+            head_size=self.config.head_size,
+            mask=mask,
+            pattern="serving-packed",
+            kv_seq_len=total_kv,
+        )
+        seconds = 0.0
+        launches = 0
+        for cost, cfg in self._decode_kernel.plan(problem, self.spec):
+            seconds += estimate_kernel_time(self.spec, cost, cfg).total
+            launches += cost.launches
+        return seconds * self.config.n_layers, launches * self.config.n_layers
+
+    # ------------------------------------------------------------- simulation
+
+    def run(self, trace: list[Request], rng: RngStream | None = None) -> ServingReport:
+        """Simulate the full trace to completion and report fleet metrics."""
+        if not trace:
+            raise ConfigError("empty request trace")
+        rng = rng or RngStream()
+        mask_rng = rng.fork("serving-masks")
+        cfg = self.config
+        cache = PagedKVCache(
+            KVCacheConfig.for_spec(
+                self.spec,
+                cfg.heads,
+                cfg.head_size,
+                cfg.n_layers,
+                page_tokens=cfg.kv_page_tokens,
+                capacity_frac=cfg.kv_capacity_frac,
+            )
+        )
+        for req in trace:
+            if not cache.fits_alone(req.max_context):
+                raise ConfigError(
+                    f"request {req.req_id} can never fit: context "
+                    f"{req.max_context} needs "
+                    f"{cache.config.pages_for(req.max_context)} pages, "
+                    f"cache has {cache.total_pages}"
+                )
+            if req.max_context > self.scheduler.max_batch_tokens:
+                raise ConfigError(
+                    f"request {req.req_id} exceeds max_batch_tokens "
+                    f"({req.max_context} > {self.scheduler.max_batch_tokens})"
+                )
+
+        pending = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
+        trackers = {r.req_id: RequestTracker(r) for r in pending}
+        waiting: list[RequestTracker] = []
+        running: list[RequestTracker] = []
+        finished: list[RequestTracker] = []
+
+        clock = 0.0
+        steps = 0
+
+        def credit_token(tr: RequestTracker) -> None:
+            tr.generated += 1
+            tr.token_times_s.append(clock)
+            if tr.ttft_s is None:
+                tr.ttft_s = clock
+            if tr.done:
+                tr.finish_s = clock
+                tr.state = RequestState.FINISHED
+                if tr in waiting:      # preempted in the same step it finished
+                    waiting.remove(tr)
+                finished.append(tr)
+
+        def preempt(tr: RequestTracker) -> None:
+            cache.release(tr.req_id)
+            running.remove(tr)
+            tr.state = RequestState.WAITING
+            tr.preemptions += 1
+            waiting.append(tr)
+            waiting.sort(key=lambda t: (t.request.arrival_s, t.req_id))
+
+        while len(finished) < len(trace):
+            while pending and pending[0].arrival_s <= clock:
+                tr = trackers[pending.pop(0).req_id]
+                waiting.append(tr)
+            waiting.sort(key=lambda t: (t.request.arrival_s, t.req_id))
+
+            was_running = list(running)
+            admitted = self.scheduler.admit(waiting, running, cache)
+            for tr in admitted:
+                tr.state = RequestState.RUNNING
+                running.append(tr)
+
+            if not was_running and not admitted:
+                if not pending:   # pragma: no cover - admission always progresses
+                    raise ConfigError("serving deadlock: nothing runnable")
+                clock = pending[0].arrival_s
+                continue
+
+            step_s = cfg.step_overhead_s
+            launches = 0
+            for tr in admitted:
+                t, n = self._prefill_time(tr, mask_rng)
+                step_s += t
+                launches += n
+
+            members = self.scheduler.decode_members(was_running)
+            if self.scheduler.allows_preemption:
+                members.sort(key=lambda tp: (tp[0].request.arrival_s, tp[0].req_id))
+                survivors: list[tuple[RequestTracker, int]] = []
+                for tr, pos in members:
+                    if tr not in running:   # evicted earlier in this pass
+                        continue
+                    preempted_self = False
+                    while not cache.reserve(tr.req_id, tr.context_len + 1):
+                        evictable = [
+                            t
+                            for t in running
+                            if t is not tr
+                            and all(t is not s for s, _ in survivors)
+                        ]
+                        if not evictable:   # pragma: no cover - solo fit holds
+                            preempt(tr)
+                            preempted_self = True
+                            break
+                        victim = max(
+                            evictable,
+                            key=lambda t: (t.request.arrival_s, t.req_id),
+                        )
+                        preempt(victim)
+                    if not preempted_self:
+                        survivors.append((tr, pos))
+                members = survivors
+            decode_s, n = self._decode_time(members, mask_rng)
+            step_s += decode_s
+            launches += n
+            step_s += cfg.dispatch_s * launches
+
+            clock += step_s
+            steps += 1
+
+            for tr in admitted:
+                credit_token(tr)
+            for tr, _pos in members:
+                if not tr.done:
+                    credit_token(tr)
+
+            for tr in self.scheduler.releasable(running):
+                cache.release(tr.req_id)
+                running.remove(tr)
+                if tr not in finished:   # pragma: no cover - defensive
+                    finished.append(tr)
+
+        first_arrival = min(r.arrival_s for r in trace)
+        last_finish = max(tr.finish_s or 0.0 for tr in finished)
+        patterns = sorted({r.pattern for r in trace})
+        return ServingReport(
+            policy=self.scheduler.name,
+            pattern="+".join(patterns),
+            device=self.spec.name,
+            n_requests=len(trace),
+            completed=len(finished),
+            makespan_s=last_finish - first_arrival,
+            total_tokens=sum(tr.generated for tr in finished),
+            total_steps=steps,
+            preemptions=sum(tr.preemptions for tr in trackers.values()),
+            kv_peak_occupancy=cache.peak_occupancy,
+            requests=sorted(
+                (RequestMetrics.from_tracker(tr) for tr in finished),
+                key=lambda m: m.req_id,
+            ),
+        )
+
+
+def simulate_serving(
+    trace: list[Request],
+    spec: GPUSpec,
+    scheduler: Scheduler,
+    config: ServingConfig | None = None,
+    rng: RngStream | None = None,
+) -> ServingReport:
+    """One-call façade: run ``trace`` under ``scheduler`` on ``spec``."""
+    return ServingEngine(spec, scheduler, config).run(trace, rng=rng)

@@ -1,0 +1,182 @@
+"""Block-granular (paged) KV-cache management.
+
+A serving engine cannot pre-reserve ``prompt + max_new`` KV storage for
+every admitted request — that is exactly the over-allocation continuous
+batching removes.  Instead the cache is carved into fixed-size *pages* of
+``page_tokens`` key/value slots (vLLM's PagedAttention layout) and each
+request holds just enough pages for its current context.  Byte accounting
+runs through :class:`~repro.gpu.memory.MemoryTracker`, so the cache can
+never exceed the capacity granted from the :class:`~repro.gpu.specs.GPUSpec`
+— pressure surfaces as a failed ``reserve`` (the scheduler's cue to
+preempt), never as an exception escaping the engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import FP16_BYTES
+from repro.gpu.memory import MemoryTracker
+from repro.gpu.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class KVCacheConfig:
+    """Geometry of the paged KV cache for one served model."""
+
+    heads: int
+    head_size: int
+    n_layers: int
+    page_tokens: int = 16
+    capacity_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.heads, self.head_size, self.n_layers, self.page_tokens) < 1:
+            raise ConfigError(
+                "heads, head_size, n_layers and page_tokens must be >= 1"
+            )
+        if self.capacity_bytes < self.page_bytes:
+            raise ConfigError(
+                f"capacity {self.capacity_bytes} bytes holds no page "
+                f"({self.page_bytes} bytes each)"
+            )
+
+    @property
+    def bytes_per_token(self) -> int:
+        """K and V vectors across all heads and layers for one position."""
+        return 2 * self.heads * self.head_size * self.n_layers * FP16_BYTES
+
+    @property
+    def page_bytes(self) -> int:
+        return self.page_tokens * self.bytes_per_token
+
+    @property
+    def total_pages(self) -> int:
+        return self.capacity_bytes // self.page_bytes
+
+    def pages_for(self, tokens: int) -> int:
+        """Pages needed to hold ``tokens`` KV positions."""
+        return math.ceil(tokens / self.page_tokens)
+
+    @classmethod
+    def for_spec(
+        cls,
+        spec: GPUSpec,
+        heads: int,
+        head_size: int,
+        n_layers: int,
+        page_tokens: int = 16,
+        capacity_frac: float = 0.3,
+    ) -> "KVCacheConfig":
+        """Carve a fraction of device memory (the rest models weights and
+        activations) into KV-cache capacity."""
+        if not (0.0 < capacity_frac <= 1.0):
+            raise ConfigError(
+                f"capacity_frac must be in (0, 1], got {capacity_frac}"
+            )
+        return cls(
+            heads=heads,
+            head_size=head_size,
+            n_layers=n_layers,
+            page_tokens=page_tokens,
+            capacity_bytes=int(spec.memory_bytes * capacity_frac),
+        )
+
+
+class PagedKVCache:
+    """Page allocator over a fixed KV budget.
+
+    >>> cfg = KVCacheConfig(heads=1, head_size=8, n_layers=1, page_tokens=4,
+    ...                     capacity_bytes=8 * 4 * 2 * 8 * 2)  # 8 pages
+    >>> cache = PagedKVCache(cfg)
+    >>> cache.reserve(0, 9)      # 3 pages
+    True
+    >>> cache.used_pages
+    3
+    >>> cache.reserve(1, 24)     # 6 pages > 5 free
+    False
+    >>> cache.release(0)         # frees the 3 pages
+    3
+    >>> cache.used_pages
+    0
+    """
+
+    def __init__(self, config: KVCacheConfig):
+        self.config = config
+        self._tracker = MemoryTracker(config.total_pages * config.page_bytes)
+        self._pages: dict[int, int] = {}
+
+    # ----------------------------------------------------------- accounting
+
+    @property
+    def total_pages(self) -> int:
+        return self.config.total_pages
+
+    @property
+    def used_pages(self) -> int:
+        return sum(self._pages.values())
+
+    @property
+    def free_pages(self) -> int:
+        return self.total_pages - self.used_pages
+
+    @property
+    def used_bytes(self) -> int:
+        return self._tracker.live_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._tracker.peak_bytes
+
+    @property
+    def occupancy(self) -> float:
+        return self.used_pages / self.total_pages
+
+    @property
+    def peak_occupancy(self) -> float:
+        return self.peak_bytes / (self.total_pages * self.config.page_bytes)
+
+    def pages_of(self, req_id: int) -> int:
+        return self._pages.get(req_id, 0)
+
+    def fits_alone(self, tokens: int) -> bool:
+        """Whether a context of ``tokens`` fits an otherwise empty cache."""
+        return self.config.pages_for(tokens) <= self.total_pages
+
+    # ----------------------------------------------------------- allocation
+
+    def reserve(self, req_id: int, context_tokens: int) -> bool:
+        """Grow ``req_id``'s page run to cover ``context_tokens`` positions.
+
+        Returns ``False`` (allocating nothing) when the growth does not fit
+        — the caller decides whether to preempt.  Shrinking never happens
+        here; pages are returned only via :meth:`release`.
+        """
+        if context_tokens < 0:
+            raise ConfigError(f"context_tokens must be >= 0, got {context_tokens}")
+        held = self._pages.get(req_id, 0)
+        need = self.config.pages_for(context_tokens)
+        grow = need - held
+        if grow <= 0:
+            return True
+        if grow > self.free_pages:
+            return False
+        for p in range(held, need):
+            self._tracker.allocate(f"kv/{req_id}/{p}", self.config.page_bytes)
+        self._pages[req_id] = need
+        return True
+
+    def release(self, req_id: int) -> int:
+        """Free every page of a finished or preempted request."""
+        held = self._pages.pop(req_id, 0)
+        for p in range(held):
+            self._tracker.free(f"kv/{req_id}/{p}")
+        return held
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PagedKVCache(used={self.used_pages}/{self.total_pages} pages, "
+            f"requests={len(self._pages)})"
+        )

@@ -1,0 +1,138 @@
+"""Serving metrics: per-request latency accounting and fleet aggregates.
+
+Definitions (the ones every serving paper and dashboard uses):
+
+* **TTFT** — time to first token: first-token emission minus arrival.
+  Includes queueing delay, so it is the metric scheduling policy moves.
+* **ITL** — inter-token latency: the gap between consecutive tokens of one
+  request after the first (also called TPOT, time per output token).
+* **tokens/s** — fleet decode throughput: total generated tokens divided
+  by the makespan (first arrival to last completion).
+* **goodput** — completed requests per second over the same span.
+
+Percentiles use the nearest-rank convention over the exact simulated
+values; everything here is a pure function of the engine's event log, so
+reports are bit-identical across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.request import RequestTracker
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of a sample (0 for an empty one).
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.0
+    """
+    if not values:
+        return 0.0
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    rank = max(0, int(np.ceil(q / 100.0 * len(arr))) - 1)
+    return float(arr[rank])
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Latency summary of one completed request."""
+
+    req_id: int
+    arrival_s: float
+    prompt_len: int
+    tokens: int
+    ttft_s: float
+    finish_s: float
+    preemptions: int
+    itl_mean_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end: arrival to final token."""
+        return self.finish_s - self.arrival_s
+
+    @classmethod
+    def from_tracker(cls, tr: RequestTracker) -> "RequestMetrics":
+        gaps = np.diff(tr.token_times_s) if len(tr.token_times_s) > 1 else []
+        return cls(
+            req_id=tr.req_id,
+            arrival_s=tr.request.arrival_s,
+            prompt_len=tr.request.prompt_len,
+            tokens=tr.generated,
+            ttft_s=(tr.ttft_s or 0.0) - tr.request.arrival_s,
+            finish_s=tr.finish_s or 0.0,
+            preemptions=tr.preemptions,
+            itl_mean_s=float(np.mean(gaps)) if len(gaps) else 0.0,
+        )
+
+
+@dataclass
+class ServingReport:
+    """Outcome of one simulated serving run."""
+
+    policy: str
+    pattern: str
+    device: str
+    n_requests: int
+    completed: int
+    makespan_s: float
+    total_tokens: int
+    total_steps: int
+    preemptions: int
+    kv_peak_occupancy: float
+    requests: list[RequestMetrics] = field(repr=False, default_factory=list)
+
+    # ------------------------------------------------------------ aggregates
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.total_tokens / self.makespan_s if self.makespan_s else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        return self.completed / self.makespan_s if self.makespan_s else 0.0
+
+    @property
+    def ttfts(self) -> list[float]:
+        return [r.ttft_s for r in self.requests]
+
+    @property
+    def itls(self) -> list[float]:
+        return [r.itl_mean_s for r in self.requests if r.tokens > 1]
+
+    def ttft_p(self, q: float) -> float:
+        return percentile(self.ttfts, q)
+
+    def itl_p(self, q: float) -> float:
+        return percentile(self.itls, q)
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.requests:
+            return 0.0
+        return float(np.mean([r.latency_s for r in self.requests]))
+
+    # -------------------------------------------------------------- rendering
+
+    def summary(self) -> str:
+        from repro.core.units import format_time
+
+        lines = [
+            f"{self.policy} batching · {self.pattern} masks · {self.device}",
+            f"  requests     : {self.completed}/{self.n_requests} completed, "
+            f"{self.total_tokens} tokens in {self.total_steps} steps",
+            f"  throughput   : {self.tokens_per_s:,.0f} tok/s, "
+            f"goodput {self.goodput_rps:,.1f} req/s",
+            f"  TTFT         : p50 {format_time(self.ttft_p(50))}, "
+            f"p95 {format_time(self.ttft_p(95))}, "
+            f"p99 {format_time(self.ttft_p(99))}",
+            f"  ITL          : p50 {format_time(self.itl_p(50))}, "
+            f"p95 {format_time(self.itl_p(95))}",
+            f"  KV cache     : peak occupancy {self.kv_peak_occupancy:.1%}, "
+            f"{self.preemptions} preemptions",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Serving requests and the synthetic arrival-trace generator.
+
+A serving workload is a list of :class:`Request` objects — each one an
+(arrival time, prompt length, generation budget, mask pattern) tuple — and
+the engine's job is to turn that list into tokens under a scheduling
+policy.  :func:`synthetic_trace` draws such a list from seeded
+distributions (Poisson arrivals, uniform prompt/generation lengths), so
+every benchmark and test works from bit-identical workloads.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.rng import RngStream
+from repro.masks.patterns import PATTERN_REGISTRY, causal_mask, make_pattern
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of a request inside the serving engine."""
+
+    WAITING = "waiting"        # arrived, not yet admitted (or preempted)
+    RUNNING = "running"        # holds KV-cache pages, produces tokens
+    FINISHED = "finished"      # reached its generation budget
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request as submitted by a client."""
+
+    req_id: int
+    arrival_s: float
+    prompt_len: int
+    max_new_tokens: int
+    pattern: str = "causal"
+    pattern_overrides: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.prompt_len < 1:
+            raise ConfigError(f"prompt_len must be >= 1, got {self.prompt_len}")
+        if self.max_new_tokens < 1:
+            raise ConfigError(
+                f"max_new_tokens must be >= 1, got {self.max_new_tokens}"
+            )
+        if self.arrival_s < 0:
+            raise ConfigError(f"arrival_s must be >= 0, got {self.arrival_s}")
+        if self.pattern not in PATTERN_REGISTRY:
+            raise ConfigError(
+                f"unknown mask pattern {self.pattern!r}; "
+                f"known: {sorted(PATTERN_REGISTRY)}"
+            )
+
+    @property
+    def max_context(self) -> int:
+        """Longest KV context this request can ever hold."""
+        return self.prompt_len + self.max_new_tokens
+
+
+@dataclass(eq=False)
+class RequestTracker:
+    """Mutable per-request runtime state owned by the engine.
+
+    Identity-compared (``eq=False``): the engine keeps trackers in queues
+    and membership must mean *this* tracker, not field equality.
+    """
+
+    request: Request
+    state: RequestState = RequestState.WAITING
+    generated: int = 0
+    ttft_s: float | None = None
+    finish_s: float | None = None
+    token_times_s: list[float] = field(default_factory=list, repr=False)
+    preemptions: int = 0
+    _full_mask: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def req_id(self) -> int:
+        return self.request.req_id
+
+    @property
+    def context_len(self) -> int:
+        """Tokens currently in (or due to re-enter) the KV cache."""
+        return self.request.prompt_len + self.generated
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.max_new_tokens
+
+    def full_mask(self, rng: RngStream) -> np.ndarray:
+        """The request's (causal ∧ pattern) mask at ``max_context`` (cached).
+
+        Seeded by the request id, never by admission order, so preemption
+        and re-admission replay the identical mask.
+        """
+        if self._full_mask is None:
+            size = self.request.max_context
+            pattern = make_pattern(
+                self.request.pattern,
+                size,
+                rng=rng.fork(f"req-{self.req_id}-{self.request.pattern}"),
+                **dict(self.request.pattern_overrides),
+            )
+            self._full_mask = pattern & causal_mask(size)
+        return self._full_mask
+
+    def decode_row(self, rng: RngStream) -> np.ndarray:
+        """Mask row of the next token: position ``context_len`` attends
+        the first ``context_len + 1`` cached positions."""
+        t = self.context_len
+        return self.full_mask(rng)[t, : t + 1]
+
+    def prefill_mask(self, rng: RngStream) -> np.ndarray:
+        """Square mask of the (re)compute pass over the current context."""
+        t = self.context_len
+        return self.full_mask(rng)[:t, :t]
+
+
+def synthetic_trace(
+    n_requests: int,
+    arrival_rate_rps: float,
+    rng: RngStream | None = None,
+    prompt_range: tuple[int, int] = (32, 160),
+    max_new_range: tuple[int, int] = (16, 64),
+    pattern: str = "causal",
+    pattern_overrides: dict | None = None,
+) -> list[Request]:
+    """Draw a seeded request trace with Poisson arrivals.
+
+    Inter-arrival gaps are exponential with mean ``1 / arrival_rate_rps``;
+    prompt lengths and generation budgets are uniform over the given
+    inclusive ranges.  The same ``rng`` always produces the same trace.
+
+    >>> t = synthetic_trace(3, 100.0, rng=RngStream(7))
+    >>> [r.req_id for r in t]
+    [0, 1, 2]
+    >>> t == synthetic_trace(3, 100.0, rng=RngStream(7))
+    True
+    """
+    if n_requests < 1:
+        raise ConfigError(f"n_requests must be >= 1, got {n_requests}")
+    if arrival_rate_rps <= 0:
+        raise ConfigError(
+            f"arrival_rate_rps must be > 0, got {arrival_rate_rps}"
+        )
+    for name, (lo, hi) in (("prompt", prompt_range), ("max_new", max_new_range)):
+        if not (1 <= lo <= hi):
+            raise ConfigError(f"invalid {name}_range ({lo}, {hi})")
+    rng = rng or RngStream()
+    arrivals = rng.fork("arrivals")
+    lengths = rng.fork("lengths")
+    overrides = tuple(sorted((pattern_overrides or {}).items()))
+
+    clock = 0.0
+    trace: list[Request] = []
+    for i in range(n_requests):
+        gap = -math.log(1.0 - float(arrivals.random())) / arrival_rate_rps
+        clock += gap
+        trace.append(
+            Request(
+                req_id=i,
+                arrival_s=clock,
+                prompt_len=int(lengths.integers(prompt_range[0], prompt_range[1] + 1)),
+                max_new_tokens=int(
+                    lengths.integers(max_new_range[0], max_new_range[1] + 1)
+                ),
+                pattern=pattern,
+                pattern_overrides=overrides,
+            )
+        )
+    return trace

@@ -1,0 +1,169 @@
+"""Batch-assembly policies for the serving engine.
+
+Two classic policies, both FCFS at admission:
+
+* :class:`StaticBatchScheduler` — request-level (static) batching: a batch
+  forms only when the device drains, reserves worst-case
+  (``prompt + max_new``) KV for every member up front, and runs locked
+  until *every* member exhausts its budget; finished members keep
+  occupying (and computing) their slot, and arrivals wait for the drain.
+  This is the pre-continuous-batching serving baseline.
+* :class:`ContinuousBatchScheduler` — iteration-level scheduling (Orca /
+  vLLM style): requests join the running batch the step they arrive and
+  leave the step they finish; KV pages are reserved for the *current*
+  context only, with a ``max_batch_tokens`` admission knob bounding the
+  packed step size.
+
+Schedulers only decide membership; pricing, preemption and token
+accounting live in :mod:`repro.serving.engine`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.errors import ConfigError
+from repro.serving.kvcache import PagedKVCache
+from repro.serving.request import RequestState, RequestTracker
+
+
+class Scheduler(ABC):
+    """One admission/composition policy."""
+
+    name: str = "scheduler"
+
+    def __init__(self, max_batch_size: int = 16, max_batch_tokens: int = 65536):
+        if max_batch_size < 1:
+            raise ConfigError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_batch_tokens < 1:
+            raise ConfigError(
+                f"max_batch_tokens must be >= 1, got {max_batch_tokens}"
+            )
+        self.max_batch_size = max_batch_size
+        self.max_batch_tokens = max_batch_tokens
+
+    @abstractmethod
+    def admit(
+        self,
+        waiting: list[RequestTracker],
+        running: list[RequestTracker],
+        cache: PagedKVCache,
+    ) -> list[RequestTracker]:
+        """Pop admitted trackers off ``waiting`` (reserving their KV) and
+        return them; the engine prefills them this step."""
+
+    @abstractmethod
+    def decode_members(
+        self, running: list[RequestTracker]
+    ) -> list[tuple[RequestTracker, int]]:
+        """(tracker, mask-row position) pairs computed in this decode step."""
+
+    @abstractmethod
+    def releasable(self, running: list[RequestTracker]) -> list[RequestTracker]:
+        """Finished trackers whose KV pages may be freed now."""
+
+    @property
+    def allows_preemption(self) -> bool:
+        return False
+
+
+class StaticBatchScheduler(Scheduler):
+    """FCFS request-level batching with worst-case KV reservation."""
+
+    name = "static"
+
+    def admit(self, waiting, running, cache):
+        if running:           # locked batch still draining
+            return []
+        admitted: list[RequestTracker] = []
+        budget = 0
+        while waiting and len(admitted) < self.max_batch_size:
+            tr = waiting[0]
+            worst = tr.request.max_context
+            if admitted and budget + worst > self.max_batch_tokens:
+                break         # FCFS: no skipping past the head
+            if not cache.reserve(tr.req_id, worst):
+                if not admitted:
+                    raise ConfigError(
+                        f"request {tr.req_id} needs "
+                        f"{cache.config.pages_for(worst)} pages alone; "
+                        f"cache has {cache.total_pages}"
+                    )
+                break
+            budget += worst
+            admitted.append(waiting.pop(0))
+        return admitted
+
+    def decode_members(self, running):
+        # Every slot computes, padded to the batch maximum: finished
+        # members replay their final row until the whole batch drains.
+        members = []
+        for tr in running:
+            pos = min(tr.context_len, tr.request.max_context - 1)
+            members.append((tr, pos))
+        return members
+
+    def releasable(self, running):
+        # KV slots stay resident until the locked batch fully drains.
+        if running and all(tr.done for tr in running):
+            return list(running)
+        return []
+
+
+class ContinuousBatchScheduler(Scheduler):
+    """Iteration-level join/evict batching with paged admission."""
+
+    name = "continuous"
+
+    @property
+    def allows_preemption(self) -> bool:
+        return True
+
+    def admit(self, waiting, running, cache):
+        admitted: list[RequestTracker] = []
+        tokens = sum(tr.context_len for tr in running)
+        while waiting and len(running) + len(admitted) < self.max_batch_size:
+            tr = waiting[0]
+            ctx = tr.context_len   # prompt, plus kept tokens after preemption
+            if tokens + ctx > self.max_batch_tokens:
+                break              # FCFS: no skipping past the head
+            if not cache.reserve(tr.req_id, ctx):
+                break
+            # Keep one free page per resident request as decode headroom so
+            # admission does not immediately force a preemption.  An empty
+            # device always admits (solo fit is validated by the engine).
+            others = len(running) + len(admitted)
+            if others > 0 and cache.free_pages < others + 1:
+                cache.release(tr.req_id)
+                break
+            tokens += ctx
+            admitted.append(waiting.pop(0))
+        return admitted
+
+    def decode_members(self, running):
+        return [(tr, tr.context_len) for tr in running if not tr.done]
+
+    def releasable(self, running):
+        return [tr for tr in running if tr.done]
+
+
+#: Registry keyed by the CLI/benchmark policy names.
+SCHEDULERS: dict[str, type[Scheduler]] = {
+    StaticBatchScheduler.name: StaticBatchScheduler,
+    ContinuousBatchScheduler.name: ContinuousBatchScheduler,
+}
+
+
+def make_scheduler(
+    name: str, max_batch_size: int = 16, max_batch_tokens: int = 65536
+) -> Scheduler:
+    """Instantiate a policy by registry name.
+
+    >>> make_scheduler("continuous").name
+    'continuous'
+    """
+    if name not in SCHEDULERS:
+        raise ConfigError(
+            f"unknown scheduler {name!r}; known: {sorted(SCHEDULERS)}"
+        )
+    return SCHEDULERS[name](max_batch_size, max_batch_tokens)

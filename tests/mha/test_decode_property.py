@@ -1,0 +1,83 @@
+"""Property-based decode-cost tests (hypothesis).
+
+The serving story rests on one cost-model property: with a windowed
+pattern, a decode step gathers O(window) cached keys, so per-step cost is
+bounded by the window — independent of how long the cache has grown —
+while dense-causal decode degrades with context length.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rng import RngStream
+from repro.gpu.specs import A100
+from repro.mha.decode import simulate_decode
+
+
+def steps(pattern, prompt, **overrides):
+    return simulate_decode(
+        pattern,
+        A100,
+        "stof",
+        batch=2,
+        heads=4,
+        head_size=32,
+        prompt_len=prompt,
+        generate=4,
+        rng=RngStream(7),
+        **overrides,
+    ).mean_step_s
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    prompt=st.integers(min_value=64, max_value=384),
+    band=st.sampled_from([8, 16, 32]),
+)
+def test_window_decode_cost_independent_of_cache(prompt, band):
+    """Doubling the cache leaves windowed per-step cost flat."""
+    short = steps("sliding_window", prompt, band_width=band)
+    long = steps("sliding_window", prompt * 2, band_width=band)
+    assert long <= short * 1.05
+
+
+def bench_steps(pattern, prompt, **overrides):
+    """The benchmark shape (batch 8, GPT heads): DRAM-bound, not
+    launch-bound, so context-length effects dominate dispatch noise."""
+    return simulate_decode(
+        pattern,
+        A100,
+        "stof",
+        batch=8,
+        heads=12,
+        head_size=64,
+        prompt_len=prompt,
+        generate=4,
+        rng=RngStream(7),
+        **overrides,
+    ).mean_step_s
+
+
+@settings(max_examples=15, deadline=None)
+@given(prompt=st.integers(min_value=64, max_value=256))
+def test_causal_decode_cost_grows_with_cache(prompt):
+    """Dense rows pay for the whole context: 8x the cache costs clearly
+    more per step (small multiples wobble inside KV-split quantization)."""
+    assert bench_steps("causal", prompt * 8) > bench_steps("causal", prompt) * 1.1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    prompt=st.integers(min_value=96, max_value=384),
+    band=st.sampled_from([8, 16, 32]),
+)
+def test_window_decode_cheaper_than_causal(prompt, band):
+    """A window row gathers strictly less KV than a causal row."""
+    assert steps("sliding_window", prompt, band_width=band) < steps("causal", prompt)
+
+
+@settings(max_examples=10, deadline=None)
+@given(prompt=st.integers(min_value=128, max_value=320))
+def test_decode_cost_monotone_in_window(prompt):
+    """Wider windows never decode cheaper."""
+    costs = [steps("sliding_window", prompt, band_width=w) for w in (8, 16, 32, 64)]
+    assert all(b >= a * (1 - 1e-9) for a, b in zip(costs, costs[1:])), costs

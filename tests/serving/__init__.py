@@ -1,0 +1,1 @@
+"""Tests for the continuous-batching serving simulation (S12)."""

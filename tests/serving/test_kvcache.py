@@ -1,0 +1,114 @@
+"""Tests for the paged KV-cache manager."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import FP16_BYTES
+from repro.gpu.specs import A100
+from repro.serving.kvcache import KVCacheConfig, PagedKVCache
+
+
+def small_cache(pages=8, page_tokens=4):
+    cfg = KVCacheConfig(
+        heads=1,
+        head_size=8,
+        n_layers=1,
+        page_tokens=page_tokens,
+        capacity_bytes=pages * page_tokens * 2 * 1 * 8 * 1 * FP16_BYTES,
+    )
+    return PagedKVCache(cfg)
+
+
+class TestKVCacheConfig:
+    def test_bytes_per_token(self):
+        cfg = KVCacheConfig(
+            heads=12, head_size=64, n_layers=12, page_tokens=16,
+            capacity_bytes=1 << 30,
+        )
+        # K and V, every head, every layer, FP16.
+        assert cfg.bytes_per_token == 2 * 12 * 64 * 12 * FP16_BYTES
+
+    def test_pages_for_rounds_up(self):
+        cfg = small_cache().config
+        assert cfg.pages_for(0) == 0
+        assert cfg.pages_for(1) == 1
+        assert cfg.pages_for(4) == 1
+        assert cfg.pages_for(5) == 2
+
+    def test_for_spec_grants_fraction(self):
+        cfg = KVCacheConfig.for_spec(A100, 12, 64, 12, capacity_frac=0.25)
+        granted = cfg.total_pages * cfg.page_bytes
+        assert granted <= 0.25 * A100.memory_bytes
+        assert granted > 0.24 * A100.memory_bytes
+
+
+class TestPagedKVCache:
+    def test_reserve_grows_and_is_idempotent(self):
+        cache = small_cache()
+        assert cache.reserve(0, 9)          # 3 pages
+        assert cache.pages_of(0) == 3
+        assert cache.reserve(0, 5)          # shrink request: no-op, still ok
+        assert cache.pages_of(0) == 3
+        assert cache.reserve(0, 13)         # grow by one page
+        assert cache.pages_of(0) == 4
+
+    def test_reserve_fails_softly_under_pressure(self):
+        cache = small_cache(pages=4)
+        assert cache.reserve(0, 12)         # 3 of 4 pages
+        assert not cache.reserve(1, 8)      # needs 2, only 1 free
+        assert cache.pages_of(1) == 0       # failed reserve allocates nothing
+        assert cache.reserve(1, 4)          # 1 page still fits
+
+    def test_release_returns_page_count(self):
+        cache = small_cache()
+        cache.reserve(3, 10)
+        assert cache.release(3) == 3
+        assert cache.release(3) == 0        # idempotent
+        assert cache.used_pages == 0
+
+    def test_occupancy_and_peak(self):
+        cache = small_cache(pages=8)
+        cache.reserve(0, 16)                # 4 pages
+        assert cache.occupancy == pytest.approx(0.5)
+        cache.release(0)
+        assert cache.occupancy == 0.0
+        assert cache.peak_occupancy == pytest.approx(0.5)
+
+    def test_fits_alone(self):
+        cache = small_cache(pages=8, page_tokens=4)
+        assert cache.fits_alone(32)
+        assert not cache.fits_alone(33)
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(ConfigError):
+            small_cache().reserve(0, -1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["reserve", "release"]),
+                st.integers(min_value=0, max_value=5),     # req_id
+                st.integers(min_value=0, max_value=64),    # tokens
+            ),
+            max_size=40,
+        )
+    )
+    def test_never_exceeds_capacity(self, ops):
+        """Arbitrary reserve/release interleavings: the cache never
+        overcommits, never raises, and accounting stays consistent."""
+        cache = small_cache(pages=8)
+        for op, req_id, tokens in ops:
+            if op == "reserve":
+                ok = cache.reserve(req_id, tokens)
+                if not ok:
+                    assert (
+                        cache.config.pages_for(tokens) - cache.pages_of(req_id)
+                        > cache.free_pages
+                    )
+            else:
+                cache.release(req_id)
+            assert 0 <= cache.used_pages <= cache.total_pages
+            assert cache.used_bytes == cache.used_pages * cache.config.page_bytes
+            assert cache.peak_occupancy <= 1.0 + 1e-12

@@ -1,0 +1,93 @@
+"""Golden-regression tests: the benchmark tables are reproducible artifacts.
+
+``benchmarks/results/*.txt`` is committed; these tests regenerate the fast
+tables in-process and require byte-identical text (the whole substrate is
+deterministic — any drift in masks, cost model, kernels, or engines shows
+up here as a diff against the committed golden).  The slow figures are
+covered by one spot-checked cell instead of a full regeneration.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+BENCHMARKS_DIR = REPO / "benchmarks"
+RESULTS_DIR = BENCHMARKS_DIR / "results"
+if str(BENCHMARKS_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+
+from harness import _fmt, format_table  # noqa: E402
+
+
+def golden(name: str) -> str:
+    path = RESULTS_DIR / f"{name}.txt"
+    assert path.exists(), f"golden {name}.txt missing — run the benchmarks"
+    return path.read_text()
+
+
+def test_table2_matches_golden():
+    import bench_table2_mask_features as mod
+
+    table = format_table(
+        ["pattern", "parameters", "row", "column", "type", "sparsity %"],
+        mod.build_table(),
+        title=f"Table 2 reproduction (seq_len={mod.SEQ_LEN})",
+    )
+    assert table + "\n" == golden("table2_mask_features")
+
+
+def test_decode_table_matches_golden():
+    import bench_decode as mod
+
+    rows, _ = mod.compute_rows()
+    table = format_table(
+        ["pattern", "prompt+gen", "stof tok/s", "native tok/s", "fa2 tok/s"],
+        rows,
+        title="Extension: KV-cache decode throughput (batch 8, GPT heads, A100)",
+    )
+    assert table + "\n" == golden("decode_throughput")
+
+
+def test_serving_table_matches_golden():
+    """One serving cell, recomputed, against the committed table row."""
+    import bench_serving as mod
+
+    pair = mod.run_pair("sliding_window", {"band_width": 32}, 500.0)
+    text = golden("serving_throughput")
+    line = next(
+        ln
+        for ln in text.splitlines()
+        if "sliding_window" in ln and ln.split()[1] == "500"
+    )
+    for report in pair.values():
+        assert _fmt(report.tokens_per_s) in line
+
+
+def test_fig13_cell_matches_golden():
+    """Recompute the (bert-small, 1, 128) ablation cell of Figure 13."""
+    from harness import engine_time, model_setup
+
+    from repro.gpu.specs import A100
+    from repro.runtime import PyTorchNativeEngine, STOFEngine
+
+    inst, masks, patterns = model_setup("bert-small", 1, 128)
+    native = engine_time(PyTorchNativeEngine(), inst, A100, masks, patterns)
+    text = golden("fig13_ablation")
+    line = next(
+        ln for ln in text.splitlines() if "bert-small" in ln and "(1,128)" in ln
+    )
+    import bench_fig13_ablation as mod
+
+    for _label, kwargs in mod.VARIANTS:
+        speed = native / engine_time(STOFEngine(**kwargs), inst, A100, masks, patterns)
+        assert f"{speed:.2f}x" in line, (kwargs, speed, line)
+
+
+def test_every_bench_module_has_a_committed_result():
+    """Each results/*.txt artifact is tracked and non-empty."""
+    results = sorted(RESULTS_DIR.glob("*.txt"))
+    assert len(results) >= 20
+    for path in results:
+        assert path.read_text().strip(), path.name

@@ -34,6 +34,10 @@ import repro.models.build
 import repro.models.config
 import repro.ops.base
 import repro.ops.movement
+import repro.serving.kvcache
+import repro.serving.metrics
+import repro.serving.request
+import repro.serving.scheduler
 import repro.tuner.cache
 
 DOCTESTED_MODULES = [
@@ -59,6 +63,10 @@ DOCTESTED_MODULES = [
     repro.models.config,
     repro.models.build,
     repro.tuner.cache,
+    repro.serving.request,
+    repro.serving.kvcache,
+    repro.serving.scheduler,
+    repro.serving.metrics,
     repro.api,
 ]
 
@@ -84,7 +92,11 @@ EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 
 #: The fast examples run as real subprocesses; the slower ones are covered
 #: by the library tests that exercise the same code paths.
-FAST_EXAMPLES = ["gpu_cost_model_tour.py", "custom_mask_pattern.py"]
+FAST_EXAMPLES = [
+    "gpu_cost_model_tour.py",
+    "custom_mask_pattern.py",
+    "continuous_batching.py",
+]
 
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
@@ -109,6 +121,7 @@ def test_all_readme_examples_exist():
         "tuning_deep_dive.py",
         "kv_cache_decoding.py",
         "variable_length_serving.py",
+        "continuous_batching.py",
         "gpu_cost_model_tour.py",
     ]
     for name in listed:
