@@ -44,6 +44,7 @@ from repro.mha import (
     reference_attention,
 )
 from repro.models import build_model, get_model_config
+from repro.plan import CompiledPlan, PlanCache, PlanKey, Planner
 from repro.runtime import (
     BoltEngine,
     ByteTransformerEngine,
@@ -76,6 +77,10 @@ __all__ = [
     "reference_attention",
     "build_model",
     "get_model_config",
+    "CompiledPlan",
+    "PlanCache",
+    "PlanKey",
+    "Planner",
     "BoltEngine",
     "ByteTransformerEngine",
     "MCFuserEngine",

@@ -31,6 +31,7 @@ from repro.gpu.specs import GPUSpec, get_spec
 from repro.masks.patterns import causal_mask, make_pattern
 from repro.models.build import ModelInstance, build_model
 from repro.models.config import ModelConfig, get_model_config
+from repro.plan import PlanCache
 from repro.runtime.executor import EngineReport, PreparedModel
 from repro.runtime.frameworks import (
     BoltEngine,
@@ -146,6 +147,7 @@ def compile_model(
     engine: str | Engine = "stof",
     seed: int = 0,
     check_memory: bool = True,
+    plan_cache: PlanCache | None = None,
     **engine_kwargs: Any,
 ) -> CompiledModel:
     """Build, mask, prepare, and plan a model in one call.
@@ -155,6 +157,11 @@ def compile_model(
     boolean array; ``engine`` a registry name or an :class:`Engine`
     instance.  Raises the same :class:`UnsupportedInputError` /
     :class:`DeviceOutOfMemoryError` the engines raise.
+
+    ``plan_cache`` (optional) is a shared :class:`repro.plan.PlanCache`:
+    planning decisions are looked up there before being recomputed, so
+    compiling several related workloads amortizes repeated layer plans,
+    and ``plan_cache.stats()`` afterwards shows what was reused.
     """
     cfg = get_model_config(model) if isinstance(model, str) else model
     spec = get_spec(device) if isinstance(device, str) else device
@@ -167,6 +174,8 @@ def compile_model(
             raise ConfigError(f"unknown engine {engine!r}; known: {sorted(ENGINES)}")
         engine = ENGINES[key](**engine_kwargs)
     prepared = engine.prepare(inst, spec, masks, patterns)
+    if plan_cache is not None:
+        prepared.plan_cache = plan_cache
     report = prepared.plan(check_memory=check_memory)
     return CompiledModel(
         instance=inst, prepared=prepared, report=report, masks=masks, seed=seed

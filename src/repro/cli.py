@@ -9,6 +9,8 @@
 * ``decode``  — KV-cache generation throughput across attention methods.
 * ``serve-sim`` — continuous-batching serving simulation (static vs
   continuous scheduling over a synthetic arrival trace).
+* ``plan-cache`` — plan-cache effectiveness: the serving simulation with
+  and without plan reuse, plus per-kind hit-rate statistics.
 * ``trace``   — export a Chrome-trace JSON of one engine's execution plan.
 * ``report``  — collate benchmark result tables into one markdown report.
 * ``devices`` — list the simulated GPU specs.
@@ -27,7 +29,6 @@ import argparse
 import sys
 from typing import Sequence
 
-import numpy as np
 
 from repro.api import ENGINES, compare_engines, compile_model
 from repro.core.rng import RngStream
@@ -221,6 +222,75 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan_cache(args: argparse.Namespace) -> int:
+    import dataclasses
+    import time
+
+    from repro.plan import PlanCache
+    from repro.serving import (
+        ServingConfig,
+        ServingEngine,
+        make_scheduler,
+        synthetic_trace,
+    )
+
+    if args.load:
+        cache = PlanCache(max_entries=None)
+        n = cache.load(args.load)
+        print(f"loaded {n} entries from {args.load}")
+        kinds: dict[str, int] = {}
+        for key, _ in cache.items():
+            kinds[key.kind] = kinds.get(key.kind, 0) + 1
+        for kind in sorted(kinds):
+            print(f"  {kind:>16}: {kinds[kind]} entries")
+        return 0
+
+    spec = get_spec(args.device)
+    trace = synthetic_trace(
+        args.num_requests,
+        args.rate,
+        rng=RngStream(args.seed).fork("trace"),
+        pattern=args.pattern,
+        prompt_range=(32, 64),
+        max_new_range=(160, 256),
+    )
+    print(
+        f"plan-cache: {args.num_requests} requests @ {args.rate:.0f} req/s, "
+        f"pattern {args.pattern}, {spec.name}\n"
+    )
+    runs = {}
+    for cached in (False, True):
+        config = ServingConfig(use_plan_cache=cached)
+        engine = ServingEngine(
+            spec, make_scheduler("continuous", 16, 65536), config
+        )
+        t0 = time.perf_counter()
+        report = engine.run(trace, rng=RngStream(args.seed))
+        wall = time.perf_counter() - t0
+        runs[cached] = (engine, report, wall)
+        label = "cache on " if cached else "cache off"
+        print(f"  {label}: {wall * 1e3:8.1f} ms wall-clock "
+              f"({report.total_tokens} tokens, {report.total_steps} steps)")
+    _, cold_report, cold = runs[False]
+    engine, warm_report, warm = runs[True]
+    same = dataclasses.replace(warm_report, plan_cache=None) == cold_report
+    print(f"  speedup : {cold / warm:8.2f}x   "
+          f"reports identical: {'yes' if same else 'NO'}\n")
+
+    stats = engine.plan_cache.stats()
+    print(f"{'kind':>16} {'hits':>8} {'misses':>8} {'hit rate':>9}")
+    for kind, ks in stats["kinds"].items():
+        print(f"{kind:>16} {ks['hits']:>8} {ks['misses']:>8} "
+              f"{ks['hit_rate']:>8.1%}")
+    print(f"{'total':>16} {stats['hits']:>8} {stats['misses']:>8} "
+          f"{stats['hit_rate']:>8.1%}   "
+          f"({stats['entries']} entries, {stats['evictions']} evictions)")
+    if args.save:
+        engine.plan_cache.save(args.save)
+        print(f"\nsaved {len(engine.plan_cache)} entries to {args.save}")
+    return 0 if same else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.gpu.trace import export_chrome_trace
 
@@ -352,6 +422,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--page-tokens", type=int, default=16)
     _add_common(p)
     p.set_defaults(func=cmd_serve_sim)
+
+    p = sub.add_parser(
+        "plan-cache",
+        help="plan-cache effectiveness: serving sim with and without reuse",
+    )
+    p.add_argument("--pattern", default="causal", choices=sorted(PATTERN_REGISTRY))
+    p.add_argument("--num-requests", type=int, default=12)
+    p.add_argument("--rate", type=float, default=2000.0,
+                   help="mean arrival rate (requests/s)")
+    p.add_argument("--save", default=None,
+                   help="persist the warm plan cache to this JSON file")
+    p.add_argument("--load", default=None,
+                   help="inspect a saved plan-cache file instead of running")
+    _add_common(p)
+    p.set_defaults(func=cmd_plan_cache)
 
     p = sub.add_parser("tune", help="run STOF's two-stage tuner and inspect it")
     p.add_argument("--model", default="bert-small")

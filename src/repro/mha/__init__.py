@@ -25,6 +25,7 @@ from repro.mha.rowwise import RowWiseKernel
 from repro.mha.blockwise import BlockWiseKernel
 from repro.mha.selector import (
     KernelChoice,
+    compile_attention_plan,
     eq1_threshold,
     eq2_score,
     select_kernel,
@@ -40,6 +41,7 @@ __all__ = [
     "RowWiseKernel",
     "BlockWiseKernel",
     "KernelChoice",
+    "compile_attention_plan",
     "eq1_threshold",
     "eq2_score",
     "select_kernel",

@@ -2,41 +2,29 @@
 
 :class:`UnifiedMHA` ties the pieces together: the analytical selector picks
 row-wise vs block-wise and the block parameters, and the chosen kernel
-serves both the functional ``run`` and the simulated ``plan``.  The
-``MHAPlan`` it returns records the decision for introspection (the ablation
-and overhead benchmarks read these fields).
+serves both the functional ``run`` and the simulated ``plan``.  Planning
+goes through :func:`repro.mha.selector.compile_attention_plan`, so the
+returned plan is a :class:`repro.plan.CompiledPlan` (``MHAPlan`` remains
+as an alias) and an optional shared :class:`repro.plan.PlanCache` replays
+identical decisions instead of re-deriving them.
 """
 
 from __future__ import annotations
-
-import time
-from dataclasses import dataclass, field
-from typing import Any
 
 import numpy as np
 
 from repro.gpu.specs import GPUSpec
 from repro.mha.blockwise import BlockWiseKernel
-from repro.mha.kernel import AttentionKernel, Launch
 from repro.mha.problem import AttentionProblem
 from repro.mha.rowwise import RowWiseKernel
-from repro.mha.selector import KernelChoice, select_kernel
+from repro.mha.selector import compile_attention_plan
+from repro.plan import CompiledPlan, PlanCache
 
-
-@dataclass
-class MHAPlan:
-    """The resolved execution plan for one attention problem."""
-
-    choice: KernelChoice
-    params: dict[str, Any]
-    kernel: AttentionKernel
-    launches: list[Launch]
-    estimated_s: float
-    analysis_overhead_s: float   # host-side time spent in the analytical model
-
-    @property
-    def kernel_name(self) -> str:
-        return self.kernel.name
+#: Historical name for the attention plan record.  The plan layer unified
+#: it with every other site's plan artifact; the fields consumers read
+#: (choice, params, kernel, launches, estimated_s, analysis_overhead_s,
+#: kernel_name) are unchanged.
+MHAPlan = CompiledPlan
 
 
 class UnifiedMHA:
@@ -52,34 +40,28 @@ class UnifiedMHA:
     (1, 2, 64, 32)
     """
 
-    def __init__(self, spec: GPUSpec, tau: float | None = None, mode: str = "model"):
+    def __init__(
+        self,
+        spec: GPUSpec,
+        tau: float | None = None,
+        mode: str = "model",
+        cache: PlanCache | None = None,
+    ):
         self.spec = spec
         self.tau = tau
         self.mode = mode
+        self.cache = cache
         self._row = RowWiseKernel()
         self._block = BlockWiseKernel()
 
     def plan(self, problem: AttentionProblem) -> MHAPlan:
-        """Select kernel + parameters and price the launches."""
-        t0 = time.perf_counter()
-        kwargs = {} if self.tau is None else {"tau": self.tau}
-        choice, params = select_kernel(problem, self.spec, mode=self.mode, **kwargs)
-        analysis_s = time.perf_counter() - t0
-
-        kernel = self._row if choice is KernelChoice.ROW_WISE else self._block
-        launches = kernel.plan(problem, self.spec, params)
-        from repro.gpu.cost import estimate_kernel_time
-
-        est = sum(
-            estimate_kernel_time(self.spec, c, cfg).total for c, cfg in launches
-        )
-        return MHAPlan(
-            choice=choice,
-            params=params,
-            kernel=kernel,
-            launches=launches,
-            estimated_s=est,
-            analysis_overhead_s=analysis_s,
+        """Select kernel + parameters and price the launches (cached)."""
+        return compile_attention_plan(
+            problem,
+            self.spec,
+            mode=self.mode,
+            tau=self.tau,
+            cache=self.cache,
         )
 
     def run(self, problem: AttentionProblem) -> np.ndarray:

@@ -18,7 +18,7 @@ from repro.core.fp16 import FP16_BYTES
 from repro.core.rng import RngStream
 from repro.masks.bsr import BlockSparseMask
 from repro.masks.patterns import make_pattern
-from repro.masks.stats import classify_distribution, default_width
+from repro.masks.stats import classify_distribution
 
 
 @dataclass
@@ -48,6 +48,7 @@ class AttentionProblem:
         default_factory=dict, repr=False
     )
     _csr_cache: tuple[np.ndarray, np.ndarray] | None = field(default=None, repr=False)
+    _mask_fp: str | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if min(self.batch, self.heads, self.seq_len, self.head_size) < 1:
@@ -172,6 +173,18 @@ class AttentionProblem:
             col_idx = np.flatnonzero(self.mask.ravel()) % self.kv_seq_len
             self._csr_cache = (row_ptr, col_idx.astype(np.int32))
         return self._csr_cache
+
+    def mask_fingerprint(self) -> str:
+        """Content hash of the mask (cached) — the plan layer's guard.
+
+        Equal fingerprints mean element-wise identical masks, so a plan
+        replayed under this fingerprint is exact, not approximate.
+        """
+        if self._mask_fp is None:
+            from repro.plan.key import mask_fingerprint
+
+            self._mask_fp = mask_fingerprint(self.mask)
+        return self._mask_fp
 
     @property
     def nnz(self) -> int:

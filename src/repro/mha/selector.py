@@ -33,19 +33,23 @@ from __future__ import annotations
 
 import enum
 import math
+import time
 from dataclasses import dataclass
 from typing import Any
 
 from repro.core.errors import ConfigError
 from repro.core.fp16 import FP16_BYTES
+from repro.gpu.cost import estimate_kernel_time
 from repro.gpu.specs import GPUSpec
 from repro.mha.blockwise import (
     DEFAULT_PADDING,
     BlockWiseKernel,
     required_smem_elems,
 )
+from repro.mha.kernel import AttentionKernel
 from repro.mha.problem import AttentionProblem
 from repro.mha.rowwise import RowWiseKernel
+from repro.plan import CompiledPlan, PlanCache, PlanKey
 
 #: Paper's empirical coefficient in Eq. 1.
 TAU = 1.2
@@ -229,3 +233,72 @@ def select_kernel(
         return KernelChoice.BLOCK_WISE, block_params
 
     raise ConfigError(f"unknown selector mode {mode!r}")
+
+
+# --------------------------------------------------------------------- plans
+#
+# The selector is the compilation front-end of the plan layer: it turns an
+# (problem, spec, mode, tau) query into a CompiledPlan, replayed from a
+# PlanCache whenever the content-addressed key matches.  Kernels are
+# stateless, so module-level instances are shared by every compiled plan.
+
+_ROW = RowWiseKernel()
+_BLOCK = BlockWiseKernel()
+
+
+def kernel_for_choice(choice: KernelChoice | str) -> AttentionKernel:
+    """The (shared, stateless) kernel object implementing a choice."""
+    if not isinstance(choice, KernelChoice):
+        choice = KernelChoice(choice)
+    return _ROW if choice is KernelChoice.ROW_WISE else _BLOCK
+
+
+def compile_attention_plan(
+    problem: AttentionProblem,
+    spec: GPUSpec,
+    mode: str = "model",
+    tau: float | None = None,
+    cache: PlanCache | None = None,
+    kind: str = "mha",
+) -> CompiledPlan:
+    """Select, parameterize, and price attention — once per plan key.
+
+    The key's salt carries the selector settings (mode, tau), so plans
+    compiled under different selection policies never alias.  A cache hit
+    replays the exact prior decision (including its recorded analysis
+    overhead); a miss runs the analytical selector and prices the chosen
+    kernel's launches, identically to the historical ``UnifiedMHA.plan``.
+    """
+    eff_tau = TAU if tau is None else tau
+    key = PlanKey.for_problem(
+        kind, problem, spec, salt=f"select:{mode}:tau={eff_tau!r}"
+    )
+
+    def make() -> CompiledPlan:
+        t0 = time.perf_counter()
+        choice, params = select_kernel(problem, spec, tau=eff_tau, mode=mode)
+        analysis_s = time.perf_counter() - t0
+        kernel = kernel_for_choice(choice)
+        launches = kernel.plan(problem, spec, params)
+        est = sum(
+            estimate_kernel_time(spec, cost, cfg).total for cost, cfg in launches
+        )
+        return CompiledPlan(
+            kernel_name=kernel.name,
+            choice=choice,
+            params=params,
+            launches=launches,
+            estimated_s=est,
+            analysis_overhead_s=analysis_s,
+            key=key,
+            kernel=kernel,
+        )
+
+    if cache is None:
+        return make()
+    plan = cache.get_or_build(key, make)
+    if not isinstance(plan.choice, KernelChoice) and plan.choice is not None:
+        plan.choice = KernelChoice(plan.choice)   # rehydrate after warm start
+    if plan.kernel is None and plan.choice is not None:
+        plan.kernel = kernel_for_choice(plan.choice)
+    return plan

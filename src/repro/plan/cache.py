@@ -1,0 +1,194 @@
+"""Bounded LRU plan cache with per-kind statistics and JSON persistence.
+
+The cache is content-addressed: entries are keyed by :class:`PlanKey`
+value equality, so a hit is an *exact* replay of a prior decision, never
+a heuristic match.  Values are usually :class:`CompiledPlan` objects but
+any JSON-representable planning artifact is accepted (the tuner stores
+measured seconds, the serving engine stores per-row mask statistics) —
+``save``/``load`` tag each value with its type so a warm start restores
+them faithfully.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from collections import OrderedDict
+from typing import Any, Callable, Iterator
+
+from repro.plan.compiled import CompiledPlan
+from repro.plan.key import PlanKey, _tuplify
+
+_FORMAT_VERSION = 1
+
+
+class PlanCache:
+    """LRU map from :class:`PlanKey` to a compiled planning artifact.
+
+    ``max_entries=None`` means unbounded (the tuner's historical
+    behavior); otherwise the least-recently-*used* entry is evicted when
+    a ``put`` overflows the bound.  Hits, misses, and evictions are
+    counted globally and per ``key.kind`` so each layer's cache behavior
+    (mha / runtime / tuner / serving) is separately observable.
+    """
+
+    def __init__(self, max_entries: int | None = 1024) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[PlanKey, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._kind_hits: dict[str, int] = {}
+        self._kind_misses: dict[str, int] = {}
+
+    # ----------------------------------------------------------------- core
+
+    def get(self, key: PlanKey, default: Any = None) -> Any:
+        """Look up a plan, counting the hit/miss and refreshing recency."""
+        value = self._entries.get(key, _MISS)
+        if value is not _MISS:
+            self.hits += 1
+            self._kind_hits[key.kind] = self._kind_hits.get(key.kind, 0) + 1
+            self._entries.move_to_end(key)
+            return value
+        self.misses += 1
+        self._kind_misses[key.kind] = self._kind_misses.get(key.kind, 0) + 1
+        return default
+
+    def put(self, key: PlanKey, value: Any) -> Any:
+        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def get_or_build(self, key: PlanKey, build: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building and storing on miss."""
+        sentinel = _MISS
+        value = self.get(key, sentinel)
+        if value is not sentinel:
+            return value
+        return self.put(key, build())
+
+    def peek(self, key: PlanKey, default: Any = None) -> Any:
+        """Look up without touching recency or statistics."""
+        return self._entries.get(key, default)
+
+    def items(self) -> Iterator[tuple[PlanKey, Any]]:
+        return iter(list(self._entries.items()))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept; see ``reset_stats``)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._kind_hits.clear()
+        self._kind_misses.clear()
+
+    # ------------------------------------------------------------ statistics
+
+    def stats(self) -> dict[str, Any]:
+        """Observable cache behavior, globally and per plan kind."""
+        total = self.hits + self.misses
+        kinds: dict[str, dict[str, Any]] = {}
+        for kind in sorted(set(self._kind_hits) | set(self._kind_misses)):
+            h = self._kind_hits.get(kind, 0)
+            m = self._kind_misses.get(kind, 0)
+            kinds[kind] = {
+                "hits": h,
+                "misses": m,
+                "hit_rate": h / (h + m) if h + m else 0.0,
+            }
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
+            "kinds": kinds,
+        }
+
+    # ----------------------------------------------------------- persistence
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist entries to JSON for a later warm start.
+
+        Only the entries travel — statistics describe *this* process's
+        behavior and are not serialized.  Values that cannot be encoded
+        (e.g. plans holding live kernel objects are fine — the object is
+        dropped; truly opaque values are skipped) do not poison the file.
+        """
+        entries = []
+        for key, value in self._entries.items():
+            encoded = _encode_value(value)
+            if encoded is None:
+                continue
+            entries.append({"key": key.to_dict(), "value": encoded})
+        payload = {"version": _FORMAT_VERSION, "entries": entries}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+
+    def load(self, path: str | os.PathLike) -> int:
+        """Warm-start from a ``save`` file; returns the entry count loaded."""
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported plan-cache format version: {payload.get('version')!r}"
+            )
+        count = 0
+        for item in payload.get("entries", ()):
+            key = PlanKey.from_dict(item["key"])
+            self.put(key, _decode_value(item["value"]))
+            count += 1
+        return count
+
+
+class _Miss:
+    __slots__ = ()
+
+
+_MISS = _Miss()
+
+
+def _encode_value(value: Any) -> dict[str, Any] | None:
+    """Tag a cache value for JSON so ``load`` restores the right type."""
+    if isinstance(value, CompiledPlan):
+        return {"t": "plan", "v": value.to_payload()}
+    if isinstance(value, float) and math.isinf(value):
+        return {"t": "inf", "v": "+" if value > 0 else "-"}
+    if isinstance(value, (int, float)):
+        return {"t": "num", "v": value}
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return None
+    return {"t": "data", "v": value}
+
+
+def _decode_value(encoded: dict[str, Any]) -> Any:
+    tag = encoded.get("t")
+    if tag == "plan":
+        return CompiledPlan.from_payload(encoded["v"])
+    if tag == "inf":
+        return math.inf if encoded["v"] == "+" else -math.inf
+    if tag == "num":
+        return encoded["v"]
+    return _tuplify(encoded.get("v"))

@@ -1,0 +1,159 @@
+"""Plan compilation helpers and the :class:`Planner` facade.
+
+``compile_launches`` and ``compile_kernel_plan`` are the generic
+compile-through-cache primitives every site builds on: key the decision,
+replay it from the cache when the key matches, otherwise derive it once
+(identically to the pre-cache code path) and store it.  :class:`Planner`
+bundles a device spec, selector settings, and a shared cache for callers
+that want a single object to plan through.
+
+This module deliberately does not import :mod:`repro.mha` at import time
+(the MHA selector itself imports :mod:`repro.plan`); attention-specific
+compilation lives in :func:`repro.mha.selector.compile_attention_plan`
+and is reached lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.gpu.cost import estimate_kernel_time
+from repro.plan.cache import PlanCache
+from repro.plan.compiled import CompiledPlan, Launch
+from repro.plan.key import PlanKey
+
+
+def compile_launches(
+    key: PlanKey,
+    build: Callable[[], list[Launch]],
+    cache: PlanCache | None = None,
+    kernel_name: str = "",
+    spec: Any = None,
+) -> CompiledPlan:
+    """Wrap a launch-list builder into a cached :class:`CompiledPlan`.
+
+    ``build`` must be pure in the key: two calls under equal keys must
+    produce equal launch lists (that is the content-addressing contract).
+    When ``spec`` is given the plan's ``estimated_s`` is priced through
+    :func:`~repro.gpu.cost.estimate_kernel_time`.
+    """
+
+    def make() -> CompiledPlan:
+        launches = build()
+        est = 0.0
+        if spec is not None:
+            est = sum(
+                estimate_kernel_time(spec, cost, cfg).total for cost, cfg in launches
+            )
+        return CompiledPlan(
+            kernel_name=kernel_name,
+            launches=launches,
+            estimated_s=est,
+            key=key,
+        )
+
+    if cache is None:
+        return make()
+    return cache.get_or_build(key, make)
+
+
+def compile_kernel_plan(
+    kernel: Any,
+    problem: Any,
+    spec: Any,
+    params: dict[str, Any] | None = None,
+    cache: PlanCache | None = None,
+    kind: str = "kernel",
+    salt: str = "",
+) -> CompiledPlan:
+    """Compile (or replay) one kernel's plan for one attention problem.
+
+    The key covers problem geometry + mask content + device + params, so
+    a hit is exactly the plan the kernel would re-derive.  The live
+    ``kernel`` object is re-bound on hits (it never travels through the
+    cache's persisted form).
+    """
+    key = PlanKey.for_problem(
+        kind, problem, spec, params=params, salt=salt or kernel.name
+    )
+
+    def make() -> CompiledPlan:
+        launches = kernel.plan(problem, spec, params)
+        est = sum(
+            estimate_kernel_time(spec, cost, cfg).total for cost, cfg in launches
+        )
+        return CompiledPlan(
+            kernel_name=kernel.name,
+            params=dict(params) if params else None,
+            launches=launches,
+            estimated_s=est,
+            key=key,
+        )
+
+    if cache is None:
+        plan = make()
+    else:
+        plan = cache.get_or_build(key, make)
+    if plan.kernel is None:
+        plan.kernel = kernel
+    return plan
+
+
+class Planner:
+    """One spec + one selector mode + one cache: plan anything through it.
+
+    >>> from repro.gpu.specs import A100
+    >>> from repro.mha.problem import AttentionProblem
+    >>> planner = Planner(A100)
+    >>> prob = AttentionProblem.build("sliding_window", 1, 2, 64, 32)
+    >>> plan = planner.plan_attention(prob)
+    >>> planner.plan_attention(prob) is plan   # replayed, not re-derived
+    True
+    """
+
+    def __init__(
+        self,
+        spec: Any,
+        mode: str = "model",
+        tau: float | None = None,
+        cache: PlanCache | None = None,
+    ) -> None:
+        self.spec = spec
+        self.mode = mode
+        self.tau = tau
+        self.cache = cache if cache is not None else PlanCache()
+
+    def plan_attention(self, problem: Any, kind: str = "mha") -> CompiledPlan:
+        """Selector-driven attention plan (see §4.2), cached."""
+        from repro.mha.selector import compile_attention_plan
+
+        return compile_attention_plan(
+            problem,
+            self.spec,
+            mode=self.mode,
+            tau=self.tau,
+            cache=self.cache,
+            kind=kind,
+        )
+
+    def plan_kernel(
+        self,
+        kernel: Any,
+        problem: Any,
+        params: dict[str, Any] | None = None,
+        kind: str = "kernel",
+        salt: str = "",
+    ) -> CompiledPlan:
+        """Fixed-kernel plan (no selection), cached."""
+        return compile_kernel_plan(
+            kernel,
+            problem,
+            self.spec,
+            params=params,
+            cache=self.cache,
+            kind=kind,
+            salt=salt,
+        )
+
+    def stats(self) -> dict[str, Any]:
+        return self.cache.stats()

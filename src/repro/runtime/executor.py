@@ -34,7 +34,17 @@ from repro.mha.kernel import AttentionKernel
 from repro.mha.problem import AttentionProblem
 from repro.models.build import ModelInstance
 from repro.ops.base import numel
+from repro.plan import (
+    CompiledPlan,
+    PlanCache,
+    PlanKey,
+    compile_kernel_plan,
+    compile_launches,
+    params_key,
+    spec_fingerprint,
+)
 from repro.runtime.capture import MHACapture, capture_attention_sites
+from repro.tuner.engine import segment_signature
 
 
 @dataclass
@@ -48,6 +58,19 @@ class MHABinding:
 
     def plan(self, spec: GPUSpec):
         return self.kernel.plan(self.problem, spec, self.params)
+
+    def compiled_plan(
+        self, spec: GPUSpec, cache: PlanCache | None = None
+    ) -> CompiledPlan:
+        """The site's plan through the shared plan layer (cached)."""
+        return compile_kernel_plan(
+            self.kernel,
+            self.problem,
+            spec,
+            params=self.params,
+            cache=cache,
+            kind="runtime-mha",
+        )
 
     def run(self, q2: np.ndarray, k2: np.ndarray, v2: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Execute on (B*S, H)-shaped inputs, returning (B*S, H)."""
@@ -116,6 +139,9 @@ class PreparedModel:
     workspace_bytes: float = 0.0
     tuning_time_s: float = 0.0
     extras: dict[str, Any] = field(default_factory=dict)
+    #: Shared compiled-plan cache.  When None, each ``plan()`` call uses an
+    #: ephemeral cache (repeated layers still deduplicate within the call).
+    plan_cache: PlanCache | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ plan
 
@@ -139,8 +165,17 @@ class PreparedModel:
         dram = 0.0
         flops = 0.0
 
+        # Every site plans through the shared cache: repeated layers (same
+        # mask content + geometry + params) replay one CompiledPlan instead
+        # of re-running the kernel's mask analysis.  The per-launch pricing
+        # below is unchanged, so reports are identical with or without a
+        # persistent cache.
+        cache = self.plan_cache if self.plan_cache is not None else PlanCache()
+        device = spec_fingerprint(self.spec)
+
         for _, binding in self.attention:
-            for cost, config in binding.plan(self.spec):
+            site_plan = binding.compiled_plan(self.spec, cache)
+            for cost, config in site_plan.launches:
                 bd = estimate_kernel_time(self.spec, cost, config)
                 mha_t += bd.total + self.dispatch_overhead_s * cost.launches
                 launches += cost.launches
@@ -149,7 +184,21 @@ class PreparedModel:
 
         for cp in self.chains:
             for template, params in zip(cp.templates, cp.params):
-                for cost, config in template.plan(self.spec, params):
+                key = PlanKey(
+                    kind="runtime-chain",
+                    device=device,
+                    params=params_key(params),
+                    salt=repr(segment_signature(template)),
+                )
+                seg_plan = compile_launches(
+                    key,
+                    lambda template=template, params=params: template.plan(
+                        self.spec, params
+                    ),
+                    cache=cache,
+                    kernel_name=template.segment.names,
+                )
+                for cost, config in seg_plan.launches:
                     bd = estimate_kernel_time(self.spec, cost, config)
                     down_t += bd.total + self.dispatch_overhead_s * cost.launches
                     launches += cost.launches

@@ -23,7 +23,7 @@ runs produce bit-identical reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -33,7 +33,8 @@ from repro.gpu.cost import estimate_kernel_time
 from repro.gpu.specs import GPUSpec
 from repro.mha.module import UnifiedMHA
 from repro.mha.problem import AttentionProblem
-from repro.mha.rowwise import RowWiseKernel
+from repro.mha.rowwise import RowWiseKernel, plan_rowwise_launches
+from repro.plan import PlanCache, PlanKey
 from repro.serving.kvcache import KVCacheConfig, PagedKVCache
 from repro.serving.metrics import RequestMetrics, ServingReport
 from repro.serving.request import Request, RequestState, RequestTracker
@@ -51,12 +52,19 @@ class ServingConfig:
     kv_capacity_frac: float = 0.3    # device memory granted to the KV cache
     dispatch_s: float = 1e-6         # per-launch host dispatch (CUDA-graph)
     step_overhead_s: float = 2e-5    # scheduler bookkeeping per engine step
+    use_plan_cache: bool = True      # replay plans instead of re-deriving
+    plan_cache_entries: int = 4096   # LRU bound of the shared plan cache
+    plan_bucket_tokens: int = 64     # decode row-stat chunk, in positions
 
     def __post_init__(self) -> None:
         if min(self.heads, self.head_size, self.n_layers) < 1:
             raise ConfigError("heads, head_size and n_layers must be >= 1")
         if self.dispatch_s < 0 or self.step_overhead_s < 0:
             raise ConfigError("overheads must be >= 0")
+        if self.plan_cache_entries < 1:
+            raise ConfigError("plan_cache_entries must be >= 1")
+        if self.plan_bucket_tokens < 1:
+            raise ConfigError("plan_bucket_tokens must be >= 1")
 
 
 class ServingEngine:
@@ -71,7 +79,13 @@ class ServingEngine:
         self.spec = spec
         self.scheduler = scheduler
         self.config = config or ServingConfig()
-        self._mha = UnifiedMHA(spec)
+        #: The shared plan cache.  Prefill plans are replayed through
+        #: UnifiedMHA (kind "mha"); decode row statistics live under kind
+        #: "serving-decode", chunked by context-length bucket.
+        self.plan_cache = PlanCache(max_entries=self.config.plan_cache_entries)
+        self._mha = UnifiedMHA(
+            spec, cache=self.plan_cache if self.config.use_plan_cache else None
+        )
         self._decode_kernel = RowWiseKernel()
 
     # ----------------------------------------------------------- step pricing
@@ -121,6 +135,94 @@ class ServingEngine:
             seconds += estimate_kernel_time(self.spec, cost, cfg).total
             launches += cost.launches
         return seconds * self.config.n_layers, launches * self.config.n_layers
+
+    # -------------------------------------------------------- cached decode
+
+    def _decode_stats(
+        self, tr: RequestTracker, pos: int, rng: RngStream
+    ) -> tuple[int, int]:
+        """(nnz, transition count) of the request's decode row ``pos``.
+
+        Rows are cached in chunks of ``plan_bucket_tokens`` consecutive
+        positions keyed by (mask fingerprint, bucket): one mask scan serves
+        a request's next ``plan_bucket_tokens`` decode steps, so steady-state
+        steps run entirely off the cache.  The statistics are exact per
+        position — bucketing shapes the cache *key*, never the cost.
+        """
+        width = self.config.plan_bucket_tokens
+        bucket, offset = divmod(pos, width)
+        key = tr._plan_keys.get(bucket)
+        if key is None:
+            key = PlanKey(
+                kind="serving-decode",
+                mask=tr.mask_fingerprint(rng),
+                salt=f"rows:bucket={bucket}:w={width}",
+            )
+            tr._plan_keys[bucket] = key
+
+        def build() -> tuple[tuple[int, ...], tuple[int, ...]]:
+            full = tr.full_mask(rng)
+            rows = full[bucket * width : (bucket + 1) * width]
+            # The mask is causal, so row p is all-False beyond column p:
+            # whole-row statistics equal the [:p+1] prefix's exactly.
+            padded = np.concatenate(
+                [np.zeros((rows.shape[0], 1), dtype=bool), rows], axis=1
+            )
+            rises = ((~padded[:, :-1]) & padded[:, 1:]).sum(axis=1)
+            nnz = rows.sum(axis=1)
+            return (
+                tuple(int(x) for x in nnz),
+                tuple(int(x) for x in rises),
+            )
+
+        nnz, rises = self.plan_cache.get_or_build(key, build)
+        return nnz[offset], rises[offset]
+
+    def _decode_time_cached(
+        self, members: list[tuple[RequestTracker, int]], rng: RngStream
+    ) -> tuple[float, int]:
+        """`_decode_time` composed from cached per-row statistics.
+
+        The row-wise kernel prices a mask only through its nnz and its
+        contiguous-row fraction, and the packed block-diagonal layout
+        preserves both per row, so the packed problem's plan is recomposed
+        here bit-identically — without materializing the packed mask or
+        re-scanning it on every engine step.
+        """
+        if not members:
+            return 0.0, 0
+        cfg = self.config
+        total_kv = 0
+        nnz = 0
+        nonempty = 0
+        single = 0
+        for tr, pos in members:
+            row_nnz, row_rises = self._decode_stats(tr, pos, rng)
+            total_kv += pos + 1
+            nnz += row_nnz
+            if row_rises > 0:
+                nonempty += 1
+                if row_rises == 1:
+                    single += 1
+        contig = 1.0 if nonempty == 0 else float(single) / float(nonempty)
+        num_warps = self._decode_kernel.default_params(None, self.spec)["num_warps"]
+        launch_list = plan_rowwise_launches(
+            self.spec,
+            num_warps=num_warps,
+            n_bh=cfg.heads,                 # packed problem has batch=1
+            seq_len=len(members),
+            kv_seq_len=total_kv,
+            head_size=cfg.head_size,
+            nnz=nnz,
+            contiguous_fraction=contig,
+            kernel_name=self._decode_kernel.name,
+        )
+        seconds = 0.0
+        launches = 0
+        for cost, launch_cfg in launch_list:
+            seconds += estimate_kernel_time(self.spec, cost, launch_cfg).total
+            launches += cost.launches
+        return seconds * cfg.n_layers, launches * cfg.n_layers
 
     # ------------------------------------------------------------- simulation
 
@@ -236,7 +338,10 @@ class ServingEngine:
                     if not preempted_self:
                         survivors.append((tr, pos))
                 members = survivors
-            decode_s, n = self._decode_time(members, mask_rng)
+            if cfg.use_plan_cache:
+                decode_s, n = self._decode_time_cached(members, mask_rng)
+            else:
+                decode_s, n = self._decode_time(members, mask_rng)
             step_s += decode_s
             launches += n
             step_s += cfg.dispatch_s * launches
@@ -274,6 +379,7 @@ class ServingEngine:
                 (RequestMetrics.from_tracker(tr) for tr in finished),
                 key=lambda m: m.req_id,
             ),
+            plan_cache=self.plan_cache.stats() if cfg.use_plan_cache else None,
         )
 
 

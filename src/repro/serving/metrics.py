@@ -85,6 +85,11 @@ class ServingReport:
     preemptions: int
     kv_peak_occupancy: float
     requests: list[RequestMetrics] = field(repr=False, default_factory=list)
+    #: Plan-cache statistics of the run (``PlanCache.stats()`` form), or
+    #: ``None`` when the cache is disabled.  Excluded from equality: a
+    #: cached and an uncached run of the same workload produce identical
+    #: *serving* outcomes, which is exactly what the tests assert.
+    plan_cache: dict | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------ aggregates
 

@@ -77,6 +77,10 @@ class RequestTracker:
     token_times_s: list[float] = field(default_factory=list, repr=False)
     preemptions: int = 0
     _full_mask: np.ndarray | None = field(default=None, repr=False)
+    _mask_fp: str | None = field(default=None, repr=False)
+    # Interned decode-chunk PlanKeys by bucket index (hot path: one lookup
+    # per running request per engine step).
+    _plan_keys: dict = field(default_factory=dict, repr=False)
 
     @property
     def req_id(self) -> int:
@@ -107,6 +111,18 @@ class RequestTracker:
             )
             self._full_mask = pattern & causal_mask(size)
         return self._full_mask
+
+    def mask_fingerprint(self, rng: RngStream) -> str:
+        """Content hash of the full mask (cached alongside it).
+
+        This is the request's identity in the plan cache: every decode-row
+        statistic and plan derived from this mask is keyed under it.
+        """
+        if self._mask_fp is None:
+            from repro.plan.key import mask_fingerprint
+
+            self._mask_fp = mask_fingerprint(self.full_mask(rng))
+        return self._mask_fp
 
     def decode_row(self, rng: RngStream) -> np.ndarray:
         """Mask row of the next token: position ``context_len`` attends

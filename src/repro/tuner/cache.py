@@ -7,6 +7,16 @@ device-model kernel time (capped per candidate).  The cache guarantees
 "the same parameter setting in each fusion scheme will not be executed
 repeatedly" (paper §4.4) — a hit charges nothing.
 
+.. deprecated::
+    :class:`PerformanceCache` is now a thin compatibility shim over the
+    unified plan layer: measurements live in a
+    :class:`repro.plan.PlanCache` under ``kind="tuner-measure"`` keys
+    (segment identity in the salt, the historical ``params_key`` as the
+    key's params field).  New code should use :mod:`repro.plan` directly;
+    this module keeps the public API — ``evaluate`` / ``best_for`` /
+    ``entries`` / ``save`` / ``load`` and the v1 JSON format — working for
+    existing tests and benchmarks.
+
 The cache can be persisted to JSON (:meth:`PerformanceCache.save` /
 :meth:`PerformanceCache.load`) so a later session warm-starts from prior
 tuning — a natural extension of the paper's caching mechanism — and can
@@ -17,16 +27,18 @@ be disabled entirely (``enabled=False``) to quantify its contribution
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Hashable
 
 from repro.core.errors import ConfigError
+from repro.plan import PlanCache, PlanKey
+from repro.plan import params_key as params_key  # noqa: F401  (re-export)
 
+#: Plan-cache namespace for tuner measurements.
+TUNER_KIND = "tuner-measure"
 
-def params_key(params: dict[str, Any]) -> tuple:
-    """Canonical hashable form of a parameter dict."""
-    return tuple(sorted(params.items()))
+_MISSING = object()
 
 
 @dataclass
@@ -50,7 +62,6 @@ class EvalCostModel:
         )
 
 
-@dataclass
 class PerformanceCache:
     """Measured kernel times keyed by (segment-identity, params).
 
@@ -58,19 +69,42 @@ class PerformanceCache:
     thereafter.  ``tuning_time_s`` accumulates the simulated cost of every
     *miss*; hits are free.  Segment identities are normalized through
     ``repr`` so they survive JSON persistence.
+
+    Storage is a :class:`repro.plan.PlanCache` (unbounded by default); pass
+    ``plans=`` to share one cache across layers and read the tuner's
+    hit/miss behavior out of ``plans.stats()["kinds"]["tuner-measure"]``.
     """
 
-    cost_model: EvalCostModel = field(default_factory=EvalCostModel)
-    enabled: bool = True
-    entries: dict[tuple[str, tuple], float] = field(default_factory=dict)
-    hits: int = 0
-    misses: int = 0
-    failures: int = 0
-    tuning_time_s: float = 0.0
+    def __init__(
+        self,
+        cost_model: EvalCostModel | None = None,
+        enabled: bool = True,
+        plans: PlanCache | None = None,
+    ) -> None:
+        self.cost_model = cost_model or EvalCostModel()
+        self.enabled = enabled
+        self.plans = plans if plans is not None else PlanCache(max_entries=None)
+        self.hits = 0
+        self.misses = 0
+        self.failures = 0
+        self.tuning_time_s = 0.0
 
     @staticmethod
     def _norm(segment_id: Hashable) -> str:
         return segment_id if isinstance(segment_id, str) else repr(segment_id)
+
+    @staticmethod
+    def _key(norm_segment_id: str, pkey: tuple) -> PlanKey:
+        return PlanKey(kind=TUNER_KIND, salt=norm_segment_id, params=pkey)
+
+    @property
+    def entries(self) -> dict[tuple[str, tuple], float]:
+        """The historical ``{(segment_id, params_key): seconds}`` view."""
+        return {
+            (key.salt, key.params): value
+            for key, value in self.plans.items()
+            if key.kind == TUNER_KIND
+        }
 
     def evaluate(
         self,
@@ -84,23 +118,24 @@ class PerformanceCache:
         configuration) the failure is cached as ``inf`` — a real tuner also
         remembers configs that failed to launch — and ``None`` is returned.
         """
-        key = (self._norm(segment_id), params_key(params))
-        if self.enabled and key in self.entries:
-            self.hits += 1
-            t = self.entries[key]
-            return None if t == float("inf") else t
+        key = self._key(self._norm(segment_id), params_key(params))
+        if self.enabled:
+            cached = self.plans.get(key, _MISSING)
+            if cached is not _MISSING:
+                self.hits += 1
+                return None if cached == float("inf") else cached
         self.misses += 1
         try:
             t = float(measure())
         except Exception:
             self.failures += 1
             if self.enabled:
-                self.entries[key] = float("inf")
+                self.plans.put(key, float("inf"))
             # A failed compile still costs compile time.
             self.tuning_time_s += self.cost_model.compile_s
             return None
         if self.enabled:
-            self.entries[key] = t
+            self.plans.put(key, t)
         self.tuning_time_s += self.cost_model.cost_of(t)
         return t
 
@@ -137,6 +172,7 @@ class PerformanceCache:
         cls,
         path: str | Path,
         cost_model: EvalCostModel | None = None,
+        plans: PlanCache | None = None,
     ) -> "PerformanceCache":
         """Rebuild a cache from :meth:`save` output."""
         try:
@@ -147,10 +183,12 @@ class PerformanceCache:
             raise ConfigError(
                 f"unsupported cache version {payload.get('version')!r} in {path}"
             )
-        cache = cls(cost_model=cost_model or EvalCostModel())
+        cache = cls(cost_model=cost_model or EvalCostModel(), plans=plans)
         for sid, pkey_list, t in payload["entries"]:
             pkey = tuple(tuple(kv) for kv in pkey_list)
-            cache.entries[(sid, pkey)] = float("inf") if t is None else float(t)
+            cache.plans.put(
+                cache._key(sid, pkey), float("inf") if t is None else float(t)
+            )
         return cache
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -36,7 +36,8 @@ from repro.fusion.rules import apply_move, legal_moves
 from repro.fusion.templates import CompilationTemplate
 from repro.graph.ir import Graph
 from repro.gpu.specs import GPUSpec
-from repro.tuner.cache import EvalCostModel, PerformanceCache, params_key
+from repro.plan import PlanCache
+from repro.tuner.cache import EvalCostModel, PerformanceCache
 from repro.tuner.sampler import RewardSampler
 
 
@@ -113,6 +114,7 @@ class TwoStageEngine:
         ci_chain_token_limit: int = 512,
         cost_model: EvalCostModel | None = None,
         cache: PerformanceCache | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         self.spec = spec
         self.rng = (rng or RngStream()).fork("two-stage-engine")
@@ -121,7 +123,11 @@ class TwoStageEngine:
         self.stage2_total = stage2_total
         self.max_expansion_steps = max_expansion_steps
         self.ci_chain_token_limit = ci_chain_token_limit
-        self.cache = cache or PerformanceCache(cost_model or EvalCostModel())
+        # Measurements live in the unified plan layer: pass ``plan_cache`` to
+        # share one PlanCache across the tuner and the other planning sites.
+        self.cache = cache or PerformanceCache(
+            cost_model or EvalCostModel(), plans=plan_cache
+        )
 
     # ----------------------------------------------------------- primitives
 

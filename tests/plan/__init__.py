@@ -1,0 +1,1 @@
+"""Tests for the unified compiled-plan layer (:mod:`repro.plan`)."""

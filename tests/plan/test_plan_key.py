@@ -1,0 +1,135 @@
+"""PlanKey: value semantics, discrimination, and cross-process stability."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.rng import RngStream
+from repro.gpu.specs import get_spec
+from repro.masks.patterns import make_pattern
+from repro.mha.problem import AttentionProblem
+from repro.plan import PlanKey, mask_fingerprint, params_key, spec_fingerprint
+
+
+def _problem(pattern: str = "bigbird", seed: int = 0) -> AttentionProblem:
+    return AttentionProblem.build(
+        pattern, batch=1, heads=2, seq_len=128, head_size=32,
+        rng=RngStream(seed),
+    )
+
+
+class TestParamsKey:
+    def test_none_and_empty_collapse(self):
+        assert params_key(None) == ()
+        assert params_key({}) == ()
+
+    def test_order_insensitive(self):
+        assert params_key({"a": 1, "b": 2}) == params_key({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert params_key({"a": 1}) != params_key({"a": 2})
+
+    def test_numpy_scalars_normalized(self):
+        assert params_key({"n": np.int64(4)}) == params_key({"n": 4})
+        assert params_key({"x": np.float64(0.5)}) == params_key({"x": 0.5})
+
+    def test_nested_containers_hashable(self):
+        key = params_key({"shape": [1, 2, {"k": 3}]})
+        hash(key)  # must not raise
+
+
+class TestFingerprints:
+    def test_mask_fingerprint_is_content_hash(self):
+        rng = RngStream(3)
+        a = make_pattern("bigbird", 64, rng=rng.fork("a"))
+        assert mask_fingerprint(a) == mask_fingerprint(a.copy())
+        flipped = a.copy()
+        flipped[5, 7] = not flipped[5, 7]
+        assert mask_fingerprint(a) != mask_fingerprint(flipped)
+
+    def test_mask_fingerprint_shape_sensitive(self):
+        ones_sq = np.ones((4, 4), dtype=bool)
+        ones_flat = np.ones(16, dtype=bool)
+        assert mask_fingerprint(ones_sq) != mask_fingerprint(ones_flat)
+
+    def test_spec_fingerprint_tracks_overrides(self):
+        spec = get_spec("a100")
+        assert spec_fingerprint(spec) == spec_fingerprint(get_spec("a100"))
+        tweaked = spec.with_overrides(dram_bandwidth=spec.dram_bandwidth * 2)
+        assert spec_fingerprint(spec) != spec_fingerprint(tweaked)
+        assert spec_fingerprint(spec) != spec_fingerprint(get_spec("rtx4090"))
+
+
+class TestPlanKey:
+    def test_value_equality_and_hash(self):
+        a = PlanKey(kind="mha", seq_len=64, params=params_key({"w": 4}))
+        b = PlanKey(kind="mha", seq_len=64, params=params_key({"w": 4}))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a in {b}
+
+    @pytest.mark.parametrize("field, value", [
+        ("kind", "runtime-mha"),
+        ("device", "other#0000"),
+        ("seq_len", 128),
+        ("mask", "feedbeef"),
+        ("params", (("w", 8),)),
+        ("salt", "select:bandit"),
+    ])
+    def test_any_field_discriminates(self, field, value):
+        base = PlanKey(kind="mha", seq_len=64)
+        other = PlanKey(**{**base.to_dict(), field: value})
+        assert base != other
+        assert base.digest != other.digest
+
+    def test_for_problem_keys_mask_content(self):
+        spec = get_spec("a100")
+        p1, p2 = _problem(seed=0), _problem(seed=1)
+        k1 = PlanKey.for_problem("mha", p1, spec)
+        k2 = PlanKey.for_problem("mha", p2, spec)
+        # Same geometry, different random mask draw -> different key.
+        assert (k1.seq_len, k1.heads) == (k2.seq_len, k2.heads)
+        assert k1 != k2
+        assert k1 == PlanKey.for_problem("mha", _problem(seed=0), spec)
+
+    def test_dict_round_trip(self):
+        key = PlanKey.for_problem(
+            "mha", _problem(), get_spec("a100"), params={"num_warps": 4},
+            salt="select:model:tau=0.5",
+        )
+        again = PlanKey.from_dict(key.to_dict())
+        assert again == key
+        assert again.digest == key.digest
+
+    def test_digest_stable_across_processes(self):
+        """The digest must not leak id()/repr/PYTHONHASHSEED artifacts."""
+        key = PlanKey.for_problem(
+            "mha", _problem(), get_spec("a100"), params={"num_warps": 4},
+        )
+        code = (
+            "from repro.core.rng import RngStream\n"
+            "from repro.gpu.specs import get_spec\n"
+            "from repro.mha.problem import AttentionProblem\n"
+            "from repro.plan import PlanKey\n"
+            "p = AttentionProblem.build('bigbird', batch=1, heads=2,"
+            " seq_len=128, head_size=32, rng=RngStream(0))\n"
+            "k = PlanKey.for_problem('mha', p, get_spec('a100'),"
+            " params={'num_warps': 4})\n"
+            "print(k.digest)\n"
+        )
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "12345"
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        assert out.stdout.strip() == key.digest

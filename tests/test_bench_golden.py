@@ -10,7 +10,6 @@ covered by one spot-checked cell instead of a full regeneration.
 import sys
 from pathlib import Path
 
-import pytest
 
 REPO = Path(__file__).resolve().parents[1]
 BENCHMARKS_DIR = REPO / "benchmarks"
@@ -63,6 +62,24 @@ def test_serving_table_matches_golden():
     )
     for report in pair.values():
         assert _fmt(report.tokens_per_s) in line
+
+
+def test_plan_cache_row_matches_golden():
+    """Recompute the causal row of the plan-cache reuse table."""
+    import bench_plan_cache as mod
+
+    report, _ = mod._run(mod._trace("causal", {}), cached=True)
+    stats = report.plan_cache
+    decode = stats["kinds"]["serving-decode"]
+    text = golden("plan_cache")
+    line = next(
+        ln for ln in text.splitlines() if ln.strip().startswith("causal")
+    )
+    cells = line.split()
+    assert cells[1] == str(report.total_steps)
+    assert cells[2] == str(report.total_tokens)
+    assert cells[5] == f"{decode['hit_rate']:.1%}"
+    assert cells[7] == str(stats["entries"])
 
 
 def test_fig13_cell_matches_golden():
