@@ -21,6 +21,16 @@ Storage follows the paper exactly:
   (FULL ∪ PART) blocks, column-sorted per row; this is what the block-wise
   kernel iterates.  ``load_kind``/``load_mask_idx`` run parallel to
   ``load_col_idx`` so one pass yields everything the kernel needs.
+
+On top of the CSR view, ``from_dense`` eagerly builds a *flat COO* view for
+the vectorized execution backend: ``load_block_row`` records each valid
+block's block-row (so one gather fetches every Q/K/V tile at once), and the
+``seg_*`` arrays describe the non-empty block-row segments of the flat block
+axis (``seg_starts`` feeds ``np.{maximum,add}.reduceat`` for the segmented
+online softmax, ``seg_id`` broadcasts per-segment statistics back to blocks,
+``seg_block_rows`` scatters segment results into output rows).
+``part_bias`` is the deduplicated PART-mask stack as an additive FP32 bias
+(``0`` attended / ``-inf`` masked), ready to add onto score tiles.
 """
 
 from __future__ import annotations
@@ -68,6 +78,20 @@ class BlockSparseMask:
     load_col_idx: np.ndarray
     load_kind: np.ndarray       # parallel to load_col_idx, BlockKind values
     load_mask_idx: np.ndarray   # parallel; -1 for FULL blocks
+
+    # Flat COO view (vectorized execution backend; built by from_dense).
+    load_block_row: np.ndarray  # parallel to load_col_idx: block-row index
+    seg_starts: np.ndarray      # flat offsets of each non-empty block row
+    seg_block_rows: np.ndarray  # block-row index of each segment
+    seg_id: np.ndarray          # parallel to load_col_idx: segment index
+    part_bias: np.ndarray       # (n_unique, block_m, block_n) fp32 0/-inf
+
+    _load_bias_cache: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _concat_groups_cache: list | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------ construction
 
@@ -168,10 +192,23 @@ class BlockSparseMask:
         load_cols = all_cols[order]
         load_kinds = all_kinds[order]
         load_midx = all_midx[order]
+        row_counts = np.bincount(all_rows, minlength=n_rows)
         load_row_ptr = np.zeros(n_rows + 1, dtype=np.int32)
-        np.cumsum(
-            np.bincount(all_rows, minlength=n_rows), out=load_row_ptr[1:]
+        np.cumsum(row_counts, out=load_row_ptr[1:])
+
+        # Flat COO view: per-block block-row indices plus the non-empty
+        # row segments of the flat block axis (blocks are (row, col)-sorted,
+        # so each block row occupies one contiguous flat segment).
+        load_rows = all_rows[order].astype(np.int32)
+        seg_block_rows = np.flatnonzero(row_counts > 0).astype(np.int32)
+        seg_starts = load_row_ptr[seg_block_rows]
+        seg_id = np.repeat(
+            np.arange(len(seg_block_rows), dtype=np.int32),
+            row_counts[seg_block_rows],
         )
+        part_bias = np.where(
+            part_mask, np.float32(0.0), np.float32(-np.inf)
+        ).astype(np.float32)
 
         return cls(
             seq_len=seq_len,
@@ -188,31 +225,33 @@ class BlockSparseMask:
             load_col_idx=np.asarray(load_cols, dtype=np.int32),
             load_kind=np.asarray(load_kinds, dtype=np.int8),
             load_mask_idx=np.asarray(load_midx, dtype=np.int32),
+            load_block_row=load_rows,
+            seg_starts=seg_starts,
+            seg_block_rows=seg_block_rows,
+            seg_id=seg_id,
+            part_bias=part_bias,
         )
 
     # ------------------------------------------------------------- round trip
 
     def to_dense(self) -> np.ndarray:
-        """Reconstruct the exact dense boolean mask."""
-        n_rows = self.n_block_rows
-        out = np.zeros(
-            (n_rows * self.block_m, self.n_block_cols * self.block_n), dtype=bool
+        """Reconstruct the exact dense boolean mask (vectorized scatter)."""
+        blocks = np.zeros(
+            (self.n_block_rows, self.n_block_cols, self.block_m, self.block_n),
+            dtype=bool,
         )
-        for bi in range(n_rows):
-            s, e = self.load_row_ptr[bi], self.load_row_ptr[bi + 1]
-            for k in range(s, e):
-                bj = int(self.load_col_idx[k])
-                r0, c0 = bi * self.block_m, bj * self.block_n
-                if self.load_kind[k] == BlockKind.FULL:
-                    out[r0 : r0 + self.block_m, c0 : c0 + self.block_n] = True
-                else:
-                    out[r0 : r0 + self.block_m, c0 : c0 + self.block_n] = (
-                        self.part_mask[self.load_mask_idx[k]]
-                    )
-        dense = out[: self.seq_len, : self.kv_len]
+        full = self.load_kind == int(BlockKind.FULL)
+        blocks[self.load_block_row[full], self.load_col_idx[full]] = True
+        part = ~full
+        blocks[self.load_block_row[part], self.load_col_idx[part]] = (
+            self.part_mask[self.load_mask_idx[part]]
+        )
+        out = blocks.transpose(0, 2, 1, 3).reshape(
+            self.n_block_rows * self.block_m, self.n_block_cols * self.block_n
+        )
         # FULL edge blocks legitimately cover padded region; clip handled by
-        # slicing above.  Padding inside part blocks was stored as False.
-        return dense
+        # slicing.  Padding inside part blocks was stored as False.
+        return out[: self.seq_len, : self.kv_len]
 
     # --------------------------------------------------------------- queries
 
@@ -269,8 +308,83 @@ class BlockSparseMask:
             for k in range(s, e)
         ]
 
+    def load_bias(self) -> np.ndarray:
+        """Per-valid-block additive score bias, ``(n_valid, block_m, block_n)``.
+
+        ``0`` where attended, ``-inf`` where masked: PART blocks expand their
+        deduplicated ``part_bias`` row, FULL blocks are all-zero except for
+        the out-of-bounds key columns of a ragged edge block (PART padding is
+        already ``False`` in the stored masks).  Cached after first build —
+        it is a pure function of the mask.
+        """
+        if self._load_bias_cache is None:
+            bias = np.zeros(
+                (self.n_valid, self.block_m, self.block_n), dtype=np.float32
+            )
+            part = self.load_kind == int(BlockKind.PART)
+            if part.any():
+                bias[part] = self.part_bias[self.load_mask_idx[part]]
+            pad_cols = self.n_block_cols * self.block_n - self.kv_len
+            if pad_cols > 0:
+                edge = (self.load_col_idx == self.n_block_cols - 1) & ~part
+                bias[edge, :, self.block_n - pad_cols :] = -np.inf
+            self._load_bias_cache = bias
+        return self._load_bias_cache
+
+    def concat_groups(self) -> list[tuple[np.ndarray, np.ndarray, np.ndarray | None]]:
+        """Length-bucketed concatenated views of the flat block axis (cached).
+
+        Non-empty block rows are grouped by their valid-block count; within a
+        group, every row's blocks concatenate along the key axis, so each
+        group's score tile is one ``(block_m, cap*block_n)`` slab and the
+        segmented softmax over ``seg_starts`` becomes a plain last-axis
+        softmax (the segment is the axis).  Counts are exact when the mask
+        has few distinct per-row block counts (banded masks — zero padded
+        compute); masks with many distinct counts (causal) round up to
+        power-of-two buckets, where padded slots repeat the row's last block
+        under an all ``-inf`` bias and contribute ``exp(-inf) = 0``.
+
+        Returns ``(block_rows, block_idx, bias)`` per bucket: ``block_rows``
+        ``(n_g,)`` block-row of each member, ``block_idx`` ``(n_g, cap)``
+        flat indices into the valid-block axis, and ``bias``
+        ``(n_g, block_m, cap*block_n)`` additive FP32 score bias — ``None``
+        when the whole slab is zero (all-FULL rows, no padding).
+        """
+        if self._concat_groups_cache is None:
+            groups: list[tuple[np.ndarray, np.ndarray, np.ndarray | None]] = []
+            lens = np.diff(self.load_row_ptr)[self.seg_block_rows].astype(np.int64)
+            if lens.size:
+                if len(np.unique(lens)) <= 16:
+                    caps = lens                      # exact: no padded slots
+                else:
+                    caps = np.int64(1) << np.ceil(np.log2(lens)).astype(np.int64)
+                bias_all = self.load_bias()
+                for cap in np.unique(caps):
+                    sel = caps == cap
+                    rows_g = self.seg_block_rows[sel]
+                    lens_g = lens[sel]
+                    lanes = np.arange(cap)
+                    idx = self.seg_starts[sel].astype(np.int64)[:, None] + np.minimum(
+                        lanes[None, :], lens_g[:, None] - 1
+                    )
+                    slab = bias_all[idx]        # (n_g, cap, bm, bn) tile gather
+                    slab[lanes[None, :] >= lens_g[:, None]] = -np.inf
+                    slab = slab.transpose(0, 2, 1, 3).reshape(
+                        len(rows_g), self.block_m, int(cap) * self.block_n
+                    )
+                    groups.append(
+                        (rows_g, idx.astype(np.int32), slab if slab.any() else None)
+                    )
+            self._concat_groups_cache = groups
+        return self._concat_groups_cache
+
     def metadata_bytes(self) -> int:
-        """Device bytes occupied by the index arrays and mask stack."""
+        """Device bytes occupied by the index arrays and mask stack.
+
+        The flat-COO / segment arrays are host-side execution machinery for
+        the vectorized functional backend and deliberately not counted: a
+        real device kernel consumes only the CSR views priced here.
+        """
         return int(
             self.full_row_ptr.nbytes
             + self.full_col_idx.nbytes

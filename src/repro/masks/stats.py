@@ -45,6 +45,26 @@ def sparsity_ratio(mask: np.ndarray) -> float:
     return float(1.0 - mask.mean())
 
 
+def contiguous_row_fraction(mask: np.ndarray) -> float:
+    """Fraction of non-empty rows whose attended set is one contiguous run.
+
+    The row-wise kernel's gather-efficiency model weighs coalesced (banded,
+    causal) against scattered (dilated, random) rows by this statistic.
+    Masks with no attended element at all count as fully contiguous.
+
+    >>> import numpy as np
+    >>> contiguous_row_fraction(np.tril(np.ones((4, 4), dtype=bool)))
+    1.0
+    """
+    m = _validate_mask(mask)
+    padded = np.concatenate([np.zeros((m.shape[0], 1), dtype=bool), m], axis=1)
+    rises = ((~padded[:, :-1]) & padded[:, 1:]).sum(axis=1)
+    nonempty = rises > 0
+    if not nonempty.any():
+        return 1.0
+    return float((rises[nonempty] == 1).mean())
+
+
 def _runs_are_contiguous(mat: np.ndarray) -> bool:
     """True when every row's True entries form at most one contiguous run."""
     # A row has one run iff the number of 0->1 transitions (including a

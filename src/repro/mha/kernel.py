@@ -14,18 +14,40 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.core.errors import UnsupportedInputError
+from repro.core.errors import ConfigError, UnsupportedInputError
 from repro.gpu.cost import KernelCost, LaunchConfig
 from repro.gpu.specs import GPUSpec
 from repro.mha.problem import AttentionProblem
 
 Launch = tuple[KernelCost, LaunchConfig]
 
+#: Functional execution backends.  ``"vectorized"`` executes the whole mask
+#: traversal as flat gathered einsums with segmented reductions (the fast
+#: default); ``"loop"`` is the original per-row/per-block Python traversal,
+#: retained as the readable oracle the vectorized path is differentially
+#: tested against.  The choice only affects how ``run`` computes values —
+#: ``plan``/counter output is backend-independent.
+EXEC_BACKENDS = ("vectorized", "loop")
+
+#: Peak fp32 elements one vectorized gather stage may materialize at once;
+#: the vectorized backends chunk their batched gathers below this bound.
+#: 2**21 elements (8 MiB fp32) keeps each gather inside freshly-touched
+#: pages / cache instead of page-faulting through hundreds of MB — measured
+#: ~3x faster end-to-end than 2**25 chunks on the Fig. 10 sweep shapes.
+GATHER_CHUNK_ELEMS = 1 << 21
+
 
 class AttentionKernel(ABC):
     """One attention execution strategy."""
 
     name: str = "attention"
+
+    def __init__(self, exec_backend: str = "vectorized"):
+        if exec_backend not in EXEC_BACKENDS:
+            raise ConfigError(
+                f"unknown exec_backend {exec_backend!r}; known: {EXEC_BACKENDS}"
+            )
+        self.exec_backend = exec_backend
 
     def supports(self, problem: AttentionProblem) -> tuple[bool, str]:
         """Whether this strategy can run the problem; (ok, reason-if-not)."""

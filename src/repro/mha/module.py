@@ -46,13 +46,15 @@ class UnifiedMHA:
         tau: float | None = None,
         mode: str = "model",
         cache: PlanCache | None = None,
+        exec_backend: str = "vectorized",
     ):
         self.spec = spec
         self.tau = tau
         self.mode = mode
         self.cache = cache
-        self._row = RowWiseKernel()
-        self._block = BlockWiseKernel()
+        self.exec_backend = exec_backend
+        self._row = RowWiseKernel(exec_backend=exec_backend)
+        self._block = BlockWiseKernel(exec_backend=exec_backend)
 
     def plan(self, problem: AttentionProblem) -> MHAPlan:
         """Select kernel + parameters and price the launches (cached)."""
@@ -65,6 +67,13 @@ class UnifiedMHA:
         )
 
     def run(self, problem: AttentionProblem) -> np.ndarray:
-        """Functionally execute with the selected kernel."""
+        """Functionally execute with the selected kernel.
+
+        The plan's kernel choice is honoured, but execution goes through
+        this module's own kernel instances so ``exec_backend`` applies even
+        when the plan was compiled (or cache-replayed) elsewhere.
+        """
         plan = self.plan(problem)
-        return plan.kernel.run(problem, plan.params)
+        own = {self._row.name: self._row, self._block.name: self._block}
+        kernel = own.get(plan.kernel_name, plan.kernel)
+        return kernel.run(problem, plan.params)

@@ -49,6 +49,7 @@ class AttentionProblem:
     )
     _csr_cache: tuple[np.ndarray, np.ndarray] | None = field(default=None, repr=False)
     _mask_fp: str | None = field(default=None, repr=False)
+    _contig_cache: float | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if min(self.batch, self.heads, self.seq_len, self.head_size) < 1:
@@ -165,14 +166,29 @@ class AttentionProblem:
     def csr(self) -> tuple[np.ndarray, np.ndarray]:
         """Element-level CSR (row_ptr, col_idx) of the mask (cached).
 
-        This is the row-wise kernel's storage format.
+        This is the row-wise kernel's storage format.  Both arrays are
+        ``int32``, matching the BSR views (an attention mask is at most
+        ~4k x ~4k here, so nnz stays far below the int32 ceiling).
         """
         if self._csr_cache is None:
-            row_ptr = np.zeros(self.seq_len + 1, dtype=np.int64)
+            row_ptr = np.zeros(self.seq_len + 1, dtype=np.int32)
             np.cumsum(self.mask.sum(axis=1), out=row_ptr[1:])
             col_idx = np.flatnonzero(self.mask.ravel()) % self.kv_seq_len
             self._csr_cache = (row_ptr, col_idx.astype(np.int32))
         return self._csr_cache
+
+    def contiguous_row_fraction(self) -> float:
+        """Fraction of non-empty mask rows forming one contiguous run (cached).
+
+        The row-wise kernel's gather-efficiency term rescans the dense mask
+        for this on every ``plan()`` otherwise; memoizing it follows the
+        ``_bsr_cache``/``_csr_cache`` pattern.
+        """
+        if self._contig_cache is None:
+            from repro.masks.stats import contiguous_row_fraction
+
+            self._contig_cache = contiguous_row_fraction(self.mask)
+        return self._contig_cache
 
     def mask_fingerprint(self) -> str:
         """Content hash of the mask (cached) — the plan layer's guard.

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.errors import ConfigError
 from repro.core.rng import RngStream
-from repro.masks.patterns import make_pattern
+from repro.masks.patterns import PATTERN_REGISTRY, make_pattern
 from repro.mha.problem import AttentionProblem
 
 
@@ -73,11 +73,24 @@ def packed_varlen_mask(
     total = batch.total_tokens
     mask = np.zeros((total, total), dtype=bool)
     offsets = batch.cu_seqlens
+    # Deterministic patterns ignore their rng fork, so equal-length
+    # sequences produce identical tiles — build each length once.  Random
+    # patterns keep their per-sequence forks (each tile is distinct).
+    spec = PATTERN_REGISTRY.get(batch.pattern)
+    deterministic = spec is not None and not spec.uses_randomness
+    tiles: dict[int, np.ndarray] = {}
     for i, length in enumerate(batch.lengths):
         s, e = int(offsets[i]), int(offsets[i + 1])
-        mask[s:e, s:e] = make_pattern(
-            batch.pattern, length, rng=rng.fork(f"seq-{i}"), **overrides
-        )
+        if deterministic:
+            if length not in tiles:
+                tiles[length] = make_pattern(
+                    batch.pattern, length, rng=rng.fork(f"seq-{i}"), **overrides
+                )
+            mask[s:e, s:e] = tiles[length]
+        else:
+            mask[s:e, s:e] = make_pattern(
+                batch.pattern, length, rng=rng.fork(f"seq-{i}"), **overrides
+            )
     return mask
 
 

@@ -56,10 +56,13 @@ DECODE_SHAPES = [(1, 128), (4, 96), (17, 33)]
 
 
 def sweep_kernels():
-    """Every distinct kernel: STOF's own plus each figure baseline."""
+    """Every distinct kernel: STOF's own (both execution backends) plus
+    each figure baseline."""
     kernels = {
         "rowwise": RowWiseKernel(),
         "blockwise": BlockWiseKernel(),
+        "rowwise-loop": RowWiseKernel(exec_backend="loop"),
+        "blockwise-loop": BlockWiseKernel(exec_backend="loop"),
         "flashmask": FlashMaskAttention(),
     }
     for label, cls, _dispatch in MHA_METHODS:
@@ -73,6 +76,8 @@ def sweep_kernels():
 CORE = {
     "rowwise",
     "blockwise",
+    "rowwise-loop",
+    "blockwise-loop",
     "pytorch-native",
     "flashattention2",
     "flexattention",
