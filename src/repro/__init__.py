@@ -44,6 +44,7 @@ from repro.mha import (
     reference_attention,
 )
 from repro.models import build_model, get_model_config
+from repro.obs import MetricsRegistry, Span, Tracer, use_metrics, use_tracer
 from repro.plan import CompiledPlan, PlanCache, PlanKey, Planner
 from repro.runtime import (
     BoltEngine,
@@ -77,6 +78,11 @@ __all__ = [
     "reference_attention",
     "build_model",
     "get_model_config",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "use_metrics",
+    "use_tracer",
     "CompiledPlan",
     "PlanCache",
     "PlanKey",

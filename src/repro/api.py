@@ -19,6 +19,8 @@ engines over one workload — the one-liner behind Fig. 12-style studies.
 
 from __future__ import annotations
 
+import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -31,6 +33,7 @@ from repro.gpu.specs import GPUSpec, get_spec
 from repro.masks.patterns import causal_mask, make_pattern
 from repro.models.build import ModelInstance, build_model
 from repro.models.config import ModelConfig, get_model_config
+from repro.obs.tracer import Tracer, use_tracer
 from repro.plan import PlanCache
 from repro.runtime.executor import EngineReport, PreparedModel
 from repro.runtime.frameworks import (
@@ -138,45 +141,85 @@ def _resolve_masks(
     return masks, patterns
 
 
+def _pop_legacy(
+    kwargs: dict[str, Any], old: str, new: str, explicit: bool
+) -> Any:
+    """Resolve a renamed keyword: warn on the old spelling, reject both."""
+    if old not in kwargs:
+        return _UNSET
+    value = kwargs.pop(old)
+    if explicit:
+        raise ConfigError(f"got both {new!r} and its deprecated alias {old!r}")
+    warnings.warn(
+        f"the {old!r} keyword is deprecated; use {new!r}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return value
+
+
+_UNSET = object()
+
+
 def compile_model(
     model: str | ModelConfig,
     batch: int,
     seq_len: int,
-    device: str | GPUSpec = "a100",
-    mask: str | np.ndarray = "bigbird",
+    device: str | GPUSpec | None = None,
+    mask: str | np.ndarray | None = None,
     engine: str | Engine = "stof",
     seed: int = 0,
     check_memory: bool = True,
     plan_cache: PlanCache | None = None,
+    trace: Tracer | None = None,
     **engine_kwargs: Any,
 ) -> CompiledModel:
     """Build, mask, prepare, and plan a model in one call.
 
     ``model`` is a zoo name (``"bert-base"``...) or a custom
     :class:`ModelConfig`; ``mask`` a registered pattern name or an explicit
-    boolean array; ``engine`` a registry name or an :class:`Engine`
-    instance.  Raises the same :class:`UnsupportedInputError` /
-    :class:`DeviceOutOfMemoryError` the engines raise.
+    boolean array (default ``"bigbird"``); ``device`` a spec name or
+    :class:`GPUSpec` (default ``"a100"``); ``engine`` a registry name or an
+    :class:`Engine` instance.  Raises the same
+    :class:`UnsupportedInputError` / :class:`DeviceOutOfMemoryError` the
+    engines raise.  The historical ``gpu=`` / ``pattern=`` spellings still
+    work but emit a :class:`DeprecationWarning`.
 
     ``plan_cache`` (optional) is a shared :class:`repro.plan.PlanCache`:
     planning decisions are looked up there before being recomputed, so
     compiling several related workloads amortizes repeated layer plans,
     and ``plan_cache.stats()`` afterwards shows what was reused.
-    """
-    cfg = get_model_config(model) if isinstance(model, str) else model
-    spec = get_spec(device) if isinstance(device, str) else device
-    inst = build_model(cfg, batch, seq_len, seed=seed)
-    masks, patterns = _resolve_masks(mask, inst, seed)
 
-    if isinstance(engine, str):
-        key = engine.strip().lower()
-        if key not in ENGINES:
-            raise ConfigError(f"unknown engine {engine!r}; known: {sorted(ENGINES)}")
-        engine = ENGINES[key](**engine_kwargs)
-    prepared = engine.prepare(inst, spec, masks, patterns)
-    if plan_cache is not None:
-        prepared.plan_cache = plan_cache
-    report = prepared.plan(check_memory=check_memory)
+    ``trace`` (optional) is a :class:`repro.obs.Tracer` activated for the
+    duration of the call: planner, tuner, and kernel-timeline spans land
+    in it (see ``docs/observability.md``).
+    """
+    legacy_device = _pop_legacy(engine_kwargs, "gpu", "device", device is not None)
+    if legacy_device is not _UNSET:
+        device = legacy_device
+    legacy_mask = _pop_legacy(engine_kwargs, "pattern", "mask", mask is not None)
+    if legacy_mask is not _UNSET:
+        mask = legacy_mask
+    device = "a100" if device is None else device
+    mask = "bigbird" if mask is None else mask
+
+    with use_tracer(trace) if trace is not None else nullcontext():
+        cfg = get_model_config(model) if isinstance(model, str) else model
+        spec = get_spec(device) if isinstance(device, str) else device
+        inst = build_model(cfg, batch, seq_len, seed=seed)
+        masks, patterns = _resolve_masks(mask, inst, seed)
+
+        if isinstance(engine, str):
+            key = engine.strip().lower()
+            if key not in ENGINES:
+                raise ConfigError(
+                    f"unknown engine {engine!r}; known: {sorted(ENGINES)}"
+                )
+            engine = ENGINES[key](**engine_kwargs)
+        prepared = engine.prepare(inst, spec, masks, patterns)
+        if plan_cache is not None:
+            prepared.plan_cache = plan_cache
+        report = prepared.plan(check_memory=check_memory)
     return CompiledModel(
         instance=inst, prepared=prepared, report=report, masks=masks, seed=seed
     )
@@ -186,18 +229,34 @@ def compare_engines(
     model: str | ModelConfig,
     batch: int,
     seq_len: int,
-    device: str | GPUSpec = "a100",
-    mask: str | np.ndarray = "bigbird",
+    device: str | GPUSpec | None = None,
+    mask: str | np.ndarray | None = None,
     engines: tuple[str, ...] = tuple(ENGINES),
     seed: int = 0,
+    **legacy: Any,
 ) -> dict[str, CompiledModel | str]:
     """Compile one workload under several engines.
 
     Returns ``{engine: CompiledModel}``, with ``"unsupported"`` /
     ``"oom"`` strings for engines that cannot run the workload (the
-    missing bars of the paper's figures).
+    missing bars of the paper's figures).  ``gpu=`` / ``pattern=`` are
+    deprecated aliases of ``device=`` / ``mask=``.
     """
     from repro.core.errors import DeviceOutOfMemoryError, UnsupportedInputError
+
+    legacy_device = _pop_legacy(legacy, "gpu", "device", device is not None)
+    if legacy_device is not _UNSET:
+        device = legacy_device
+    legacy_mask = _pop_legacy(legacy, "pattern", "mask", mask is not None)
+    if legacy_mask is not _UNSET:
+        mask = legacy_mask
+    if legacy:
+        raise TypeError(
+            f"compare_engines() got unexpected keyword arguments "
+            f"{sorted(legacy)}"
+        )
+    device = "a100" if device is None else device
+    mask = "bigbird" if mask is None else mask
 
     out: dict[str, CompiledModel | str] = {}
     for name in engines:

@@ -12,25 +12,35 @@
 * ``plan-cache`` — plan-cache effectiveness: the serving simulation with
   and without plan reuse, plus per-kind hit-rate statistics.
 * ``trace``   — export a Chrome-trace JSON of one engine's execution plan.
+* ``profile`` — run a workload under the observability layer and export
+  the span tree (Chrome trace) plus metrics.
 * ``report``  — collate benchmark result tables into one markdown report.
 * ``devices`` — list the simulated GPU specs.
+
+Mask selection is ``--mask`` everywhere; the historical ``--pattern``
+spelling still parses but emits a :class:`DeprecationWarning`.  Likewise
+``--gpu`` for ``--device``.  Configuration errors exit with status 2,
+other library errors with 1 — never a traceback.
 
 Examples::
 
     python -m repro masks --seq-len 1024
-    python -m repro mha --pattern bigbird --batch 8 --seq-len 1024
+    python -m repro mha --mask bigbird --batch 8 --seq-len 1024
     python -m repro e2e --model bert-base --batch 8 --seq-len 512
     python -m repro tune --model bert-small --batch 1 --seq-len 128
+    python -m repro profile --model bert-small --mask bigbird
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import Sequence
 
 
 from repro.api import ENGINES, compare_engines, compile_model
+from repro.core.errors import ConfigError, ReproError
 from repro.core.rng import RngStream
 from repro.core.units import format_time
 from repro.gpu.specs import KNOWN_GPUS, get_spec
@@ -46,9 +56,42 @@ from repro.mha.module import UnifiedMHA
 from repro.mha.problem import AttentionProblem
 
 
+def _deprecated_alias(preferred: str, *aliases: str) -> type[argparse.Action]:
+    """A store action that warns when an old option spelling is used."""
+
+    class _Alias(argparse.Action):
+        def __call__(self, parser, namespace, values, option_string=None):
+            if option_string in aliases:
+                warnings.warn(
+                    f"{option_string} is deprecated; use {preferred}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            setattr(namespace, self.dest, values)
+
+    return _Alias
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--device", default="a100", choices=sorted(KNOWN_GPUS))
+    parser.add_argument(
+        "--device", "--gpu", dest="device", default="a100",
+        choices=sorted(KNOWN_GPUS),
+        action=_deprecated_alias("--device", "--gpu"),
+        help="simulated GPU (--gpu is a deprecated alias)",
+    )
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_mask(
+    parser: argparse.ArgumentParser,
+    default: str | None,
+    choices: Sequence[str] | None = None,
+    help: str = "mask pattern (--pattern is a deprecated alias)",
+) -> None:
+    parser.add_argument(
+        "--mask", "--pattern", dest="mask", default=default, choices=choices,
+        action=_deprecated_alias("--mask", "--pattern"), help=help,
+    )
 
 
 def cmd_devices(args: argparse.Namespace) -> int:
@@ -64,7 +107,7 @@ def cmd_masks(args: argparse.Namespace) -> int:
     from repro.masks.viz import block_summary, render_bsr, render_mask
 
     rng = RngStream(args.seed)
-    patterns = [args.pattern] if args.pattern else sorted(PATTERN_REGISTRY)
+    patterns = [args.mask] if args.mask else sorted(PATTERN_REGISTRY)
     print(f"{'pattern':>16} {'row':>11} {'column':>11} {'type':>13} {'sparsity':>9}")
     for name in patterns:
         if name not in PATTERN_REGISTRY:
@@ -90,7 +133,7 @@ def cmd_masks(args: argparse.Namespace) -> int:
 def cmd_mha(args: argparse.Namespace) -> int:
     spec = get_spec(args.device)
     problem = AttentionProblem.build(
-        args.pattern, args.batch, args.heads, args.seq_len, args.head_size,
+        args.mask, args.batch, args.heads, args.seq_len, args.head_size,
         rng=RngStream(args.seed),
     )
     print(f"{problem}\n")
@@ -167,11 +210,11 @@ def cmd_decode(args: argparse.Namespace) -> int:
     from repro.mha.decode import DECODE_METHODS, simulate_decode
 
     spec = get_spec(args.device)
-    print(f"decode: pattern {args.pattern}, prompt {args.prompt}, "
+    print(f"decode: mask {args.mask}, prompt {args.prompt}, "
           f"generate {args.generate}, batch {args.batch}, {spec.name}\n")
     for method in DECODE_METHODS:
         rep = simulate_decode(
-            args.pattern, spec, method,
+            args.mask, spec, method,
             batch=args.batch, heads=args.heads, head_size=args.head_size,
             prompt_len=args.prompt, generate=args.generate,
             rng=RngStream(args.seed),
@@ -196,7 +239,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         rng=RngStream(args.seed).fork("trace"),
         prompt_range=(args.prompt_min, args.prompt_max),
         max_new_range=(args.new_min, args.new_max),
-        pattern=args.pattern,
+        pattern=args.mask,
     )
     config = ServingConfig(
         heads=args.heads,
@@ -208,7 +251,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     policies = ("static", "continuous") if args.policy == "both" else (args.policy,)
     print(
         f"serve-sim: {args.num_requests} requests @ {args.rate:.0f} req/s, "
-        f"pattern {args.pattern}, {spec.name}\n"
+        f"mask {args.mask}, {spec.name}\n"
     )
     for policy in policies:
         scheduler = make_scheduler(
@@ -250,13 +293,13 @@ def cmd_plan_cache(args: argparse.Namespace) -> int:
         args.num_requests,
         args.rate,
         rng=RngStream(args.seed).fork("trace"),
-        pattern=args.pattern,
+        pattern=args.mask,
         prompt_range=(32, 64),
         max_new_range=(160, 256),
     )
     print(
         f"plan-cache: {args.num_requests} requests @ {args.rate:.0f} req/s, "
-        f"pattern {args.pattern}, {spec.name}\n"
+        f"mask {args.mask}, {spec.name}\n"
     )
     runs = {}
     for cached in (False, True):
@@ -305,6 +348,76 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+    from repro.obs.export import (
+        metrics_csv,
+        prometheus_text,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        if args.workload == "compile":
+            compiled = compile_model(
+                args.model, args.batch, args.seq_len,
+                device=args.device, mask=args.mask, engine=args.engine,
+                seed=args.seed,
+            )
+            meta = {
+                "workload": "compile", "engine": compiled.engine_name,
+                "model": args.model, "device": args.device, "mask": args.mask,
+            }
+            print(compiled.summary())
+        else:   # serve-sim
+            from repro.serving import (
+                ServingConfig,
+                ServingEngine,
+                make_scheduler,
+                synthetic_trace,
+            )
+
+            spec = get_spec(args.device)
+            trace = synthetic_trace(
+                args.num_requests, args.rate,
+                rng=RngStream(args.seed).fork("trace"), pattern=args.mask,
+            )
+            engine = ServingEngine(
+                spec, make_scheduler("continuous", 16, 65536), ServingConfig()
+            )
+            report = engine.run(trace, rng=RngStream(args.seed))
+            meta = {
+                "workload": "serve-sim", "policy": report.policy,
+                "device": args.device, "mask": args.mask,
+            }
+            print(report.summary())
+
+    path = write_chrome_trace(tracer, args.output, meta)
+    print(f"\nwrote {path} ({len(tracer)} spans)")
+    print("open chrome://tracing or https://ui.perfetto.dev and load it")
+    if args.metrics_output:
+        out = Path(args.metrics_output)
+        text = (
+            metrics_csv(metrics) if out.suffix == ".csv"
+            else prometheus_text(metrics)
+        )
+        out.write_text(text)
+        print(f"wrote {out}")
+    if args.check:
+        problems = validate_chrome_trace(json.loads(Path(path).read_text()))
+        if problems:
+            for problem in problems:
+                print(f"trace schema: {problem}", file=sys.stderr)
+            return 1
+        print("trace schema: OK")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -346,7 +459,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_devices)
 
     p = sub.add_parser("masks", help="Table-2 style mask analysis")
-    p.add_argument("--pattern", default=None)
+    _add_mask(p, default=None,
+              help="analyze one pattern (default: all; "
+                   "--pattern is a deprecated alias)")
     p.add_argument("--seq-len", type=int, default=1024)
     p.add_argument("--show", action="store_true",
                    help="render the mask and its BSR block grid")
@@ -357,7 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_masks)
 
     p = sub.add_parser("mha", help="compare attention methods")
-    p.add_argument("--pattern", default="bigbird", choices=sorted(PATTERN_REGISTRY))
+    _add_mask(p, default="bigbird", choices=sorted(PATTERN_REGISTRY))
     p.add_argument("--batch", type=int, default=8)
     p.add_argument("--seq-len", type=int, default=1024)
     p.add_argument("--heads", type=int, default=12)
@@ -391,8 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("decode", help="KV-cache generation throughput")
-    p.add_argument("--pattern", default="sliding_window",
-                   choices=sorted(PATTERN_REGISTRY))
+    _add_mask(p, default="sliding_window", choices=sorted(PATTERN_REGISTRY))
     p.add_argument("--batch", type=int, default=8)
     p.add_argument("--heads", type=int, default=12)
     p.add_argument("--head-size", type=int, default=64)
@@ -404,7 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve-sim", help="continuous-batching serving simulation")
     p.add_argument("--policy", default="both",
                    choices=("static", "continuous", "both"))
-    p.add_argument("--pattern", default="causal", choices=sorted(PATTERN_REGISTRY))
+    _add_mask(p, default="causal", choices=sorted(PATTERN_REGISTRY))
     p.add_argument("--num-requests", type=int, default=32)
     p.add_argument("--rate", type=float, default=500.0,
                    help="mean arrival rate (requests/s)")
@@ -427,7 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
         "plan-cache",
         help="plan-cache effectiveness: serving sim with and without reuse",
     )
-    p.add_argument("--pattern", default="causal", choices=sorted(PATTERN_REGISTRY))
+    _add_mask(p, default="causal", choices=sorted(PATTERN_REGISTRY))
     p.add_argument("--num-requests", type=int, default=12)
     p.add_argument("--rate", type=float, default=2000.0,
                    help="mean arrival rate (requests/s)")
@@ -446,13 +560,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(func=cmd_tune)
 
+    p = sub.add_parser(
+        "profile",
+        help="run a workload under the observability layer and export "
+             "spans + metrics",
+    )
+    p.add_argument("--workload", default="compile",
+                   choices=("compile", "serve-sim"))
+    p.add_argument("--model", default="bert-small")
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--seq-len", type=int, default=128)
+    _add_mask(p, default="bigbird")
+    p.add_argument("--engine", default="stof")
+    p.add_argument("--num-requests", type=int, default=8,
+                   help="serve-sim workload: trace size")
+    p.add_argument("--rate", type=float, default=500.0,
+                   help="serve-sim workload: mean arrival rate (req/s)")
+    p.add_argument("--output", default="stof_profile.json",
+                   help="Chrome-trace JSON output path")
+    p.add_argument("--metrics-output", default=None,
+                   help="also write metrics (.csv for CSV, else "
+                        "Prometheus text)")
+    p.add_argument("--check", action="store_true",
+                   help="validate the emitted trace against the schema; "
+                        "nonzero exit on problems")
+    _add_common(p)
+    p.set_defaults(func=cmd_profile)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    # Python hides DeprecationWarning outside __main__ by default; the
+    # --gpu/--pattern alias warnings must reach terminal users.
+    warnings.filterwarnings(
+        "default", message=r"--\w+ is deprecated", category=DeprecationWarning
+    )
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Piping into `head` etc. closes stdout early; exit quietly like
         # well-behaved Unix tools do.

@@ -5,6 +5,14 @@ Serializes a planned forward pass into the Trace Event Format that
 inspected like a real profiler capture: one lane per stream (MHA kernels,
 downstream kernels, host dispatch), with the per-kernel phase breakdown
 attached as event arguments.
+
+This module is a thin front-end over :mod:`repro.obs`: the plan is first
+expressed as :class:`~repro.obs.tracer.Span` objects (microsecond units,
+back-to-back in plan order) and then serialized by
+:func:`repro.obs.export.span_events`.  The output schema is unchanged —
+existing goldens load byte-for-byte identically.  For richer traces
+(planner spans, serving lifecycles, metrics) use ``repro profile`` and
+the :mod:`repro.obs` API directly.
 """
 
 from __future__ import annotations
@@ -14,21 +22,8 @@ from pathlib import Path
 from typing import Any
 
 from repro.gpu.cost import estimate_kernel_time
-
-
-def _event(name: str, cat: str, start_us: float, dur_us: float,
-           tid: int, args: dict[str, Any]) -> dict[str, Any]:
-    return {
-        "name": name,
-        "cat": cat,
-        "ph": "X",            # complete event
-        "ts": start_us,
-        "dur": max(dur_us, 0.01),
-        "pid": 1,
-        "tid": tid,
-        "args": args,
-    }
-
+from repro.obs.export import span_events
+from repro.obs.tracer import Span
 
 #: Trace lanes.
 LANE_DISPATCH = 0
@@ -42,18 +37,14 @@ _LANE_NAMES = {
 }
 
 
-def trace_events(prepared) -> list[dict[str, Any]]:
-    """Build the event list for a :class:`~repro.runtime.executor.PreparedModel`.
+def plan_spans(prepared) -> list[Span]:
+    """The plan's simulated timeline as flat obs spans (microsecond units).
 
     Kernels are laid out back-to-back in plan order (the simulator prices
     totals, not true concurrency), with dispatch slices on their own lane.
     """
     spec = prepared.spec
-    events: list[dict[str, Any]] = [
-        {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
-         "args": {"name": label}}
-        for tid, label in _LANE_NAMES.items()
-    ]
+    spans: list[Span] = []
     cursor = 0.0
 
     def add_launches(launches, lane: int, cat: str):
@@ -62,16 +53,17 @@ def trace_events(prepared) -> list[dict[str, Any]]:
             bd = estimate_kernel_time(spec, cost, config)
             dispatch_us = prepared.dispatch_overhead_s * cost.launches * 1e6
             if dispatch_us > 0:
-                events.append(
-                    _event("dispatch", "host", cursor, dispatch_us,
-                           LANE_DISPATCH, {"kernel": cost.name})
+                spans.append(
+                    Span("dispatch", cat="host", t0=cursor, dur=dispatch_us,
+                         tid=LANE_DISPATCH, args={"kernel": cost.name},
+                         sim=True)
                 )
                 cursor += dispatch_us
             dur_us = bd.total * 1e6
-            events.append(
-                _event(
-                    cost.name, cat, cursor, dur_us, lane,
-                    {
+            spans.append(
+                Span(
+                    cost.name, cat=cat, t0=cursor, dur=dur_us, tid=lane,
+                    args={
                         "bound": bd.bound,
                         "grid_blocks": config.grid_blocks,
                         "warps_per_block": config.warps_per_block,
@@ -85,6 +77,7 @@ def trace_events(prepared) -> list[dict[str, Any]]:
                         "flops": cost.flops,
                         "bytes_dram": cost.bytes_dram,
                     },
+                    sim=True,
                 )
             )
             cursor += dur_us
@@ -94,6 +87,17 @@ def trace_events(prepared) -> list[dict[str, Any]]:
     for cp in prepared.chains:
         for template, params in zip(cp.templates, cp.params):
             add_launches(template.plan(spec, params), LANE_DOWNSTREAM, "fused")
+    return spans
+
+
+def trace_events(prepared) -> list[dict[str, Any]]:
+    """Build the event list for a :class:`~repro.runtime.executor.PreparedModel`."""
+    events: list[dict[str, Any]] = [
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+         "args": {"name": label}}
+        for tid, label in _LANE_NAMES.items()
+    ]
+    events += span_events(plan_spans(prepared), pid=1, scale=1.0, min_dur=0.01)
     return events
 
 

@@ -33,6 +33,7 @@ from repro.gpu.specs import GPUSpec
 from repro.masks.bsr import BlockKind, BlockSparseMask
 from repro.mha.kernel import GATHER_CHUNK_ELEMS, AttentionKernel, Launch
 from repro.mha.problem import AttentionProblem
+from repro.obs.metrics import current_metrics
 
 #: SMEM padding in FP16 elements (the paper's Eq. 2 uses 16).
 DEFAULT_PADDING = 16
@@ -256,6 +257,7 @@ class BlockWiseKernel(AttentionKernel):
         vb = _tiles(v, nbc, bn)
         out = np.zeros((n_bh, nbr * bm, d), dtype=np.float32)
         outb = out.reshape(n_bh, nbr, bm, d)
+        m = current_metrics()
 
         for rows_g, idx, slab in bsr.concat_groups():
             n_g, cap = idx.shape
@@ -272,6 +274,17 @@ class BlockWiseKernel(AttentionKernel):
                 else rows_g
             )
             g_chunk = max(1, int(GATHER_CHUNK_ELEMS // max(1, n_g * bm * cap * bn)))
+            if m.enabled:
+                path = "banded" if kg_all is not None else "gather"
+                m.counter("mha.path", kernel=self.name, path=path).inc()
+                m.counter("mha.chunks", kernel=self.name, path=path).inc(
+                    -(-n_bh // g_chunk)
+                )
+                if kg_all is None:
+                    # K + V tile gathers materialize fp32 copies per group.
+                    m.counter(
+                        "mha.gather_bytes", kernel=self.name, cap=int(cap)
+                    ).inc(2.0 * n_bh * n_g * cap * bn * d * 4.0)
             for g0 in range(0, n_bh, g_chunk):
                 gs = slice(g0, min(g0 + g_chunk, n_bh))
                 g = gs.stop - gs.start

@@ -28,6 +28,7 @@ from repro.gpu.specs import GPUSpec
 from repro.masks.stats import contiguous_row_fraction as _contiguous_row_fraction
 from repro.mha.kernel import GATHER_CHUNK_ELEMS, AttentionKernel, Launch
 from repro.mha.problem import AttentionProblem
+from repro.obs.metrics import current_metrics
 
 #: Extra SIMT work per attended element: score scale, exp, shuffle
 #: reductions for max/sum, and the final rescale.
@@ -246,6 +247,7 @@ class RowWiseKernel(AttentionKernel):
         first = col_idx[starts].astype(np.int64)
         last = col_idx[starts + lens - 1].astype(np.int64) + 1
 
+        m = current_metrics()
         scattered: list[np.ndarray] = []
         for a in range(0, len(nonempty), ROW_GROUP):
             b = min(a + ROW_GROUP, len(nonempty))
@@ -253,7 +255,11 @@ class RowWiseKernel(AttentionKernel):
             longest = int(lens[a:b].max())
             if hi - lo > DENSE_RANGE_FACTOR * max(longest, d):
                 scattered.append(np.arange(a, b))
+                if m.enabled:
+                    m.counter("mha.path", kernel=self.name, path="gather").inc()
                 continue
+            if m.enabled:
+                m.counter("mha.path", kernel=self.name, path="dense_range").inc()
             rows_g = nonempty[a:b]
             bias = np.where(
                 mask[rows_g, lo:hi], np.float32(0.0), np.float32(-np.inf)
@@ -261,6 +267,10 @@ class RowWiseKernel(AttentionKernel):
             ks = k[:, lo:hi]                         # views, no copies
             vs = v[:, lo:hi]
             g_chunk = max(1, int(GATHER_CHUNK_ELEMS // max(1, len(rows_g) * (hi - lo))))
+            if m.enabled:
+                m.counter("mha.chunks", kernel=self.name, path="dense_range").inc(
+                    -(-n_bh // g_chunk)
+                )
             for g0 in range(0, n_bh, g_chunk):
                 gs = slice(g0, g0 + g_chunk)
                 s = q[gs][:, rows_g] @ ks[gs].swapaxes(-1, -2)
@@ -282,6 +292,7 @@ class RowWiseKernel(AttentionKernel):
     def _gather_buckets(self, row_ptr, col_idx, rows, lens, q, k, v, out) -> None:
         """Padded-gather fallback for scattered rows (writes into ``out``)."""
         n_bh, _, d = q.shape
+        m = current_metrics()
         caps = np.int64(1) << np.ceil(np.log2(lens)).astype(np.int64)
         for cap in np.unique(caps):
             in_bucket = caps == cap
@@ -295,6 +306,18 @@ class RowWiseKernel(AttentionKernel):
             pad = lanes[None, :] >= lens_b[:, None]
 
             row_chunk = max(1, int(GATHER_CHUNK_ELEMS // max(1, n_bh * cap * d)))
+            if m.enabled:
+                # K + V gathers materialize fp32 (head_size)-vectors per
+                # padded lane; count what this bucket actually moves.
+                m.counter(
+                    "mha.gather_bytes", kernel=self.name, cap=int(cap)
+                ).inc(2.0 * n_bh * len(rows_b) * int(cap) * d * 4.0)
+                m.counter("mha.bucket_rows", kernel=self.name, cap=int(cap)).inc(
+                    len(rows_b)
+                )
+                m.counter("mha.chunks", kernel=self.name, path="gather").inc(
+                    -(-len(rows_b) // row_chunk)
+                )
             for r0 in range(0, len(rows_b), row_chunk):
                 rs = slice(r0, r0 + row_chunk)
                 rows_c = rows_b[rs]

@@ -49,6 +49,7 @@ from repro.mha.blockwise import (
 from repro.mha.kernel import AttentionKernel
 from repro.mha.problem import AttentionProblem
 from repro.mha.rowwise import RowWiseKernel
+from repro.obs.tracer import current_tracer
 from repro.plan import CompiledPlan, PlanCache, PlanKey
 
 #: Paper's empirical coefficient in Eq. 1.
@@ -275,14 +276,20 @@ def compile_attention_plan(
     )
 
     def make() -> CompiledPlan:
-        t0 = time.perf_counter()
-        choice, params = select_kernel(problem, spec, tau=eff_tau, mode=mode)
-        analysis_s = time.perf_counter() - t0
-        kernel = kernel_for_choice(choice)
-        launches = kernel.plan(problem, spec, params)
-        est = sum(
-            estimate_kernel_time(spec, cost, cfg).total for cost, cfg in launches
-        )
+        with current_tracer().span(
+            "plan.attention", cat="planner", kind=kind, mode=mode,
+            pattern=problem.pattern, batch=problem.batch,
+            seq_len=problem.seq_len,
+        ) as span:
+            t0 = time.perf_counter()
+            choice, params = select_kernel(problem, spec, tau=eff_tau, mode=mode)
+            analysis_s = time.perf_counter() - t0
+            kernel = kernel_for_choice(choice)
+            launches = kernel.plan(problem, spec, params)
+            est = sum(
+                estimate_kernel_time(spec, cost, cfg).total for cost, cfg in launches
+            )
+            span.add(kernel=kernel.name).add_model_time(est)
         return CompiledPlan(
             kernel_name=kernel.name,
             choice=choice,

@@ -1,0 +1,78 @@
+"""Unified observability layer: spans, metrics, exporters.
+
+Every hot subsystem of the reproduction — the MHA kernels, the
+planner/plan-cache, the two-stage tuner, and the serving engine — records
+into this layer when it is enabled, and costs (almost) nothing when it is
+not.  The three pieces:
+
+* :mod:`repro.obs.tracer`  — nested spans with wall-clock *and*
+  simulated-model-time attribution; thread-safe; zero-cost disabled.
+* :mod:`repro.obs.metrics` — counters, gauges, histograms with labels.
+* :mod:`repro.obs.export`  — Chrome ``trace_event`` JSON (what
+  ``repro profile`` writes and ``chrome://tracing`` / Perfetto load),
+  Prometheus text, and CSV.
+
+Instrumentation sites read the *active* tracer/registry through
+:func:`current_tracer` / :func:`current_metrics`; both default to shared
+disabled instances.  Activate real ones around any workload::
+
+    from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+    from repro.obs.export import write_chrome_trace
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        compiled = compile_model("bert-small", 1, 128)
+    write_chrome_trace(tracer, "profile.json")
+
+or pass ``trace=tracer`` straight to :func:`repro.compile_model` /
+``ServingEngine.run`` — or use the ``repro profile`` CLI, which wires all
+of this for you.
+"""
+
+from repro.obs.export import (
+    chrome_trace_payload,
+    metrics_csv,
+    prometheus_text,
+    span_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "chrome_trace_payload",
+    "current_metrics",
+    "current_tracer",
+    "metrics_csv",
+    "prometheus_text",
+    "set_metrics",
+    "set_tracer",
+    "span_events",
+    "use_metrics",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,232 @@
+"""Exporters: Chrome ``trace_event`` JSON, Prometheus text, CSV.
+
+The Chrome exporter serializes a :class:`~repro.obs.tracer.Tracer`'s span
+forest into the Trace Event Format that ``chrome://tracing`` / Perfetto
+load: live (wall-clock) spans on process 1, manual simulated-timeline
+spans on process 2, span events as instant ("i") slices, model-time
+attribution in the event args.  :func:`span_events` is the low-level
+serializer — :mod:`repro.gpu.trace` reuses it to keep its historical
+plan-trace output byte-for-byte stable.
+
+:func:`validate_chrome_trace` is the schema check CI runs against the
+``repro profile`` output; it returns a list of problems (empty = valid)
+instead of raising, so callers choose their own severity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+#: Process ids of the two Chrome-trace timelines.
+PID_WALL = 1
+PID_SIM = 2
+
+_PROCESS_NAMES = {
+    PID_WALL: "host (wall clock)",
+    PID_SIM: "simulated timeline",
+}
+
+
+def _x_event(
+    name: str, cat: str, ts: float, dur: float, pid: int, tid: int,
+    args: dict[str, Any],
+) -> dict[str, Any]:
+    return {
+        "name": name,
+        "cat": cat,
+        "ph": "X",            # complete event
+        "ts": ts,
+        "dur": dur,
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def span_events(
+    spans: Iterable[Span],
+    *,
+    pid: int = PID_WALL,
+    scale: float = 1e6,
+    min_dur: float = 0.01,
+) -> list[dict[str, Any]]:
+    """Serialize spans (recursively) to Trace Event dicts.
+
+    ``scale`` converts span time units to microseconds (1e6 when spans
+    hold seconds; 1.0 when the caller already recorded microseconds, as
+    the plan trace does).  ``min_dur`` keeps zero-duration slices visible.
+    """
+    events: list[dict[str, Any]] = []
+    for top in spans:
+        for span, _depth in top.walk():
+            args = dict(span.args)
+            if span.model_s is not None:
+                args["model_us"] = round(span.model_s * 1e6, 3)
+            events.append(
+                _x_event(
+                    span.name, span.cat, span.t0 * scale,
+                    max(span.dur * scale, min_dur), pid, span.tid, args,
+                )
+            )
+            for ename, ts, eargs in span.events:
+                events.append(
+                    {
+                        "name": ename,
+                        "cat": span.cat,
+                        "ph": "i",
+                        "ts": ts * scale,
+                        "pid": pid,
+                        "tid": span.tid,
+                        "s": "t",          # thread-scoped instant
+                        "args": dict(eargs),
+                    }
+                )
+    return events
+
+
+def chrome_trace_payload(
+    tracer: Tracer, metadata: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """The full Chrome-trace JSON payload for one tracer.
+
+    Wall-clock spans land on process 1, simulated-timeline spans on
+    process 2 (their clocks are unrelated, so Chrome must not overlay
+    them).  ``metadata`` is attached as ``otherData``.
+    """
+    wall = [s for s in tracer.roots if not s.sim]
+    sim = [s for s in tracer.roots if s.sim]
+    events: list[dict[str, Any]] = []
+    for pid, group in ((PID_WALL, wall), (PID_SIM, sim)):
+        if not group:
+            continue
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid,
+             "args": {"name": _PROCESS_NAMES[pid]}}
+        )
+        for tid in sorted({s.tid for g in group for s, _ in g.walk()}):
+            label = tracer.lane_names.get(tid, f"lane {tid}")
+            events.append(
+                {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                 "args": {"name": label}}
+            )
+    events += span_events(wall, pid=PID_WALL, scale=1e6, min_dur=0.001)
+    events += span_events(sim, pid=PID_SIM, scale=1e6, min_dur=0.001)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str | Path, metadata: dict[str, Any] | None = None
+) -> Path:
+    """Write the tracer's Chrome-trace JSON; returns the written path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace_payload(tracer, metadata)))
+    return path
+
+
+# ---------------------------------------------------------------- validation
+
+#: Required keys per event phase (the subset of the Trace Event Format the
+#: exporters emit; the CI schema check enforces exactly this contract).
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "cat", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "pid", "tid"),
+    "M": ("name", "pid"),
+}
+
+
+def validate_chrome_trace(payload: dict[str, Any]) -> list[str]:
+    """Schema-check a Chrome-trace payload; returns problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        required = _REQUIRED_BY_PHASE.get(ph)
+        if required is None:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        for key in required:
+            if key not in ev:
+                problems.append(f"event {i} ({ph}): missing key {key!r}")
+        for key in ("ts", "dur"):
+            if key in ev and not isinstance(ev[key], (int, float)):
+                problems.append(f"event {i}: {key} is not numeric")
+        if ph == "X" and isinstance(ev.get("dur"), (int, float)) and ev["dur"] < 0:
+            problems.append(f"event {i}: negative duration")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"event {i}: args is not an object")
+    return problems
+
+
+# ------------------------------------------------------------------- metrics
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus exposition-format snapshot of a registry."""
+    lines: list[str] = []
+    last_name = None
+    for name, labels, kind, inst in registry.collect():
+        pname = name.replace(".", "_").replace("-", "_")
+        if pname != last_name:
+            lines.append(f"# TYPE {pname} {kind}")
+            last_name = pname
+        label_str = ",".join(f'{k}="{v}"' for k, v in labels)
+        blob = f"{{{label_str}}}" if label_str else ""
+        if kind == "counter":
+            lines.append(f"{pname}{blob} {_num(inst.value)}")
+        elif kind == "gauge":
+            lines.append(f"{pname}{blob} {_num(inst.value)}")
+        else:  # histogram
+            cumulative = 0
+            for bound, count in zip(inst.bounds, inst.counts):
+                cumulative += count
+                le = _lblmerge(label_str, f'le="{_num(bound)}"')
+                lines.append(f"{pname}_bucket{{{le}}} {cumulative}")
+            cumulative += inst.counts[-1]
+            le = _lblmerge(label_str, 'le="+Inf"')
+            lines.append(f"{pname}_bucket{{{le}}} {cumulative}")
+            lines.append(f"{pname}_sum{blob} {_num(inst.sum)}")
+            lines.append(f"{pname}_count{blob} {inst.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_csv(registry: MetricsRegistry) -> str:
+    """CSV snapshot: name,labels,type,field,value rows."""
+    rows = ["name,labels,type,field,value"]
+    for name, labels, kind, inst in registry.collect():
+        label_str = ";".join(f"{k}={v}" for k, v in labels)
+        if kind == "counter":
+            rows.append(f"{name},{label_str},counter,value,{_num(inst.value)}")
+        elif kind == "gauge":
+            rows.append(f"{name},{label_str},gauge,value,{_num(inst.value)}")
+            rows.append(f"{name},{label_str},gauge,peak,{_num(inst.peak)}")
+        else:
+            rows.append(f"{name},{label_str},histogram,count,{inst.count}")
+            rows.append(f"{name},{label_str},histogram,sum,{_num(inst.sum)}")
+    return "\n".join(rows) + "\n"
+
+
+def _num(x: float) -> str:
+    """Render numbers without a trailing ``.0`` for integral values."""
+    f = float(x)
+    return str(int(f)) if f.is_integer() and abs(f) < 1e15 else repr(f)
+
+
+def _lblmerge(label_str: str, extra: str) -> str:
+    return f"{label_str},{extra}" if label_str else extra

@@ -1,0 +1,241 @@
+"""Metrics registry: counters, gauges, and histograms with labels.
+
+Instruments follow the Prometheus data model: a metric *name* plus a set
+of key=value *labels* identifies one time series.  The registry memoizes
+instruments per (name, labels), so hot paths can re-request the same
+counter cheaply; a disabled registry hands out one shared no-op
+instrument and records nothing.
+
+Everything is process-local and deterministic — there is no background
+collection thread; exporters (:mod:`repro.obs.export`) snapshot the
+registry on demand.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (seconds-flavored, but unitless).
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (float increments allowed)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down; tracks the observed peak."""
+
+    __slots__ = ("_lock", "value", "peak")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+            if value > self.peak:
+                self.peak = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+            if self.value > self.peak:
+                self.peak = self.value
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus ``le`` convention)."""
+
+    __slots__ = ("_lock", "bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self._lock = threading.Lock()
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)   # +inf overflow bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # Prometheus buckets are inclusive upper bounds (le): the first
+        # bound >= value owns the observation.
+        i = bisect_left(self.bounds, float(value))
+        with self._lock:
+            self.counts[i] += 1
+            self.sum += float(value)
+            self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Bucket-upper-bound estimate of the q-quantile (q in [0, 1])."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument type when disabled."""
+
+    __slots__ = ()
+    value = 0.0
+    peak = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Instrument factory + store; disabled registries record nothing.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("requests", policy="continuous").inc()
+    >>> reg.counter("requests", policy="continuous").value
+    1.0
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, LabelKey], Any] = {}
+        self._types: dict[str, str] = {}
+
+    def _get(self, kind: str, name: str, labels: dict[str, Any], factory):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        key = (name, _label_key(labels))
+        inst = self._metrics.get(key)
+        if inst is not None and self._types.get(name) == kind:
+            return inst
+        with self._lock:
+            seen = self._types.setdefault(name, kind)
+            if seen != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {seen}, "
+                    f"requested {kind}"
+                )
+            inst = self._metrics.get(key)
+            if inst is None:
+                inst = self._metrics[key] = factory()
+        return inst
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return self._get("histogram", name, labels, lambda: Histogram(bounds))
+
+    # -------------------------------------------------------------- snapshot
+
+    def collect(self) -> Iterator[tuple[str, LabelKey, str, Any]]:
+        """Yield (name, labels, type, instrument), sorted for stable output."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for (name, labels), inst in items:
+            yield name, labels, self._types[name], inst
+
+    def as_dict(self) -> dict[str, Any]:
+        """Nested plain-data snapshot (for JSON/debugging)."""
+        out: dict[str, Any] = {}
+        for name, labels, kind, inst in self.collect():
+            label_str = ",".join(f"{k}={v}" for k, v in labels)
+            series = out.setdefault(name, {"type": kind, "series": {}})
+            if kind == "counter":
+                series["series"][label_str] = inst.value
+            elif kind == "gauge":
+                series["series"][label_str] = {
+                    "value": inst.value, "peak": inst.peak,
+                }
+            else:
+                series["series"][label_str] = {
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "buckets": dict(zip(inst.bounds, inst.counts)),
+                }
+        return out
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+#: Process-wide disabled registry: the default "off" state of the library.
+NULL_METRICS = MetricsRegistry(enabled=False)
+
+_active_metrics: MetricsRegistry = NULL_METRICS
+
+
+def current_metrics() -> MetricsRegistry:
+    """The registry instrumentation sites write to (disabled by default)."""
+    return _active_metrics
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` (or the disabled default); returns the old one."""
+    global _active_metrics
+    previous = _active_metrics
+    _active_metrics = registry if registry is not None else NULL_METRICS
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry | None):
+    """Activate a registry for the duration of a ``with`` block."""
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

@@ -1,0 +1,286 @@
+"""Span-based structured tracing.
+
+The tracer records a tree of **spans** — named intervals with a category,
+wall-clock timing, free-form arguments, and (optionally) *model-time*
+attribution: the simulated device seconds the interval accounts for.  Two
+kinds of spans exist:
+
+* **live spans** — opened as context managers around real host work
+  (``with tracer.span("plan.attention", cat="planner"):``); wall-clock
+  start/duration come from :func:`time.perf_counter`, nesting from the
+  per-thread span stack.
+* **manual spans** — added with explicit timestamps
+  (:meth:`Tracer.add_span`) for events that live on a *simulated*
+  timeline, like serving-engine request lifecycles whose clock is the
+  discrete-event simulation clock, not the host's.
+
+Thread safety: each thread nests through its own stack; finished roots
+and manual spans are appended under a lock.  Disabled tracers are
+zero-cost on the hot path: :meth:`Tracer.span` returns one shared no-op
+span object — no allocation, no recording — which the tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+class Span:
+    """One named interval: timing, arguments, children, model time.
+
+    ``t0``/``dur`` are seconds.  For live spans they are wall-clock times
+    relative to the owning tracer's epoch; for manual spans (``sim=True``)
+    they are whatever clock the caller recorded — by convention the
+    simulated-model clock.  ``model_s`` attributes simulated device
+    seconds to the span regardless of which clock times it.
+    """
+
+    __slots__ = (
+        "name", "cat", "t0", "dur", "tid", "args", "children", "events",
+        "sim", "model_s", "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        cat: str = "host",
+        t0: float = 0.0,
+        dur: float = 0.0,
+        tid: int = 0,
+        args: dict[str, Any] | None = None,
+        sim: bool = False,
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.t0 = t0
+        self.dur = dur
+        self.tid = tid
+        self.args: dict[str, Any] = args if args is not None else {}
+        self.children: list[Span] = []
+        self.events: list[tuple[str, float, dict[str, Any]]] = []
+        self.sim = sim
+        self.model_s: float | None = None
+        self._tracer: "Tracer | None" = None
+
+    # ------------------------------------------------------------- recording
+
+    def add(self, **kv: Any) -> "Span":
+        """Attach arguments to the span (merged into ``args``)."""
+        self.args.update(kv)
+        return self
+
+    def add_model_time(self, seconds: float) -> "Span":
+        """Accumulate simulated device seconds attributed to this span."""
+        self.model_s = (self.model_s or 0.0) + float(seconds)
+        return self
+
+    def event(self, name: str, ts: float, **kv: Any) -> "Span":
+        """Record an instantaneous event inside the span (same clock)."""
+        self.events.append((name, float(ts), kv))
+        return self
+
+    # ---------------------------------------------------------- live nesting
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        assert tracer is not None, "span not created by a tracer"
+        self.t0 = time.perf_counter() - tracer._epoch
+        tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        assert tracer is not None
+        self.dur = (time.perf_counter() - tracer._epoch) - self.t0
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        tracer._pop(self)
+
+    # ------------------------------------------------------------- traversal
+
+    def walk(self, depth: int = 0) -> Iterator[tuple["Span", int]]:
+        """Depth-first (span, depth) over this span and its subtree."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, cat={self.cat!r}, t0={self.t0:.6f}, "
+            f"dur={self.dur:.6f}, children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """The shared no-op span a disabled tracer hands out.
+
+    Supports the full recording surface (context manager, ``add``,
+    ``add_model_time``, ``event``) without allocating or storing anything.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def add(self, **kv: Any) -> "_NullSpan":
+        return self
+
+    def add_model_time(self, seconds: float) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, ts: float, **kv: Any) -> "_NullSpan":
+        return self
+
+
+#: The singleton no-op span (identity-tested by the overhead tests).
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a forest of spans; thread-safe; no-op when disabled.
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("outer", cat="demo") as outer:
+    ...     with tracer.span("inner") as inner:
+    ...         _ = inner.add(detail=1)
+    >>> [s.name for s, _ in tracer.walk()]
+    ['outer', 'inner']
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.roots: list[Span] = []
+        #: Optional thread/lane labels for the Chrome export
+        #: (``{tid: name}``); lanes without a label show their number.
+        self.lane_names: dict[int, str] = {}
+
+    # --------------------------------------------------------------- spans
+
+    def span(self, name: str, cat: str = "host", **args: Any):
+        """A live span; use as a context manager.
+
+        Disabled tracers return the shared :data:`NULL_SPAN` — nothing is
+        allocated or recorded.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(name, cat=cat, args=args)
+        span.tid = threading.get_ident() & 0xFFFF
+        span._tracer = self
+        return span
+
+    def add_span(
+        self,
+        name: str,
+        cat: str = "sim",
+        t0: float = 0.0,
+        dur: float = 0.0,
+        tid: int = 0,
+        parent: Span | None = None,
+        **args: Any,
+    ) -> Span | None:
+        """Record a manual span with explicit (simulated-clock) timing.
+
+        Attaches under ``parent`` when given, otherwise as a root — never
+        under the live span stack, because simulated clocks and the wall
+        clock are unrelated timelines.  Returns the span, or ``None`` when
+        the tracer is disabled.
+        """
+        if not self.enabled:
+            return None
+        span = Span(name, cat=cat, t0=t0, dur=dur, tid=tid, args=args, sim=True)
+        span._tracer = self
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        return span
+
+    # ------------------------------------------------------------- internals
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        assert stack and stack[-1] is span, "span stack corrupted"
+        stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    # ------------------------------------------------------------- traversal
+
+    def walk(self) -> Iterator[tuple[Span, int]]:
+        """Depth-first (span, depth) over every recorded root."""
+        for root in list(self.roots):
+            yield from root.walk()
+
+    def find(self, name: str | None = None, cat: str | None = None) -> list[Span]:
+        """All spans matching a name and/or category."""
+        return [
+            s
+            for s, _ in self.walk()
+            if (name is None or s.name == name)
+            and (cat is None or s.cat == cat)
+        ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.roots.clear()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.walk())
+
+
+#: Process-wide disabled tracer: the default "off" state of the library.
+NULL_TRACER = Tracer(enabled=False)
+
+_active_tracer: Tracer = NULL_TRACER
+
+
+def current_tracer() -> Tracer:
+    """The tracer instrumentation sites record into (disabled by default)."""
+    return _active_tracer
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` (or the disabled default for ``None``).
+
+    Returns the previously active tracer so callers can restore it;
+    prefer :func:`use_tracer` which does that automatically.
+    """
+    global _active_tracer
+    previous = _active_tracer
+    _active_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None):
+    """Activate a tracer for the duration of a ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -17,6 +17,8 @@ import os
 from collections import OrderedDict
 from typing import Any, Callable, Iterator
 
+from repro.obs.metrics import current_metrics
+from repro.obs.tracer import current_tracer
 from repro.plan.compiled import CompiledPlan
 from repro.plan.key import PlanKey, _tuplify
 
@@ -53,9 +55,15 @@ class PlanCache:
             self.hits += 1
             self._kind_hits[key.kind] = self._kind_hits.get(key.kind, 0) + 1
             self._entries.move_to_end(key)
+            m = current_metrics()
+            if m.enabled:
+                m.counter("plan_cache.lookups", kind=key.kind, outcome="hit").inc()
             return value
         self.misses += 1
         self._kind_misses[key.kind] = self._kind_misses.get(key.kind, 0) + 1
+        m = current_metrics()
+        if m.enabled:
+            m.counter("plan_cache.lookups", kind=key.kind, outcome="miss").inc()
         return default
 
     def put(self, key: PlanKey, value: Any) -> Any:
@@ -65,8 +73,11 @@ class PlanCache:
         self._entries[key] = value
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
                 self.evictions += 1
+                m = current_metrics()
+                if m.enabled:
+                    m.counter("plan_cache.evictions", kind=evicted_key.kind).inc()
         return value
 
     def get_or_build(self, key: PlanKey, build: Callable[[], Any]) -> Any:
@@ -75,6 +86,10 @@ class PlanCache:
         value = self.get(key, sentinel)
         if value is not sentinel:
             return value
+        tracer = current_tracer()
+        if tracer.enabled:
+            with tracer.span("plan.build", cat="plan", kind=key.kind):
+                return self.put(key, build())
         return self.put(key, build())
 
     def peek(self, key: PlanKey, default: Any = None) -> Any:

@@ -33,6 +33,7 @@ from repro.gpu.specs import GPUSpec
 from repro.mha.kernel import AttentionKernel
 from repro.mha.problem import AttentionProblem
 from repro.models.build import ModelInstance
+from repro.obs.tracer import current_tracer
 from repro.ops.base import numel
 from repro.plan import (
     CompiledPlan,
@@ -165,45 +166,87 @@ class PreparedModel:
         dram = 0.0
         flops = 0.0
 
-        # Every site plans through the shared cache: repeated layers (same
-        # mask content + geometry + params) replay one CompiledPlan instead
-        # of re-running the kernel's mask analysis.  The per-launch pricing
-        # below is unchanged, so reports are identical with or without a
-        # persistent cache.
-        cache = self.plan_cache if self.plan_cache is not None else PlanCache()
-        device = spec_fingerprint(self.spec)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.lane_names.setdefault(0, "host dispatch")
+            tracer.lane_names.setdefault(1, "attention kernels")
+            tracer.lane_names.setdefault(2, "downstream kernels")
+        sim_cursor = 0.0   # simulated-timeline position (seconds)
 
-        for _, binding in self.attention:
-            site_plan = binding.compiled_plan(self.spec, cache)
-            for cost, config in site_plan.launches:
-                bd = estimate_kernel_time(self.spec, cost, config)
-                mha_t += bd.total + self.dispatch_overhead_s * cost.launches
-                launches += cost.launches
-                dram += cost.bytes_dram
-                flops += cost.flops
+        def record_launch(cost, config, bd, cat: str, lane: int) -> None:
+            """Lay the launch on the tracer's simulated kernel timeline."""
+            nonlocal sim_cursor
+            dispatch = self.dispatch_overhead_s * cost.launches
+            if dispatch > 0:
+                tracer.add_span(
+                    "dispatch", cat="host", t0=sim_cursor, dur=dispatch,
+                    tid=0, kernel=cost.name,
+                )
+                sim_cursor += dispatch
+            tracer.add_span(
+                cost.name, cat=cat, t0=sim_cursor, dur=bd.total, tid=lane,
+                bound=bd.bound,
+                grid_blocks=config.grid_blocks,
+                occupancy=round(bd.occupancy, 3),
+            ).add_model_time(bd.total)
+            sim_cursor += bd.total
 
-        for cp in self.chains:
-            for template, params in zip(cp.templates, cp.params):
-                key = PlanKey(
-                    kind="runtime-chain",
-                    device=device,
-                    params=params_key(params),
-                    salt=repr(segment_signature(template)),
-                )
-                seg_plan = compile_launches(
-                    key,
-                    lambda template=template, params=params: template.plan(
-                        self.spec, params
-                    ),
-                    cache=cache,
-                    kernel_name=template.segment.names,
-                )
-                for cost, config in seg_plan.launches:
+        plan_span = tracer.span(
+            "runtime.plan", cat="planner",
+            engine=self.engine_name, model=self.instance.config.name,
+        )
+        with plan_span:
+            # Every site plans through the shared cache: repeated layers
+            # (same mask content + geometry + params) replay one
+            # CompiledPlan instead of re-running the kernel's mask
+            # analysis.  The per-launch pricing below is unchanged, so
+            # reports are identical with or without a persistent cache.
+            cache = (
+                self.plan_cache if self.plan_cache is not None else PlanCache()
+            )
+            device = spec_fingerprint(self.spec)
+
+            for _, binding in self.attention:
+                site_plan = binding.compiled_plan(self.spec, cache)
+                for cost, config in site_plan.launches:
                     bd = estimate_kernel_time(self.spec, cost, config)
-                    down_t += bd.total + self.dispatch_overhead_s * cost.launches
+                    mha_t += bd.total + self.dispatch_overhead_s * cost.launches
                     launches += cost.launches
                     dram += cost.bytes_dram
                     flops += cost.flops
+                    if tracer.enabled:
+                        record_launch(cost, config, bd, "mha", 1)
+
+            for cp in self.chains:
+                for template, params in zip(cp.templates, cp.params):
+                    key = PlanKey(
+                        kind="runtime-chain",
+                        device=device,
+                        params=params_key(params),
+                        salt=repr(segment_signature(template)),
+                    )
+                    seg_plan = compile_launches(
+                        key,
+                        lambda template=template, params=params: template.plan(
+                            self.spec, params
+                        ),
+                        cache=cache,
+                        kernel_name=template.segment.names,
+                    )
+                    for cost, config in seg_plan.launches:
+                        bd = estimate_kernel_time(self.spec, cost, config)
+                        down_t += (
+                            bd.total + self.dispatch_overhead_s * cost.launches
+                        )
+                        launches += cost.launches
+                        dram += cost.bytes_dram
+                        flops += cost.flops
+                        if tracer.enabled:
+                            record_launch(cost, config, bd, "fused", 2)
+
+            plan_span.add(
+                launches=launches, attention_sites=len(self.attention),
+            ).add_model_time(mha_t + down_t)
 
         return EngineReport(
             engine=self.engine_name,

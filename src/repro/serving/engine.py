@@ -34,6 +34,8 @@ from repro.gpu.specs import GPUSpec
 from repro.mha.module import UnifiedMHA
 from repro.mha.problem import AttentionProblem
 from repro.mha.rowwise import RowWiseKernel, plan_rowwise_launches
+from repro.obs.metrics import current_metrics
+from repro.obs.tracer import Tracer, current_tracer
 from repro.plan import PlanCache, PlanKey
 from repro.serving.kvcache import KVCacheConfig, PagedKVCache
 from repro.serving.metrics import RequestMetrics, ServingReport
@@ -70,15 +72,23 @@ class ServingConfig:
 class ServingEngine:
     """One simulated inference server: a GPU, a policy, a KV cache."""
 
+    #: Trace lanes of the simulated serving timeline.
+    LANE_STEPS = 0
+    LANE_REQUESTS = 1
+
     def __init__(
         self,
         spec: GPUSpec,
         scheduler: Scheduler,
         config: ServingConfig | None = None,
+        tracer: Tracer | None = None,
     ):
         self.spec = spec
         self.scheduler = scheduler
         self.config = config or ServingConfig()
+        #: Explicit tracer for the run's simulated timeline; ``None`` falls
+        #: back to the ambient :func:`repro.obs.tracer.current_tracer`.
+        self.tracer = tracer
         #: The shared plan cache.  Prefill plans are replayed through
         #: UnifiedMHA (kind "mha"); decode row statistics live under kind
         #: "serving-decode", chunked by context-length bucket.
@@ -263,6 +273,15 @@ class ServingEngine:
         running: list[RequestTracker] = []
         finished: list[RequestTracker] = []
 
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        if tracer.enabled:
+            tracer.lane_names.setdefault(self.LANE_STEPS, "engine steps")
+            tracer.lane_names.setdefault(self.LANE_REQUESTS, "requests")
+        metrics = current_metrics()
+        kv_gauge = (
+            metrics.gauge("serving.kv_occupancy") if metrics.enabled else None
+        )
+
         clock = 0.0
         steps = 0
 
@@ -277,6 +296,22 @@ class ServingEngine:
                 if tr in waiting:      # preempted in the same step it finished
                     waiting.remove(tr)
                 finished.append(tr)
+                if tracer.enabled:
+                    arrival = tr.request.arrival_s
+                    span = tracer.add_span(
+                        f"request {tr.req_id}",
+                        cat="serving.request",
+                        t0=arrival,
+                        dur=clock - arrival,
+                        tid=self.LANE_REQUESTS,
+                        req_id=tr.req_id,
+                        prompt_len=tr.request.prompt_len,
+                        tokens=tr.generated,
+                        ttft_s=(tr.ttft_s or 0.0) - arrival,
+                        preemptions=tr.preemptions,
+                    )
+                    for ts in tr.token_times_s:
+                        span.event("token", ts)
 
         def preempt(tr: RequestTracker) -> None:
             cache.release(tr.req_id)
@@ -345,6 +380,25 @@ class ServingEngine:
             step_s += decode_s
             launches += n
             step_s += cfg.dispatch_s * launches
+
+            if tracer.enabled:
+                tracer.add_span(
+                    "serve.step",
+                    cat="serving",
+                    t0=clock,
+                    dur=step_s,
+                    tid=self.LANE_STEPS,
+                    step=steps,
+                    admitted=len(admitted),
+                    decode_members=len(members),
+                    launches=launches,
+                ).add_model_time(step_s - cfg.step_overhead_s)
+            if kv_gauge is not None:
+                kv_gauge.set(cache.occupancy)
+            if metrics.enabled:
+                metrics.counter("serving.tokens").inc(
+                    len(admitted) + sum(1 for tr, _ in members if not tr.done)
+                )
 
             clock += step_s
             steps += 1

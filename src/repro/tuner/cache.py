@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any, Callable, Hashable
 
 from repro.core.errors import ConfigError
+from repro.obs.metrics import current_metrics
 from repro.plan import PlanCache, PlanKey
 from repro.plan import params_key as params_key  # noqa: F401  (re-export)
 
@@ -119,10 +120,13 @@ class PerformanceCache:
         remembers configs that failed to launch — and ``None`` is returned.
         """
         key = self._key(self._norm(segment_id), params_key(params))
+        m = current_metrics()
         if self.enabled:
             cached = self.plans.get(key, _MISSING)
             if cached is not _MISSING:
                 self.hits += 1
+                if m.enabled:
+                    m.counter("tuner.evaluations", outcome="hit").inc()
                 return None if cached == float("inf") else cached
         self.misses += 1
         try:
@@ -133,10 +137,15 @@ class PerformanceCache:
                 self.plans.put(key, float("inf"))
             # A failed compile still costs compile time.
             self.tuning_time_s += self.cost_model.compile_s
+            if m.enabled:
+                m.counter("tuner.evaluations", outcome="failure").inc()
             return None
         if self.enabled:
             self.plans.put(key, t)
         self.tuning_time_s += self.cost_model.cost_of(t)
+        if m.enabled:
+            m.counter("tuner.evaluations", outcome="miss").inc()
+            m.counter("tuner.simulated_cost_s").inc(self.cost_model.cost_of(t))
         return t
 
     def best_for(self, segment_id: Hashable) -> tuple[float, tuple] | None:

@@ -36,6 +36,7 @@ from repro.fusion.rules import apply_move, legal_moves
 from repro.fusion.templates import CompilationTemplate
 from repro.graph.ir import Graph
 from repro.gpu.specs import GPUSpec
+from repro.obs.tracer import current_tracer
 from repro.plan import PlanCache
 from repro.tuner.cache import EvalCostModel, PerformanceCache
 from repro.tuner.sampler import RewardSampler
@@ -173,6 +174,22 @@ class TwoStageEngine:
     def tune_chain(
         self, graph: Graph, chain: OperatorChain, tokens: int
     ) -> TuningResult:
+        tracer = current_tracer()
+        with tracer.span(
+            "tune.chain", cat="tuner", ops=chain.n_ops, tokens=tokens
+        ) as chain_span:
+            result = self._tune_chain_inner(graph, chain, tokens, tracer)
+            chain_span.add(
+                scheme=list(result.scheme),
+                schemes_tried=result.schemes_tried,
+                cache_hits=result.cache_hits,
+                cache_misses=result.cache_misses,
+            ).add_model_time(result.estimated_time_s)
+        return result
+
+    def _tune_chain_inner(
+        self, graph: Graph, chain: OperatorChain, tokens: int, tracer
+    ) -> TuningResult:
         converter = FusionSchemeConverter(graph, chain)
         overhead = OverheadBreakdown()
         history: list[tuple[str, tuple[int, ...], float]] = []
@@ -233,30 +250,32 @@ class TwoStageEngine:
         tried: set[str] = {converter.key(scheme)}
         steps = 0
         improved = True
-        while improved and steps < self.max_expansion_steps:
-            improved = False
-            for move in legal_moves(scheme, chain.categories):
-                steps += 1
-                if steps >= self.max_expansion_steps:
-                    break
-                try:
-                    candidate = apply_move(scheme, move)
-                except TuningError:
-                    continue
-                key = converter.key(candidate)
-                if key in tried:
-                    continue
-                tried.add(key)
-                total = eval_scheme(candidate)
-                if total is None:
-                    history.append((f"reject-infeasible {move.describe()}", candidate, float("inf")))
-                    continue
-                if total < current:
-                    scheme, current = candidate, total
-                    history.append((f"accept {move.describe()}", scheme, current))
-                    improved = True
-                    break  # DFS: descend from the improved scheme
-                history.append((f"rollback {move.describe()}", candidate, total))
+        with tracer.span("tune.stage1", cat="tuner") as s1_span:
+            while improved and steps < self.max_expansion_steps:
+                improved = False
+                for move in legal_moves(scheme, chain.categories):
+                    steps += 1
+                    if steps >= self.max_expansion_steps:
+                        break
+                    try:
+                        candidate = apply_move(scheme, move)
+                    except TuningError:
+                        continue
+                    key = converter.key(candidate)
+                    if key in tried:
+                        continue
+                    tried.add(key)
+                    total = eval_scheme(candidate)
+                    if total is None:
+                        history.append((f"reject-infeasible {move.describe()}", candidate, float("inf")))
+                        continue
+                    if total < current:
+                        scheme, current = candidate, total
+                        history.append((f"accept {move.describe()}", scheme, current))
+                        improved = True
+                        break  # DFS: descend from the improved scheme
+                    history.append((f"rollback {move.describe()}", candidate, total))
+            s1_span.add(steps=steps, schemes_tried=len(tried))
 
         # ---- stage 2: reward-based parameter sampling -----------------------
         templates = converter.scheme_templates(scheme)
@@ -277,34 +296,38 @@ class TwoStageEngine:
         best_times = [seg_best[b][0] for b in bounds]
         best_params = [dict(seg_best[b][1]) for b in bounds]
 
-        for _ in range(self.stage2_rounds):
-            if sampler.exhausted:
-                break
-            t0 = time.perf_counter()
-            alloc = sampler.allocate(self.stage2_total)
-            overhead.reward_algorithm_s += time.perf_counter() - t0
-            improvements = [0.0] * len(templates)
-            for i, (template, count) in enumerate(zip(templates, alloc)):
-                if count == 0:
-                    continue
+        rounds_run = 0
+        with tracer.span("tune.stage2", cat="tuner") as s2_span:
+            for _ in range(self.stage2_rounds):
+                if sampler.exhausted:
+                    break
+                rounds_run += 1
                 t0 = time.perf_counter()
-                draws = sampler.draw(i, count)
+                alloc = sampler.allocate(self.stage2_total)
                 overhead.reward_algorithm_s += time.perf_counter() - t0
-                for params in draws:
-                    t = self._measure(template, params)
-                    if t is None:
+                improvements = [0.0] * len(templates)
+                for i, (template, count) in enumerate(zip(templates, alloc)):
+                    if count == 0:
                         continue
                     t0 = time.perf_counter()
-                    sampler.record(i, params, t)
+                    draws = sampler.draw(i, count)
                     overhead.reward_algorithm_s += time.perf_counter() - t0
-                    if t < best_times[i]:
-                        improvements[i] = max(improvements[i], best_times[i] - t)
-                        best_times[i] = t
-                        best_params[i] = dict(params)
-            if max(improvements, default=0.0) > 0.0:
-                t0 = time.perf_counter()
-                sampler.reward(improvements.index(max(improvements)))
-                overhead.reward_algorithm_s += time.perf_counter() - t0
+                    for params in draws:
+                        t = self._measure(template, params)
+                        if t is None:
+                            continue
+                        t0 = time.perf_counter()
+                        sampler.record(i, params, t)
+                        overhead.reward_algorithm_s += time.perf_counter() - t0
+                        if t < best_times[i]:
+                            improvements[i] = max(improvements[i], best_times[i] - t)
+                            best_times[i] = t
+                            best_params[i] = dict(params)
+                if max(improvements, default=0.0) > 0.0:
+                    t0 = time.perf_counter()
+                    sampler.reward(improvements.index(max(improvements)))
+                    overhead.reward_algorithm_s += time.perf_counter() - t0
+            s2_span.add(rounds=rounds_run, segments=len(templates))
 
         overhead.scheme_conversion_s += (
             converter.stats.encode_s

@@ -1,0 +1,190 @@
+"""Exporters: golden-file comparisons and schema validation."""
+
+import json
+from pathlib import Path
+
+from repro.obs.export import (
+    chrome_trace_payload,
+    metrics_csv,
+    prometheus_text,
+    span_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+
+def deterministic_tracer() -> Tracer:
+    """A tracer with only manual (simulated-clock) spans — reproducible."""
+    tracer = Tracer()
+    tracer.lane_names[0] = "engine steps"
+    tracer.lane_names[1] = "requests"
+    step = tracer.add_span(
+        "serve.step", cat="serving", t0=0.0, dur=0.001, tid=0, step=0,
+    )
+    step.add_model_time(0.0008)
+    req = tracer.add_span(
+        "request 0", cat="serving.request", t0=0.0, dur=0.005, tid=1,
+        req_id=0, tokens=2,
+    )
+    req.event("token", 0.001)
+    req.event("token", 0.005)
+    tracer.add_span(
+        "stof-rowwise", cat="mha", t0=0.001, dur=0.0005, tid=0, bound="dram",
+    )
+    return tracer
+
+
+def deterministic_metrics() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("plan_cache.lookups", kind="mha", outcome="hit").inc(3)
+    reg.counter("plan_cache.lookups", kind="mha", outcome="miss").inc()
+    reg.gauge("serving.kv_occupancy").set(0.25)
+    h = reg.histogram("step.seconds", bounds=(1e-3, 1e-2))
+    h.observe(5e-4)
+    h.observe(2e-3)
+    h.observe(0.5)
+    return reg
+
+
+def check_golden(name: str, text: str) -> None:
+    path = GOLDENS / name
+    assert path.exists(), f"golden {name} missing; regenerate via the module "
+    assert text == path.read_text(), f"{name} drifted from its golden"
+
+
+class TestGoldens:
+    def test_chrome_trace_golden(self):
+        payload = chrome_trace_payload(
+            deterministic_tracer(), {"workload": "golden"}
+        )
+        check_golden(
+            "trace.json", json.dumps(payload, indent=2, sort_keys=False) + "\n"
+        )
+
+    def test_prometheus_golden(self):
+        check_golden("metrics.prom", prometheus_text(deterministic_metrics()))
+
+    def test_csv_golden(self):
+        check_golden("metrics.csv", metrics_csv(deterministic_metrics()))
+
+
+class TestChromeExport:
+    def test_sim_spans_on_pid_2(self):
+        payload = chrome_trace_payload(deterministic_tracer())
+        x_events = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+        assert x_events and all(e["pid"] == 2 for e in x_events)
+
+    def test_wall_and_sim_partition(self):
+        tracer = Tracer()
+        with tracer.span("wall"):
+            pass
+        tracer.add_span("sim", t0=0.0, dur=1.0)
+        payload = chrome_trace_payload(tracer)
+        by_name = {
+            e["name"]: e for e in payload["traceEvents"] if e.get("ph") == "X"
+        }
+        assert by_name["wall"]["pid"] == 1
+        assert by_name["sim"]["pid"] == 2
+
+    def test_model_time_in_args(self):
+        payload = chrome_trace_payload(deterministic_tracer())
+        step = next(
+            e for e in payload["traceEvents"] if e["name"] == "serve.step"
+        )
+        assert step["args"]["model_us"] == 800.0
+
+    def test_instants_emitted(self):
+        payload = chrome_trace_payload(deterministic_tracer())
+        instants = [e for e in payload["traceEvents"] if e.get("ph") == "i"]
+        assert len(instants) == 2
+        assert {e["name"] for e in instants} == {"token"}
+
+    def test_lane_names_metadata(self):
+        payload = chrome_trace_payload(deterministic_tracer())
+        threads = {
+            e["tid"]: e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        }
+        assert threads == {0: "engine steps", 1: "requests"}
+
+    def test_write_round_trip(self, tmp_path):
+        path = write_chrome_trace(
+            deterministic_tracer(), tmp_path / "t.json", {"k": "v"}
+        )
+        payload = json.loads(path.read_text())
+        assert payload["otherData"] == {"k": "v"}
+        assert validate_chrome_trace(payload) == []
+
+    def test_min_dur_floor(self):
+        tracer = Tracer()
+        tracer.add_span("zero", t0=0.0, dur=0.0)
+        events = span_events(tracer.roots, scale=1e6, min_dur=0.001)
+        assert events[0]["dur"] == 0.001
+
+
+class TestValidation:
+    def test_valid_payload(self):
+        payload = chrome_trace_payload(deterministic_tracer())
+        assert validate_chrome_trace(payload) == []
+
+    def test_not_a_dict(self):
+        assert validate_chrome_trace([]) == ["payload is not a JSON object"]
+
+    def test_missing_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+    def test_empty_events_flagged(self):
+        assert "traceEvents is empty" in validate_chrome_trace(
+            {"traceEvents": []}
+        )
+
+    def test_missing_key_flagged(self):
+        bad = {"traceEvents": [{"ph": "X", "name": "x", "cat": "c",
+                                "ts": 0, "dur": 1, "pid": 1}]}
+        problems = validate_chrome_trace(bad)
+        assert any("missing key 'tid'" in p for p in problems)
+
+    def test_unknown_phase_flagged(self):
+        bad = {"traceEvents": [{"ph": "Z", "name": "x"}]}
+        assert any("unknown phase" in p for p in validate_chrome_trace(bad))
+
+    def test_negative_duration_flagged(self):
+        bad = {"traceEvents": [{"ph": "X", "name": "x", "cat": "c",
+                                "ts": 0, "dur": -1, "pid": 1, "tid": 0}]}
+        assert any(
+            "negative duration" in p for p in validate_chrome_trace(bad)
+        )
+
+    def test_non_numeric_ts_flagged(self):
+        bad = {"traceEvents": [{"ph": "X", "name": "x", "cat": "c",
+                                "ts": "0", "dur": 1, "pid": 1, "tid": 0}]}
+        assert any("not numeric" in p for p in validate_chrome_trace(bad))
+
+
+class TestMetricsExports:
+    def test_prometheus_structure(self):
+        text = prometheus_text(deterministic_metrics())
+        assert "# TYPE plan_cache_lookups counter" in text
+        assert 'plan_cache_lookups{kind="mha",outcome="hit"} 3' in text
+        assert "serving_kv_occupancy 0.25" in text
+        # le buckets are cumulative, with a closing +Inf.
+        assert 'step_seconds_bucket{le="0.001"} 1' in text
+        assert 'step_seconds_bucket{le="0.01"} 2' in text
+        assert 'step_seconds_bucket{le="+Inf"} 3' in text
+
+    def test_csv_structure(self):
+        text = metrics_csv(deterministic_metrics())
+        lines = text.splitlines()
+        assert lines[0] == "name,labels,type,field,value"
+        assert "serving.kv_occupancy,,gauge,peak,0.25" in lines
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+        assert metrics_csv(MetricsRegistry()).splitlines() == [
+            "name,labels,type,field,value"
+        ]

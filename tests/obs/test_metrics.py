@@ -1,0 +1,142 @@
+"""Metrics registry: counters, gauges, histograms, labels, disabled path."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_INSTRUMENT,
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    use_metrics,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_memoized_per_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", kind="mha")
+        b = reg.counter("hits", kind="mha")
+        other = reg.counter("hits", kind="tuner")
+        assert a is b and a is not other
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", a=1, b=2) is reg.counter("c", b=2, a=1)
+
+
+class TestGauge:
+    def test_set_inc_dec_peak(self):
+        g = MetricsRegistry().gauge("occ")
+        g.set(0.5)
+        g.inc(0.3)
+        g.dec(0.6)
+        assert g.value == pytest.approx(0.2)
+        assert g.peak == pytest.approx(0.8)
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 4.0, 9.0):
+            h.observe(v)
+        # le convention: 1.0 lands in the le=1.0 bucket, 4.0 in le=4.0.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(16.0)
+
+    def test_quantile(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_overflow_bucket(self):
+        h = Histogram(bounds=(1.0,))
+        h.observe(100.0)
+        assert h.counts == [0, 1]
+        assert h.quantile(1.0) == float("inf")
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_registry_default_bounds(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.bounds == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_type_conflict(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("m")
+
+    def test_collect_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a", z=1)
+        reg.counter("a", k=1)
+        names = [(n, dict(lbl)) for n, lbl, _, _ in reg.collect()]
+        assert names == [("a", {"k": "1"}), ("a", {"z": "1"}), ("b", {})]
+
+    def test_as_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", kind="mha").inc(3)
+        reg.gauge("occ").set(0.5)
+        snap = reg.as_dict()
+        assert snap["hits"]["series"]["kind=mha"] == 3.0
+        assert snap["occ"]["series"][""] == {"value": 0.5, "peak": 0.5}
+
+    def test_len(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.counter("a", x=1)
+        assert len(reg) == 2
+
+
+class TestDisabled:
+    def test_shared_null_instrument(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is NULL_INSTRUMENT
+        assert reg.gauge("b") is NULL_INSTRUMENT
+        assert reg.histogram("c") is NULL_INSTRUMENT
+        assert len(reg) == 0
+
+    def test_null_instrument_surface(self):
+        NULL_INSTRUMENT.inc()
+        NULL_INSTRUMENT.dec()
+        NULL_INSTRUMENT.set(5.0)
+        NULL_INSTRUMENT.observe(1.0)
+        assert NULL_INSTRUMENT.value == 0.0
+
+    def test_null_instrument_has_no_state(self):
+        with pytest.raises(AttributeError):
+            NULL_INSTRUMENT.extra = 1
+
+
+class TestGlobalRegistry:
+    def test_default_disabled(self):
+        assert current_metrics() is NULL_METRICS
+        assert not current_metrics().enabled
+
+    def test_use_metrics_restores(self):
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            assert current_metrics() is reg
+        assert current_metrics() is NULL_METRICS

@@ -1,0 +1,146 @@
+"""Serving-sim observability: request/step spans agree with ServingReport.
+
+The acceptance check for the serving instrumentation: TTFT and ITL
+recomputed purely from the trace (request spans + token instants) must
+match what ``serving/metrics.py`` reports from the engine's own trackers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import RngStream
+from repro.gpu.specs import A100
+from repro.obs.export import chrome_trace_payload, validate_chrome_trace
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.tracer import Tracer, use_tracer
+from repro.serving import (
+    ServingConfig,
+    ServingEngine,
+    make_scheduler,
+    simulate_serving,
+    synthetic_trace,
+)
+
+CONFIG = ServingConfig(heads=2, head_size=16, n_layers=2)
+
+
+def small_trace(n=6, rate=200.0, seed=3):
+    return synthetic_trace(
+        n, rate, rng=RngStream(seed),
+        prompt_range=(8, 40), max_new_range=(4, 12), pattern="causal",
+    )
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    trace = small_trace()
+    engine = ServingEngine(
+        A100, make_scheduler("continuous", 8, 65536), CONFIG, tracer=tracer
+    )
+    with use_metrics(metrics):
+        report = engine.run(trace, rng=RngStream(17))
+    return tracer, metrics, report
+
+
+def request_spans(tracer):
+    return tracer.find(cat="serving.request")
+
+
+class TestSpanCoverage:
+    def test_one_step_span_per_engine_step(self, traced_run):
+        tracer, _, report = traced_run
+        assert len(tracer.find(name="serve.step")) == report.total_steps
+
+    def test_one_request_span_per_completion(self, traced_run):
+        tracer, _, report = traced_run
+        assert len(request_spans(tracer)) == report.completed
+
+    def test_step_spans_ordered_and_bounded(self, traced_run):
+        # Steps never overlap (the clock may jump idle gaps between them)
+        # and the last one ends exactly at the report's makespan.
+        tracer, _, report = traced_run
+        steps = sorted(tracer.find(name="serve.step"), key=lambda s: s.t0)
+        for prev, cur in zip(steps, steps[1:]):
+            assert cur.t0 >= prev.t0 + prev.dur - 1e-12
+        # Makespan (first arrival -> last completion) is recoverable from
+        # the request spans alone.
+        reqs = request_spans(tracer)
+        span_makespan = max(s.t0 + s.dur for s in reqs) - min(
+            s.t0 for s in reqs
+        )
+        assert span_makespan == pytest.approx(report.makespan_s)
+
+    def test_trace_payload_validates(self, traced_run):
+        tracer, _, _ = traced_run
+        payload = chrome_trace_payload(tracer, {"workload": "serve-sim"})
+        assert validate_chrome_trace(payload) == []
+
+
+class TestLatencyFromSpans:
+    def test_ttft_matches_report(self, traced_run):
+        tracer, _, report = traced_run
+        by_id = {m.req_id: m for m in report.requests}
+        spans = request_spans(tracer)
+        assert spans
+        for span in spans:
+            m = by_id[span.args["req_id"]]
+            assert span.args["ttft_s"] == pytest.approx(m.ttft_s, abs=1e-12)
+
+    def test_itl_from_token_instants_matches_report(self, traced_run):
+        tracer, _, report = traced_run
+        by_id = {m.req_id: m for m in report.requests}
+        checked = 0
+        for span in request_spans(tracer):
+            times = [ts for name, ts, _ in span.events if name == "token"]
+            assert len(times) == span.args["tokens"]
+            if len(times) > 1:
+                itl = float(np.mean(np.diff(times)))
+                m = by_id[span.args["req_id"]]
+                assert itl == pytest.approx(m.itl_mean_s, abs=1e-12)
+                checked += 1
+        assert checked > 0
+
+    def test_span_duration_is_arrival_to_finish(self, traced_run):
+        tracer, _, report = traced_run
+        by_id = {m.req_id: m for m in report.requests}
+        for span in request_spans(tracer):
+            m = by_id[span.args["req_id"]]
+            assert span.t0 == pytest.approx(m.arrival_s, abs=1e-12)
+            assert span.t0 + span.dur == pytest.approx(m.finish_s, abs=1e-12)
+
+
+class TestServingMetrics:
+    def test_kv_gauge_peak_matches_report(self, traced_run):
+        _, metrics, report = traced_run
+        gauge = metrics.gauge("serving.kv_occupancy")
+        assert gauge.peak == pytest.approx(report.kv_peak_occupancy)
+
+    def test_token_counter_matches_report(self, traced_run):
+        _, metrics, report = traced_run
+        assert metrics.counter("serving.tokens").value == report.total_tokens
+
+
+class TestTracerPlumbing:
+    def test_ambient_tracer_used_when_no_param(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            simulate_serving(
+                small_trace(), A100,
+                make_scheduler("continuous", 8, 65536), CONFIG,
+                rng=RngStream(17),
+            )
+        assert tracer.find(name="serve.step")
+
+    def test_untraced_run_is_identical(self, traced_run):
+        _, _, traced_report = traced_run
+        bare = simulate_serving(
+            small_trace(), A100, make_scheduler("continuous", 8, 65536),
+            CONFIG, rng=RngStream(17),
+        )
+        assert bare.makespan_s == traced_report.makespan_s
+        assert bare.total_steps == traced_report.total_steps
+        assert [m.ttft_s for m in bare.requests] == [
+            m.ttft_s for m in traced_report.requests
+        ]

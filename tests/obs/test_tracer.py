@@ -1,0 +1,204 @@
+"""Tracer core: nesting, ordering, thread safety, zero-cost disabled path."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestNesting:
+    def test_simple_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer", cat="t"):
+            with tracer.span("inner", cat="t"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner"]
+
+    def test_sibling_ordering(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            for name in ("a", "b", "c"):
+                with tracer.span(name):
+                    pass
+        assert [c.name for c in tracer.roots[0].children] == ["a", "b", "c"]
+
+    def test_walk_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("r"):
+            with tracer.span("x"):
+                with tracer.span("y"):
+                    pass
+            with tracer.span("z"):
+                pass
+        assert [(s.name, d) for s, d in tracer.walk()] == [
+            ("r", 0), ("x", 1), ("y", 2), ("z", 1),
+        ]
+
+    def test_child_time_within_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+        assert outer.t0 <= inner.t0
+        assert inner.t0 + inner.dur <= outer.t0 + outer.dur + 1e-9
+
+    def test_args_and_model_time(self):
+        tracer = Tracer()
+        with tracer.span("s", cat="k", preset=1) as span:
+            span.add(extra="v").add_model_time(0.25)
+            span.add_model_time(0.25)
+        assert span.args == {"preset": 1, "extra": "v"}
+        assert span.model_s == pytest.approx(0.5)
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert tracer.roots[0].args["error"] == "ValueError"
+
+    def test_find(self):
+        tracer = Tracer()
+        with tracer.span("a", cat="one"):
+            with tracer.span("b", cat="two"):
+                pass
+        assert [s.name for s in tracer.find(cat="two")] == ["b"]
+        assert [s.name for s in tracer.find(name="a")] == ["a"]
+
+
+class TestManualSpans:
+    def test_sim_span_is_root_not_stack_child(self):
+        tracer = Tracer()
+        with tracer.span("live"):
+            tracer.add_span("sim", t0=1.0, dur=2.0)
+        names = [s.name for s in tracer.roots]
+        assert sorted(names) == ["live", "sim"]
+        assert tracer.roots[0].children == [] or tracer.roots[1].children == []
+
+    def test_explicit_parent(self):
+        tracer = Tracer()
+        parent = tracer.add_span("p", t0=0.0, dur=5.0)
+        child = tracer.add_span("c", t0=1.0, dur=1.0, parent=parent)
+        assert parent.children == [child]
+        assert len(tracer.roots) == 1
+
+    def test_sim_flag_and_args(self):
+        tracer = Tracer()
+        span = tracer.add_span("s", cat="serving", t0=2.0, dur=3.0, tid=7, k=1)
+        assert span.sim and span.tid == 7 and span.args == {"k": 1}
+
+    def test_events_recorded(self):
+        tracer = Tracer()
+        span = tracer.add_span("s", t0=0.0, dur=10.0)
+        span.event("token", 1.5, n=1)
+        assert span.events == [("token", 1.5, {"n": 1})]
+
+
+class TestDisabled:
+    def test_span_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        s1 = tracer.span("a", cat="x", big_arg=list(range(100)))
+        s2 = tracer.span("b")
+        assert s1 is NULL_SPAN and s2 is NULL_SPAN
+
+    def test_null_span_full_surface(self):
+        with NULL_SPAN as s:
+            assert s.add(x=1) is NULL_SPAN
+            assert s.add_model_time(1.0) is NULL_SPAN
+            assert s.event("e", 0.0) is NULL_SPAN
+
+    def test_nothing_recorded(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("a"):
+            pass
+        tracer.add_span("b", t0=0.0, dur=1.0)
+        assert len(tracer) == 0 and tracer.roots == []
+
+    def test_add_span_returns_none(self):
+        assert Tracer(enabled=False).add_span("x") is None
+
+    def test_null_span_has_no_state(self):
+        # __slots__ = () means the shared instance cannot accumulate state.
+        with pytest.raises(AttributeError):
+            NULL_SPAN.args = {}
+
+
+class TestGlobalTracer:
+    def test_default_is_disabled(self):
+        assert current_tracer() is NULL_TRACER
+        assert not current_tracer().enabled
+
+    def test_use_tracer_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        prev = set_tracer(tracer)
+        try:
+            assert prev is NULL_TRACER
+            assert current_tracer() is tracer
+        finally:
+            set_tracer(prev)
+
+    def test_use_tracer_none_is_disabled(self):
+        with use_tracer(None):
+            assert current_tracer() is NULL_TRACER
+
+
+class TestThreadSafety:
+    def test_per_thread_nesting(self):
+        tracer = Tracer()
+        n_threads, per_thread = 8, 20
+        errors = []
+
+        def work(tid: int) -> None:
+            try:
+                for i in range(per_thread):
+                    with tracer.span(f"t{tid}-outer{i}"):
+                        with tracer.span(f"t{tid}-inner{i}"):
+                            pass
+            except Exception as exc:   # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(tracer.roots) == n_threads * per_thread
+        for root in tracer.roots:
+            assert len(root.children) == 1
+            assert root.children[0].name.split("-")[0] == root.name.split("-")[0]
+
+
+class TestSpanObject:
+    def test_slots(self):
+        span = Span("s")
+        with pytest.raises(AttributeError):
+            span.unknown_attribute = 1
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0

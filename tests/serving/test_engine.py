@@ -115,7 +115,11 @@ class TestThroughputOrdering:
         trace = small_trace(n=n, rate=rate, seed=seed)
         st_report = run(trace, "static")
         ct_report = run(trace, "continuous")
-        assert ct_report.tokens_per_s >= st_report.tokens_per_s * (1 - 1e-9)
+        # 1% tolerance: at high arrival rates continuous batching can pay
+        # marginally more per-step overhead (more, smaller steps) than a
+        # static batch that happens to pack the same trace perfectly, so
+        # "never slower" holds only up to that overhead sliver.
+        assert ct_report.tokens_per_s >= st_report.tokens_per_s * 0.99
 
     def test_continuous_wins_under_bursty_load(self):
         trace = small_trace(n=10, rate=2000.0)

@@ -112,3 +112,66 @@ class TestOOMPath:
         c = compile_model("bert-large", 16, 2048, device="rtx4090",
                           engine="mcfuser", check_memory=False)
         assert c.report.memory_bytes > 24 * 2**30
+
+
+class TestPublicSurface:
+    def test_star_import_is_exactly_all(self):
+        import repro
+
+        ns = {}
+        exec("from repro import *", ns)
+        exported = set(ns) - {"__builtins__"}
+        assert exported == set(repro.__all__)
+
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_obs_layer_in_surface(self):
+        import repro
+
+        for name in ("Tracer", "MetricsRegistry", "Span",
+                     "use_tracer", "use_metrics"):
+            assert name in repro.__all__
+
+
+class TestLegacyKeywords:
+    def test_gpu_alias_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="'gpu' keyword"):
+            c = compile_model(TINY, 1, 32, gpu="rtx4090")
+        assert "4090" in c.prepared.spec.name
+
+    def test_pattern_alias_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="'pattern' keyword"):
+            c = compile_model(TINY, 1, 32, pattern="causal")
+        assert c is not None
+
+    def test_both_spellings_conflict(self):
+        with pytest.raises(ConfigError, match="deprecated alias"):
+            compile_model(TINY, 1, 32, mask="causal", pattern="causal")
+
+    def test_canonical_does_not_warn(self, recwarn):
+        compile_model(TINY, 1, 32, device="a100", mask="causal")
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_compare_engines_legacy_kwargs(self):
+        with pytest.warns(DeprecationWarning):
+            res = compare_engines(TINY, 1, 32, gpu="a100",
+                                  engines=("pytorch-native",))
+        assert "pytorch-native" in res
+
+    def test_compare_engines_unknown_kwarg(self):
+        with pytest.raises(TypeError):
+            compare_engines(TINY, 1, 32, bogus=1)
+
+
+class TestTraceHook:
+    def test_compile_records_into_given_tracer(self):
+        from repro import Tracer
+
+        tracer = Tracer()
+        compile_model(TINY, 1, 32, engine="stof", trace=tracer)
+        assert tracer.find(name="runtime.plan")

@@ -1,8 +1,16 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+#: Every subcommand the CLI registers (kept in sync by test_help_sweep).
+ALL_COMMANDS = (
+    "devices", "masks", "mha", "e2e", "trace", "profile", "report",
+    "decode", "serve-sim", "plan-cache", "tune",
+)
 
 
 class TestParser:
@@ -16,12 +24,44 @@ class TestParser:
 
     def test_mha_defaults(self):
         args = build_parser().parse_args(["mha"])
-        assert args.pattern == "bigbird"
+        assert args.mask == "bigbird"
         assert args.device == "a100"
 
-    def test_invalid_pattern_rejected(self):
+    def test_invalid_mask_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["mha", "--pattern", "nope"])
+            build_parser().parse_args(["mha", "--mask", "nope"])
+
+    def test_registered_commands(self):
+        sub = build_parser()._subparsers._group_actions[0]
+        assert set(ALL_COMMANDS) == set(sub.choices)
+
+    def test_help_sweep(self, capsys):
+        for cmd in ALL_COMMANDS:
+            with pytest.raises(SystemExit) as exc:
+                build_parser().parse_args([cmd, "--help"])
+            assert exc.value.code == 0
+            assert "usage" in capsys.readouterr().out
+
+
+class TestDeprecatedAliases:
+    def test_pattern_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="--pattern is deprecated"):
+            args = build_parser().parse_args(["mha", "--pattern", "causal"])
+        assert args.mask == "causal"
+
+    def test_gpu_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="--gpu is deprecated"):
+            args = build_parser().parse_args(["mha", "--gpu", "rtx4090"])
+        assert args.device == "rtx4090"
+
+    def test_canonical_spellings_do_not_warn(self, recwarn):
+        args = build_parser().parse_args(
+            ["mha", "--mask", "causal", "--device", "rtx4090"]
+        )
+        assert args.mask == "causal" and args.device == "rtx4090"
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
 
 
 class TestCommands:
@@ -36,21 +76,21 @@ class TestCommands:
         assert "bigbird" in out and "sparsity" in out
 
     def test_masks_single_pattern(self, capsys):
-        assert main(["masks", "--pattern", "causal", "--seq-len", "64"]) == 0
+        assert main(["masks", "--mask", "causal", "--seq-len", "64"]) == 0
         out = capsys.readouterr().out
         assert "causal" in out and "bigbird" not in out
 
     def test_masks_unknown_pattern(self, capsys):
-        assert main(["masks", "--pattern", "nope"]) == 2
+        assert main(["masks", "--mask", "nope"]) == 2
 
     def test_mha(self, capsys):
-        assert main(["mha", "--pattern", "sliding_window", "--batch", "1",
+        assert main(["mha", "--mask", "sliding_window", "--batch", "1",
                      "--seq-len", "128"]) == 0
         out = capsys.readouterr().out
         assert "stof" in out and "over native" in out
 
     def test_mha_reports_unsupported(self, capsys):
-        assert main(["mha", "--pattern", "causal", "--batch", "1",
+        assert main(["mha", "--mask", "causal", "--batch", "1",
                      "--seq-len", "2048"]) == 0
         out = capsys.readouterr().out
         assert "unsupported" in out  # ByteTransformer past 1,024
@@ -73,14 +113,41 @@ class TestCommands:
         assert "downstream chains" in out
         assert "scheme" in out
 
+    def test_serve_sim(self, capsys):
+        assert main(["serve-sim", "--num-requests", "4", "--rate", "500",
+                     "--policy", "continuous", "--layers", "2",
+                     "--heads", "2", "--head-size", "16",
+                     "--prompt-min", "16", "--prompt-max", "32",
+                     "--new-min", "4", "--new-max", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "TTFT" in out and "tok/s" in out
+
+    def test_plan_cache(self, capsys):
+        assert main(["plan-cache", "--num-requests", "4",
+                     "--rate", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "reports identical: yes" in out
+        assert "serving-decode" in out
+
+
+class TestErrorExitCodes:
+    def test_config_error_exits_2(self, capsys):
+        assert main(["e2e", "--model", "bert-small", "--batch", "1",
+                     "--seq-len", "64", "--mask", "not-a-mask"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "not-a-mask" in err
+
+    def test_config_error_no_traceback(self, capsys):
+        main(["tune", "--model", "no-such-model"])
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+
 
 class TestTraceAndReport:
     def test_trace_export(self, tmp_path, capsys):
         out = tmp_path / "t.json"
         assert main(["trace", "--model", "bert-small", "--batch", "1",
                      "--seq-len", "64", "--output", str(out)]) == 0
-        import json
-
         payload = json.loads(out.read_text())
         assert payload["traceEvents"]
         assert payload["otherData"]["engine"] == "stof"
@@ -102,15 +169,53 @@ class TestTraceAndReport:
                      "--output", str(tmp_path / "r.md")]) == 2
 
     def test_decode_command(self, capsys):
-        assert main(["decode", "--pattern", "sliding_window", "--batch", "1",
+        assert main(["decode", "--mask", "sliding_window", "--batch", "1",
                      "--prompt", "32", "--generate", "8",
                      "--heads", "2", "--head-size", "16"]) == 0
         out = capsys.readouterr().out
         assert "tok/s" in out and "stof" in out
 
     def test_masks_show(self, capsys):
-        assert main(["masks", "--pattern", "causal", "--seq-len", "64",
+        assert main(["masks", "--mask", "causal", "--seq-len", "64",
                      "--show", "--show-width", "16", "--block", "16"]) == 0
         out = capsys.readouterr().out
         assert "block grid" in out
         assert "#" in out
+
+
+class TestProfile:
+    def test_profile_compile(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        assert main(["profile", "--model", "bert-small", "--mask", "bigbird",
+                     "--batch", "1", "--seq-len", "64",
+                     "--output", str(out), "--check"]) == 0
+        printed = capsys.readouterr().out
+        assert "trace schema: OK" in printed
+        payload = json.loads(out.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        # The span tree covers the planner and the kernel timeline.
+        assert "runtime.plan" in names
+        assert any("stof" in n for n in names)
+
+    def test_profile_serve_sim(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        assert main(["profile", "--workload", "serve-sim",
+                     "--num-requests", "4", "--rate", "500",
+                     "--output", str(out), "--check"]) == 0
+        payload = json.loads(out.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        # Scheduler steps and request lifecycles are in the tree.
+        assert "serve.step" in names
+        assert any(n.startswith("request ") for n in names)
+
+    def test_profile_metrics_output(self, tmp_path, capsys):
+        prom = tmp_path / "m.prom"
+        csv = tmp_path / "m.csv"
+        assert main(["profile", "--model", "bert-small", "--batch", "1",
+                     "--seq-len", "64", "--output", str(tmp_path / "t.json"),
+                     "--metrics-output", str(prom)]) == 0
+        assert "plan_cache_lookups" in prom.read_text()
+        assert main(["profile", "--model", "bert-small", "--batch", "1",
+                     "--seq-len", "64", "--output", str(tmp_path / "t.json"),
+                     "--metrics-output", str(csv)]) == 0
+        assert csv.read_text().startswith("name,labels,type,field,value")
