@@ -106,10 +106,12 @@ def test_serving_table(benchmark, serving_rows):
 def test_continuous_never_slower(serving_rows):
     """Iteration-level batching wins (or ties) on every pattern and rate."""
     _, raw = serving_rows
+    # Exact: both policies price steps through the one shared loop (decode
+    # covers live rows only; an admit-while-decoding step is one fused
+    # forward), so joining mid-flight never costs extra.
     for key, pair in raw.items():
         assert (
-            pair["continuous"].tokens_per_s
-            >= pair["static"].tokens_per_s * (1.0 - 1e-9)
+            pair["continuous"].tokens_per_s >= pair["static"].tokens_per_s
         ), key
 
 

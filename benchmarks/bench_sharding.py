@@ -1,0 +1,210 @@
+"""Extension study — multi-GPU sharded execution scaling curves.
+
+Beyond the paper's single-GPU evaluation: the same compiled plans are
+sharded Megatron-style across tensor-parallel ranks (ring all-reduce
+collectives priced by the α–β interconnect model) and behind a
+data-parallel request router.
+
+Expected shapes: near-linear TP speedup while per-rank work is
+compute-bound (the large batch×seq setting), flattening once the ring
+all-reduces dominate at small per-rank work (the small setting, and any
+setting on PCIe, whose α and 1/β are both an order of magnitude worse
+than NVLink); per-rank memory shrinks with TP; DP replicas multiply
+serving throughput under bursty load without changing per-pass latency.
+"""
+
+import pytest
+from harness import bench_rng, emit, format_table
+
+from repro.api import compile_model
+from repro.gpu.specs import A100
+from repro.models import ModelConfig
+from repro.parallel import ShardedServingEngine
+from repro.serving import ServingConfig, synthetic_trace
+
+#: A TP-friendly backbone: 16 heads and a 4096-wide FFN divide evenly
+#: through tp=8 (the zoo's BERT-Base, with 12 heads, stops at tp=4).
+MODEL = ModelConfig("shard-bench", 4, 0, 1024, 16, 4096)
+
+TPS = (1, 2, 4, 8)
+SHAPES = (("large", 8, 512), ("small", 1, 128))
+LINKS = ("nvlink", "pcie")
+
+#: Serving layouts swept at one bursty arrival rate.
+LAYOUTS = ("tp1", "tp2", "tp4", "dp2", "dp4", "tp2dp2")
+
+SERVE_CONFIG = ServingConfig(heads=16, head_size=64, n_layers=4)
+N_REQUESTS = 48
+ARRIVAL_RPS = 20000.0
+
+
+def compile_rows():
+    """TP scaling of one forward pass, per shape and link."""
+    rows = []
+    raw = {}
+    for label, batch, seq in SHAPES:
+        for link in LINKS:
+            base = None
+            for tp in TPS:
+                c = compile_model(
+                    MODEL, batch, seq, mask="causal",
+                    parallel=f"tp{tp}:{link}",
+                )
+                if base is None:
+                    base = c.latency_s     # tp1: no collectives, any link
+                rows.append(
+                    [
+                        label,
+                        f"{batch}x{seq}",
+                        link,
+                        tp,
+                        c.latency_s * 1e3,
+                        c.comm_time_s * 1e3,
+                        f"{base / c.latency_s:.2f}x",
+                        c.report.memory_bytes / 2**30,
+                    ]
+                )
+                raw[(label, link, tp)] = c
+    return rows, raw
+
+
+def serving_rows():
+    """Aggregate serving throughput across parallel layouts."""
+    trace = synthetic_trace(
+        N_REQUESTS,
+        ARRIVAL_RPS,
+        rng=bench_rng("shard-serve"),
+        prompt_range=(32, 96),
+        max_new_range=(16, 48),
+    )
+    rows = []
+    raw = {}
+    for layout in LAYOUTS:
+        engine = ShardedServingEngine(
+            A100, config=SERVE_CONFIG, shard=layout
+        )
+        report = engine.run(trace, rng=bench_rng("shard-serve-masks"))
+        rows.append(
+            [
+                layout,
+                report.tokens_per_s,
+                report.goodput_rps,
+                report.comm_s * 1e3,
+                f"{report.plan_cache['hit_rate']:.1%}",
+            ]
+        )
+        raw[layout] = report
+    return rows, raw
+
+
+@pytest.fixture(scope="module")
+def sharding_tables():
+    return compile_rows(), serving_rows()
+
+
+def render(compile_table_rows, serving_table_rows):
+    compile_table = format_table(
+        ["shape", "batch x seq", "link", "tp", "latency (ms)",
+         "comm (ms)", "speedup", "mem/rank (GiB)"],
+        compile_table_rows,
+        title=(
+            "Extension: tensor-parallel scaling of one forward pass "
+            f"({MODEL.name}: {MODEL.total_layers}L, {MODEL.heads}H, "
+            f"hidden {MODEL.hidden}, A100 ranks)"
+        ),
+    )
+    serving_table = format_table(
+        ["layout", "tok/s", "goodput req/s", "comm (ms)", "plan-cache hits"],
+        serving_table_rows,
+        title=(
+            "Extension: sharded serving throughput "
+            f"({N_REQUESTS} requests @ {ARRIVAL_RPS:.0f} req/s, "
+            f"{SERVE_CONFIG.n_layers}L x {SERVE_CONFIG.heads}H, A100)"
+        ),
+    )
+    return compile_table + "\n\n" + serving_table
+
+
+def test_sharding_table(benchmark, sharding_tables):
+    (compile_table_rows, _), (serving_table_rows, _) = sharding_tables
+    benchmark(
+        lambda: compile_model(
+            MODEL, 1, 128, mask="causal", parallel="tp4"
+        ).latency_s
+    )
+    emit("sharding_scaling", render(compile_table_rows, serving_table_rows))
+
+
+def speedup(raw, label, link, tp):
+    return raw[(label, link, 1)].latency_s / raw[(label, link, tp)].latency_s
+
+
+def test_tp_speedup_monotone_while_compute_bound(sharding_tables):
+    """On NVLink at the large shape every added rank still pays off."""
+    (_, raw), _ = sharding_tables
+    lats = [raw[("large", "nvlink", tp)].latency_s for tp in TPS]
+    assert all(b < a for a, b in zip(lats, lats[1:])), lats
+
+
+def test_small_shapes_flatten(sharding_tables):
+    """Comm-bound regime on NVLink: the small shape scales worse than the
+    large one at every rank count past tp1."""
+    (_, raw), _ = sharding_tables
+    for tp in TPS[1:]:
+        assert (
+            speedup(raw, "small", "nvlink", tp)
+            < speedup(raw, "large", "nvlink", tp)
+        )
+
+
+def test_pcie_is_comm_bound_everywhere(sharding_tables):
+    """On PCIe the all-reduces cost more than the compute they save: every
+    multi-rank layout is slower than one GPU — the curve's hard floor."""
+    (_, raw), _ = sharding_tables
+    for label, _, _ in SHAPES:
+        for tp in TPS[1:]:
+            assert speedup(raw, label, "pcie", tp) < 1.0
+
+
+def test_pcie_pays_more_comm(sharding_tables):
+    (_, raw), _ = sharding_tables
+    for label, _, _ in SHAPES:
+        for tp in TPS[1:]:
+            assert (
+                raw[(label, "pcie", tp)].comm_time_s
+                > raw[(label, "nvlink", tp)].comm_time_s
+            )
+            assert (
+                raw[(label, "pcie", tp)].rank_time_s
+                == raw[(label, "nvlink", tp)].rank_time_s
+            )
+
+
+def test_per_rank_memory_shrinks(sharding_tables):
+    (_, raw), _ = sharding_tables
+    mems = [raw[("large", "nvlink", tp)].report.memory_bytes for tp in TPS]
+    assert all(b < a for a, b in zip(mems, mems[1:]))
+
+
+def test_dp_multiplies_serving_throughput(sharding_tables):
+    """Under bursty load, replicas drain the queue roughly in parallel."""
+    _, (_, raw) = sharding_tables
+    assert raw["dp2"].tokens_per_s > raw["tp1"].tokens_per_s
+    assert raw["dp4"].tokens_per_s > raw["dp2"].tokens_per_s
+
+
+def test_tp_decode_is_comm_bound(sharding_tables):
+    """Serving decode moves a handful of rows per step, so TP's per-layer
+    all-reduces cost more than the sharded compute saves — TP buys memory
+    headroom here, not throughput."""
+    _, (_, raw) = sharding_tables
+    assert raw["tp2"].tokens_per_s < raw["tp1"].tokens_per_s
+    assert raw["tp2"].comm_s > 0
+
+
+def test_serving_plan_cache_replays(sharding_tables):
+    """Every layout's steady state replays most plans from the shared
+    cache."""
+    _, (_, raw) = sharding_tables
+    for layout, report in raw.items():
+        assert report.plan_cache["hit_rate"] >= 0.9, layout

@@ -56,6 +56,13 @@ from repro.runtime import (
 )
 from repro.tuner import TwoStageEngine
 from repro.api import CompiledModel, compare_engines, compile_model
+from repro.parallel import (
+    Interconnect,
+    LinkSpec,
+    ShardConfig,
+    ShardedServingEngine,
+    compile_sharded,
+)
 
 __all__ = [
     "__version__",
@@ -97,4 +104,9 @@ __all__ = [
     "CompiledModel",
     "compare_engines",
     "compile_model",
+    "Interconnect",
+    "LinkSpec",
+    "ShardConfig",
+    "ShardedServingEngine",
+    "compile_sharded",
 ]

@@ -19,13 +19,13 @@ engines over one workload — the one-liner behind Fig. 12-style studies.
 
 from __future__ import annotations
 
-import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Mapping
 
 import numpy as np
 
+from repro.core.deprecation import warn_deprecated_kw
 from repro.core.errors import ConfigError
 from repro.core.rng import RngStream
 from repro.core.units import format_time
@@ -150,11 +150,9 @@ def _pop_legacy(
     value = kwargs.pop(old)
     if explicit:
         raise ConfigError(f"got both {new!r} and its deprecated alias {old!r}")
-    warnings.warn(
-        f"the {old!r} keyword is deprecated; use {new!r}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+    # stacklevel 3: above this frame and the public API function, i.e. the
+    # user's own call site.
+    warn_deprecated_kw(old, new, stacklevel=3)
     return value
 
 
@@ -172,6 +170,7 @@ def compile_model(
     check_memory: bool = True,
     plan_cache: PlanCache | None = None,
     trace: Tracer | None = None,
+    parallel: Any = None,
     **engine_kwargs: Any,
 ) -> CompiledModel:
     """Build, mask, prepare, and plan a model in one call.
@@ -193,6 +192,13 @@ def compile_model(
     ``trace`` (optional) is a :class:`repro.obs.Tracer` activated for the
     duration of the call: planner, tuner, and kernel-timeline spans land
     in it (see ``docs/observability.md``).
+
+    ``parallel`` (optional) is a shard layout — a
+    :class:`repro.parallel.ShardConfig` or a spec string like ``"tp4"``,
+    ``"tp2dp2"``, or ``"tp4:pcie"`` — switching to Megatron-style
+    tensor-parallel compilation: one rank's shard is planned and the
+    layout's ring all-reduces are added on top (see ``docs/sharding.md``).
+    The result is a :class:`repro.parallel.ShardedCompiledModel`.
     """
     legacy_device = _pop_legacy(engine_kwargs, "gpu", "device", device is not None)
     if legacy_device is not _UNSET:
@@ -202,6 +208,17 @@ def compile_model(
         mask = legacy_mask
     device = "a100" if device is None else device
     mask = "bigbird" if mask is None else mask
+
+    if parallel is not None:
+        # Lazy import: repro.parallel depends on this module.
+        from repro.parallel.compile import compile_sharded
+
+        return compile_sharded(
+            model, batch, seq_len, parallel,
+            device=device, mask=mask, engine=engine, seed=seed,
+            check_memory=check_memory, plan_cache=plan_cache, trace=trace,
+            **engine_kwargs,
+        )
 
     with use_tracer(trace) if trace is not None else nullcontext():
         cfg = get_model_config(model) if isinstance(model, str) else model

@@ -9,6 +9,8 @@
 * ``decode``  — KV-cache generation throughput across attention methods.
 * ``serve-sim`` — continuous-batching serving simulation (static vs
   continuous scheduling over a synthetic arrival trace).
+* ``shard-sim`` — multi-GPU serving simulation: tensor-parallel replicas
+  (ring all-reduce collectives) behind a data-parallel request router.
 * ``plan-cache`` — plan-cache effectiveness: the serving simulation with
   and without plan reuse, plus per-kind hit-rate statistics.
 * ``trace``   — export a Chrome-trace JSON of one engine's execution plan.
@@ -40,6 +42,7 @@ from typing import Sequence
 
 
 from repro.api import ENGINES, compare_engines, compile_model
+from repro.core.deprecation import warn_deprecated_option
 from repro.core.errors import ConfigError, ReproError
 from repro.core.rng import RngStream
 from repro.core.units import format_time
@@ -57,16 +60,12 @@ from repro.mha.problem import AttentionProblem
 
 
 def _deprecated_alias(preferred: str, *aliases: str) -> type[argparse.Action]:
-    """A store action that warns when an old option spelling is used."""
+    """A store action that warns (once) when an old option spelling is used."""
 
     class _Alias(argparse.Action):
         def __call__(self, parser, namespace, values, option_string=None):
             if option_string in aliases:
-                warnings.warn(
-                    f"{option_string} is deprecated; use {preferred}",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
+                warn_deprecated_option(option_string, preferred)
             setattr(namespace, self.dest, values)
 
     return _Alias
@@ -262,6 +261,48 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         )
         print(report.summary())
         print()
+    return 0
+
+
+def cmd_shard_sim(args: argparse.Namespace) -> int:
+    from repro.parallel import ShardConfig, ShardedServingEngine, get_link
+    from repro.serving import ServingConfig, synthetic_trace
+
+    spec = get_spec(args.device)
+    shard = ShardConfig(tp=args.tp, dp=args.dp, link=get_link(args.link))
+    trace = synthetic_trace(
+        args.num_requests,
+        args.rate,
+        rng=RngStream(args.seed).fork("trace"),
+        prompt_range=(args.prompt_min, args.prompt_max),
+        max_new_range=(args.new_min, args.new_max),
+        pattern=args.mask,
+    )
+    config = ServingConfig(
+        heads=args.heads,
+        head_size=args.head_size,
+        n_layers=args.layers,
+        kv_capacity_frac=args.kv_frac,
+        kv_page_tokens=args.page_tokens,
+    )
+    engine = ShardedServingEngine(
+        spec, args.policy, config, shard,
+        route=args.route,
+        max_batch_size=args.max_batch,
+        max_batch_tokens=args.max_batch_tokens,
+    )
+    report = engine.run(trace, rng=RngStream(args.seed))
+    print(
+        f"shard-sim: {args.num_requests} requests @ {args.rate:.0f} req/s, "
+        f"mask {args.mask}, {shard.world_size}x {spec.name}\n"
+    )
+    print(report.summary())
+    stats = engine.plan_cache.stats()
+    print(
+        f"  plan cache   : {stats['hit_rate']:.1%} hit rate "
+        f"({stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['entries']} entries)"
+    )
     return 0
 
 
@@ -536,6 +577,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--page-tokens", type=int, default=16)
     _add_common(p)
     p.set_defaults(func=cmd_serve_sim)
+
+    p = sub.add_parser(
+        "shard-sim",
+        help="multi-GPU serving simulation (tensor + data parallel)",
+    )
+    p.add_argument("--tp", type=int, default=2,
+                   help="tensor-parallel ranks per replica")
+    p.add_argument("--dp", type=int, default=1,
+                   help="data-parallel replicas")
+    p.add_argument("--link", default="nvlink",
+                   choices=("nvlink", "pcie"),
+                   help="inter-GPU link for the TP collectives")
+    p.add_argument("--route", default="least-loaded",
+                   choices=("round-robin", "least-loaded"),
+                   help="request routing across DP replicas")
+    p.add_argument("--policy", default="continuous",
+                   choices=("static", "continuous"))
+    _add_mask(p, default="causal", choices=sorted(PATTERN_REGISTRY))
+    p.add_argument("--num-requests", type=int, default=32)
+    p.add_argument("--rate", type=float, default=500.0,
+                   help="mean arrival rate (requests/s)")
+    p.add_argument("--prompt-min", type=int, default=32)
+    p.add_argument("--prompt-max", type=int, default=160)
+    p.add_argument("--new-min", type=int, default=16)
+    p.add_argument("--new-max", type=int, default=64)
+    p.add_argument("--heads", type=int, default=12)
+    p.add_argument("--head-size", type=int, default=64)
+    p.add_argument("--layers", type=int, default=12)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--max-batch-tokens", type=int, default=65536)
+    p.add_argument("--kv-frac", type=float, default=0.3,
+                   help="fraction of device memory granted to the KV cache")
+    p.add_argument("--page-tokens", type=int, default=16)
+    _add_common(p)
+    p.set_defaults(func=cmd_shard_sim)
 
     p = sub.add_parser(
         "plan-cache",

@@ -1,0 +1,67 @@
+"""One-shot deprecation warnings with caller-pointing stack levels.
+
+Every deprecated spelling in the library (the ``gpu=``/``pattern=``
+keywords, the ``--gpu``/``--pattern`` CLI aliases) warns through this
+module.  Two properties the scattered ``warnings.warn`` calls got wrong:
+
+* **once per process** — a serving benchmark calling ``compile_model``
+  in a loop used to emit the identical warning hundreds of times; here a
+  module-level seen-set suppresses repeats (:func:`reset` restores them,
+  for tests).
+* **caller-pointing stacklevel** — the warning's reported location must
+  be the *user's* call site, not a frame inside this library (or inside
+  argparse).  Helpers take ``stacklevel`` with plain ``warnings.warn``
+  semantics — as if the caller had called ``warnings.warn`` directly —
+  and compensate for their own frames internally.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_seen: set[str] = set()
+
+
+def reset() -> None:
+    """Forget which warnings already fired (test isolation)."""
+    _seen.clear()
+
+
+def warn_once(message: str, stacklevel: int = 1) -> None:
+    """Emit ``message`` as a DeprecationWarning, at most once per process.
+
+    ``stacklevel`` has ``warnings.warn`` semantics relative to the
+    *caller*: 1 points at the line calling ``warn_once``, 2 at its
+    caller, and so on.
+    """
+    if message in _seen:
+        return
+    _seen.add(message)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+
+
+def warn_deprecated_kw(old: str, new: str, stacklevel: int = 1) -> None:
+    """Warn (once) that keyword ``old`` was renamed to ``new``.
+
+    >>> import warnings
+    >>> reset()
+    >>> with warnings.catch_warnings(record=True) as w:
+    ...     warnings.simplefilter("always")
+    ...     warn_deprecated_kw("gpu", "device")
+    ...     warn_deprecated_kw("gpu", "device")   # suppressed
+    >>> [str(x.message) for x in w]
+    ["the 'gpu' keyword is deprecated; use 'device'"]
+    """
+    warn_once(
+        f"the {old!r} keyword is deprecated; use {new!r}",
+        stacklevel=stacklevel + 1,
+    )
+
+
+def warn_deprecated_option(old: str, new: str) -> None:
+    """Warn (once) that CLI option ``old`` was renamed to ``new``.
+
+    The reported location is the emitting call site (argparse's internal
+    frames are never a useful location for a terminal user).
+    """
+    warn_once(f"{old} is deprecated; use {new}", stacklevel=2)

@@ -88,8 +88,14 @@ def build_model(
     batch: int,
     seq_len: int,
     seed: int = 0,
+    heads: int | None = None,
+    ffn_dim: int | None = None,
 ) -> ModelInstance:
     """Build the complete backbone graph.
+
+    ``heads``/``ffn_dim`` override the config's values for tensor-parallel
+    per-rank shards (Megatron column/row splits); embeddings, norms and
+    residuals stay replicated at the full hidden width.
 
     Mask inputs created (all boolean, attended = True):
 
@@ -121,7 +127,10 @@ def build_model(
         enc = _embedding_stack(gb, cfg, batch, seq_len, "enc")
         ids_inputs.append("enc.ids")
         for l in range(cfg.encoder_layers):
-            enc = encoder_layer(gb, cfg, enc, enc_mask, batch, seq_len, f"enc.l{l}")
+            enc = encoder_layer(
+                gb, cfg, enc, enc_mask, batch, seq_len, f"enc.l{l}",
+                heads=heads, ffn_dim=ffn_dim,
+            )
 
         dec = _embedding_stack(gb, cfg, batch, seq_len, "dec")
         ids_inputs.append("dec.ids")
@@ -129,6 +138,7 @@ def build_model(
             dec = decoder_layer(
                 gb, cfg, dec, dec_mask, batch, seq_len, f"dec.l{l}",
                 enc_out=enc, cross_mask=cross_mask, enc_seq_len=seq_len,
+                heads=heads, ffn_dim=ffn_dim,
             )
         gb.output(dec)
     else:
@@ -138,10 +148,16 @@ def build_model(
         ids_inputs.append("emb.ids")
         if cfg.is_decoder_only:
             for l in range(cfg.decoder_layers):
-                x = decoder_layer(gb, cfg, x, mask, batch, seq_len, f"l{l}")
+                x = decoder_layer(
+                    gb, cfg, x, mask, batch, seq_len, f"l{l}",
+                    heads=heads, ffn_dim=ffn_dim,
+                )
         else:
             for l in range(cfg.encoder_layers):
-                x = encoder_layer(gb, cfg, x, mask, batch, seq_len, f"l{l}")
+                x = encoder_layer(
+                    gb, cfg, x, mask, batch, seq_len, f"l{l}",
+                    heads=heads, ffn_dim=ffn_dim,
+                )
         gb.output(x)
 
     graph = gb.finish()

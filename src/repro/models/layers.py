@@ -62,19 +62,27 @@ def attention_block(
     prefix: str,
     kv_source: Symbol | None = None,
     kv_seq_len: int | None = None,
+    heads: int | None = None,
 ) -> Symbol:
     """Full MHA block: projections, attention core, output proj, Add+LN.
 
     ``kv_source`` switches to cross-attention (K/V from the encoder);
-    the attention core itself is the native five-op pattern.
+    the attention core itself is the native five-op pattern.  ``heads``
+    overrides ``cfg.heads`` for tensor-parallel per-rank builds: the Q/K/V
+    projections become column-parallel (hidden -> heads*head_size) and the
+    output projection row-parallel (heads*head_size -> hidden), exactly the
+    Megatron-LM split — the all-reduce after the row-parallel GEMM is
+    priced by the parallel layer, not emitted as a graph op.
     """
-    h, d = cfg.heads, cfg.head_size
+    h = heads if heads is not None else cfg.heads
+    d = cfg.head_size
+    qkv_dim = h * d
     kv = kv_source if kv_source is not None else x
     kv_seq = kv_seq_len if kv_seq_len is not None else seq_len
 
-    q = projection(gb, x, cfg.hidden, cfg.hidden, f"{prefix}.q")
-    k = projection(gb, kv, cfg.hidden, cfg.hidden, f"{prefix}.k")
-    v = projection(gb, kv, cfg.hidden, cfg.hidden, f"{prefix}.v")
+    q = projection(gb, x, cfg.hidden, qkv_dim, f"{prefix}.q")
+    k = projection(gb, kv, cfg.hidden, qkv_dim, f"{prefix}.k")
+    v = projection(gb, kv, cfg.hidden, qkv_dim, f"{prefix}.v")
 
     qh = gb.call(SplitHeads(batch, seq_len, h, name=f"{prefix}.q.split"), q,
                  name=f"{prefix}.q.split")
@@ -93,19 +101,28 @@ def attention_block(
 
     o = gb.call(MergeHeads(batch, seq_len, h, name=f"{prefix}.merge"), o,
                 name=f"{prefix}.merge")
-    o = projection(gb, o, cfg.hidden, cfg.hidden, f"{prefix}.out")
+    o = projection(gb, o, qkv_dim, cfg.hidden, f"{prefix}.out")
     o = gb.call(Add(name=f"{prefix}.residual"), o, x, name=f"{prefix}.residual")
     return layer_norm(gb, o, cfg.hidden, f"{prefix}.post", cfg.norm)
 
 
 def ffn_block(
-    gb: GraphBuilder, cfg: ModelConfig, x: Symbol, prefix: str
+    gb: GraphBuilder,
+    cfg: ModelConfig,
+    x: Symbol,
+    prefix: str,
+    ffn_dim: int | None = None,
 ) -> Symbol:
-    """Feed-forward block: GEMM+bias+activation, GEMM+bias, Add+LN."""
+    """Feed-forward block: GEMM+bias+activation, GEMM+bias, Add+LN.
+
+    ``ffn_dim`` overrides ``cfg.ffn_dim`` for tensor-parallel per-rank
+    builds (column-parallel fc1, row-parallel fc2).
+    """
+    inner = ffn_dim if ffn_dim is not None else cfg.ffn_dim
     act_cls = Gelu if cfg.activation == "gelu" else Relu
-    h = projection(gb, x, cfg.hidden, cfg.ffn_dim, f"{prefix}.fc1")
+    h = projection(gb, x, cfg.hidden, inner, f"{prefix}.fc1")
     h = gb.call(act_cls(name=f"{prefix}.act"), h, name=f"{prefix}.act")
-    h = projection(gb, h, cfg.ffn_dim, cfg.hidden, f"{prefix}.fc2")
+    h = projection(gb, h, inner, cfg.hidden, f"{prefix}.fc2")
     h = gb.call(Add(name=f"{prefix}.residual"), h, x, name=f"{prefix}.residual")
     return layer_norm(gb, h, cfg.hidden, f"{prefix}.post", cfg.norm)
 
@@ -118,9 +135,13 @@ def encoder_layer(
     batch: int,
     seq_len: int,
     prefix: str,
+    heads: int | None = None,
+    ffn_dim: int | None = None,
 ) -> Symbol:
-    x = attention_block(gb, cfg, x, mask, batch, seq_len, f"{prefix}.attn")
-    return ffn_block(gb, cfg, x, f"{prefix}.ffn")
+    x = attention_block(
+        gb, cfg, x, mask, batch, seq_len, f"{prefix}.attn", heads=heads
+    )
+    return ffn_block(gb, cfg, x, f"{prefix}.ffn", ffn_dim=ffn_dim)
 
 
 def decoder_layer(
@@ -134,12 +155,16 @@ def decoder_layer(
     enc_out: Symbol | None = None,
     cross_mask: Symbol | None = None,
     enc_seq_len: int | None = None,
+    heads: int | None = None,
+    ffn_dim: int | None = None,
 ) -> Symbol:
-    x = attention_block(gb, cfg, x, self_mask, batch, seq_len, f"{prefix}.self")
+    x = attention_block(
+        gb, cfg, x, self_mask, batch, seq_len, f"{prefix}.self", heads=heads
+    )
     if enc_out is not None:
         assert cross_mask is not None
         x = attention_block(
             gb, cfg, x, cross_mask, batch, seq_len, f"{prefix}.cross",
-            kv_source=enc_out, kv_seq_len=enc_seq_len,
+            kv_source=enc_out, kv_seq_len=enc_seq_len, heads=heads,
         )
-    return ffn_block(gb, cfg, x, f"{prefix}.ffn")
+    return ffn_block(gb, cfg, x, f"{prefix}.ffn", ffn_dim=ffn_dim)

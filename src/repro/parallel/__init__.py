@@ -1,0 +1,54 @@
+"""Multi-GPU sharded execution on the simulated substrate.
+
+Three layers, mirroring how real serving stacks shard:
+
+* :mod:`repro.parallel.interconnect` — the collective-communication cost
+  model: α–β links (NVLink, PCIe) and NCCL-style ring estimators.
+* :mod:`repro.parallel.compile` — Megatron-style tensor-parallel model
+  compilation: per-rank shards priced by the existing roofline, plus the
+  layout's all-reduces.
+* :mod:`repro.parallel.serving` — TP serving replicas under data-parallel
+  routing, merged into one fleet report.
+
+Entry points: ``compile_model(..., parallel="tp4")`` from
+:mod:`repro.api`, the ``repro shard-sim`` CLI subcommand, and the classes
+re-exported here.
+"""
+
+from repro.parallel.compile import (
+    ShardedCompiledModel,
+    compile_sharded,
+    validate_divisibility,
+)
+from repro.parallel.interconnect import (
+    KNOWN_LINKS,
+    NVLINK,
+    PCIE,
+    Interconnect,
+    LinkSpec,
+    get_link,
+)
+from repro.parallel.serving import (
+    ROUTES,
+    ShardedServingEngine,
+    ShardedServingReport,
+    TPServingEngine,
+)
+from repro.parallel.shard import ShardConfig
+
+__all__ = [
+    "Interconnect",
+    "LinkSpec",
+    "KNOWN_LINKS",
+    "NVLINK",
+    "PCIE",
+    "get_link",
+    "ShardConfig",
+    "ShardedCompiledModel",
+    "compile_sharded",
+    "validate_divisibility",
+    "ROUTES",
+    "ShardedServingEngine",
+    "ShardedServingReport",
+    "TPServingEngine",
+]

@@ -1,0 +1,171 @@
+"""Tensor-parallel model compilation.
+
+:func:`compile_sharded` is the ``parallel=`` path of
+:func:`repro.api.compile_model`: it builds ONE representative rank's
+shard of the model — Megatron-LM's layout, with column-parallel Q/K/V and
+fc1 projections (``heads/tp`` heads, ``ffn_dim/tp`` inner width) and
+row-parallel output/fc2 projections back to the full hidden width — plans
+it through the existing engine/roofline substrate, and adds the
+collective time the layout requires: one ring all-reduce of the full
+``batch * seq * hidden`` activation after every row-parallel projection
+(one per attention block, one per FFN).
+
+TP ranks are symmetric by construction (heads and FFN columns divide
+evenly, or compilation refuses), so one rank's plan *is* every rank's
+plan and the sharded latency is ``rank_time + comm_time``.  Data-parallel
+replicas do not change single-pass latency — they multiply throughput —
+so ``dp`` only scales the reported replica count here; the serving layer
+(:mod:`repro.parallel.serving`) is where DP earns its keep.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+# repro.api never imports repro.parallel at module scope (only lazily
+# inside compile_model), so this dependency direction is cycle-free.
+from repro.api import ENGINES, CompiledModel, _resolve_masks
+from repro.core.errors import ConfigError
+from repro.core.fp16 import FP16_BYTES
+from repro.core.units import format_time
+from repro.gpu.specs import GPUSpec, get_spec
+from repro.models.build import build_model
+from repro.models.config import ModelConfig, get_model_config
+from repro.obs.tracer import Tracer, use_tracer
+from repro.parallel.shard import ShardConfig
+from repro.plan import PlanCache
+
+
+def validate_divisibility(cfg: ModelConfig, tp: int) -> None:
+    """Refuse layouts whose ranks would be asymmetric."""
+    if cfg.heads % tp != 0:
+        raise ConfigError(
+            f"{cfg.name}: {cfg.heads} heads not divisible by tp={tp}"
+        )
+    if cfg.ffn_dim % tp != 0:
+        raise ConfigError(
+            f"{cfg.name}: ffn_dim {cfg.ffn_dim} not divisible by tp={tp}"
+        )
+
+
+def compile_sharded(
+    model: "str | ModelConfig",
+    batch: int,
+    seq_len: int,
+    parallel: "str | ShardConfig",
+    device: "str | GPUSpec | None" = None,
+    mask: "str | np.ndarray | None" = None,
+    engine: Any = "stof",
+    seed: int = 0,
+    check_memory: bool = True,
+    plan_cache: PlanCache | None = None,
+    trace: Tracer | None = None,
+    **engine_kwargs: Any,
+) -> "ShardedCompiledModel":
+    """Compile one workload under a tensor/data-parallel layout."""
+    shard = ShardConfig.parse(parallel)
+    cfg = get_model_config(model) if isinstance(model, str) else model
+    validate_divisibility(cfg, shard.tp)
+    device = "a100" if device is None else device
+    mask = "bigbird" if mask is None else mask
+    spec = get_spec(device) if isinstance(device, str) else device
+
+    with use_tracer(trace) if trace is not None else nullcontext():
+        inst = build_model(
+            cfg, batch, seq_len, seed=seed,
+            heads=cfg.heads // shard.tp,
+            ffn_dim=cfg.ffn_dim // shard.tp,
+        )
+        masks, patterns = _resolve_masks(mask, inst, seed)
+
+        if isinstance(engine, str):
+            key = engine.strip().lower()
+            if key not in ENGINES:
+                raise ConfigError(
+                    f"unknown engine {engine!r}; known: {sorted(ENGINES)}"
+                )
+            engine = ENGINES[key](**engine_kwargs)
+        prepared = engine.prepare(inst, spec, masks, patterns)
+        prepared.shard = shard.fingerprint
+        if plan_cache is not None:
+            prepared.plan_cache = plan_cache
+        report = prepared.plan(check_memory=check_memory)
+
+        # Megatron sync points: one all-reduce of the full (tokens, hidden)
+        # activation after each row-parallel projection — the attention
+        # output projection (every attention site, so decoder cross-
+        # attention counts) and the FFN's fc2 (every layer).
+        ar_bytes = batch * seq_len * cfg.hidden * FP16_BYTES
+        ar_count = len(prepared.attention) + cfg.total_layers
+        comm = ar_count * shard.interconnect().all_reduce_time(ar_bytes)
+
+        if trace is not None and trace.enabled and comm > 0:
+            trace.lane_names.setdefault(3, "collectives")
+            trace.add_span(
+                "tp.all_reduce",
+                cat="comm",
+                t0=report.time_s,
+                dur=comm,
+                tid=3,
+                link=shard.link.name,
+                count=ar_count,
+                payload_bytes=ar_bytes,
+            ).add_model_time(comm)
+
+    return ShardedCompiledModel(
+        instance=inst,
+        prepared=prepared,
+        report=report,
+        masks=masks,
+        seed=seed,
+        shard=shard,
+        comm_time_s=comm,
+        ar_count=ar_count,
+        ar_bytes=ar_bytes,
+    )
+
+
+@dataclass
+class ShardedCompiledModel(CompiledModel):
+    """One rank's compiled shard plus the layout's collective costs."""
+
+    shard: ShardConfig = ShardConfig()
+    comm_time_s: float = 0.0
+    ar_count: int = 0
+    ar_bytes: int = 0
+
+    @property
+    def rank_time_s(self) -> float:
+        """Per-rank compute time (every TP rank runs the same plan)."""
+        return self.report.time_s
+
+    @property
+    def latency_s(self) -> float:
+        """Simulated forward-pass latency: per-rank compute + collectives."""
+        return self.report.time_s + self.comm_time_s
+
+    def run(self, inputs=None) -> np.ndarray:
+        raise ConfigError(
+            "sharded plans are cost models, not functional executors; "
+            "run the unsharded model (parallel=None) for outputs"
+        )
+
+    def summary(self) -> str:
+        r = self.report
+        lines = [
+            f"{self.instance.config.name} @ batch {self.instance.batch}, "
+            f"seq {self.instance.seq_len} on {self.shard.world_size}x "
+            f"{self.prepared.spec.name} ({self.shard.fingerprint})",
+            f"engine: {self.engine_name}",
+            f"latency: {format_time(self.latency_s)} "
+            f"(per-rank compute {format_time(self.rank_time_s)}, "
+            f"comm {format_time(self.comm_time_s)} over "
+            f"{self.ar_count} all-reduces)",
+            f"kernel launches per rank: {r.kernel_launches}",
+            f"memory per rank: {r.memory_bytes / 2**30:.2f} GiB",
+        ]
+        return "\n".join(lines)

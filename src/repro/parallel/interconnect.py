@@ -1,0 +1,108 @@
+"""Collective-communication cost model (NCCL-style ring algorithms).
+
+A :class:`LinkSpec` is the α–β model of one inter-GPU link: ``latency_s``
+is the per-hop launch/propagation cost (α) and ``bandwidth`` the sustained
+per-direction byte rate (β).  :class:`Interconnect` prices the three
+collectives tensor parallelism needs on a ring of ``world_size`` devices,
+using the standard ring-algorithm step counts (NCCL's default for the
+payload sizes inference produces):
+
+* **all-reduce** — ``2 (n-1)`` hops, each moving ``bytes / n``
+  (reduce-scatter followed by all-gather).
+* **all-gather** / **reduce-scatter** — ``(n-1)`` hops of ``bytes / n``.
+
+With ``n = 1`` every collective is free: there is nobody to talk to.
+The constants are datasheet numbers, not measurements — like the
+roofline's peak rates, they make the *shapes* of scaling curves right
+(near-linear TP speedup while compute dominates, flattening once the
+α term does), which is what the reproduction studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """α–β description of one GPU-to-GPU link."""
+
+    name: str
+    latency_s: float      # α: per-hop fixed cost (seconds)
+    bandwidth: float      # β: per-direction sustained rate (bytes / s)
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.bandwidth <= 0:
+            raise ConfigError(f"bandwidth must be > 0, got {self.bandwidth}")
+
+
+#: NVLink 3 (A100 generation): 300 GB/s per direction, sub-µs hop cost
+#: plus the collective's kernel launch.
+NVLINK = LinkSpec(name="nvlink", latency_s=2.0e-6, bandwidth=300e9)
+
+#: PCIe 4.0 x16 host-routed peer-to-peer: ~25 GB/s effective, higher
+#: per-hop latency (the path crosses the root complex).
+PCIE = LinkSpec(name="pcie", latency_s=5.0e-6, bandwidth=25e9)
+
+#: Registry keyed by the CLI/benchmark link names.
+KNOWN_LINKS: dict[str, LinkSpec] = {
+    NVLINK.name: NVLINK,
+    PCIE.name: PCIE,
+}
+
+
+def get_link(name: str) -> LinkSpec:
+    """Look up a link spec by name (case-insensitive).
+
+    >>> get_link("nvlink").bandwidth
+    300000000000.0
+    """
+    key = name.strip().lower()
+    if key not in KNOWN_LINKS:
+        raise ConfigError(f"unknown link {name!r}; known: {sorted(KNOWN_LINKS)}")
+    return KNOWN_LINKS[key]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Ring-collective estimator over ``world_size`` devices on one link.
+
+    >>> ic = Interconnect(NVLINK, 4)
+    >>> ic.all_reduce_time(0.0) > 0          # α term survives empty payloads
+    True
+    >>> Interconnect(NVLINK, 1).all_reduce_time(1e9)
+    0.0
+    """
+
+    link: LinkSpec
+    world_size: int
+
+    def __post_init__(self) -> None:
+        if self.world_size < 1:
+            raise ConfigError(
+                f"world_size must be >= 1, got {self.world_size}"
+            )
+
+    def _hops(self, hops: int, payload_bytes: float) -> float:
+        if payload_bytes < 0:
+            raise ConfigError(f"bytes must be >= 0, got {payload_bytes}")
+        if self.world_size == 1:
+            return 0.0
+        chunk = payload_bytes / self.world_size
+        return hops * (self.link.latency_s + chunk / self.link.bandwidth)
+
+    def all_reduce_time(self, payload_bytes: float) -> float:
+        """Ring all-reduce: reduce-scatter + all-gather, 2(n-1) hops."""
+        return self._hops(2 * (self.world_size - 1), payload_bytes)
+
+    def all_gather_time(self, payload_bytes: float) -> float:
+        """Ring all-gather: (n-1) hops of bytes/n."""
+        return self._hops(self.world_size - 1, payload_bytes)
+
+    def reduce_scatter_time(self, payload_bytes: float) -> float:
+        """Ring reduce-scatter: (n-1) hops of bytes/n."""
+        return self._hops(self.world_size - 1, payload_bytes)

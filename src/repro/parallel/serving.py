@@ -1,0 +1,326 @@
+"""Multi-GPU serving: tensor-parallel replicas under data-parallel routing.
+
+A :class:`TPServingEngine` simulates one replica of ``tp`` lock-stepped
+ranks.  TP ranks run the identical schedule on ``heads / tp`` heads each
+— so ONE representative rank is simulated (per-rank KV cache sized from
+the per-rank head count, per-rank kernel costs from the unchanged
+roofline) and each forward pays the layout's collectives: two ring
+all-reduces of the full ``tokens * hidden`` activation per layer
+(Megatron's row-parallel sync points), priced by
+:class:`~repro.parallel.interconnect.Interconnect` and accumulated into
+the step time.  With ``tp = 1`` every collective is zero and the engine
+reproduces :class:`~repro.serving.engine.ServingEngine` bit-identically.
+
+A :class:`ShardedServingEngine` runs ``dp`` such replicas over one
+request trace: a router assigns each arrival to a replica (round-robin,
+or least-loaded by outstanding worst-case tokens), every replica shares
+one :class:`~repro.plan.PlanCache`, and the merged
+:class:`ShardedServingReport` aggregates throughput over the global
+makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import FP16_BYTES
+from repro.core.rng import RngStream
+from repro.core.units import format_time
+from repro.gpu.specs import GPUSpec
+from repro.obs.tracer import Tracer, current_tracer
+from repro.parallel.shard import ShardConfig
+from repro.plan import PlanCache
+from repro.serving.engine import ServingConfig, ServingEngine
+from repro.serving.metrics import ServingReport
+from repro.serving.request import Request
+from repro.serving.scheduler import Scheduler, make_scheduler
+
+#: Request-routing policies of the data-parallel front door.
+ROUTES = ("round-robin", "least-loaded")
+
+
+class TPServingEngine(ServingEngine):
+    """One tensor-parallel replica (``tp`` ranks in lockstep)."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        scheduler: Scheduler,
+        shard: "str | ShardConfig",
+        config: ServingConfig | None = None,
+        tracer: Tracer | None = None,
+        plan_cache: PlanCache | None = None,
+        lane_base: int = 0,
+        label: str = "",
+    ):
+        shard = ShardConfig.parse(shard)
+        full = config or ServingConfig()
+        if full.heads % shard.tp != 0:
+            raise ConfigError(
+                f"{full.heads} heads not divisible by tp={shard.tp}"
+            )
+        # The representative rank serves heads/tp heads; its KV cache
+        # shrinks with it (same capacity fraction, fewer bytes per token),
+        # which is exactly the per-rank memory win of TP.
+        super().__init__(
+            spec,
+            scheduler,
+            replace(full, heads=full.heads // shard.tp),
+            tracer,
+            plan_cache,
+        )
+        self.shard = shard
+        self.shard_fingerprint = shard.fingerprint
+        self._ic = shard.interconnect()
+        self._hidden = full.heads * full.head_size   # full model width
+        self._label = label
+        self._lane_base = lane_base
+        self.LANE_STEPS = lane_base
+        self.LANE_REQUESTS = lane_base + 1
+        #: Total simulated all-reduce seconds of the last/current run.
+        self.comm_total_s = 0.0
+
+    # ----------------------------------------------------------- collectives
+
+    def _collective_s(self, tokens: int) -> float:
+        """All-reduce seconds for one forward over ``tokens`` rows: two
+        row-parallel sync points per layer, full-hidden payloads."""
+        if tokens <= 0 or self.shard.tp == 1:
+            return 0.0
+        t = 2 * self.config.n_layers * self._ic.all_reduce_time(
+            tokens * self._hidden * FP16_BYTES
+        )
+        self._step_comm_s += t
+        self.comm_total_s += t
+        return t
+
+    def _prefill_time(self, tr, rng):
+        t, n = super()._prefill_time(tr, rng)
+        return t + self._collective_s(tr.context_len), n
+
+    def _decode_time(self, members, rng):
+        t, n = super()._decode_time(members, rng)
+        return t + self._collective_s(len(members)), n
+
+    def _decode_time_cached(self, members, rng):
+        t, n = super()._decode_time_cached(members, rng)
+        return t + self._collective_s(len(members)), n
+
+    # ----------------------------------------------------------------- spans
+
+    def _record_step(
+        self, tracer, clock, step_s, step, admitted, members, launches
+    ):
+        super()._record_step(
+            tracer, clock, step_s, step, admitted, members, launches
+        )
+        if not tracer.enabled:
+            return
+        # Per-rank lanes: ranks run in lockstep, so each shows the same
+        # compute interval followed by the same all-reduce interval — the
+        # compute-vs-comm picture the scaling study reads off the trace.
+        comm = self._step_comm_s
+        compute = max(step_s - self.config.step_overhead_s - comm, 0.0)
+        for r in range(self.shard.tp):
+            lane = self._lane_base + 2 + r
+            tracer.lane_names.setdefault(lane, f"{self._label}tp rank {r}")
+            tracer.add_span(
+                "rank.compute", cat="serving.compute",
+                t0=clock, dur=compute, tid=lane, step=step, rank=r,
+            )
+            if comm > 0:
+                tracer.add_span(
+                    "rank.all_reduce", cat="serving.comm",
+                    t0=clock + compute, dur=comm, tid=lane,
+                    step=step, rank=r, link=self.shard.link.name,
+                )
+
+    # ------------------------------------------------------------- simulation
+
+    def run(self, trace, rng=None):
+        self.comm_total_s = 0.0
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        if tracer.enabled and self._label:
+            tracer.lane_names.setdefault(
+                self.LANE_STEPS, f"{self._label}engine steps"
+            )
+            tracer.lane_names.setdefault(
+                self.LANE_REQUESTS, f"{self._label}requests"
+            )
+        return super().run(trace, rng=rng)
+
+
+@dataclass
+class ShardedServingReport:
+    """Merged outcome of one trace served by ``dp`` TP replicas."""
+
+    shard: str                  # layout fingerprint, e.g. "tp2dp2:nvlink"
+    route: str
+    policy: str
+    device: str
+    n_requests: int
+    makespan_s: float           # global: first arrival to last finish
+    comm_s: float               # summed simulated all-reduce seconds
+    replicas: list[ServingReport] = field(repr=False, default_factory=list)
+    #: Request ids handed to each replica (index = replica rank).
+    assignments: tuple[tuple[int, ...], ...] = ()
+    plan_cache: dict | None = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------ aggregates
+
+    @property
+    def completed(self) -> int:
+        return sum(r.completed for r in self.replicas)
+
+    @property
+    def rejected(self) -> int:
+        return sum(r.rejected for r in self.replicas)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(r.total_tokens for r in self.replicas)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(r.total_steps for r in self.replicas)
+
+    @property
+    def preemptions(self) -> int:
+        return sum(r.preemptions for r in self.replicas)
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.total_tokens / self.makespan_s if self.makespan_s else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        return self.completed / self.makespan_s if self.makespan_s else 0.0
+
+    # -------------------------------------------------------------- rendering
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.shard} · {self.policy} batching · {self.route} routing "
+            f"· {self.device}",
+            f"  requests     : {self.completed}/{self.n_requests} completed"
+            + (f" ({self.rejected} rejected)" if self.rejected else "")
+            + f", {self.total_tokens} tokens in {self.total_steps} steps",
+            f"  throughput   : {self.tokens_per_s:,.0f} tok/s aggregate, "
+            f"goodput {self.goodput_rps:,.1f} req/s",
+            f"  comm         : {format_time(self.comm_s)} in all-reduces",
+        ]
+        for i, (rep, ids) in enumerate(zip(self.replicas, self.assignments)):
+            lines.append(
+                f"  replica {i}    : {len(ids)} requests, "
+                f"{rep.tokens_per_s:,.0f} tok/s, "
+                f"KV peak {rep.kv_peak_occupancy:.1%}"
+            )
+        return "\n".join(lines)
+
+
+class ShardedServingEngine:
+    """``dp`` TP replicas behind one request router."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        policy: str = "continuous",
+        config: ServingConfig | None = None,
+        shard: "str | ShardConfig" = ShardConfig(),
+        route: str = "least-loaded",
+        max_batch_size: int = 16,
+        max_batch_tokens: int = 65536,
+        tracer: Tracer | None = None,
+        plan_cache: PlanCache | None = None,
+    ):
+        if route not in ROUTES:
+            raise ConfigError(f"unknown route {route!r}; known: {ROUTES}")
+        self.spec = spec
+        self.policy = policy
+        self.config = config or ServingConfig()
+        self.shard = ShardConfig.parse(shard)
+        self.route = route
+        self.tracer = tracer
+        #: One cache for the whole fleet: TP ranks are lock-stepped and DP
+        #: replicas see statistically identical work, so plans compiled by
+        #: one replica replay on every other.
+        self.plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else PlanCache(max_entries=self.config.plan_cache_entries)
+        )
+        lanes_per_replica = 2 + self.shard.tp
+        self.replicas = [
+            TPServingEngine(
+                spec,
+                make_scheduler(policy, max_batch_size, max_batch_tokens),
+                self.shard,
+                self.config,
+                tracer=tracer,
+                plan_cache=self.plan_cache,
+                lane_base=r * lanes_per_replica,
+                label=f"replica{r}." if self.shard.dp > 1 else "",
+            )
+            for r in range(self.shard.dp)
+        ]
+
+    # --------------------------------------------------------------- routing
+
+    def _assign(self, trace: list[Request]) -> list[list[Request]]:
+        """Partition arrivals across replicas per the routing policy."""
+        order = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
+        buckets: list[list[Request]] = [[] for _ in range(self.shard.dp)]
+        if self.route == "round-robin":
+            for i, req in enumerate(order):
+                buckets[i % self.shard.dp].append(req)
+        else:
+            # Least-loaded: the replica with the smallest outstanding
+            # worst-case token load wins (ties to the lowest rank).
+            load = [0] * self.shard.dp
+            for req in order:
+                r = min(range(self.shard.dp), key=lambda i: (load[i], i))
+                buckets[r].append(req)
+                load[r] += req.max_context
+        return buckets
+
+    # ------------------------------------------------------------- simulation
+
+    def run(
+        self, trace: list[Request], rng: RngStream | None = None
+    ) -> ShardedServingReport:
+        """Route the trace, simulate every replica, merge the reports."""
+        if not trace:
+            raise ConfigError("empty request trace")
+        # One rng for every replica is safe: RngStream forks are stateless
+        # path derivations and per-request masks are seeded by request id.
+        rng = rng or RngStream()
+        buckets = self._assign(trace)
+        first_arrival = min(r.arrival_s for r in trace)
+        last_finish = first_arrival
+        reports: list[ServingReport] = []
+        comm = 0.0
+        for engine, bucket in zip(self.replicas, buckets):
+            if not bucket:    # fewer requests than replicas
+                continue
+            rep = engine.run(bucket, rng=rng)
+            reports.append(rep)
+            sub_first = min(r.arrival_s for r in bucket)
+            last_finish = max(last_finish, sub_first + rep.makespan_s)
+            comm += engine.comm_total_s
+        return ShardedServingReport(
+            shard=self.shard.fingerprint,
+            route=self.route,
+            policy=self.policy,
+            device=self.spec.name,
+            n_requests=len(trace),
+            makespan_s=last_finish - first_arrival,
+            comm_s=comm,
+            replicas=reports,
+            assignments=tuple(
+                tuple(r.req_id for r in b) for b in buckets if b
+            ),
+            plan_cache=(
+                self.plan_cache.stats() if self.config.use_plan_cache else None
+            ),
+        )

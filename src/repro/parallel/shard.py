@@ -1,0 +1,77 @@
+"""Shard layouts: how many tensor-parallel ranks, how many data-parallel
+replicas, over which link.
+
+A :class:`ShardConfig` is a pure value — it carries no model state — and
+its :attr:`fingerprint` (``"tp4dp2:nvlink"``) is the string every sharded
+:class:`~repro.plan.key.PlanKey` embeds, so per-rank plans are
+content-addressed separately from unsharded plans of the same geometry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+from repro.parallel.interconnect import NVLINK, Interconnect, LinkSpec, get_link
+
+_SPEC_RE = re.compile(
+    r"^(?:tp(?P<tp>\d+))?(?:dp(?P<dp>\d+))?(?::(?P<link>[\w-]+))?$"
+)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """One parallel layout: ``tp`` ranks per replica, ``dp`` replicas.
+
+    >>> ShardConfig(tp=4, dp=2).fingerprint
+    'tp4dp2:nvlink'
+    >>> ShardConfig.parse("tp2:pcie").link.name
+    'pcie'
+    """
+
+    tp: int = 1
+    dp: int = 1
+    link: LinkSpec = NVLINK
+
+    def __post_init__(self) -> None:
+        if self.tp < 1 or self.dp < 1:
+            raise ConfigError(
+                f"tp and dp must be >= 1, got tp={self.tp} dp={self.dp}"
+            )
+
+    @property
+    def world_size(self) -> int:
+        return self.tp * self.dp
+
+    @property
+    def fingerprint(self) -> str:
+        """The shard discriminator embedded in every sharded PlanKey."""
+        return f"tp{self.tp}dp{self.dp}:{self.link.name}"
+
+    def interconnect(self) -> Interconnect:
+        """The TP group's collective estimator (ring of ``tp`` ranks)."""
+        return Interconnect(self.link, self.tp)
+
+    @classmethod
+    def parse(cls, spec: "str | ShardConfig") -> "ShardConfig":
+        """Parse ``"tp2"``, ``"dp4"``, ``"tp2dp2"``, ``"tp4:pcie"`` ...
+
+        A :class:`ShardConfig` passes through unchanged.
+
+        >>> ShardConfig.parse("tp2dp2").fingerprint
+        'tp2dp2:nvlink'
+        """
+        if isinstance(spec, ShardConfig):
+            return spec
+        m = _SPEC_RE.match(spec.strip().lower())
+        if not m or (m.group("tp") is None and m.group("dp") is None):
+            raise ConfigError(
+                f"cannot parse shard spec {spec!r}; expected e.g. 'tp2', "
+                "'dp4', 'tp2dp2', or 'tp4:pcie'"
+            )
+        return cls(
+            tp=int(m.group("tp") or 1),
+            dp=int(m.group("dp") or 1),
+            link=get_link(m.group("link")) if m.group("link") else NVLINK,
+        )

@@ -100,6 +100,11 @@ class PlanKey:
     mask: str = ""
     params: tuple = ()
     salt: str = ""
+    #: Shard-config fingerprint ("" for unsharded plans).  Tensor/data
+    #: parallel plans (repro.parallel) carry e.g. ``"tp4dp2:nvlink"`` so a
+    #: per-rank plan never collides with the unsharded plan of the same
+    #: per-rank geometry under a different parallel layout.
+    shard: str = ""
 
     def _tuple(self) -> tuple:
         return (
@@ -114,6 +119,7 @@ class PlanKey:
             self.mask,
             self.params,
             self.salt,
+            self.shard,
         )
 
     def __eq__(self, other: object) -> bool:
@@ -136,6 +142,7 @@ class PlanKey:
         spec: Any,
         params: dict[str, Any] | None = None,
         salt: str = "",
+        shard: str = "",
     ) -> "PlanKey":
         """Key an attention problem: geometry + mask content + device."""
         return cls(
@@ -150,6 +157,7 @@ class PlanKey:
             mask=problem.mask_fingerprint(),
             params=params_key(params),
             salt=salt,
+            shard=shard,
         )
 
     @property

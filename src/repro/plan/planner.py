@@ -65,16 +65,18 @@ def compile_kernel_plan(
     cache: PlanCache | None = None,
     kind: str = "kernel",
     salt: str = "",
+    shard: str = "",
 ) -> CompiledPlan:
     """Compile (or replay) one kernel's plan for one attention problem.
 
     The key covers problem geometry + mask content + device + params, so
     a hit is exactly the plan the kernel would re-derive.  The live
     ``kernel`` object is re-bound on hits (it never travels through the
-    cache's persisted form).
+    cache's persisted form).  ``shard`` carries the parallel-layout
+    fingerprint for per-rank plans ("" when unsharded).
     """
     key = PlanKey.for_problem(
-        kind, problem, spec, params=params, salt=salt or kernel.name
+        kind, problem, spec, params=params, salt=salt or kernel.name, shard=shard
     )
 
     def make() -> CompiledPlan:

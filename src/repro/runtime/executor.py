@@ -61,7 +61,7 @@ class MHABinding:
         return self.kernel.plan(self.problem, spec, self.params)
 
     def compiled_plan(
-        self, spec: GPUSpec, cache: PlanCache | None = None
+        self, spec: GPUSpec, cache: PlanCache | None = None, shard: str = ""
     ) -> CompiledPlan:
         """The site's plan through the shared plan layer (cached)."""
         return compile_kernel_plan(
@@ -71,6 +71,7 @@ class MHABinding:
             params=self.params,
             cache=cache,
             kind="runtime-mha",
+            shard=shard,
         )
 
     def run(self, q2: np.ndarray, k2: np.ndarray, v2: np.ndarray, mask: np.ndarray) -> np.ndarray:
@@ -143,6 +144,10 @@ class PreparedModel:
     #: Shared compiled-plan cache.  When None, each ``plan()`` call uses an
     #: ephemeral cache (repeated layers still deduplicate within the call).
     plan_cache: PlanCache | None = field(default=None, repr=False)
+    #: Parallel-layout fingerprint ("" for unsharded models).  A per-rank
+    #: prepared model carries e.g. ``"tp4dp1:nvlink"`` so its plans never
+    #: collide in a shared cache with same-geometry unsharded plans.
+    shard: str = ""
 
     # ------------------------------------------------------------------ plan
 
@@ -207,7 +212,7 @@ class PreparedModel:
             device = spec_fingerprint(self.spec)
 
             for _, binding in self.attention:
-                site_plan = binding.compiled_plan(self.spec, cache)
+                site_plan = binding.compiled_plan(self.spec, cache, shard=self.shard)
                 for cost, config in site_plan.launches:
                     bd = estimate_kernel_time(self.spec, cost, config)
                     mha_t += bd.total + self.dispatch_overhead_s * cost.launches
@@ -224,6 +229,7 @@ class PreparedModel:
                         device=device,
                         params=params_key(params),
                         salt=repr(segment_signature(template)),
+                        shard=self.shard,
                     )
                     seg_plan = compile_launches(
                         key,

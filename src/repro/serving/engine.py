@@ -82,6 +82,7 @@ class ServingEngine:
         scheduler: Scheduler,
         config: ServingConfig | None = None,
         tracer: Tracer | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         self.spec = spec
         self.scheduler = scheduler
@@ -91,12 +92,26 @@ class ServingEngine:
         self.tracer = tracer
         #: The shared plan cache.  Prefill plans are replayed through
         #: UnifiedMHA (kind "mha"); decode row statistics live under kind
-        #: "serving-decode", chunked by context-length bucket.
-        self.plan_cache = PlanCache(max_entries=self.config.plan_cache_entries)
+        #: "serving-decode", chunked by context-length bucket.  An explicit
+        #: ``plan_cache`` lets several engines (e.g. data-parallel replicas)
+        #: share one cache.
+        self.plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else PlanCache(max_entries=self.config.plan_cache_entries)
+        )
         self._mha = UnifiedMHA(
             spec, cache=self.plan_cache if self.config.use_plan_cache else None
         )
         self._decode_kernel = RowWiseKernel()
+        #: Shard-config fingerprint mixed into every decode PlanKey; ""
+        #: for the single-device engine.  Sharded engines (repro.parallel)
+        #: set it so per-rank plans never collide with unsharded ones.
+        self.shard_fingerprint = ""
+        #: Simulated collective-communication seconds of the current step;
+        #: always 0 on the single-device engine, accumulated by sharded
+        #: subclasses inside their pricing overrides.
+        self._step_comm_s = 0.0
 
     # ----------------------------------------------------------- step pricing
 
@@ -167,6 +182,7 @@ class ServingEngine:
                 kind="serving-decode",
                 mask=tr.mask_fingerprint(rng),
                 salt=f"rows:bucket={bucket}:w={width}",
+                shard=self.shard_fingerprint,
             )
             tr._plan_keys[bucket] = key
 
@@ -234,6 +250,37 @@ class ServingEngine:
             launches += cost.launches
         return seconds * cfg.n_layers, launches * cfg.n_layers
 
+    # ----------------------------------------------------------------- spans
+
+    def _record_step(
+        self,
+        tracer: Tracer,
+        clock: float,
+        step_s: float,
+        step: int,
+        admitted: int,
+        members: int,
+        launches: int,
+    ) -> None:
+        """Lay one engine step on the simulated timeline.
+
+        Sharded engines override this to add per-rank compute/comm lanes;
+        the single-device engine emits just the step span.
+        """
+        if not tracer.enabled:
+            return
+        tracer.add_span(
+            "serve.step",
+            cat="serving",
+            t0=clock,
+            dur=step_s,
+            tid=self.LANE_STEPS,
+            step=step,
+            admitted=admitted,
+            decode_members=members,
+            launches=launches,
+        ).add_model_time(step_s - self.config.step_overhead_s)
+
     # ------------------------------------------------------------- simulation
 
     def run(self, trace: list[Request], rng: RngStream | None = None) -> ServingReport:
@@ -253,22 +300,27 @@ class ServingEngine:
                 capacity_frac=cfg.kv_capacity_frac,
             )
         )
-        for req in trace:
-            if not cache.fits_alone(req.max_context):
-                raise ConfigError(
-                    f"request {req.req_id} can never fit: context "
-                    f"{req.max_context} needs "
-                    f"{cache.config.pages_for(req.max_context)} pages, "
-                    f"cache has {cache.total_pages}"
-                )
-            if req.max_context > self.scheduler.max_batch_tokens:
-                raise ConfigError(
-                    f"request {req.req_id} exceeds max_batch_tokens "
-                    f"({req.max_context} > {self.scheduler.max_batch_tokens})"
-                )
+        # Requests that can never be served — their worst-case context
+        # exceeds an *empty* cache or the scheduler's token budget — are
+        # rejected up front and surfaced in the report; the simulation
+        # proceeds with the rest instead of crashing mid-run.  (Truly
+        # unservable *configurations*, e.g. a cache smaller than one page,
+        # still fail hard at construction, in KVCacheConfig.)
+        trackers = {r.req_id: RequestTracker(r) for r in trace}
+        active: list[Request] = []
+        rejected: list[RequestTracker] = []
+        for req in sorted(trace, key=lambda r: (r.arrival_s, r.req_id)):
+            servable = (
+                cache.fits_alone(req.max_context)
+                and req.max_context <= self.scheduler.max_batch_tokens
+            )
+            if servable:
+                active.append(req)
+            else:
+                trackers[req.req_id].state = RequestState.REJECTED
+                rejected.append(trackers[req.req_id])
 
-        pending = sorted(trace, key=lambda r: (r.arrival_s, r.req_id))
-        trackers = {r.req_id: RequestTracker(r) for r in pending}
+        pending = list(active)
         waiting: list[RequestTracker] = []
         running: list[RequestTracker] = []
         finished: list[RequestTracker] = []
@@ -321,7 +373,10 @@ class ServingEngine:
             waiting.append(tr)
             waiting.sort(key=lambda t: (t.request.arrival_s, t.req_id))
 
-        while len(finished) < len(trace):
+        if metrics.enabled and rejected:
+            metrics.counter("serving.rejected").inc(len(rejected))
+
+        while len(finished) < len(active):
             while pending and pending[0].arrival_s <= clock:
                 tr = trackers[pending.pop(0).req_id]
                 waiting.append(tr)
@@ -339,12 +394,14 @@ class ServingEngine:
                 clock = pending[0].arrival_s
                 continue
 
-            step_s = cfg.step_overhead_s
+            self._step_comm_s = 0.0
             launches = 0
+            prefill_s = 0.0
             for tr in admitted:
                 t, n = self._prefill_time(tr, mask_rng)
-                step_s += t
+                prefill_s += t
                 launches += n
+            prefill_comm_s = self._step_comm_s
 
             members = self.scheduler.decode_members(was_running)
             if self.scheduler.allows_preemption:
@@ -377,22 +434,26 @@ class ServingEngine:
                 decode_s, n = self._decode_time_cached(members, mask_rng)
             else:
                 decode_s, n = self._decode_time(members, mask_rng)
-            step_s += decode_s
             launches += n
-            step_s += cfg.dispatch_s * launches
+            decode_comm_s = self._step_comm_s - prefill_comm_s
+            # A step that both admits and decodes models a piggybacked
+            # join (one fused forward over prefill tokens + decode rows):
+            # the shorter phase's compute hides under the longer one's.
+            # Collectives still serialize on the ring, and the host still
+            # dispatches every launch.  Static batching admits only into
+            # an empty device, so one phase is always zero and this is
+            # exactly the serial price for it.
+            step_s = (
+                cfg.step_overhead_s
+                + max(prefill_s - prefill_comm_s, decode_s - decode_comm_s)
+                + self._step_comm_s
+                + cfg.dispatch_s * launches
+            )
 
-            if tracer.enabled:
-                tracer.add_span(
-                    "serve.step",
-                    cat="serving",
-                    t0=clock,
-                    dur=step_s,
-                    tid=self.LANE_STEPS,
-                    step=steps,
-                    admitted=len(admitted),
-                    decode_members=len(members),
-                    launches=launches,
-                ).add_model_time(step_s - cfg.step_overhead_s)
+            self._record_step(
+                tracer, clock, step_s, steps, len(admitted), len(members),
+                launches,
+            )
             if kv_gauge is not None:
                 kv_gauge.set(cache.occupancy)
             if metrics.enabled:
@@ -416,7 +477,10 @@ class ServingEngine:
                     finished.append(tr)
 
         first_arrival = min(r.arrival_s for r in trace)
-        last_finish = max(tr.finish_s or 0.0 for tr in finished)
+        last_finish = (
+            max(tr.finish_s or 0.0 for tr in finished)
+            if finished else first_arrival
+        )
         patterns = sorted({r.pattern for r in trace})
         return ServingReport(
             policy=self.scheduler.name,
@@ -429,6 +493,7 @@ class ServingEngine:
             total_steps=steps,
             preemptions=sum(tr.preemptions for tr in trackers.values()),
             kv_peak_occupancy=cache.peak_occupancy,
+            rejected_ids=tuple(tr.req_id for tr in rejected),
             requests=sorted(
                 (RequestMetrics.from_tracker(tr) for tr in finished),
                 key=lambda m: m.req_id,

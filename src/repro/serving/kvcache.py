@@ -107,6 +107,9 @@ class PagedKVCache:
         self.config = config
         self._tracker = MemoryTracker(config.total_pages * config.page_bytes)
         self._pages: dict[int, int] = {}
+        # Incrementally maintained so used_pages/free_pages stay O(1): they
+        # sit on the admit/decode hot path of every simulated engine step.
+        self._used_pages = 0
 
     # ----------------------------------------------------------- accounting
 
@@ -116,7 +119,7 @@ class PagedKVCache:
 
     @property
     def used_pages(self) -> int:
-        return sum(self._pages.values())
+        return self._used_pages
 
     @property
     def free_pages(self) -> int:
@@ -166,6 +169,7 @@ class PagedKVCache:
         for p in range(held, need):
             self._tracker.allocate(f"kv/{req_id}/{p}", self.config.page_bytes)
         self._pages[req_id] = need
+        self._used_pages += grow
         return True
 
     def release(self, req_id: int) -> int:
@@ -173,6 +177,7 @@ class PagedKVCache:
         held = self._pages.pop(req_id, 0)
         for p in range(held):
             self._tracker.free(f"kv/{req_id}/{p}")
+        self._used_pages -= held
         return held
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

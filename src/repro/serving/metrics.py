@@ -84,6 +84,10 @@ class ServingReport:
     total_steps: int
     preemptions: int
     kv_peak_occupancy: float
+    #: Requests that can never be served on this engine (KV cache or token
+    #: budget too small even when the device is empty).  They are marked
+    #: up front and the simulation proceeds with the rest.
+    rejected_ids: tuple[int, ...] = ()
     requests: list[RequestMetrics] = field(repr=False, default_factory=list)
     #: Plan-cache statistics of the run (``PlanCache.stats()`` form), or
     #: ``None`` when the cache is disabled.  Excluded from equality: a
@@ -92,6 +96,10 @@ class ServingReport:
     plan_cache: dict | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------ aggregates
+
+    @property
+    def rejected(self) -> int:
+        return len(self.rejected_ids)
 
     @property
     def tokens_per_s(self) -> float:
@@ -128,8 +136,9 @@ class ServingReport:
 
         lines = [
             f"{self.policy} batching · {self.pattern} masks · {self.device}",
-            f"  requests     : {self.completed}/{self.n_requests} completed, "
-            f"{self.total_tokens} tokens in {self.total_steps} steps",
+            f"  requests     : {self.completed}/{self.n_requests} completed"
+            + (f" ({self.rejected} rejected)" if self.rejected else "")
+            + f", {self.total_tokens} tokens in {self.total_steps} steps",
             f"  throughput   : {self.tokens_per_s:,.0f} tok/s, "
             f"goodput {self.goodput_rps:,.1f} req/s",
             f"  TTFT         : p50 {format_time(self.ttft_p(50))}, "

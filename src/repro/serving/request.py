@@ -27,6 +27,7 @@ class RequestState(enum.Enum):
     WAITING = "waiting"        # arrived, not yet admitted (or preempted)
     RUNNING = "running"        # holds KV-cache pages, produces tokens
     FINISHED = "finished"      # reached its generation budget
+    REJECTED = "rejected"      # can never be served (cache/budget too small)
 
 
 @dataclass(frozen=True)

@@ -6,8 +6,18 @@ Two classic policies, both FCFS at admission:
   forms only when the device drains, reserves worst-case
   (``prompt + max_new``) KV for every member up front, and runs locked
   until *every* member exhausts its budget; finished members keep
-  occupying (and computing) their slot, and arrivals wait for the drain.
+  occupying their KV slot until the drain, and arrivals wait for it.
   This is the pre-continuous-batching serving baseline.
+
+Both policies attribute decode work identically: a step computes exactly
+the *live* rows (the shared :meth:`Scheduler.decode_members`).  Static
+batching used to replay finished members' final rows as padding, which —
+under the roofline's small-grid utilization penalty — made its padded
+steps price *cheaper per live row* than continuous batching's exact
+steps, silently breaking the continuous ≥ static throughput guarantee.
+Static batching's real costs (drain-locked admission, worst-case
+reservation) are modelled in ``admit``/``releasable``, not by phantom
+compute.
 * :class:`ContinuousBatchScheduler` — iteration-level scheduling (Orca /
   vLLM style): requests join the running batch the step they arrive and
   leave the step they finish; KV pages are reserved for the *current*
@@ -52,11 +62,15 @@ class Scheduler(ABC):
         """Pop admitted trackers off ``waiting`` (reserving their KV) and
         return them; the engine prefills them this step."""
 
-    @abstractmethod
     def decode_members(
         self, running: list[RequestTracker]
     ) -> list[tuple[RequestTracker, int]]:
-        """(tracker, mask-row position) pairs computed in this decode step."""
+        """(tracker, mask-row position) pairs computed in this decode step.
+
+        Shared by every policy so per-step decode cost is attributed
+        identically: exactly one row per *live* member.
+        """
+        return [(tr, tr.context_len) for tr in running if not tr.done]
 
     @abstractmethod
     def releasable(self, running: list[RequestTracker]) -> list[RequestTracker]:
@@ -83,25 +97,14 @@ class StaticBatchScheduler(Scheduler):
             if admitted and budget + worst > self.max_batch_tokens:
                 break         # FCFS: no skipping past the head
             if not cache.reserve(tr.req_id, worst):
-                if not admitted:
-                    raise ConfigError(
-                        f"request {tr.req_id} needs "
-                        f"{cache.config.pages_for(worst)} pages alone; "
-                        f"cache has {cache.total_pages}"
-                    )
+                # The head does not fit right now: wait for the drain.
+                # Requests that can never fit at all are rejected by the
+                # engine before the simulation starts, so this is always a
+                # transient condition, never a dead end.
                 break
             budget += worst
             admitted.append(waiting.pop(0))
         return admitted
-
-    def decode_members(self, running):
-        # Every slot computes, padded to the batch maximum: finished
-        # members replay their final row until the whole batch drains.
-        members = []
-        for tr in running:
-            pos = min(tr.context_len, tr.request.max_context - 1)
-            members.append((tr, pos))
-        return members
 
     def releasable(self, running):
         # KV slots stay resident until the locked batch fully drains.
@@ -139,9 +142,6 @@ class ContinuousBatchScheduler(Scheduler):
             tokens += ctx
             admitted.append(waiting.pop(0))
         return admitted
-
-    def decode_members(self, running):
-        return [(tr, tr.context_len) for tr in running if not tr.done]
 
     def releasable(self, running):
         return [tr for tr in running if tr.done]

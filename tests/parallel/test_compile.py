@@ -1,0 +1,149 @@
+"""Tests for tensor-parallel compilation (the ``parallel=`` path)."""
+
+import pytest
+
+from repro.api import compile_model
+from repro.core.errors import ConfigError
+from repro.models import ModelConfig
+from repro.obs import Tracer
+from repro.parallel import ShardConfig, ShardedCompiledModel
+from repro.plan import PlanCache
+
+TINY = ModelConfig("par-tiny", 2, 0, 64, 4, 128, vocab=97)
+#: Heads divide by 8 but the FFN width does not.
+BAD_FFN = ModelConfig("par-ffn", 2, 0, 64, 8, 100, vocab=97)
+
+
+class TestCompileSharded:
+    def test_returns_sharded_model(self):
+        c = compile_model(TINY, 1, 32, mask="causal", parallel="tp2")
+        assert isinstance(c, ShardedCompiledModel)
+        assert c.shard == ShardConfig(tp=2)
+        assert c.engine_name == "stof"
+
+    def test_shard_config_object_accepted(self):
+        c = compile_model(TINY, 1, 32, mask="causal",
+                          parallel=ShardConfig(tp=2, dp=2))
+        assert c.shard.world_size == 4
+
+    def test_tp1_matches_unsharded_compute(self):
+        """A one-rank layout is the unsharded plan plus zero comm."""
+        base = compile_model(TINY, 1, 32, mask="causal")
+        tp1 = compile_model(TINY, 1, 32, mask="causal", parallel="tp1")
+        assert tp1.comm_time_s == 0.0
+        assert tp1.rank_time_s == base.latency_s
+        assert tp1.latency_s == base.latency_s
+
+    def test_dp_does_not_change_latency(self):
+        """Replicas multiply throughput, not single-pass latency."""
+        tp2 = compile_model(TINY, 1, 32, mask="causal", parallel="tp2")
+        tp2dp4 = compile_model(TINY, 1, 32, mask="causal", parallel="tp2dp4")
+        assert tp2dp4.latency_s == tp2.latency_s
+
+    def test_speedup_monotone_at_large_shape(self):
+        """While compute-bound, more ranks means lower latency; per-rank
+        compute always shrinks and comm always grows."""
+        compiled = [
+            compile_model("bert-base", 4, 512, mask="causal",
+                          parallel=f"tp{n}")
+            for n in (1, 2, 4)
+        ]
+        ranks = [c.rank_time_s for c in compiled]
+        lats = [c.latency_s for c in compiled]
+        comms = [c.comm_time_s for c in compiled]
+        assert ranks[0] > ranks[1] > ranks[2]
+        assert lats[0] > lats[1] > lats[2]
+        assert comms[0] == 0.0 < comms[1] < comms[2]
+
+    def test_comm_flattens_small_shapes(self):
+        """At small per-rank work the all-reduces eat a larger share of
+        the step, so TP efficiency drops — the flattening regime."""
+        def comm_share(model, batch, seq):
+            c = compile_model(model, batch, seq, mask="causal",
+                              parallel="tp4")
+            return c.comm_time_s / c.latency_s
+
+        assert comm_share(TINY, 1, 32) > comm_share("bert-base", 4, 512)
+
+    def test_slower_link_costs_more(self):
+        nv = compile_model(TINY, 1, 32, mask="causal", parallel="tp4")
+        pcie = compile_model(TINY, 1, 32, mask="causal", parallel="tp4:pcie")
+        assert pcie.comm_time_s > nv.comm_time_s
+        assert pcie.rank_time_s == nv.rank_time_s
+
+    def test_ar_count_covers_every_sync_point(self):
+        """One all-reduce per attention site plus one per FFN."""
+        c = compile_model(TINY, 1, 32, mask="causal", parallel="tp2")
+        assert c.ar_count == 2 * TINY.total_layers   # encoder: attn + ffn
+
+    def test_heads_divisibility_enforced(self):
+        with pytest.raises(ConfigError, match="heads not divisible"):
+            compile_model("bert-base", 1, 32, parallel="tp5")
+
+    def test_ffn_divisibility_enforced(self):
+        with pytest.raises(ConfigError, match="ffn_dim 100 not divisible"):
+            compile_model(BAD_FFN, 1, 32, parallel="tp8")
+
+    def test_run_refuses(self):
+        c = compile_model(TINY, 1, 32, mask="causal", parallel="tp2")
+        with pytest.raises(ConfigError, match="cost model"):
+            c.run()
+
+    def test_summary_renders(self):
+        text = compile_model(TINY, 1, 32, mask="causal",
+                             parallel="tp2dp2").summary()
+        assert "tp2dp2:nvlink" in text
+        assert "all-reduces" in text
+        assert "per rank" in text
+
+    def test_bad_shard_spec_rejected(self):
+        with pytest.raises(ConfigError, match="shard spec"):
+            compile_model(TINY, 1, 32, parallel="nope")
+
+
+class TestShardedPlanCache:
+    def test_shard_fingerprint_keys_plans_apart(self):
+        """tp1 shards the same geometry as the unsharded model; its plans
+        must still be content-addressed separately (new misses, no false
+        hits), while recompiling the same layout replays from cache."""
+        cache = PlanCache()
+        compile_model(TINY, 1, 32, mask="causal", plan_cache=cache)
+        m0 = cache.stats()["misses"]
+
+        compile_model(TINY, 1, 32, mask="causal", plan_cache=cache)
+        assert cache.stats()["misses"] == m0       # unsharded replays
+
+        compile_model(TINY, 1, 32, mask="causal", parallel="tp1",
+                      plan_cache=cache)
+        m1 = cache.stats()["misses"]
+        assert m1 > m0                             # distinct keys
+
+        compile_model(TINY, 1, 32, mask="causal", parallel="tp1",
+                      plan_cache=cache)
+        assert cache.stats()["misses"] == m1       # sharded replays
+
+    def test_distinct_layouts_do_not_collide(self):
+        cache = PlanCache()
+        a = compile_model(TINY, 1, 32, mask="causal", parallel="tp2",
+                          plan_cache=cache)
+        m0 = cache.stats()["misses"]
+        b = compile_model(TINY, 1, 32, mask="causal", parallel="tp4",
+                          plan_cache=cache)
+        assert a.rank_time_s != b.rank_time_s
+        assert cache.stats()["misses"] > m0        # tp4 plans are new
+
+
+class TestTraceHook:
+    def test_collective_span_recorded(self):
+        tracer = Tracer()
+        compile_model(TINY, 1, 32, mask="causal", parallel="tp2",
+                      trace=tracer)
+        spans = tracer.find(name="tp.all_reduce")
+        assert spans
+        assert spans[0].args["link"] == "nvlink"
+
+    def test_tp1_emits_no_collective_span(self):
+        tracer = Tracer()
+        compile_model(TINY, 1, 32, mask="causal", parallel="tp1",
+                      trace=tracer)
+        assert not tracer.find(name="tp.all_reduce")

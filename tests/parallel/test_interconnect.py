@@ -1,0 +1,88 @@
+"""Tests for the α–β ring-collective cost model."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.parallel import (
+    KNOWN_LINKS,
+    NVLINK,
+    PCIE,
+    Interconnect,
+    LinkSpec,
+    get_link,
+)
+
+#: Round numbers so the ring arithmetic is exact by hand: α = 1 µs,
+#: β = 1 GB/s.
+LINK = LinkSpec(name="toy", latency_s=1e-6, bandwidth=1e9)
+
+
+class TestLinkSpec:
+    def test_registry_names(self):
+        assert set(KNOWN_LINKS) == {"nvlink", "pcie"}
+        assert NVLINK.bandwidth > PCIE.bandwidth
+        assert NVLINK.latency_s < PCIE.latency_s
+
+    def test_get_link_case_insensitive(self):
+        assert get_link("NVLink") is NVLINK
+        assert get_link(" pcie ") is PCIE
+
+    def test_get_link_unknown(self):
+        with pytest.raises(ConfigError, match="unknown link"):
+            get_link("infiniband")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            LinkSpec("bad", latency_s=-1e-6, bandwidth=1e9)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            LinkSpec("bad", latency_s=1e-6, bandwidth=0.0)
+
+
+class TestRingCollectives:
+    def test_all_reduce_exact_formula(self):
+        """Ring all-reduce: 2(n-1) hops of bytes/n each."""
+        ic = Interconnect(LINK, 4)
+        payload = 4_000_000  # chunk = 1 MB -> 1 ms wire time per hop
+        per_hop = 1e-6 + 1e-3
+        assert ic.all_reduce_time(payload) == pytest.approx(6 * per_hop)
+
+    def test_all_gather_and_reduce_scatter_are_half(self):
+        ic = Interconnect(LINK, 4)
+        payload = 4_000_000
+        per_hop = 1e-6 + 1e-3
+        assert ic.all_gather_time(payload) == pytest.approx(3 * per_hop)
+        assert ic.reduce_scatter_time(payload) == pytest.approx(3 * per_hop)
+        assert ic.all_reduce_time(payload) == pytest.approx(
+            ic.reduce_scatter_time(payload) + ic.all_gather_time(payload)
+        )
+
+    def test_single_device_is_free(self):
+        ic = Interconnect(LINK, 1)
+        assert ic.all_reduce_time(1e12) == 0.0
+        assert ic.all_gather_time(1e12) == 0.0
+        assert ic.reduce_scatter_time(1e12) == 0.0
+
+    def test_alpha_term_survives_empty_payload(self):
+        """Latency-bound regime: tiny payloads still pay per-hop α."""
+        ic = Interconnect(LINK, 4)
+        assert ic.all_reduce_time(0.0) == pytest.approx(6 * 1e-6)
+
+    def test_cost_grows_with_ring_size(self):
+        """Hop count grows faster than the per-hop chunk shrinks, so a
+        fixed payload gets more expensive on bigger rings — the comm-bound
+        flattening of the TP scaling curves."""
+        payload = 1_000_000
+        times = [
+            Interconnect(LINK, n).all_reduce_time(payload) for n in (2, 4, 8)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            Interconnect(LINK, 2).all_reduce_time(-1.0)
+
+    def test_bad_world_size_rejected(self):
+        with pytest.raises(ConfigError):
+            Interconnect(LINK, 0)

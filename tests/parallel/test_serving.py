@@ -1,0 +1,181 @@
+"""Tests for tensor-parallel serving replicas and the data-parallel router."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.rng import RngStream
+from repro.gpu.specs import A100
+from repro.obs import Tracer
+from repro.parallel import ShardedServingEngine, TPServingEngine
+from repro.parallel.serving import ROUTES
+from repro.serving import (
+    Request,
+    ServingConfig,
+    ServingEngine,
+    make_scheduler,
+    synthetic_trace,
+)
+
+#: Small full-model shape with a TP-friendly head count.
+CONFIG = ServingConfig(heads=4, head_size=16, n_layers=2)
+
+
+def small_trace(n=8, rate=500.0, seed=3):
+    return synthetic_trace(
+        n, rate, rng=RngStream(seed),
+        prompt_range=(8, 40), max_new_range=(4, 12),
+    )
+
+
+def tp_engine(tp, **kwargs):
+    return TPServingEngine(
+        A100, make_scheduler("continuous"), f"tp{tp}", CONFIG, **kwargs
+    )
+
+
+class TestTPServingEngine:
+    def test_tp1_reproduces_base_engine_exactly(self):
+        """With one rank every collective is zero and the replica is the
+        plain serving engine, bit for bit."""
+        trace = small_trace()
+        base = ServingEngine(A100, make_scheduler("continuous"), CONFIG)
+        tp1 = tp_engine(1)
+        assert tp1.run(trace, rng=RngStream(17)) == base.run(
+            trace, rng=RngStream(17)
+        )
+        assert tp1.comm_total_s == 0.0
+
+    def test_tp_shrinks_the_per_rank_cache(self):
+        """Each rank serves heads/tp heads — its KV bytes-per-token scale
+        down with it — while collectives still move the full hidden
+        width."""
+        tp2 = tp_engine(2)
+        assert tp2.config.heads == CONFIG.heads // 2
+        assert tp2._hidden == CONFIG.heads * CONFIG.head_size
+
+    def test_collectives_priced_into_steps(self):
+        trace = small_trace()
+        tp1 = tp_engine(1).run(trace, rng=RngStream(17))
+        tp2_engine = tp_engine(2)
+        tp2 = tp2_engine.run(trace, rng=RngStream(17))
+        assert tp2_engine.comm_total_s > 0.0
+        assert tp2.completed == tp1.completed == len(trace)
+        assert tp2.makespan_s != tp1.makespan_s
+
+    def test_heads_divisibility_enforced(self):
+        with pytest.raises(ConfigError, match="not divisible"):
+            tp_engine(3)
+
+    def test_comm_resets_between_runs(self):
+        engine = tp_engine(2)
+        engine.run(small_trace(), rng=RngStream(17))
+        first = engine.comm_total_s
+        engine.run(small_trace(), rng=RngStream(17))
+        assert engine.comm_total_s == first
+
+
+def requests(*sizes):
+    """One request per (arrival, prompt, new) triple, ids in order."""
+    return [
+        Request(i, float(a), p, n) for i, (a, p, n) in enumerate(sizes)
+    ]
+
+
+class TestRouting:
+    def test_unknown_route_rejected(self):
+        with pytest.raises(ConfigError, match="unknown route"):
+            ShardedServingEngine(A100, config=CONFIG, route="random")
+
+    def test_empty_trace_rejected(self):
+        engine = ShardedServingEngine(A100, config=CONFIG)
+        with pytest.raises(ConfigError):
+            engine.run([])
+
+    def test_round_robin_alternates_in_arrival_order(self):
+        engine = ShardedServingEngine(
+            A100, config=CONFIG, shard="dp2", route="round-robin"
+        )
+        trace = requests(*[(i, 16, 4) for i in range(6)])
+        report = engine.run(trace, rng=RngStream(17))
+        assert report.assignments == ((0, 2, 4), (1, 3, 5))
+
+    def test_least_loaded_balances_token_load(self):
+        """A heavy head request loads replica 0; later arrivals drain to
+        the lighter replica until the loads cross."""
+        engine = ShardedServingEngine(
+            A100, config=CONFIG, shard="dp2", route="least-loaded"
+        )
+        trace = requests((0, 100, 20), (1, 8, 4), (2, 8, 4))
+        report = engine.run(trace, rng=RngStream(17))
+        assert report.assignments == ((0,), (1, 2))
+
+    def test_more_replicas_than_requests(self):
+        engine = ShardedServingEngine(A100, config=CONFIG, shard="dp4")
+        report = engine.run(requests((0, 16, 4), (1, 16, 4)),
+                            rng=RngStream(17))
+        assert report.completed == 2
+        assert len(report.assignments) == 2     # empty buckets dropped
+
+    def test_routes_registry(self):
+        assert set(ROUTES) == {"round-robin", "least-loaded"}
+
+
+class TestShardedServing:
+    def run_sharded(self, shard, trace=None, **kwargs):
+        trace = trace if trace is not None else small_trace()
+        engine = ShardedServingEngine(A100, config=CONFIG, shard=shard,
+                                      **kwargs)
+        return engine, engine.run(trace, rng=RngStream(17))
+
+    def test_aggregates_cover_the_whole_trace(self):
+        trace = small_trace()
+        _, report = self.run_sharded("tp2dp2", trace)
+        assert report.n_requests == len(trace)
+        assert report.completed == len(trace)
+        assert report.total_tokens == sum(r.max_new_tokens for r in trace)
+        assert report.tokens_per_s > 0
+        assert report.comm_s > 0
+
+    def test_deterministic(self):
+        _, a = self.run_sharded("tp2dp2")
+        _, b = self.run_sharded("tp2dp2")
+        assert a == b
+
+    def test_summary_renders(self):
+        _, report = self.run_sharded("tp2dp2")
+        text = report.summary()
+        assert "tp2dp2:nvlink" in text
+        assert "replica 0" in text and "replica 1" in text
+        assert "all-reduces" in text
+
+    def test_replicas_share_one_plan_cache(self):
+        """DP replicas see statistically identical work, so the shared
+        cache replays most decode plans: >= 90% steady-state hit rate."""
+        trace = synthetic_trace(
+            96, 500.0, rng=RngStream(3),
+            prompt_range=(8, 24), max_new_range=(4, 12),
+        )
+        engine, report = self.run_sharded("tp2dp2", trace)
+        assert report.plan_cache == engine.plan_cache.stats()
+        assert report.plan_cache["hit_rate"] >= 0.9
+
+    def test_per_rank_lanes_traced(self):
+        tracer = Tracer()
+        engine = ShardedServingEngine(A100, config=CONFIG, shard="tp2dp2",
+                                      tracer=tracer)
+        engine.run(small_trace(), rng=RngStream(17))
+        lanes = set(tracer.lane_names.values())
+        assert {"replica0.tp rank 0", "replica0.tp rank 1",
+                "replica1.tp rank 0", "replica1.tp rank 1"} <= lanes
+        assert tracer.find(name="rank.compute")
+        comm_spans = tracer.find(name="rank.all_reduce")
+        assert comm_spans
+        assert comm_spans[0].args["link"] == "nvlink"
+
+    def test_dp_lifts_throughput_under_load(self):
+        """A bursty trace that swamps one replica drains faster on four:
+        the DP win the router exists for."""
+        trace = small_trace(n=16, rate=5000.0)
+        _, one = self.run_sharded("dp1", trace)
+        _, four = self.run_sharded("dp4", trace)
+        assert four.tokens_per_s > one.tokens_per_s

@@ -1,0 +1,62 @@
+"""Tests for shard-layout parsing and fingerprints."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.parallel import NVLINK, PCIE, ShardConfig
+
+
+class TestShardConfig:
+    def test_defaults(self):
+        s = ShardConfig()
+        assert (s.tp, s.dp) == (1, 1)
+        assert s.link is NVLINK
+        assert s.world_size == 1
+        assert s.fingerprint == "tp1dp1:nvlink"
+
+    def test_world_size(self):
+        assert ShardConfig(tp=4, dp=2).world_size == 8
+
+    def test_fingerprint_carries_link(self):
+        assert ShardConfig(tp=2, link=PCIE).fingerprint == "tp2dp1:pcie"
+
+    @pytest.mark.parametrize("kwargs", [dict(tp=0), dict(dp=0), dict(tp=-1)])
+    def test_bad_counts_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ShardConfig(**kwargs)
+
+    def test_interconnect_rings_the_tp_group(self):
+        """Collectives run inside one replica's TP group, not across DP."""
+        ic = ShardConfig(tp=4, dp=2, link=PCIE).interconnect()
+        assert ic.world_size == 4
+        assert ic.link is PCIE
+
+
+class TestParse:
+    @pytest.mark.parametrize("spec,tp,dp,link", [
+        ("tp2", 2, 1, "nvlink"),
+        ("dp4", 1, 4, "nvlink"),
+        ("tp2dp2", 2, 2, "nvlink"),
+        ("tp4:pcie", 4, 1, "pcie"),
+        ("TP2DP3:NVLINK", 2, 3, "nvlink"),   # case-insensitive
+    ])
+    def test_accepted_specs(self, spec, tp, dp, link):
+        s = ShardConfig.parse(spec)
+        assert (s.tp, s.dp, s.link.name) == (tp, dp, link)
+
+    def test_config_passes_through(self):
+        s = ShardConfig(tp=2)
+        assert ShardConfig.parse(s) is s
+
+    @pytest.mark.parametrize("spec", ["", "foo", ":nvlink", "dp2tp2", "tp"])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ConfigError, match="shard spec"):
+            ShardConfig.parse(spec)
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ConfigError, match="unknown link"):
+            ShardConfig.parse("tp2:infiniband")
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardConfig.parse("tp0")

@@ -112,3 +112,25 @@ class TestPagedKVCache:
             assert 0 <= cache.used_pages <= cache.total_pages
             assert cache.used_bytes == cache.used_pages * cache.config.page_bytes
             assert cache.peak_occupancy <= 1.0 + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["reserve", "release"]),
+                st.integers(min_value=0, max_value=5),     # req_id
+                st.integers(min_value=0, max_value=64),    # tokens
+            ),
+            max_size=40,
+        )
+    )
+    def test_used_pages_counter_matches_recomputation(self, ops):
+        """The O(1) incrementally-maintained counter equals the sum over
+        per-request page runs after every operation."""
+        cache = small_cache(pages=8)
+        for op, req_id, tokens in ops:
+            if op == "reserve":
+                cache.reserve(req_id, tokens)
+            else:
+                cache.release(req_id)
+            assert cache.used_pages == sum(cache._pages.values())

@@ -70,12 +70,17 @@ class TestStaticBatchScheduler:
         admitted = sched.admit([big, small], [], cache)
         assert admitted == [big]                # small waits its turn
 
-    def test_head_that_can_never_fit_raises(self):
+    def test_head_that_does_not_fit_waits(self):
+        """A head exceeding the currently-free pages just waits; requests
+        that can never fit at all are rejected by the engine up front, so
+        admit never needs to raise mid-simulation."""
         sched = make_scheduler("static")
         cache = cache_with(pages=2, page_tokens=4)
         huge = tracker(0, prompt=32, new=8)
-        with pytest.raises(ConfigError):
-            sched.admit([huge], [], cache)
+        waiting = [huge]
+        assert sched.admit(waiting, [], cache) == []
+        assert waiting == [huge]            # still queued, nothing reserved
+        assert cache.used_pages == 0
 
     def test_token_budget_bounds_batch(self):
         sched = make_scheduler("static", max_batch_tokens=16)
@@ -83,14 +88,17 @@ class TestStaticBatchScheduler:
         a, b = tracker(0, prompt=8, new=4), tracker(1, prompt=8, new=4)
         assert sched.admit([a, b], [], cache) == [a]   # 12 + 12 > 16
 
-    def test_finished_members_replay_final_row(self):
-        sched = make_scheduler("static")
+    def test_finished_members_do_not_pad_decode(self):
+        """Both policies price exactly the live rows: a drained member in a
+        locked static batch contributes no phantom decode work (padded
+        replay used to make static steps price cheaper per live row than
+        continuous ones, breaking the throughput ordering)."""
         done = tracker(0, prompt=8, new=4)
         done.generated = 4                  # context 12, max_context 12
         live = tracker(1, prompt=8, new=4)
-        members = dict(sched.decode_members([done, live]))
-        assert members[done] == 11          # clamped to the last mask row
-        assert members[live] == 8
+        for name in ("static", "continuous"):
+            members = make_scheduler(name).decode_members([done, live])
+            assert members == [(live, 8)]
 
     def test_release_only_on_full_drain(self):
         sched = make_scheduler("static")

@@ -167,6 +167,22 @@ class TestLegacyKeywords:
         with pytest.raises(TypeError):
             compare_engines(TINY, 1, 32, bogus=1)
 
+    def test_alias_warns_only_once_per_process(self, recwarn):
+        """Loops over compile_model must not spam the identical warning."""
+        compile_model(TINY, 1, 32, gpu="a100")
+        compile_model(TINY, 1, 32, gpu="a100")
+        compare_engines(TINY, 1, 32, gpu="a100", engines=("pytorch-native",))
+        dep = [w for w in recwarn.list
+               if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+
+    def test_warning_points_at_callers_line(self):
+        """The reported location is the user's call site, not a frame
+        inside repro (warn helpers compensate for their own frames)."""
+        with pytest.warns(DeprecationWarning) as record:
+            compile_model(TINY, 1, 32, gpu="a100")
+        assert record[0].filename == __file__
+
 
 class TestTraceHook:
     def test_compile_records_into_given_tracer(self):

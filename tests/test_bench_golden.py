@@ -102,6 +102,29 @@ def test_fig13_cell_matches_golden():
         assert f"{speed:.2f}x" in line, (kwargs, speed, line)
 
 
+def test_sharding_cells_match_golden():
+    """Recompute one compute-bound and one comm-bound cell of the TP
+    scaling table."""
+    import bench_sharding as mod
+
+    from repro.api import compile_model
+
+    text = golden("sharding_scaling")
+    for batch, seq, label_cells in (
+        (8, 512, ["large", "8x512", "nvlink", "4"]),
+        (1, 128, ["small", "1x128", "pcie", "8"]),
+    ):
+        shard = f"tp{label_cells[3]}:{label_cells[2]}"
+        c = compile_model(mod.MODEL, batch, seq, mask="causal",
+                          parallel=shard)
+        line = next(
+            ln for ln in text.splitlines() if ln.split()[:4] == label_cells
+        )
+        cells = line.split()
+        assert cells[4] == _fmt(c.latency_s * 1e3)
+        assert cells[5] == _fmt(c.comm_time_s * 1e3)
+
+
 def test_every_bench_module_has_a_committed_result():
     """Each results/*.txt artifact is tracked and non-empty."""
     results = sorted(RESULTS_DIR.glob("*.txt"))

@@ -9,7 +9,7 @@ from repro.cli import build_parser, main
 #: Every subcommand the CLI registers (kept in sync by test_help_sweep).
 ALL_COMMANDS = (
     "devices", "masks", "mha", "e2e", "trace", "profile", "report",
-    "decode", "serve-sim", "plan-cache", "tune",
+    "decode", "serve-sim", "shard-sim", "plan-cache", "tune",
 )
 
 
@@ -62,6 +62,14 @@ class TestDeprecatedAliases:
         assert not [
             w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
         ]
+
+    def test_alias_warns_only_once_per_process(self, recwarn):
+        for _ in range(3):
+            build_parser().parse_args(["mha", "--gpu", "rtx4090"])
+        dep = [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(dep) == 1
 
 
 class TestCommands:
@@ -121,6 +129,22 @@ class TestCommands:
                      "--new-min", "4", "--new-max", "8"]) == 0
         out = capsys.readouterr().out
         assert "TTFT" in out and "tok/s" in out
+
+    def test_shard_sim(self, capsys):
+        assert main(["shard-sim", "--tp", "2", "--dp", "2",
+                     "--num-requests", "8", "--rate", "1000",
+                     "--layers", "2", "--heads", "4", "--head-size", "16",
+                     "--prompt-min", "16", "--prompt-max", "32",
+                     "--new-min", "4", "--new-max", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "tp2dp2" in out
+        assert "plan cache" in out and "hit rate" in out
+
+    def test_shard_sim_bad_divisibility(self, capsys):
+        assert main(["shard-sim", "--tp", "3", "--heads", "8",
+                     "--num-requests", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "not divisible" in err
 
     def test_plan_cache(self, capsys):
         assert main(["plan-cache", "--num-requests", "4",
