@@ -405,11 +405,19 @@ def cmd_profile(args: argparse.Namespace) -> int:
     metrics = MetricsRegistry()
     with use_tracer(tracer), use_metrics(metrics):
         if args.workload == "compile":
+            engine_kwargs = {}
+            if getattr(args, "exec_backend", None):
+                engine_kwargs["exec_backend"] = args.exec_backend
             compiled = compile_model(
                 args.model, args.batch, args.seq_len,
                 device=args.device, mask=args.mask, engine=args.engine,
-                seed=args.seed,
+                seed=args.seed, **engine_kwargs,
             )
+            if engine_kwargs:
+                # Functional forward pass so execution spans land in the
+                # trace — for codegen, emission (cold) vs execution (every
+                # call) separate into codegen.emit / codegen.exec lanes.
+                compiled.run()
             meta = {
                 "workload": "compile", "engine": compiled.engine_name,
                 "model": args.model, "device": args.device, "mask": args.mask,
@@ -648,6 +656,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seq-len", type=int, default=128)
     _add_mask(p, default="bigbird")
     p.add_argument("--engine", default="stof")
+    p.add_argument("--exec-backend", default=None,
+                   choices=("vectorized", "loop", "codegen"),
+                   help="compile workload: also execute a forward pass "
+                        "under this execution backend so kernel spans "
+                        "(e.g. codegen.emit vs codegen.exec) are traced")
     p.add_argument("--num-requests", type=int, default=8,
                    help="serve-sim workload: trace size")
     p.add_argument("--rate", type=float, default=500.0,

@@ -1,0 +1,219 @@
+"""The codegen execution backend the MHA kernels dispatch to.
+
+Bind path for one problem:
+
+1. :func:`codegen_plan_key` — a :class:`repro.plan.PlanKey` whose ``salt``
+   carries the template name *and emission version* (satellite of the plan
+   layer: bumping a template version changes every digest it produced, so
+   stale cached modules can never be looked up again).
+2. :func:`generated_kernel` — consult the :mod:`repro.codegen.cache`
+   (memory, then disk, verified by content hash), emit only on a miss.
+   Every lookup records a ``codegen.cache`` tracer span with its outcome;
+   emission records a ``codegen.emit`` span — warm runs therefore show
+   *zero* ``codegen.emit`` spans, which the round-trip tests pin.
+3. ``entry.run(q, k, v)`` — the generated module's ``run`` with its bound
+   constant pool.  Operands arrive pre-scaled fp32, exactly as the loop
+   and vectorized backends receive them.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.codegen.blockwise import specialize_blockwise
+from repro.codegen.cache import CacheEntry, codegen_cache
+from repro.codegen.rowwise import specialize_rowwise
+from repro.codegen.templates import GeneratedSource, get_template
+from repro.masks.bsr import BlockSparseMask
+from repro.obs.metrics import current_metrics
+from repro.obs.tracer import current_tracer
+from repro.plan.key import PlanKey, params_key
+
+
+def codegen_plan_key(
+    kind: str,
+    problem: Any,
+    params: dict[str, Any] | None = None,
+    template: str = "blockwise",
+) -> PlanKey:
+    """Content-address one specialization.
+
+    The key is pure problem identity (geometry + mask bits + kernel
+    parameters) — no device spec, because the emitted NumPy is
+    device-independent.  ``salt`` folds in the template name and version so
+    a template upgrade invalidates every module the old emission produced.
+    """
+    tmpl = get_template(template)
+    return PlanKey(
+        kind=kind,
+        batch=problem.batch,
+        heads=problem.heads,
+        seq_len=problem.seq_len,
+        kv_seq_len=problem.kv_seq_len,
+        head_size=problem.head_size,
+        pattern=problem.pattern,
+        mask=problem.mask_fingerprint(),
+        params=params_key(params),
+        salt=f"codegen:{tmpl.name}:v{tmpl.version}",
+    )
+
+
+def _exec_module(source: str, digest: str) -> ModuleType:
+    """Compile + exec generated source as an anonymous module."""
+    mod = ModuleType(f"repro_codegen_{digest[:16]}")
+    mod.__dict__["__codegen_digest__"] = digest
+    code = compile(source, f"<codegen:{digest[:16]}>", "exec")
+    exec(code, mod.__dict__)
+    return mod
+
+
+def generated_kernel(
+    key: PlanKey,
+    template: str,
+    build: Callable[[str], GeneratedSource],
+) -> CacheEntry:
+    """The bound generated kernel for ``key`` (emitting only on a miss)."""
+    tmpl = get_template(template)
+    cache = codegen_cache()
+    digest = key.digest
+    tracer = current_tracer()
+    m = current_metrics()
+
+    with tracer.span("codegen.cache", cat="codegen", template=template) as sp:
+        entry = cache.get(digest)
+        if entry is not None:
+            sp.add(outcome="hit-memory")
+            if m.enabled:
+                m.counter(
+                    "codegen.cache", template=template, outcome="hit-memory"
+                ).inc()
+            return entry
+        loaded = cache.load_disk(digest, tmpl.name, tmpl.version)
+        if loaded is not None:
+            source, consts, _meta = loaded
+            entry = CacheEntry(
+                key, tmpl.name, tmpl.version, source,
+                _exec_module(source, digest), consts,
+            )
+            cache.put(digest, entry)
+            sp.add(outcome="hit-disk")
+            if m.enabled:
+                m.counter(
+                    "codegen.cache", template=template, outcome="hit-disk"
+                ).inc()
+            return entry
+        sp.add(outcome="miss")
+        if m.enabled:
+            m.counter("codegen.cache", template=template, outcome="miss").inc()
+    cache.misses += 1
+
+    with tracer.span("codegen.emit", cat="codegen", template=template) as sp:
+        gen = build(digest)
+        sp.add(
+            lines=gen.source.count("\n"),
+            consts=len(gen.consts),
+            version=gen.version,
+        )
+        if m.enabled:
+            m.counter("codegen.emit", template=template).inc()
+    entry = CacheEntry(
+        key, gen.template, gen.version, gen.source,
+        _exec_module(gen.source, digest), gen.consts,
+    )
+    cache.put(digest, entry)
+    cache.store_disk(digest, key, gen.template, gen.version, gen.source, gen.consts)
+    return entry
+
+
+def _problem_entry(problem: Any, memo_key: tuple, resolve) -> CacheEntry:
+    """Per-problem memo of the resolved cache entry.
+
+    The generated module depends only on mask content, geometry, and
+    kernel parameters — all immutable on a problem (like its ``_bsr_cache``
+    /``_csr_cache`` views) — so repeated ``run()`` calls skip plan-key
+    construction, digest hashing, and cache lookup entirely.  The global
+    :func:`codegen_cache` stays the source of truth across problems.
+    """
+    entries = problem.__dict__.setdefault("_codegen_entries", {})
+    entry = entries.get(memo_key)
+    if entry is None:
+        entry = resolve()
+        entries[memo_key] = entry
+    return entry
+
+
+def run_blockwise(
+    problem: Any,
+    bsr: BlockSparseMask,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+) -> np.ndarray:
+    """Execute one blockwise problem through its generated module."""
+
+    def resolve() -> CacheEntry:
+        key = codegen_plan_key(
+            "codegen-blockwise",
+            problem,
+            {"block_m": bsr.block_m, "block_n": bsr.block_n},
+            template="blockwise",
+        )
+        return generated_kernel(
+            key,
+            "blockwise",
+            lambda digest: specialize_blockwise(
+                bsr, problem.n_bh, digest, problem.pattern, mask=problem.mask
+            ),
+        )
+
+    entry = _problem_entry(
+        problem, ("blockwise", bsr.block_m, bsr.block_n), resolve
+    )
+    return _traced_run(entry, "blockwise", q, k, v)
+
+
+def run_rowwise(
+    problem: Any,
+    row_ptr: np.ndarray,
+    col_idx: np.ndarray,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+) -> np.ndarray:
+    """Execute one rowwise problem through its generated module."""
+
+    def resolve() -> CacheEntry:
+        key = codegen_plan_key(
+            "codegen-rowwise", problem, None, template="rowwise"
+        )
+        return generated_kernel(
+            key,
+            "rowwise",
+            lambda digest: specialize_rowwise(
+                row_ptr, col_idx, problem.mask, problem.n_bh,
+                problem.head_size, digest, problem.pattern,
+            ),
+        )
+
+    entry = _problem_entry(problem, ("rowwise",), resolve)
+    return _traced_run(entry, "rowwise", q, k, v)
+
+
+def _traced_run(
+    entry: CacheEntry, template: str, q: np.ndarray, k: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """Run the bound module, under a ``codegen.exec`` span when tracing.
+
+    With the emission span on the cold path and this span on every call,
+    a ``repro profile`` trace separates one-time emission cost from warm
+    per-call execution — the guarded fast path keeps the untraced hot
+    loop at a single attribute check.
+    """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return entry.run(q, k, v)
+    with tracer.span("codegen.exec", cat="codegen", template=template):
+        return entry.run(q, k, v)

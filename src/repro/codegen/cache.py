@@ -1,0 +1,247 @@
+"""Content-addressed cache for generated kernel modules.
+
+Two tiers, both keyed by the codegen :class:`repro.plan.PlanKey` digest:
+
+* **in-memory** — bound, executable entries (module + consts pool); hits
+  cost a dict lookup, nothing is re-emitted or re-``exec``'d.
+* **on disk** (optional) — the emitted *source* as ``<digest>.py`` next to
+  a ``<digest>.json`` sidecar recording the SHA-256 of the source, the
+  template name/version, and the full plan key.  A warm process loads the
+  source, verifies the hash and version, and re-``exec``'s it — zero
+  emission cost, byte-identical module text.  A corrupted or stale entry
+  (hash mismatch, version skew, unreadable sidecar) is *never* imported:
+  it is dropped and the module is regenerated in place.
+
+The default cache directory comes from ``STOF_CODEGEN_CACHE_DIR``; unset,
+the cache is in-memory only — tests opt into disk via
+:func:`use_codegen_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from types import ModuleType
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.plan.key import PlanKey
+
+#: Environment variable selecting the on-disk cache directory.
+CACHE_DIR_ENV = "STOF_CODEGEN_CACHE_DIR"
+
+
+def source_hash(source: str) -> str:
+    """SHA-256 of the module text — the integrity check for disk entries."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class CacheEntry:
+    """One bound generated kernel: executable module + its constant pool."""
+
+    __slots__ = ("key", "template", "version", "source", "module", "consts")
+
+    def __init__(
+        self,
+        key: PlanKey,
+        template: str,
+        version: int,
+        source: str,
+        module: ModuleType,
+        consts: list,
+    ) -> None:
+        self.key = key
+        self.template = template
+        self.version = version
+        self.source = source
+        self.module = module
+        self.consts = consts
+
+    def run(self, q, k, v):
+        return self.module.run(q, k, v, self.consts)
+
+
+class GeneratedCodeCache:
+    """Digest-keyed generated-code cache (in-memory + optional disk tier)."""
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, CacheEntry] = {}
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.misses = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------- in-memory
+
+    def get(self, digest: str) -> CacheEntry | None:
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self.hits_memory += 1
+            return entry
+
+    def put(self, digest: str, entry: CacheEntry) -> None:
+        with self._lock:
+            self._entries[digest] = entry
+
+    def clear_memory(self) -> None:
+        """Drop bound entries (disk files survive) — the warm-start test."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------ disk
+
+    def source_path(self, digest: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{digest}.py"
+
+    def meta_path(self, digest: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{digest}.json"
+
+    def consts_path(self, digest: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{digest}.npz"
+
+    def store_disk(
+        self,
+        digest: str,
+        key: PlanKey,
+        template: str,
+        version: int,
+        source: str,
+        consts: list[np.ndarray],
+    ) -> None:
+        """Write ``<digest>.py`` + sidecar + consts (atomic renames)."""
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "sha256": source_hash(source),
+            "template": template,
+            "version": int(version),
+            "n_consts": len(consts),
+            "key": key.to_dict(),
+        }
+        if consts:
+            cpath = self.consts_path(digest)
+            tmp = cpath.with_suffix(f".tmp{os.getpid()}.npz")
+            with open(tmp, "wb") as fh:
+                np.savez(fh, *consts)
+            os.replace(tmp, cpath)
+        for path, text in (
+            (self.source_path(digest), source),
+            (self.meta_path(digest), json.dumps(meta, indent=2, sort_keys=True)),
+        ):
+            tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, path)
+
+    def load_disk(
+        self, digest: str, template: str, version: int
+    ) -> tuple[str, list[np.ndarray], dict[str, Any]] | None:
+        """Return verified ``(source, consts, meta)`` or ``None``.
+
+        Rejects — and deletes, so the slot regenerates cleanly — any entry
+        whose sidecar is missing/unreadable, whose recorded hash does not
+        match the actual bytes (corruption), whose template version differs
+        from the current emission (staleness), or whose constant pool is
+        missing or short.
+        """
+        src_path, meta_path = self.source_path(digest), self.meta_path(digest)
+        if src_path is None or not src_path.exists():
+            return None
+        try:
+            source = src_path.read_text(encoding="utf-8")
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self._reject(digest)
+            return None
+        if (
+            meta.get("sha256") != source_hash(source)
+            or meta.get("template") != template
+            or int(meta.get("version", -1)) != int(version)
+        ):
+            self._reject(digest)
+            return None
+        n_consts = int(meta.get("n_consts", 0))
+        consts: list[np.ndarray] = []
+        if n_consts:
+            try:
+                with np.load(self.consts_path(digest)) as npz:
+                    consts = [npz[f"arr_{i}"] for i in range(n_consts)]
+            except (OSError, ValueError, KeyError):
+                self._reject(digest)
+                return None
+        self.hits_disk += 1
+        return source, consts, meta
+
+    def _reject(self, digest: str) -> None:
+        self.rejected += 1
+        for path in (
+            self.source_path(digest),
+            self.meta_path(digest),
+            self.consts_path(digest),
+        ):
+            if path is not None:
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self),
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+            "rejected": self.rejected,
+        }
+
+
+_DEFAULT: GeneratedCodeCache | None = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def codegen_cache() -> GeneratedCodeCache:
+    """The process-wide cache (disk tier from ``STOF_CODEGEN_CACHE_DIR``)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = GeneratedCodeCache(os.environ.get(CACHE_DIR_ENV) or None)
+        return _DEFAULT
+
+
+def set_codegen_cache(cache: GeneratedCodeCache | None) -> GeneratedCodeCache | None:
+    """Swap the process-wide cache; returns the previous one."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        prev, _DEFAULT = _DEFAULT, cache
+        return prev
+
+
+@contextmanager
+def use_codegen_cache(
+    cache_dir: str | os.PathLike | None = None,
+) -> Iterator[GeneratedCodeCache]:
+    """Scope a fresh cache (optionally disk-backed) — the test fixture."""
+    cache = GeneratedCodeCache(cache_dir)
+    prev = set_codegen_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_codegen_cache(prev)

@@ -1,0 +1,63 @@
+"""Indented source emission for the codegen templates.
+
+:class:`IndentedBuffer` is the torchinductor-style building block: templates
+write logical lines and open/close indentation scopes; the buffer renders
+the final module text.  Emission is fully deterministic — identical
+specializer inputs produce byte-identical source, which the on-disk cache
+round-trip tests pin.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+INDENT = "    "
+
+
+class IndentedBuffer:
+    """Line-oriented source buffer with scoped indentation.
+
+    >>> buf = IndentedBuffer()
+    >>> buf.writeline("def f():")
+    >>> with buf.indent():
+    ...     buf.writeline("return 1")
+    >>> print(buf.getvalue(), end="")
+    def f():
+        return 1
+    """
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._depth = 0
+
+    def writeline(self, line: str = "") -> None:
+        """Append one line at the current indentation (blank lines bare)."""
+        if line:
+            self._lines.append(INDENT * self._depth + line)
+        else:
+            self._lines.append("")
+
+    def writelines(self, lines: list[str]) -> None:
+        for line in lines:
+            self.writeline(line)
+
+    @contextmanager
+    def indent(self, levels: int = 1) -> Iterator["IndentedBuffer"]:
+        """Indent by ``levels`` for the duration of the ``with`` block."""
+        self._depth += levels
+        try:
+            yield self
+        finally:
+            self._depth -= levels
+
+    def splice(self, source: str) -> None:
+        """Append a multi-line chunk, re-indenting to the current depth."""
+        for line in source.splitlines():
+            self.writeline(line)
+
+    def getvalue(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    def __len__(self) -> int:
+        return len(self._lines)

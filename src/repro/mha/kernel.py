@@ -25,9 +25,12 @@ Launch = tuple[KernelCost, LaunchConfig]
 #: traversal as flat gathered einsums with segmented reductions (the fast
 #: default); ``"loop"`` is the original per-row/per-block Python traversal,
 #: retained as the readable oracle the vectorized path is differentially
-#: tested against.  The choice only affects how ``run`` computes values —
-#: ``plan``/counter output is backend-independent.
-EXEC_BACKENDS = ("vectorized", "loop")
+#: tested against; ``"codegen"`` emits Python source specialized to the
+#: mask (:mod:`repro.codegen`) — bucket layout, strides, and chunk sizes
+#: baked in as constants, dead branches eliminated — and executes the
+#: cached generated module.  The choice only affects how ``run`` computes
+#: values — ``plan``/counter output is backend-independent.
+EXEC_BACKENDS = ("vectorized", "loop", "codegen")
 
 #: Peak fp32 elements one vectorized gather stage may materialize at once;
 #: the vectorized backends chunk their batched gathers below this bound.

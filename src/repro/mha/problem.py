@@ -50,6 +50,7 @@ class AttentionProblem:
     _csr_cache: tuple[np.ndarray, np.ndarray] | None = field(default=None, repr=False)
     _mask_fp: str | None = field(default=None, repr=False)
     _contig_cache: float | None = field(default=None, repr=False)
+    _f32_cache: tuple | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if min(self.batch, self.heads, self.seq_len, self.head_size) < 1:
@@ -176,6 +177,31 @@ class AttentionProblem:
             col_idx = np.flatnonzero(self.mask.ravel()) % self.kv_seq_len
             self._csr_cache = (row_ptr, col_idx.astype(np.int32))
         return self._csr_cache
+
+    def staged_f32(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pre-scaled Q and K/V as flat FP32 compute arrays (cached).
+
+        Every execution backend needs the same staging — Q upcast fused
+        with the ``1/sqrt(d)`` score scale, K/V upcast, all flattened to
+        ``(batch*heads, len, head_size)``.  On small problems that staging
+        rivals the kernel math itself, so it is memoized alongside the
+        other derived views (tensors, like the mask, are treated as
+        immutable once attached; re-assigning ``q`` invalidates the cache).
+        """
+        if self._f32_cache is None or self._f32_cache[0] is not self.q:
+            if self.q is None:
+                raise ConfigError(
+                    "problem has no tensors; build with with_tensors=True"
+                )
+            n_bh, d = self.n_bh, self.head_size
+            q = np.multiply(
+                self.q.reshape(n_bh, self.seq_len, d), np.float32(self.scale),
+                dtype=np.float32,
+            )
+            k = self.k.reshape(n_bh, self.kv_seq_len, d).astype(np.float32)
+            v = self.v.reshape(n_bh, self.kv_seq_len, d).astype(np.float32)
+            self._f32_cache = (self.q, q, k, v)
+        return self._f32_cache[1:]
 
     def contiguous_row_fraction(self) -> float:
         """Fraction of non-empty mask rows forming one contiguous run (cached).

@@ -184,18 +184,14 @@ class RowWiseKernel(AttentionKernel):
         if problem.q is None:
             raise ConfigError("problem has no tensors; build with with_tensors=True")
         row_ptr, col_idx = problem.csr()
-        seq, kv, d = problem.seq_len, problem.kv_seq_len, problem.head_size
-        n_bh = problem.n_bh
-        # One fused upcast+scale pass (not astype followed by multiply).
-        q = np.multiply(
-            problem.q.reshape(n_bh, seq, d), np.float32(problem.scale),
-            dtype=np.float32,
-        )
-        k = problem.k.reshape(n_bh, kv, d).astype(np.float32)
-        v = problem.v.reshape(n_bh, kv, d).astype(np.float32)
+        q, k, v = problem.staged_f32()
 
         if self.exec_backend == "loop":
             out = self._run_loop(row_ptr, col_idx, q, k, v)
+        elif self.exec_backend == "codegen":
+            from repro.codegen.backend import run_rowwise
+
+            out = run_rowwise(problem, row_ptr, col_idx, q, k, v)
         else:
             out = self._run_vectorized(row_ptr, col_idx, problem.mask, q, k, v)
         return to_fp16(out.reshape(problem.qkv_shape))

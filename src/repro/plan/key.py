@@ -162,9 +162,26 @@ class PlanKey:
 
     @property
     def digest(self) -> str:
-        """Stable cross-process content hash of the whole key."""
-        payload = json.dumps(asdict(self), sort_keys=True, default=str)
-        return hashlib.sha256(payload.encode()).hexdigest()
+        """Stable cross-process content hash of the whole key.
+
+        Memoized on the frozen instance (the ``__hash__`` idiom): digests
+        key the generated-code cache on the per-call execution path, where
+        a recomputed canonical-JSON SHA-256 is measurable.
+        """
+        d = self.__dict__.get("_digest")
+        if d is None:
+            # Flat field walk, not dataclasses.asdict: every field is a
+            # primitive or tuple-of-primitives, so the JSON is identical
+            # and the recursive deepcopy asdict performs is pure overhead
+            # on the per-call codegen dispatch path.
+            payload = json.dumps(
+                {f.name: getattr(self, f.name) for f in fields(self)},
+                sort_keys=True,
+                default=str,
+            )
+            d = hashlib.sha256(payload.encode()).hexdigest()
+            object.__setattr__(self, "_digest", d)
+        return d
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)

@@ -58,6 +58,7 @@ class STOFEngine(Engine):
         stage1_samples: int = 2,
         stage2_rounds: int = 3,
         stage2_total: int = 16,
+        exec_backend: str = "vectorized",
     ):
         self.use_mha_module = use_mha_module
         self.use_fusion_module = use_fusion_module
@@ -67,9 +68,10 @@ class STOFEngine(Engine):
         self.stage1_samples = stage1_samples
         self.stage2_rounds = stage2_rounds
         self.stage2_total = stage2_total
+        self.exec_backend = exec_backend
         self._fallback_attention = FlashAttention2Attention()
-        self._row = RowWiseKernel()
-        self._block = BlockWiseKernel()
+        self._row = RowWiseKernel(exec_backend=exec_backend)
+        self._block = BlockWiseKernel(exec_backend=exec_backend)
         self.last_overhead: OverheadBreakdown | None = None
 
         suffix = {

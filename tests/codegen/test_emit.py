@@ -1,0 +1,87 @@
+"""IndentedBuffer: the emission primitive every template builds on."""
+
+from repro.codegen.emit import INDENT, IndentedBuffer
+
+
+def test_writeline_plain():
+    buf = IndentedBuffer()
+    buf.writeline("x = 1")
+    buf.writeline("y = 2")
+    assert buf.getvalue() == "x = 1\ny = 2\n"
+
+
+def test_indent_scopes_nest_and_unwind():
+    buf = IndentedBuffer()
+    buf.writeline("def f():")
+    with buf.indent():
+        buf.writeline("if a:")
+        with buf.indent():
+            buf.writeline("return 1")
+        buf.writeline("return 0")
+    buf.writeline("g = f")
+    assert buf.getvalue() == (
+        "def f():\n"
+        f"{INDENT}if a:\n"
+        f"{INDENT * 2}return 1\n"
+        f"{INDENT}return 0\n"
+        "g = f\n"
+    )
+
+
+def test_indent_multiple_levels():
+    buf = IndentedBuffer()
+    with buf.indent(levels=3):
+        buf.writeline("deep")
+    assert buf.getvalue() == f"{INDENT * 3}deep\n"
+
+
+def test_blank_lines_carry_no_indent():
+    buf = IndentedBuffer()
+    with buf.indent():
+        buf.writeline("a = 1")
+        buf.writeline()
+        buf.writeline("b = 2")
+    lines = buf.getvalue().splitlines()
+    assert lines[1] == ""
+
+
+def test_splice_reindents_chunk():
+    buf = IndentedBuffer()
+    buf.writeline("def f():")
+    with buf.indent():
+        buf.splice("a = 1\nb = 2")
+    assert buf.getvalue() == f"def f():\n{INDENT}a = 1\n{INDENT}b = 2\n"
+
+
+def test_writelines_and_len():
+    buf = IndentedBuffer()
+    buf.writelines(["# one", "# two"])
+    assert len(buf) == 2
+    assert buf.getvalue().startswith("# one\n# two")
+
+
+def test_indent_unwinds_on_exception():
+    buf = IndentedBuffer()
+    try:
+        with buf.indent():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    buf.writeline("after")
+    assert buf.getvalue().endswith("after\n")
+
+
+def test_emission_is_deterministic():
+    """Same writes, same bytes — the property the disk cache relies on."""
+
+    def render():
+        buf = IndentedBuffer()
+        buf.writeline("def run(q, k, v, consts):")
+        with buf.indent():
+            for i in range(3):
+                buf.writeline(f"t{i} = consts[{i}]")
+            buf.writeline("return t0")
+        return buf.getvalue()
+
+    assert render() == render()
+    assert compile(render(), "<test>", "exec")

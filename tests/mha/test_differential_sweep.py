@@ -1,7 +1,8 @@
 """Differential sweep: every attention kernel against the dense reference.
 
 One grid, every implementation: the STOF kernels (row-wise, block-wise,
-and the Eq.1/Eq.2 selector behind ``UnifiedMHA``) plus every baseline the
+under all three execution backends, and the Eq.1/Eq.2 selector behind
+``UnifiedMHA``) plus every baseline the
 figure benchmarks compare (``benchmarks/mha_methods.py``) run the same
 concrete problems and must agree with ``repro.mha.reference`` at the FP16
 noise floor — across mask families, sequence lengths, batch sizes, and
@@ -63,6 +64,8 @@ def sweep_kernels():
         "blockwise": BlockWiseKernel(),
         "rowwise-loop": RowWiseKernel(exec_backend="loop"),
         "blockwise-loop": BlockWiseKernel(exec_backend="loop"),
+        "rowwise-codegen": RowWiseKernel(exec_backend="codegen"),
+        "blockwise-codegen": BlockWiseKernel(exec_backend="codegen"),
         "flashmask": FlashMaskAttention(),
     }
     for label, cls, _dispatch in MHA_METHODS:
@@ -78,6 +81,8 @@ CORE = {
     "blockwise",
     "rowwise-loop",
     "blockwise-loop",
+    "rowwise-codegen",
+    "blockwise-codegen",
     "pytorch-native",
     "flashattention2",
     "flexattention",

@@ -1,12 +1,13 @@
-"""Differential tests: the vectorized execution backend against the loop oracle.
+"""Differential tests: vectorized and codegen execution backends vs the loop oracle.
 
-Both backends compute the same masked softmax-attention in fp32 and round
-to fp16; they differ only in traversal order (flat gathered einsums with a
-one-shot segmented softmax vs the original per-row/per-block online
-softmax).  Reassociating the fp32 reductions can move a result by ~1 fp32
-ulp, which after fp16 rounding is at most 1–2 fp16 ulp — exactly the noise
-floor ``fp16_allclose`` encodes, so that is the agreement criterion here
-(and padded/masked lanes contribute exact zeros, never noise).
+All three backends compute the same masked softmax-attention in fp32 and
+round to fp16; they differ only in traversal order (flat gathered einsums
+with a one-shot segmented softmax, per-plan generated straight-line
+modules, vs the original per-row/per-block online softmax).
+Reassociating the fp32 reductions can move a result by ~1 fp32 ulp, which
+after fp16 rounding is at most 1–2 fp16 ulp — exactly the noise floor
+``fp16_allclose`` encodes, so that is the agreement criterion here (and
+padded/masked lanes contribute exact zeros, never noise).
 
 The matrix covers every registry pattern, ragged tails that force edge
 padding in the BSR tiles, rectangular decode shapes, fully-masked rows
@@ -45,27 +46,37 @@ KERNELS = [RowWiseKernel, BlockWiseKernel]
 KERNEL_IDS = [cls.__name__ for cls in KERNELS]
 
 
-def _run_both(cls, prob, params=None):
-    """Run one problem through both backends of one kernel class."""
-    vec = cls(exec_backend="vectorized")
-    loop = cls(exec_backend="loop")
-    p = dict(vec.default_params(prob, A100))
+def _run_all(cls, prob, params=None):
+    """Run one problem through every backend of one kernel class."""
+    kernels = {b: cls(exec_backend=b) for b in EXEC_BACKENDS}
+    p = dict(kernels["vectorized"].default_params(prob, A100))
     if params:
         p.update(params)
-    return vec.run(prob, p), loop.run(prob, p)
+    return {b: kern.run(prob, p) for b, kern in kernels.items()}
+
+
+def _run_both(cls, prob, params=None):
+    outs = _run_all(cls, prob, params)
+    return outs["vectorized"], outs["loop"]
 
 
 def _assert_pair(cls, prob, params=None, extra=""):
-    out_vec, out_loop = _run_both(cls, prob, params)
-    assert out_vec.shape == out_loop.shape
-    assert out_vec.dtype == out_loop.dtype
-    assert np.isfinite(out_vec.astype(np.float32)).all(), f"vec NaN/inf {extra}"
-    assert fp16_allclose(out_vec, out_loop), f"{cls.__name__} backends {extra}"
-    return out_vec
+    outs = _run_all(cls, prob, params)
+    out_loop = outs["loop"]
+    for backend, out in outs.items():
+        assert out.shape == out_loop.shape, f"{backend} shape {extra}"
+        assert out.dtype == out_loop.dtype, f"{backend} dtype {extra}"
+        assert np.isfinite(out.astype(np.float32)).all(), (
+            f"{backend} NaN/inf {extra}"
+        )
+        assert fp16_allclose(out, out_loop), (
+            f"{cls.__name__} {backend} vs loop {extra}"
+        )
+    return outs["vectorized"]
 
 
 def test_exec_backends_registry():
-    assert EXEC_BACKENDS == ("vectorized", "loop")
+    assert EXEC_BACKENDS == ("vectorized", "loop", "codegen")
 
 
 @pytest.mark.parametrize("cls", KERNELS, ids=KERNEL_IDS)
@@ -144,12 +155,16 @@ def test_fully_masked_rows_produce_zeros(cls, rng):
     prob.q = (d.standard_normal(prob.qkv_shape) * 0.5).astype(np.float16)
     prob.k = (d.standard_normal(prob.kv_shape) * 0.5).astype(np.float16)
     prob.v = (d.standard_normal(prob.kv_shape) * 0.5).astype(np.float16)
-    out_vec, out_loop = _run_both(cls, prob)
-    assert np.isfinite(out_vec.astype(np.float32)).all()
-    assert fp16_allclose(out_vec, out_loop)
-    assert not out_vec[:, :, dead, :].any(), "fully-masked rows must be zero"
+    outs = _run_all(cls, prob)
+    out_loop = outs["loop"]
     live = [i for i in range(seq) if i not in dead]
-    assert out_vec[:, :, live, :].any()
+    for backend, out in outs.items():
+        assert np.isfinite(out.astype(np.float32)).all(), backend
+        assert fp16_allclose(out, out_loop), backend
+        assert not out[:, :, dead, :].any(), (
+            f"{backend}: fully-masked rows must be zero"
+        )
+        assert out[:, :, live, :].any(), backend
 
 
 @pytest.mark.parametrize("cls", KERNELS, ids=KERNEL_IDS)
@@ -190,12 +205,87 @@ def test_unified_mha_backend_switch(pattern, rng):
     )
     fast = UnifiedMHA(A100)
     slow = UnifiedMHA(A100, exec_backend="loop")
+    gen = UnifiedMHA(A100, exec_backend="codegen")
     assert fast._row.exec_backend == "vectorized"
     assert slow._block.exec_backend == "loop"
+    assert gen._row.exec_backend == "codegen"
     out_fast = fast.run(prob)
     out_slow = slow.run(prob)
+    out_gen = gen.run(prob)
     assert fp16_allclose(out_fast, out_slow), pattern
+    assert fp16_allclose(out_gen, out_slow), pattern
     assert fp16_allclose(out_fast, solve_reference(prob)), pattern
+
+
+def _custom_problem(mask, r):
+    q_len, kv_len = mask.shape
+    prob = AttentionProblem(
+        1, HEADS, q_len, HEAD_SIZE, mask, kv_seq_len=kv_len, pattern="custom"
+    )
+    d = r.fork("qkv")
+    prob.q = (d.standard_normal(prob.qkv_shape) * 0.5).astype(np.float16)
+    prob.k = (d.standard_normal(prob.kv_shape) * 0.5).astype(np.float16)
+    prob.v = (d.standard_normal(prob.kv_shape) * 0.5).astype(np.float16)
+    return prob
+
+
+def _degenerate_mask(case, seq):
+    mask = np.zeros((seq, seq), dtype=bool)
+    if case == "empty":
+        pass  # no row attends anywhere: output is defined as all zeros
+    elif case == "single_block":
+        mask[:16, 16:32] = True  # one valid tile in the whole block grid
+    elif case == "full_dense":
+        mask[:] = True  # dense lowering / no-bias fast path
+    elif case == "single_element":
+        mask[seq // 2, seq // 3] = True
+    return mask
+
+
+@pytest.mark.parametrize("cls", KERNELS, ids=KERNEL_IDS)
+@pytest.mark.parametrize(
+    "case", ["empty", "single_block", "full_dense", "single_element"]
+)
+def test_backends_agree_on_degenerate_masks(case, cls, rng):
+    """The structure extremes every specializer must survive.
+
+    ``empty`` exercises the zero-valid-blocks early return, ``single_block``
+    a one-tile plan, ``full_dense`` the no-bias dense lowering, and
+    ``single_element`` a plan whose only tile is almost entirely masked.
+    """
+    seq = 64
+    mask = _degenerate_mask(case, seq)
+    prob = _custom_problem(mask, rng.fork(f"degenerate-{case}"))
+    outs = _run_all(cls, prob)
+    out_loop = outs["loop"]
+    for backend, out in outs.items():
+        assert np.isfinite(out.astype(np.float32)).all(), f"{backend} {case}"
+        assert fp16_allclose(out, out_loop), f"{backend} {case}"
+    if case == "empty":
+        assert not outs["codegen"].any()
+    assert fp16_allclose(out_loop, solve_reference(prob)), case
+
+
+@pytest.mark.parametrize("cls", KERNELS, ids=KERNEL_IDS)
+@pytest.mark.parametrize("band", [8, 48])
+def test_codegen_banded_fast_path_agrees(band, cls, rng):
+    """Banded masks (the strided-einsum / retile fast path) stay exact.
+
+    ``band=8`` retiles far below the requested block size; ``band=48``
+    straddles tile boundaries so every group carries a bias slab.
+    """
+    prob = AttentionProblem.build(
+        "sliding_window",
+        1,
+        HEADS,
+        128,
+        HEAD_SIZE,
+        rng=rng.fork(f"banded-{band}"),
+        with_tensors=True,
+        band_width=band,
+    )
+    out = _assert_pair(cls, prob, extra=f"banded band={band}")
+    assert fp16_allclose(out, solve_reference(prob))
 
 
 def test_plan_is_backend_independent(rng):
