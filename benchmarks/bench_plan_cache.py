@@ -15,6 +15,13 @@ workload below.
 
 The golden table records only deterministic cache statistics; measured
 wall-clock is asserted, printed to stdout, and kept out of the golden.
+
+A second section stresses the *symbolic* key path: prompts drawn
+uniformly from 64-4096 tokens, so concrete keys see a near-unique shape
+per request while guarded plan families (``symbolic_plan_keys=True``)
+keep sharing row statistics across requests.  The golden records hit
+rate, entry count, family count, splits, and guard checks per lookup
+for both key schemes on the same trace.
 """
 
 import dataclasses
@@ -39,6 +46,13 @@ PATTERNS = (
     ("sliding_window", {"band_width": 32}),
     ("bigbird", {}),
 )
+
+#: Random-length traffic for the symbolic-keys section: prompts uniform
+#: over the full serving range, short generations (the prompt diversity,
+#: not the decode length, is what defeats concrete keys).
+RANDOM_PROMPT_RANGE = (64, 4096)
+RANDOM_MAX_NEW_RANGE = (256, 384)
+RANDOM_N_REQUESTS = 16
 
 #: Wall-clock repetitions; the minimum is the least-noisy estimate.
 TIMING_REPS = 3
@@ -87,12 +101,49 @@ def compute_results():
     return out
 
 
+def _random_length_trace():
+    return synthetic_trace(
+        RANDOM_N_REQUESTS,
+        RATE,
+        rng=bench_rng("plan-cache-random-lengths"),
+        pattern="causal",
+        prompt_range=RANDOM_PROMPT_RANGE,
+        max_new_range=RANDOM_MAX_NEW_RANGE,
+    )
+
+
+def run_random_lengths(symbolic: bool):
+    """One cached run of the random-length trace under either key scheme."""
+    engine = ServingEngine(
+        A100,
+        make_scheduler("continuous"),
+        ServingConfig(use_plan_cache=True, symbolic_plan_keys=symbolic),
+    )
+    trace = _random_length_trace()
+    t0 = time.perf_counter()
+    report = engine.run(trace, rng=bench_rng("plan-cache-masks"))
+    return report, time.perf_counter() - t0
+
+
+def compute_random_length_results():
+    out = {}
+    for symbolic in (False, True):
+        report, wall = run_random_lengths(symbolic)
+        out[symbolic] = {"report": report, "wall_s": wall}
+    return out
+
+
+@pytest.fixture(scope="module")
+def random_length_results():
+    return compute_random_length_results()
+
+
 @pytest.fixture(scope="module")
 def results():
     return compute_results()
 
 
-def test_plan_cache_table(benchmark, results):
+def test_plan_cache_table(benchmark, results, random_length_results):
     benchmark(lambda: _run(_trace("causal", {}), cached=True)[0].total_steps)
     rows = []
     for pattern, r in results.items():
@@ -113,28 +164,62 @@ def test_plan_cache_table(benchmark, results):
                 "yes" if identical else "NO",
             ]
         )
-    emit(
-        "plan_cache",
-        format_table(
-            [
-                "pattern",
-                "steps",
-                "tokens",
-                "mha hit/req",
-                "decode hit/req",
-                "decode rate",
-                "overall rate",
-                "entries",
-                "report id.",
-            ],
-            rows,
-            title=(
-                "Plan-cache reuse in the serving simulation "
-                f"({N_REQUESTS} requests, prompts {PROMPT_RANGE}, "
-                f"generations {MAX_NEW_RANGE}, A100)"
-            ),
+    reuse = format_table(
+        [
+            "pattern",
+            "steps",
+            "tokens",
+            "mha hit/req",
+            "decode hit/req",
+            "decode rate",
+            "overall rate",
+            "entries",
+            "report id.",
+        ],
+        rows,
+        title=(
+            "Plan-cache reuse in the serving simulation "
+            f"({N_REQUESTS} requests, prompts {PROMPT_RANGE}, "
+            f"generations {MAX_NEW_RANGE}, A100)"
         ),
     )
+
+    sym_rows = []
+    for symbolic in (False, True):
+        stats = random_length_results[symbolic]["report"].plan_cache
+        decode = stats["kinds"]["serving-decode"]
+        sym = stats["symbolic"]
+        lookups = stats["hits"] + stats["misses"]
+        sym_rows.append(
+            [
+                "symbolic" if symbolic else "concrete",
+                f"{decode['hit_rate']:.1%}",
+                f"{stats['hit_rate']:.1%}",
+                f"{stats['entries']}",
+                f"{sym['families']}",
+                f"{sym['splits']}",
+                f"{sym['guard_checks'] / lookups:.2f}",
+            ]
+        )
+    random_lengths = format_table(
+        [
+            "plan keys",
+            "decode rate",
+            "overall rate",
+            "entries",
+            "families",
+            "splits",
+            "checks/lookup",
+        ],
+        sym_rows,
+        title=(
+            "Symbolic plan families under random-length traffic "
+            f"({RANDOM_N_REQUESTS} requests, prompts uniform "
+            f"{RANDOM_PROMPT_RANGE}, generations {RANDOM_MAX_NEW_RANGE}, "
+            "causal, A100)"
+        ),
+    )
+    emit("plan_cache", reuse + "\n\n" + random_lengths)
 
 
 def test_reports_identical_with_and_without_cache(results):
@@ -150,6 +235,33 @@ def test_steady_state_decode_hit_rate(results):
     for pattern, r in results.items():
         decode = r["warm"].plan_cache["kinds"]["serving-decode"]
         assert decode["hit_rate"] > 0.9, (pattern, decode)
+
+
+def test_random_length_reports_identical(random_length_results):
+    """Key scheme changes caching, never serving outcomes."""
+    concrete = random_length_results[False]["report"]
+    symbolic = random_length_results[True]["report"]
+    assert dataclasses.replace(symbolic, plan_cache=None) == dataclasses.replace(
+        concrete, plan_cache=None
+    )
+
+
+def test_random_length_symbolic_wins(random_length_results):
+    """Guarded families beat concrete keys on random-length traffic:
+    higher decode hit rate with strictly fewer cache entries."""
+    concrete = random_length_results[False]["report"].plan_cache
+    symbolic = random_length_results[True]["report"].plan_cache
+    c_dec = concrete["kinds"]["serving-decode"]
+    s_dec = symbolic["kinds"]["serving-decode"]
+    print(f"concrete: {c_dec['hit_rate']:.2%} decode hit rate, "
+          f"{concrete['entries']} entries")
+    print(f"symbolic: {s_dec['hit_rate']:.2%} decode hit rate, "
+          f"{symbolic['entries']} entries, "
+          f"{symbolic['symbolic']['families']} families, "
+          f"{symbolic['symbolic']['splits']} splits")
+    assert s_dec["hit_rate"] > c_dec["hit_rate"]
+    assert s_dec["hit_rate"] >= 0.99
+    assert symbolic["entries"] < concrete["entries"]
 
 
 def test_wall_clock_speedup(results):

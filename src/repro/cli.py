@@ -246,6 +246,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         n_layers=args.layers,
         kv_capacity_frac=args.kv_frac,
         kv_page_tokens=args.page_tokens,
+        symbolic_plan_keys=args.symbolic_plan_keys,
     )
     policies = ("static", "continuous") if args.policy == "both" else (args.policy,)
     print(
@@ -284,6 +285,7 @@ def cmd_shard_sim(args: argparse.Namespace) -> int:
         n_layers=args.layers,
         kv_capacity_frac=args.kv_frac,
         kv_page_tokens=args.page_tokens,
+        symbolic_plan_keys=args.symbolic_plan_keys,
     )
     engine = ShardedServingEngine(
         spec, args.policy, config, shard,
@@ -325,8 +327,11 @@ def cmd_plan_cache(args: argparse.Namespace) -> int:
         kinds: dict[str, int] = {}
         for key, _ in cache.items():
             kinds[key.kind] = kinds.get(key.kind, 0) + 1
+        fam_kinds = cache.stats()["symbolic"]["kinds"]
         for kind in sorted(kinds):
-            print(f"  {kind:>16}: {kinds[kind]} entries")
+            fams = fam_kinds.get(kind, {}).get("families", 0)
+            fam_note = f" ({fams} families)" if fams else ""
+            print(f"  {kind:>16}: {kinds[kind]} entries{fam_note}")
         return 0
 
     spec = get_spec(args.device)
@@ -344,7 +349,10 @@ def cmd_plan_cache(args: argparse.Namespace) -> int:
     )
     runs = {}
     for cached in (False, True):
-        config = ServingConfig(use_plan_cache=cached)
+        config = ServingConfig(
+            use_plan_cache=cached,
+            symbolic_plan_keys=args.symbolic_plan_keys,
+        )
         engine = ServingEngine(
             spec, make_scheduler("continuous", 16, 65536), config
         )
@@ -362,13 +370,22 @@ def cmd_plan_cache(args: argparse.Namespace) -> int:
           f"reports identical: {'yes' if same else 'NO'}\n")
 
     stats = engine.plan_cache.stats()
-    print(f"{'kind':>16} {'hits':>8} {'misses':>8} {'hit rate':>9}")
+    sym = stats["symbolic"]
+    fam_kinds = sym["kinds"]
+    print(f"{'kind':>16} {'hits':>8} {'misses':>8} {'hit rate':>9} "
+          f"{'families':>9} {'checks':>7} {'splits':>7}")
     for kind, ks in stats["kinds"].items():
+        fk = fam_kinds.get(kind, {})
         print(f"{kind:>16} {ks['hits']:>8} {ks['misses']:>8} "
-              f"{ks['hit_rate']:>8.1%}")
+              f"{ks['hit_rate']:>8.1%} {fk.get('families', 0):>9} "
+              f"{fk.get('guard_checks', 0):>7} {fk.get('splits', 0):>7}")
+    lookups = stats["hits"] + stats["misses"]
+    checks_per = sym["guard_checks"] / lookups if lookups else 0.0
     print(f"{'total':>16} {stats['hits']:>8} {stats['misses']:>8} "
-          f"{stats['hit_rate']:>8.1%}   "
-          f"({stats['entries']} entries, {stats['evictions']} evictions)")
+          f"{stats['hit_rate']:>8.1%} {sym['families']:>9} "
+          f"{sym['guard_checks']:>7} {sym['splits']:>7}\n"
+          f"  {stats['entries']} entries, {stats['evictions']} evictions, "
+          f"{checks_per:.2f} guard checks per lookup")
     if args.save:
         engine.plan_cache.save(args.save)
         print(f"\nsaved {len(engine.plan_cache)} entries to {args.save}")
@@ -583,6 +600,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kv-frac", type=float, default=0.3,
                    help="fraction of device memory granted to the KV cache")
     p.add_argument("--page-tokens", type=int, default=16)
+    p.add_argument("--symbolic-plan-keys", action="store_true",
+                   help="share guarded decode-plan families across requests "
+                        "(see docs/symbolic_shapes.md)")
     _add_common(p)
     p.set_defaults(func=cmd_serve_sim)
 
@@ -618,6 +638,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kv-frac", type=float, default=0.3,
                    help="fraction of device memory granted to the KV cache")
     p.add_argument("--page-tokens", type=int, default=16)
+    p.add_argument("--symbolic-plan-keys", action="store_true",
+                   help="share guarded decode-plan families across requests "
+                        "(see docs/symbolic_shapes.md)")
     _add_common(p)
     p.set_defaults(func=cmd_shard_sim)
 
@@ -633,6 +656,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persist the warm plan cache to this JSON file")
     p.add_argument("--load", default=None,
                    help="inspect a saved plan-cache file instead of running")
+    p.add_argument("--symbolic-plan-keys", action="store_true",
+                   help="share guarded decode-plan families across requests "
+                        "(see docs/symbolic_shapes.md)")
     _add_common(p)
     p.set_defaults(func=cmd_plan_cache)
 

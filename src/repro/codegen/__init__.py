@@ -23,14 +23,22 @@ Layout (modelled on torchinductor's template codegen):
 * :mod:`repro.codegen.backend` — the glue the kernels dispatch to, with
   ``codegen.emit`` / ``codegen.cache`` tracer spans and metrics.
 
+With ``STOF_CODEGEN_SYMBOLIC=1`` (or :func:`use_symbolic_codegen`) the
+cache key frees ``n_bh`` into a guarded family: modules whose emitted
+text does not depend on the freed dimension are shared across every
+``n_bh`` the recorded guards admit (see ``docs/symbolic_shapes.md``).
+
 See ``docs/codegen.md``.
 """
 
 from repro.codegen.backend import (
     codegen_plan_key,
+    generated_family_kernel,
     generated_kernel,
     run_blockwise,
     run_rowwise,
+    symbolic_codegen_enabled,
+    use_symbolic_codegen,
 )
 from repro.codegen.cache import (
     GeneratedCodeCache,
@@ -52,12 +60,15 @@ __all__ = [
     "Template",
     "codegen_cache",
     "codegen_plan_key",
+    "generated_family_kernel",
     "generated_kernel",
     "get_template",
     "register_template",
     "run_blockwise",
     "run_rowwise",
     "set_codegen_cache",
+    "symbolic_codegen_enabled",
     "template_names",
     "use_codegen_cache",
+    "use_symbolic_codegen",
 ]

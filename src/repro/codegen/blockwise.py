@@ -22,12 +22,17 @@ the FP16 noise floor (differentially tested, no tolerance widening).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.codegen.emit import IndentedBuffer
 from repro.codegen.templates import GeneratedSource, module_header, register_template
 from repro.masks.bsr import BlockSparseMask
 from repro.mha.kernel import GATHER_CHUNK_ELEMS
+
+if TYPE_CHECKING:  # annotation-only: the plan layer never runs at emit time
+    from repro.plan.symbolic import GuardRecorder
 
 #: Bump when the emitted code changes shape: stale cached modules (disk and
 #: in-memory) are invalidated through the plan key, never silently reused.
@@ -152,6 +157,7 @@ def specialize_blockwise(
     digest: str = "",
     pattern: str = "custom",
     mask: np.ndarray | None = None,
+    sym: "GuardRecorder | None" = None,
 ) -> GeneratedSource:
     """Render the specialized module for one BSR mask view.
 
@@ -159,11 +165,18 @@ def specialize_blockwise(
     near-dense block structures collapse to a single masked softmax GEMM
     instead of the group-wise tile traversal.  Without it, only the sparse
     lowering is available.
+
+    ``sym`` (a :class:`repro.plan.symbolic.GuardRecorder` binding
+    ``n_bh``) routes every n_bh-dependent emission decision through guard
+    recording, so one emitted module is shared across the whole n_bh
+    region that takes the same branches (the emitted text reads ``n_bh``
+    from ``q.shape[0]`` at run time; nothing n_bh-derived is baked in
+    beyond those decisions).
     """
     if mask is not None:
         bsr = _retile_banded(bsr, mask)
     if _dense_lowering(bsr, mask):
-        return _specialize_dense(bsr, mask, n_bh, digest, pattern)
+        return _specialize_dense(bsr, mask, n_bh, digest, pattern, sym)
     bm, bn = bsr.block_m, bsr.block_n
     seq, kv = bsr.seq_len, bsr.kv_len
     nbr, nbc = bsr.n_block_rows, bsr.n_block_cols
@@ -186,7 +199,7 @@ def specialize_blockwise(
                 "seq": seq,
                 "kv": kv,
                 "block": f"({bm},{bn})",
-                "n_bh": n_bh,
+                "n_bh": "sym" if sym is not None else n_bh,
                 "valid_blocks": bsr.n_valid,
                 "groups": len(groups),
             },
@@ -225,7 +238,7 @@ def specialize_blockwise(
             buf.writeline("vs0, vs1, vs2 = flatv.strides")
 
         for gi, (rows_g, idx, slab) in enumerate(groups):
-            _emit_group(buf, const, bsr, gi, rows_g, idx, slab, n_bh)
+            _emit_group(buf, const, bsr, gi, rows_g, idx, slab, n_bh, sym)
 
         buf.writeline(f"return out[:, :{seq}]")
     return GeneratedSource(
@@ -239,6 +252,7 @@ def _specialize_dense(
     n_bh: int,
     digest: str,
     pattern: str,
+    sym: "GuardRecorder | None" = None,
 ) -> GeneratedSource:
     """Dense lowering: one masked softmax over the full score matrix.
 
@@ -264,7 +278,7 @@ def _specialize_dense(
                 "pattern": pattern,
                 "seq": seq,
                 "kv": kv,
-                "n_bh": n_bh,
+                "n_bh": "sym" if sym is not None else n_bh,
                 "lowering": "dense",
                 "density": f"{mask.mean():.3f}",
             },
@@ -292,7 +306,10 @@ def _specialize_dense(
         alloc = "zeros" if dead else "empty"
         g_chunk = max(1, int(GATHER_CHUNK_ELEMS // max(1, seq * kv)))
         buf.writeline(f"out = np.{alloc}((n_bh, {seq}, d), dtype=np.float16)")
-        if g_chunk >= n_bh:
+        one_chunk = (
+            sym.le("n_bh", g_chunk) if sym is not None else g_chunk >= n_bh
+        )
+        if one_chunk:
             buf.writeline("s = q @ k.swapaxes(-1, -2)")
             if biased:
                 buf.writeline(f"s += {bias_ref}")
@@ -349,6 +366,7 @@ def _emit_group(
     idx: np.ndarray,
     slab: np.ndarray | None,
     n_bh: int,
+    sym: "GuardRecorder | None" = None,
 ) -> None:
     bm, bn = bsr.block_m, bsr.block_n
     n_g, cap = idx.shape
@@ -393,7 +411,10 @@ def _emit_group(
     # Gathered group: per-chunk tile gathers bounded by GATHER_CHUNK_ELEMS.
     cg = const(cols)
     g_chunk = max(1, int(GATHER_CHUNK_ELEMS // max(1, n_g * bm * cap * bn)))
-    if g_chunk >= n_bh:
+    one_chunk = (
+        sym.le("n_bh", g_chunk) if sym is not None else g_chunk >= n_bh
+    )
+    if one_chunk:
         buf.writeline(f"kg = kb[:, {cg}].reshape(n_bh, {n_g}, {cap * bn}, d)")
         buf.writeline(f"vg = vb[:, {cg}].reshape(n_bh, {n_g}, {cap * bn}, d)")
         qg = f"qb[:, {rows_ref}]" if contig else f"qb[:, {rows_ref_arr}]"

@@ -15,6 +15,16 @@ Two tiers, both keyed by the codegen :class:`repro.plan.PlanKey` digest:
 The default cache directory comes from ``STOF_CODEGEN_CACHE_DIR``; unset,
 the cache is in-memory only — tests opt into disk via
 :func:`use_codegen_cache`.
+
+Symbolic *families* add a third index on top: a family groups every
+``n_bh`` that emits byte-identical source under one guarded digest (see
+:mod:`repro.plan.symbolic` and :func:`repro.codegen.backend.`
+``generated_family_kernel``).  The cache stores, per family *base*
+digest, the list of ``(guards, family digest)`` pairs —
+:meth:`GeneratedCodeCache.find_family` scans it with the probe shape and
+returns the admitting family's digest, which then resolves through the
+ordinary two tiers above.  On disk the index is one
+``<base_digest>.families.json`` sidecar per base.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from typing import Any, Iterator
 import numpy as np
 
 from repro.plan.key import PlanKey
+from repro.plan.symbolic import GuardSet
 
 #: Environment variable selecting the on-disk cache directory.
 CACHE_DIR_ENV = "STOF_CODEGEN_CACHE_DIR"
@@ -72,11 +83,17 @@ class GeneratedCodeCache:
     def __init__(self, cache_dir: str | os.PathLike | None = None) -> None:
         self._lock = threading.Lock()
         self._entries: dict[str, CacheEntry] = {}
+        # base digest -> [(guards, family digest), ...] in insertion order;
+        # later siblings come from splits, so order is the split history.
+        self._families: dict[str, list[tuple[GuardSet, str]]] = {}
+        self._family_index_loaded: set[str] = set()
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.hits_memory = 0
         self.hits_disk = 0
         self.misses = 0
         self.rejected = 0
+        self.family_hits = 0
+        self.family_splits = 0
 
     # ------------------------------------------------------------- in-memory
 
@@ -203,6 +220,75 @@ class GeneratedCodeCache:
                 except OSError:
                     pass
 
+    # -------------------------------------------------------------- families
+
+    def families_path(self, base_digest: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{base_digest}.families.json"
+
+    def _load_family_index(self, base_digest: str) -> None:
+        """Merge the disk family index for one base (once per process)."""
+        if base_digest in self._family_index_loaded:
+            return
+        self._family_index_loaded.add(base_digest)
+        path = self.families_path(base_digest)
+        if path is None or not path.exists():
+            return
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            loaded = [
+                (GuardSet.from_payload(item["guards"]), str(item["digest"]))
+                for item in payload["families"]
+            ]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.rejected += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return
+        known = {digest for _, digest in self._families.get(base_digest, [])}
+        self._families.setdefault(base_digest, []).extend(
+            item for item in loaded if item[1] not in known
+        )
+
+    def find_family(self, base_digest: str, shape: dict[str, int]) -> str | None:
+        """The digest of the family of ``base_digest`` admitting ``shape``."""
+        with self._lock:
+            self._load_family_index(base_digest)
+            for guards, digest in self._families.get(base_digest, ()):
+                if guards.check(shape):
+                    self.family_hits += 1
+                    return digest
+        return None
+
+    def put_family(self, base_digest: str, guards: GuardSet, digest: str) -> None:
+        """Register a new family (memory + atomic disk index rewrite)."""
+        with self._lock:
+            self._load_family_index(base_digest)
+            siblings = self._families.setdefault(base_digest, [])
+            if any(d == digest for _, d in siblings):
+                return
+            if siblings:
+                self.family_splits += 1
+            siblings.append((guards, digest))
+            path = self.families_path(base_digest)
+            if path is None:
+                return
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "base": base_digest,
+                "families": [
+                    {"guards": g.to_payload(), "digest": d} for g, d in siblings
+                ],
+            }
+            tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+            tmp.write_text(
+                json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, path)
+
     def stats(self) -> dict[str, int]:
         return {
             "entries": len(self),
@@ -210,6 +296,9 @@ class GeneratedCodeCache:
             "hits_disk": self.hits_disk,
             "misses": self.misses,
             "rejected": self.rejected,
+            "families": sum(len(v) for v in self._families.values()),
+            "family_hits": self.family_hits,
+            "family_splits": self.family_splits,
         }
 
 

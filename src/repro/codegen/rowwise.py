@@ -15,12 +15,17 @@ existing backends at the FP16 noise floor.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.codegen.emit import IndentedBuffer
 from repro.codegen.templates import GeneratedSource, module_header, register_template
 from repro.mha.kernel import GATHER_CHUNK_ELEMS
 from repro.mha.rowwise import DENSE_RANGE_FACTOR, ROW_GROUP
+
+if TYPE_CHECKING:  # annotation-only: the plan layer never runs at emit time
+    from repro.plan.symbolic import GuardRecorder
 
 #: Bump when the emitted code changes shape (see blockwise counterpart).
 ROWWISE_TEMPLATE_VERSION = 1
@@ -34,8 +39,17 @@ def specialize_rowwise(
     head_size: int,
     digest: str = "",
     pattern: str = "custom",
+    sym: "GuardRecorder | None" = None,
 ) -> GeneratedSource:
-    """Render the specialized module for one element-CSR mask."""
+    """Render the specialized module for one element-CSR mask.
+
+    With a ``sym`` recorder (:class:`repro.plan.symbolic.GuardRecorder`
+    binding ``n_bh``), every emission decision that reads the batch*heads
+    extent goes through the recorder, which accumulates the guards under
+    which this exact module re-emits — the caller caches it once per
+    guard family instead of once per concrete ``n_bh``.  The emitted
+    text itself always reads ``n_bh`` from ``q.shape[0]`` at run time.
+    """
     seq, kv = mask.shape
     d = head_size
     lengths = np.diff(row_ptr)
@@ -57,7 +71,7 @@ def specialize_rowwise(
                 "pattern": pattern,
                 "seq": seq,
                 "kv": kv,
-                "n_bh": n_bh,
+                "n_bh": "sym" if sym is not None else n_bh,
                 "nnz": int(row_ptr[-1]),
                 "nonempty_rows": int(nonempty.size),
             },
@@ -91,12 +105,14 @@ def specialize_rowwise(
                 scattered.append(np.arange(a, b))
                 continue
             _emit_dense_group(
-                buf, const, mask, nonempty[a:b], a // ROW_GROUP, lo, hi, n_bh
+                buf, const, mask, nonempty[a:b], a // ROW_GROUP, lo, hi, n_bh,
+                sym,
             )
 
         for sel in scattered:
             _emit_gather_buckets(
-                buf, const, row_ptr, col_idx, nonempty[sel], lens[sel], n_bh, d
+                buf, const, row_ptr, col_idx, nonempty[sel], lens[sel], n_bh, d,
+                sym,
             )
 
         buf.writeline("return out")
@@ -122,6 +138,7 @@ def _emit_dense_group(
     lo: int,
     hi: int,
     n_bh: int,
+    sym: "GuardRecorder | None" = None,
 ) -> None:
     """Contiguous-slice path: one dense masked softmax-matmul per group."""
     bias = np.where(
@@ -155,7 +172,10 @@ def _emit_dense_group(
             buf.writeline("np.divide(o, l, out=o)")
             buf.writeline(f"out[{gs}, {rows_ref}] = o")
 
-    if g_chunk >= n_bh:
+    one_chunk = (
+        sym.le("n_bh", g_chunk) if sym is not None else g_chunk >= n_bh
+    )
+    if one_chunk:
         body(":")
     else:
         buf.writeline(f"for g0 in range(0, n_bh, {g_chunk}):")
@@ -173,6 +193,7 @@ def _emit_gather_buckets(
     lens: np.ndarray,
     n_bh: int,
     d: int,
+    sym: "GuardRecorder | None" = None,
 ) -> None:
     """Padded-gather fallback: pow2 length buckets, indices baked as consts."""
     caps = np.int64(1) << np.ceil(np.log2(lens)).astype(np.int64)
@@ -188,7 +209,13 @@ def _emit_gather_buckets(
         pad = lanes[None, :] >= lens_b[:, None]
         padded = bool(pad.any())
         n_b = len(rows_b)
-        row_chunk = max(1, int(GATHER_CHUNK_ELEMS // max(1, n_bh * cap * d)))
+        if sym is not None:
+            # The baked chunk size is the one n_bh-derived *constant* in
+            # the module; the recorder pins the exact n_bh region over
+            # which this value (and thus the emitted text) is unchanged.
+            row_chunk = sym.floordiv("n_bh", GATHER_CHUNK_ELEMS, int(cap) * d)
+        else:
+            row_chunk = max(1, int(GATHER_CHUNK_ELEMS // max(1, n_bh * cap * d)))
 
         idx_ref = const(idx)
         pad_ref = const(pad) if padded else None

@@ -152,6 +152,27 @@ class MaskPattern:
             params.setdefault("rng", rng or RngStream().fork(f"mask-{self.name}"))
         return self.generator(seq_len, **params)
 
+    def pinned_params(self, overrides: dict | None = None) -> dict | None:
+        """Fully-resolved size-independent parameters, or ``None``.
+
+        ``None`` means the pattern's mask *content* depends on the build
+        size or on randomness — a callable default (e.g. the paper's
+        ``sqrt(seq_len)`` band width) left unoverridden, or a random
+        placement — so masks of different sizes cannot share one plan
+        family.  A non-``None`` result pins every parameter to a
+        concrete value: any two builds agree on every ``(i, j)`` entry
+        they both contain, which is what symbolic serving keys
+        (:mod:`repro.plan.symbolic`) need to share row statistics across
+        requests of different lengths.
+        """
+        if self.uses_randomness:
+            return None
+        params = dict(self.default_params)
+        params.update(overrides or {})
+        if any(callable(v) for v in params.values()):
+            return None
+        return params
+
 
 def _sqrt_width(seq_len: int) -> int:
     """The paper's default band/global width: sqrt(seq_len), rounded."""

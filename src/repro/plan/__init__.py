@@ -8,11 +8,16 @@ and the runtime all derive a kernel decision from the same
 first-class, *content-addressed* artifact:
 
 * :class:`PlanKey` — a canonical, hashable signature of problem shape +
-  mask identity + device spec + parameters (the guard set, in
-  TorchDynamo terms).  Two keys are equal iff re-deriving the plan would
-  produce the same result, and the :attr:`PlanKey.digest` is stable
-  across processes (no ``id()``/``repr`` leakage, no ``PYTHONHASHSEED``
-  dependence).
+  mask identity + device spec + parameters.  Two keys are equal iff
+  re-deriving the plan would produce the same result, and the
+  :attr:`PlanKey.digest` is stable across processes (no
+  ``id()``/``repr`` leakage, no ``PYTHONHASHSEED`` dependence).
+* :mod:`repro.plan.symbolic` — guarded shape families
+  (TorchDynamo-style): :class:`SymbolicPlanKey` leaves named dims free
+  under a :class:`GuardSet` of primitive predicates, so one cached plan
+  covers every shape its guards admit; a concrete key is the degenerate
+  family with no free dims.  Guard failures recompile and *split* the
+  family — see ``docs/symbolic_shapes.md``.
 * :class:`CompiledPlan` — the reusable decision: kernel choice,
   parameters, priced launches, estimated time, workspace/SMEM footprint.
 * :class:`PlanCache` — a bounded LRU mapping keys to plans (or any other
@@ -33,15 +38,39 @@ from repro.plan.cache import PlanCache
 from repro.plan.compiled import CompiledPlan
 from repro.plan.key import PlanKey, mask_fingerprint, params_key, spec_fingerprint
 from repro.plan.planner import Planner, compile_kernel_plan, compile_launches
+from repro.plan.symbolic import (
+    BoundGuard,
+    BucketGuard,
+    DivisibleGuard,
+    EqGuard,
+    GuardRecorder,
+    GuardSet,
+    SymbolicPlanKey,
+    family_base,
+    guard_from_dict,
+    guard_to_dict,
+    trivially_guarded,
+)
 
 __all__ = [
+    "BoundGuard",
+    "BucketGuard",
     "CompiledPlan",
+    "DivisibleGuard",
+    "EqGuard",
+    "GuardRecorder",
+    "GuardSet",
     "PlanCache",
     "PlanKey",
     "Planner",
+    "SymbolicPlanKey",
     "compile_kernel_plan",
     "compile_launches",
+    "family_base",
+    "guard_from_dict",
+    "guard_to_dict",
     "mask_fingerprint",
     "params_key",
     "spec_fingerprint",
+    "trivially_guarded",
 ]

@@ -7,6 +7,14 @@ any JSON-representable planning artifact is accepted (the tuner stores
 measured seconds, the serving engine stores per-row mask statistics) —
 ``save``/``load`` tag each value with its type so a warm start restores
 them faithfully.
+
+Keys may also be guarded :class:`~repro.plan.symbolic.SymbolicPlanKey`
+families.  They live in the same LRU map (one family = one entry), and
+the cache additionally maintains a *family index* keyed on the family
+signature ``(base, dims)`` so a lookup with a fresh shape can scan the
+candidate families whose guards admit it (``find_family``).  A concrete
+key is the degenerate family with no free dims — ``get_or_build_family``
+with ``dims=()`` is byte-for-byte the old concrete path.
 """
 
 from __future__ import annotations
@@ -15,14 +23,16 @@ import json
 import math
 import os
 from collections import OrderedDict
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.obs.metrics import current_metrics
 from repro.obs.tracer import current_tracer
 from repro.plan.compiled import CompiledPlan
 from repro.plan.key import PlanKey, _tuplify
+from repro.plan.symbolic import GuardSet, SymbolicPlanKey, family_base
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_LOADABLE_VERSIONS = (1, 2)
 
 
 class PlanCache:
@@ -45,6 +55,13 @@ class PlanCache:
         self.evictions = 0
         self._kind_hits: dict[str, int] = {}
         self._kind_misses: dict[str, int] = {}
+        # Family index: (base PlanKey, dims) -> guarded siblings in
+        # insertion order.  Structural (like _entries), not a statistic.
+        self._families: dict[tuple, list[SymbolicPlanKey]] = {}
+        self.guard_checks = 0
+        self.splits = 0
+        self._kind_guard_checks: dict[str, int] = {}
+        self._kind_splits: dict[str, int] = {}
 
     # ----------------------------------------------------------------- core
 
@@ -70,15 +87,46 @@ class PlanCache:
         """Insert (or refresh) an entry, evicting the LRU tail if full."""
         if key in self._entries:
             self._entries.move_to_end(key)
+        elif isinstance(key, SymbolicPlanKey):
+            self._register_family(key, count_split=True)
         self._entries[key] = value
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 evicted_key, _ = self._entries.popitem(last=False)
+                if isinstance(evicted_key, SymbolicPlanKey):
+                    self._deregister_family(evicted_key)
                 self.evictions += 1
                 m = current_metrics()
                 if m.enabled:
                     m.counter("plan_cache.evictions", kind=evicted_key.kind).inc()
         return value
+
+    def _register_family(self, key: SymbolicPlanKey, count_split: bool) -> None:
+        members = self._families.setdefault(key.signature, [])
+        if key in members:
+            return
+        if members and count_split:
+            # A second guard variant joining an existing family is a
+            # *split* event: the prior siblings rejected this shape, so
+            # planning recompiled under narrowed guards.
+            self.splits += 1
+            kind = key.kind
+            self._kind_splits[kind] = self._kind_splits.get(kind, 0) + 1
+            m = current_metrics()
+            if m.enabled:
+                m.counter("plan_cache.splits", kind=kind).inc()
+        members.append(key)
+
+    def _deregister_family(self, key: SymbolicPlanKey) -> None:
+        members = self._families.get(key.signature)
+        if members is None:
+            return
+        try:
+            members.remove(key)
+        except ValueError:
+            return
+        if not members:
+            del self._families[key.signature]
 
     def get_or_build(self, key: PlanKey, build: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, building and storing on miss."""
@@ -91,6 +139,87 @@ class PlanCache:
             with tracer.span("plan.build", cat="plan", kind=key.kind):
                 return self.put(key, build())
         return self.put(key, build())
+
+    # --------------------------------------------------------------- families
+
+    def find_family(
+        self,
+        base: PlanKey,
+        dims: tuple[str, ...],
+        shape: Mapping[str, int],
+    ) -> SymbolicPlanKey | None:
+        """The first cached family for ``(base, dims)`` admitting ``shape``.
+
+        Scans siblings in insertion order, counting one guard check per
+        candidate examined.  ``None`` means no family admits the shape —
+        the caller recompiles and the resulting ``put`` splits the family.
+        """
+        members = self._families.get((base, dims))
+        if not members:
+            return None
+        kind = base.kind
+        checks = 0
+        hit: SymbolicPlanKey | None = None
+        for fam in members:
+            checks += 1
+            if fam.admits(shape):
+                hit = fam
+                break
+        self.guard_checks += checks
+        self._kind_guard_checks[kind] = (
+            self._kind_guard_checks.get(kind, 0) + checks
+        )
+        return hit
+
+    def get_or_build_family(
+        self,
+        key: PlanKey,
+        dims: tuple[str, ...],
+        shape: Mapping[str, int],
+        build: Callable[[], Any],
+        guards: GuardSet | None = None,
+    ) -> Any:
+        """Guarded family lookup; the unified entry for all planning sites.
+
+        ``key`` is the *concrete* probe key for this shape; ``dims`` names
+        the fields left symbolic; ``shape`` binds every symbolic variable
+        (key fields and derived quantities alike).  With ``dims=()`` this
+        is exactly :meth:`get_or_build` — the concrete key is the special
+        case of a family with nothing free.
+
+        On a family miss the value is built and stored under a new
+        sibling whose guards are ``guards`` (or exact-equality pins when
+        not supplied), narrowed by the split of the most recent sibling's
+        violated guards — so the new family admits this shape and never
+        silently widens back over a region an existing sibling owns.
+        """
+        if not dims:
+            return self.get_or_build(key, build)
+        return self.get_or_build(self.family_key(key, dims, shape, guards), build)
+
+    def family_key(
+        self,
+        key: PlanKey,
+        dims: tuple[str, ...],
+        shape: Mapping[str, int],
+        guards: GuardSet | None = None,
+    ) -> SymbolicPlanKey:
+        """Resolve the family key owning ``shape`` (without a value lookup).
+
+        Returns the first cached sibling whose guards admit the shape, or
+        a *new* key guarded by ``guards`` (exact-equality pins when not
+        supplied) narrowed against the most recent sibling's split — the
+        key a subsequent ``put`` will register as a family split.
+        """
+        base = family_base(key, dims)
+        fam = self.find_family(base, dims, shape)
+        if fam is None:
+            gs = guards if guards is not None else GuardSet.equalities(shape, dims)
+            siblings = self._families.get((base, dims))
+            if siblings:
+                gs = siblings[-1].guards.split_for(shape).narrowed(gs)
+            fam = SymbolicPlanKey(base, dims, gs)
+        return fam
 
     def peek(self, key: PlanKey, default: Any = None) -> Any:
         """Look up without touching recency or statistics."""
@@ -108,6 +237,7 @@ class PlanCache:
     def clear(self) -> None:
         """Drop all entries (statistics are kept; see ``reset_stats``)."""
         self._entries.clear()
+        self._families.clear()
 
     def reset_stats(self) -> None:
         self.hits = 0
@@ -115,6 +245,10 @@ class PlanCache:
         self.evictions = 0
         self._kind_hits.clear()
         self._kind_misses.clear()
+        self.guard_checks = 0
+        self.splits = 0
+        self._kind_guard_checks.clear()
+        self._kind_splits.clear()
 
     # ------------------------------------------------------------ statistics
 
@@ -130,6 +264,19 @@ class PlanCache:
                 "misses": m,
                 "hit_rate": h / (h + m) if h + m else 0.0,
             }
+        fam_kinds: dict[str, dict[str, int]] = {}
+
+        def _fk(kind: str) -> dict[str, int]:
+            return fam_kinds.setdefault(
+                kind, {"families": 0, "guard_checks": 0, "splits": 0}
+            )
+
+        for (base, _dims), members in self._families.items():
+            _fk(base.kind)["families"] += len(members)
+        for kind, n in self._kind_guard_checks.items():
+            _fk(kind)["guard_checks"] = n
+        for kind, n in self._kind_splits.items():
+            _fk(kind)["splits"] = n
         return {
             "entries": len(self._entries),
             "max_entries": self.max_entries,
@@ -138,6 +285,12 @@ class PlanCache:
             "evictions": self.evictions,
             "hit_rate": self.hits / total if total else 0.0,
             "kinds": kinds,
+            "symbolic": {
+                "families": sum(len(v) for v in self._families.values()),
+                "guard_checks": self.guard_checks,
+                "splits": self.splits,
+                "kinds": {k: fam_kinds[k] for k in sorted(fam_kinds)},
+            },
         }
 
     # ----------------------------------------------------------- persistence
@@ -151,20 +304,34 @@ class PlanCache:
         dropped; truly opaque values are skipped) do not poison the file.
         """
         entries = []
+        families = []
         for key, value in self._entries.items():
             encoded = _encode_value(value)
             if encoded is None:
                 continue
-            entries.append({"key": key.to_dict(), "value": encoded})
-        payload = {"version": _FORMAT_VERSION, "entries": entries}
+            if isinstance(key, SymbolicPlanKey):
+                families.append({"key": key.to_dict(), "value": encoded})
+            else:
+                entries.append({"key": key.to_dict(), "value": encoded})
+        payload: dict[str, Any] = {"version": _FORMAT_VERSION, "entries": entries}
+        if families:
+            payload["families"] = families
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
 
     def load(self, path: str | os.PathLike) -> int:
-        """Warm-start from a ``save`` file; returns the entry count loaded."""
+        """Warm-start from a ``save`` file; returns the entry count loaded.
+
+        Both schema versions load: v1 files carry concrete keys only
+        (each is the trivially-guarded one-shape family, so no upgrade
+        transform is needed beyond loading it); v2 adds the ``families``
+        list of guarded symbolic keys.  Warm-starting restores cache
+        *structure* — split counters describe this process's planning
+        events and are left untouched.
+        """
         with open(path, "r", encoding="utf-8") as fh:
             payload = json.load(fh)
-        if payload.get("version") != _FORMAT_VERSION:
+        if payload.get("version") not in _LOADABLE_VERSIONS:
             raise ValueError(
                 f"unsupported plan-cache format version: {payload.get('version')!r}"
             )
@@ -173,6 +340,12 @@ class PlanCache:
             key = PlanKey.from_dict(item["key"])
             self.put(key, _decode_value(item["value"]))
             count += 1
+        splits, kind_splits = self.splits, dict(self._kind_splits)
+        for item in payload.get("families", ()):
+            fam = SymbolicPlanKey.from_dict(item["key"])
+            self.put(fam, _decode_value(item["value"]))
+            count += 1
+        self.splits, self._kind_splits = splits, kind_splits
         return count
 
 

@@ -15,12 +15,30 @@ and is reached lazily.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 from repro.gpu.cost import estimate_kernel_time
 from repro.plan.cache import PlanCache
 from repro.plan.compiled import CompiledPlan, Launch
 from repro.plan.key import PlanKey
+from repro.plan.symbolic import GuardSet
+
+#: A family request threaded through the compile helpers:
+#: ``(dims, shape, guards)`` — the dims left symbolic, the concrete
+#: binding of every symbolic variable, and the admission guards for the
+#: compiled artifact (``None`` pins each dim exactly).  ``dims=()``
+#: degenerates to the concrete path.
+Family = tuple[tuple[str, ...], Mapping[str, int], "GuardSet | None"]
+
+
+def _cached(
+    cache: PlanCache, key: PlanKey, make: Callable[[], Any], family: Family | None
+) -> Any:
+    """One guarded lookup shared by every compile helper."""
+    if family is None:
+        return cache.get_or_build(key, make)
+    dims, shape, guards = family
+    return cache.get_or_build_family(key, tuple(dims), shape, make, guards=guards)
 
 
 def compile_launches(
@@ -29,13 +47,17 @@ def compile_launches(
     cache: PlanCache | None = None,
     kernel_name: str = "",
     spec: Any = None,
+    family: Family | None = None,
 ) -> CompiledPlan:
     """Wrap a launch-list builder into a cached :class:`CompiledPlan`.
 
     ``build`` must be pure in the key: two calls under equal keys must
     produce equal launch lists (that is the content-addressing contract).
     When ``spec`` is given the plan's ``estimated_s`` is priced through
-    :func:`~repro.gpu.cost.estimate_kernel_time`.
+    :func:`~repro.gpu.cost.estimate_kernel_time`.  A ``family`` widens
+    the contract from equal keys to guard-admitted shapes: the caller
+    asserts the launch list is identical for every shape the guards
+    admit, and the cache stores one entry per family.
     """
 
     def make() -> CompiledPlan:
@@ -54,7 +76,7 @@ def compile_launches(
 
     if cache is None:
         return make()
-    return cache.get_or_build(key, make)
+    return _cached(cache, key, make, family)
 
 
 def compile_kernel_plan(
@@ -66,6 +88,7 @@ def compile_kernel_plan(
     kind: str = "kernel",
     salt: str = "",
     shard: str = "",
+    family: Family | None = None,
 ) -> CompiledPlan:
     """Compile (or replay) one kernel's plan for one attention problem.
 
@@ -73,7 +96,9 @@ def compile_kernel_plan(
     a hit is exactly the plan the kernel would re-derive.  The live
     ``kernel`` object is re-bound on hits (it never travels through the
     cache's persisted form).  ``shard`` carries the parallel-layout
-    fingerprint for per-rank plans ("" when unsharded).
+    fingerprint for per-rank plans ("" when unsharded).  ``family``
+    (dims, shape, guards) makes the lookup guarded: one cached plan per
+    shape family instead of per concrete shape.
     """
     key = PlanKey.for_problem(
         kind, problem, spec, params=params, salt=salt or kernel.name, shard=shard
@@ -95,7 +120,7 @@ def compile_kernel_plan(
     if cache is None:
         plan = make()
     else:
-        plan = cache.get_or_build(key, make)
+        plan = _cached(cache, key, make, family)
     if plan.kernel is None:
         plan.kernel = kernel
     return plan
@@ -125,7 +150,9 @@ class Planner:
         self.tau = tau
         self.cache = cache if cache is not None else PlanCache()
 
-    def plan_attention(self, problem: Any, kind: str = "mha") -> CompiledPlan:
+    def plan_attention(
+        self, problem: Any, kind: str = "mha", family: Family | None = None
+    ) -> CompiledPlan:
         """Selector-driven attention plan (see §4.2), cached."""
         from repro.mha.selector import compile_attention_plan
 
@@ -136,6 +163,7 @@ class Planner:
             tau=self.tau,
             cache=self.cache,
             kind=kind,
+            family=family,
         )
 
     def plan_kernel(
@@ -145,6 +173,7 @@ class Planner:
         params: dict[str, Any] | None = None,
         kind: str = "kernel",
         salt: str = "",
+        family: Family | None = None,
     ) -> CompiledPlan:
         """Fixed-kernel plan (no selection), cached."""
         return compile_kernel_plan(
@@ -155,6 +184,7 @@ class Planner:
             cache=self.cache,
             kind=kind,
             salt=salt,
+            family=family,
         )
 
     def stats(self) -> dict[str, Any]:

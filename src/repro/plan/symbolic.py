@@ -1,0 +1,488 @@
+"""Symbolic size variables and guarded plan families.
+
+A concrete :class:`~repro.plan.key.PlanKey` pins every dimension to a
+value, so production traffic with arbitrary request lengths compiles one
+plan per shape.  This module makes the concrete key a *special case* of a
+guarded symbolic key (the TorchDynamo ``sizevars`` move): a
+:class:`SymbolicPlanKey` names the dimensions left free (``dims``), keeps
+every other field in a concrete ``base`` key, and carries a
+:class:`GuardSet` — the accumulated predicates under which the compiled
+artifact is valid.  Lookup is "scan the base's families, first whose
+guards admit the shape wins"; a guard failure is a *miss* that recompiles
+and **splits** the family (the new sibling's guards narrow the violated
+guard), never a silent reuse.
+
+Guard grammar (``docs/symbolic_shapes.md``):
+
+* :class:`EqGuard` — ``v == value`` (a trivially-guarded concrete dim)
+* :class:`DivisibleGuard` — ``v % modulus == remainder``
+* :class:`BoundGuard` — ``lo <= v <= hi`` (either side open)
+* :class:`BucketGuard` — ``v // width == index`` (bucketed ranges)
+
+Everything is a frozen value type: guard sets order canonically, hash by
+value, digest stably across processes, and round-trip through JSON (the
+plan-cache schema v2 and the codegen sidecars persist them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Iterable, Mapping
+
+from repro.core.errors import ConfigError
+from repro.plan.key import PlanKey
+
+
+# ------------------------------------------------------------------- guards
+
+
+@dataclass(frozen=True)
+class EqGuard:
+    """``value == <const>`` — pins a dimension exactly."""
+
+    var: str
+    value: int
+
+    def check(self, value: int) -> bool:
+        return value == self.value
+
+    def split(self, value: int) -> "EqGuard":
+        return EqGuard(self.var, int(value))
+
+    def canonical(self) -> tuple:
+        return ("eq", self.var, self.value)
+
+    def describe(self) -> str:
+        return f"{self.var} == {self.value}"
+
+
+@dataclass(frozen=True)
+class DivisibleGuard:
+    """``value % modulus == remainder`` (e.g. ``seq_len % block == 0``)."""
+
+    var: str
+    modulus: int
+    remainder: int = 0
+
+    def __post_init__(self) -> None:
+        if self.modulus < 1:
+            raise ConfigError(f"modulus must be >= 1, got {self.modulus}")
+        if not (0 <= self.remainder < self.modulus):
+            raise ConfigError(
+                f"remainder must be in [0, {self.modulus}), got {self.remainder}"
+            )
+
+    def check(self, value: int) -> bool:
+        return value % self.modulus == self.remainder
+
+    def split(self, value: int) -> "DivisibleGuard":
+        return DivisibleGuard(self.var, self.modulus, int(value) % self.modulus)
+
+    def canonical(self) -> tuple:
+        return ("div", self.var, self.modulus, self.remainder)
+
+    def describe(self) -> str:
+        return f"{self.var} % {self.modulus} == {self.remainder}"
+
+
+@dataclass(frozen=True)
+class BoundGuard:
+    """``lo <= value <= hi`` — inclusive, either side may be open (None)."""
+
+    var: str
+    lo: int | None = None
+    hi: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise ConfigError(f"empty bound: lo={self.lo} > hi={self.hi}")
+
+    def check(self, value: int) -> bool:
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def split(self, value: int) -> "BoundGuard":
+        """The complement half-line admitting the violating ``value``."""
+        value = int(value)
+        if self.lo is not None and value < self.lo:
+            return BoundGuard(self.var, lo=None, hi=self.lo - 1)
+        return BoundGuard(self.var, lo=(self.hi or 0) + 1, hi=None)
+
+    def canonical(self) -> tuple:
+        return ("bound", self.var, self.lo, self.hi)
+
+    def describe(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"{lo} <= {self.var} <= {hi}"
+
+
+@dataclass(frozen=True)
+class BucketGuard:
+    """``value // width == index`` — the bucketed-range guard."""
+
+    var: str
+    width: int
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ConfigError(f"width must be >= 1, got {self.width}")
+        if self.index < 0:
+            raise ConfigError(f"index must be >= 0, got {self.index}")
+
+    def check(self, value: int) -> bool:
+        return value // self.width == self.index
+
+    def split(self, value: int) -> "BucketGuard":
+        return BucketGuard(self.var, self.width, int(value) // self.width)
+
+    def canonical(self) -> tuple:
+        return ("bucket", self.var, self.width, self.index)
+
+    def describe(self) -> str:
+        return f"{self.var} // {self.width} == {self.index}"
+
+
+Guard = EqGuard | DivisibleGuard | BoundGuard | BucketGuard
+
+#: JSON tag -> guard class, for persistence round-trips.
+_GUARD_TYPES: dict[str, type] = {
+    "eq": EqGuard,
+    "div": DivisibleGuard,
+    "bound": BoundGuard,
+    "bucket": BucketGuard,
+}
+
+
+def guard_to_dict(guard: Guard) -> dict[str, Any]:
+    tag = guard.canonical()[0]
+    payload = {f.name: getattr(guard, f.name) for f in fields(guard)}
+    payload["t"] = tag
+    return payload
+
+
+def guard_from_dict(payload: Mapping[str, Any]) -> Guard:
+    data = dict(payload)
+    tag = data.pop("t", None)
+    cls = _GUARD_TYPES.get(tag)
+    if cls is None:
+        raise ConfigError(f"unknown guard type {tag!r}; known: {sorted(_GUARD_TYPES)}")
+    return cls(**data)
+
+
+# ---------------------------------------------------------------- guard sets
+
+
+class GuardSet:
+    """An immutable conjunction of guards with a canonical digest.
+
+    Construction deduplicates and orders guards canonically, so two sets
+    built from the same predicates in any order are equal, hash equal, and
+    digest equal.  ``check`` is the hot-path admission test: every guard
+    must hold and every guarded variable must be present in the shape.
+    """
+
+    __slots__ = ("guards", "_digest", "_hash")
+
+    def __init__(self, guards: Iterable[Guard] = ()) -> None:
+        uniq = sorted(set(guards), key=lambda g: repr(g.canonical()))
+        object.__setattr__(self, "guards", tuple(uniq))
+        object.__setattr__(self, "_digest", None)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("GuardSet is immutable")
+
+    # ------------------------------------------------------------- semantics
+
+    def check(self, shape: Mapping[str, int]) -> bool:
+        """Whether ``shape`` satisfies every guard (missing vars fail)."""
+        for g in self.guards:
+            value = shape.get(g.var)
+            if value is None or not g.check(value):
+                return False
+        return True
+
+    def vars(self) -> frozenset[str]:
+        return frozenset(g.var for g in self.guards)
+
+    def narrowed(self, extra: "GuardSet | Iterable[Guard]") -> "GuardSet":
+        """This set conjoined with ``extra`` guards (dedup + reorder)."""
+        more = extra.guards if isinstance(extra, GuardSet) else tuple(extra)
+        return GuardSet(self.guards + more)
+
+    def split_for(self, shape: Mapping[str, int]) -> "GuardSet":
+        """The *split sibling* of this set for a violating ``shape``.
+
+        Every guard that ``shape`` violates is replaced by its narrowed
+        complement admitting ``shape`` (``Guard.split``); satisfied guards
+        are kept verbatim; guards over variables absent from ``shape``
+        are kept verbatim too (they cannot be narrowed).  The result
+        admits ``shape`` and, for each violated guard, excludes the
+        region the old family still owns — the family split, never a
+        widening of the old guards.
+        """
+        out: list[Guard] = []
+        for g in self.guards:
+            value = shape.get(g.var)
+            if value is not None and not g.check(value):
+                out.append(g.split(value))
+            else:
+                out.append(g)
+        return GuardSet(out)
+
+    @classmethod
+    def equalities(cls, shape: Mapping[str, int], dims: Iterable[str]) -> "GuardSet":
+        """Trivial guards pinning every dim exactly — the concrete case."""
+        return cls(EqGuard(d, int(shape[d])) for d in dims)
+
+    # -------------------------------------------------------------- identity
+
+    def canonical(self) -> tuple:
+        return tuple(g.canonical() for g in self.guards)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GuardSet):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(self.canonical())
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __len__(self) -> int:
+        return len(self.guards)
+
+    def __iter__(self):
+        return iter(self.guards)
+
+    def __repr__(self) -> str:
+        return f"GuardSet({self.describe()!r})"
+
+    @property
+    def digest(self) -> str:
+        """Stable cross-process content hash of the canonical guard list."""
+        d = self._digest
+        if d is None:
+            payload = json.dumps(self.to_payload(), sort_keys=True)
+            d = hashlib.sha256(payload.encode()).hexdigest()[:20]
+            object.__setattr__(self, "_digest", d)
+        return d
+
+    def describe(self) -> str:
+        return " and ".join(g.describe() for g in self.guards) or "true"
+
+    # ----------------------------------------------------------- persistence
+
+    def to_payload(self) -> list[dict[str, Any]]:
+        return [guard_to_dict(g) for g in self.guards]
+
+    @classmethod
+    def from_payload(cls, payload: Iterable[Mapping[str, Any]]) -> "GuardSet":
+        return cls(guard_from_dict(p) for p in payload)
+
+
+# ------------------------------------------------------------ symbolic keys
+
+
+@dataclass(frozen=True, eq=False)
+class SymbolicPlanKey:
+    """A plan-family signature: base key + symbolic dims + guard set.
+
+    ``base`` is a concrete :class:`PlanKey` with every symbolic field
+    normalized (``family_base``); ``dims`` names the free variables —
+    key fields (``seq_len``) or derived quantities (``pos``,
+    ``nnz_blocks``) — and ``guards`` is the admission predicate over
+    them.  ``(base, dims)`` is the family *signature* the cache scans;
+    the guards distinguish siblings after splits.
+
+    A concrete key is the degenerate case ``dims=()`` / empty guards
+    (see :func:`trivially_guarded`), which the cache routes straight
+    through the O(1) concrete path.
+    """
+
+    base: PlanKey
+    dims: tuple[str, ...] = ()
+    guards: GuardSet = GuardSet()
+
+    @property
+    def kind(self) -> str:
+        return self.base.kind
+
+    @property
+    def signature(self) -> tuple:
+        return (self.base, self.dims)
+
+    def __getattr__(self, name: str):
+        # Concrete PlanKey fields (salt, params, pattern, ...) read
+        # through to the base, so family keys drop into code that
+        # inspects keys generically.  Internal names never delegate —
+        # memoized _hash/_digest live in __dict__ and must miss cleanly.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.base, name)
+
+    def admits(self, shape: Mapping[str, int]) -> bool:
+        return self.guards.check(shape)
+
+    def _tuple(self) -> tuple:
+        return (self.base._tuple(), self.dims, self.guards.canonical())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymbolicPlanKey):
+            return NotImplemented
+        return self._tuple() == other._tuple()
+
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(self._tuple())
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    @property
+    def digest(self) -> str:
+        """Base digest with the guard digest folded in (content address)."""
+        d = self.__dict__.get("_digest")
+        if d is None:
+            payload = json.dumps(
+                {
+                    "base": self.base.digest,
+                    "dims": list(self.dims),
+                    "guards": self.guards.to_payload(),
+                },
+                sort_keys=True,
+            )
+            d = hashlib.sha256(payload.encode()).hexdigest()
+            object.__setattr__(self, "_digest", d)
+        return d
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "base": self.base.to_dict(),
+            "dims": list(self.dims),
+            "guards": self.guards.to_payload(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SymbolicPlanKey":
+        return cls(
+            base=PlanKey.from_dict(payload["base"]),
+            dims=tuple(payload.get("dims", ())),
+            guards=GuardSet.from_payload(payload.get("guards", ())),
+        )
+
+
+#: Integer PlanKey fields a symbolic dim may free up.
+_SYMBOLIC_FIELDS = frozenset(
+    {"batch", "heads", "seq_len", "kv_seq_len", "head_size"}
+)
+
+
+def family_base(key: PlanKey, dims: Iterable[str]) -> PlanKey:
+    """Normalize the symbolic fields of ``key`` to build a family base.
+
+    Dims naming integer key fields are zeroed (two probes of the same
+    family reach the same base regardless of their concrete values);
+    derived dims (``pos``, ``nnz_blocks``, ...) are not key fields and
+    leave the base untouched — they live only in shapes and guards.
+    """
+    repl = {d: 0 for d in dims if d in _SYMBOLIC_FIELDS}
+    return dataclasses.replace(key, **repl) if repl else key
+
+
+def trivially_guarded(key: PlanKey, dims: Iterable[str] = ()) -> SymbolicPlanKey:
+    """The guarded view of a concrete key — equality guards pinning every
+    requested dim to the key's own value.  This is the upgrade path for
+    v1 warm-start files: a concrete key *is* a family of exactly one
+    shape."""
+    dims = tuple(dims)
+    for d in dims:
+        if d not in _SYMBOLIC_FIELDS:
+            raise ConfigError(
+                f"cannot trivially guard {d!r}: not a PlanKey field"
+            )
+    shape = {d: getattr(key, d) for d in dims}
+    return SymbolicPlanKey(
+        base=family_base(key, dims),
+        dims=dims,
+        guards=GuardSet.equalities(shape, dims),
+    )
+
+
+# ----------------------------------------------------------- guard recording
+
+
+class GuardRecorder:
+    """Record the guards a specialization's decisions imply.
+
+    Emission code asks shape questions through the recorder instead of
+    comparing raw integers (``rec.le("n_bh", chunk)`` instead of
+    ``n_bh <= chunk``); each answer appends the guard under which the
+    answer — and therefore the emitted code — stays valid.  After
+    emission, :meth:`guard_set` is the family's admission predicate: any
+    shape it admits takes every branch identically and re-emits the
+    byte-identical module.
+    """
+
+    def __init__(self, **shape: int) -> None:
+        self.shape = {k: int(v) for k, v in shape.items()}
+        self._guards: list[Guard] = []
+
+    def value(self, var: str) -> int:
+        return self.shape[var]
+
+    def le(self, var: str, bound: int) -> bool:
+        """``var <= bound``, recording the half-line that keeps it true."""
+        bound = int(bound)
+        if self.shape[var] <= bound:
+            self._guards.append(BoundGuard(var, hi=bound))
+            return True
+        self._guards.append(BoundGuard(var, lo=bound + 1))
+        return False
+
+    def ge(self, var: str, bound: int) -> bool:
+        """``var >= bound``, recording the half-line that keeps it true."""
+        bound = int(bound)
+        if self.shape[var] >= bound:
+            self._guards.append(BoundGuard(var, lo=bound))
+            return True
+        self._guards.append(BoundGuard(var, hi=bound - 1))
+        return False
+
+    def floordiv(self, var: str, numerator: int, coeff: int, min_value: int = 1) -> int:
+        """``max(min_value, numerator // (coeff * var))`` as a baked constant.
+
+        Records the exact range of ``var`` over which the result is the
+        value returned here, so a family member never sees a different
+        baked chunk size than the one emitted.
+        """
+        numerator, coeff = int(numerator), int(coeff)
+        if coeff < 1:
+            raise ConfigError(f"coeff must be >= 1, got {coeff}")
+        v = self.shape[var]
+        q = numerator // (coeff * v)
+        if q <= min_value:
+            # Clamped region: every v' with numerator//(coeff*v') <= min_value.
+            lo = numerator // (coeff * (min_value + 1)) + 1
+            self._guards.append(BoundGuard(var, lo=lo))
+            return min_value
+        lo = numerator // (coeff * (q + 1)) + 1
+        hi = numerator // (coeff * q)
+        self._guards.append(BoundGuard(var, lo=lo, hi=hi))
+        return q
+
+    def guard_set(self) -> GuardSet:
+        gs = GuardSet(self._guards)
+        assert gs.check(self.shape), "recorded guards must admit the recorded shape"
+        return gs

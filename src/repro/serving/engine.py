@@ -34,9 +34,17 @@ from repro.gpu.specs import GPUSpec
 from repro.mha.module import UnifiedMHA
 from repro.mha.problem import AttentionProblem
 from repro.mha.rowwise import RowWiseKernel, plan_rowwise_launches
+from repro.masks.patterns import causal_mask, make_pattern
 from repro.obs.metrics import current_metrics
 from repro.obs.tracer import Tracer, current_tracer
-from repro.plan import PlanCache, PlanKey
+from repro.plan import (
+    BucketGuard,
+    GuardSet,
+    PlanCache,
+    PlanKey,
+    SymbolicPlanKey,
+    params_key,
+)
 from repro.serving.kvcache import KVCacheConfig, PagedKVCache
 from repro.serving.metrics import RequestMetrics, ServingReport
 from repro.serving.request import Request, RequestState, RequestTracker
@@ -57,6 +65,13 @@ class ServingConfig:
     use_plan_cache: bool = True      # replay plans instead of re-deriving
     plan_cache_entries: int = 4096   # LRU bound of the shared plan cache
     plan_bucket_tokens: int = 64     # decode row-stat chunk, in positions
+    #: Share decode plan families *across* requests whose masks are a pure
+    #: function of (pattern, pinned params, position): the family base drops
+    #: the per-request mask fingerprint, so any two requests — of any
+    #: length — reuse one entry per position bucket.  Off by default to
+    #: keep per-request keying (and every report) identical to before;
+    #: see docs/symbolic_shapes.md.
+    symbolic_plan_keys: bool = False
 
     def __post_init__(self) -> None:
         if min(self.heads, self.head_size, self.n_layers) < 1:
@@ -169,40 +184,111 @@ class ServingEngine:
         """(nnz, transition count) of the request's decode row ``pos``.
 
         Rows are cached in chunks of ``plan_bucket_tokens`` consecutive
-        positions keyed by (mask fingerprint, bucket): one mask scan serves
-        a request's next ``plan_bucket_tokens`` decode steps, so steady-state
-        steps run entirely off the cache.  The statistics are exact per
-        position — bucketing shapes the cache *key*, never the cost.
+        positions under a guarded plan family: the key leaves the decode
+        position symbolic and a ``pos // width == bucket`` guard
+        (:class:`~repro.plan.symbolic.BucketGuard`) names the chunk, so
+        one mask scan serves a request's next ``plan_bucket_tokens``
+        decode steps and steady-state steps run entirely off the cache.
+        The statistics are exact per position — the guard shapes the
+        cache *key*, never the cost.  With
+        :attr:`ServingConfig.symbolic_plan_keys`, eligible requests of
+        *different lengths* share the same families (see
+        ``_decode_base``).
         """
         width = self.config.plan_bucket_tokens
         bucket, offset = divmod(pos, width)
-        key = tr._plan_keys.get(bucket)
-        if key is None:
-            key = PlanKey(
-                kind="serving-decode",
-                mask=tr.mask_fingerprint(rng),
-                salt=f"rows:bucket={bucket}:w={width}",
-                shard=self.shard_fingerprint,
-            )
-            tr._plan_keys[bucket] = key
-
-        def build() -> tuple[tuple[int, ...], tuple[int, ...]]:
-            full = tr.full_mask(rng)
-            rows = full[bucket * width : (bucket + 1) * width]
-            # The mask is causal, so row p is all-False beyond column p:
-            # whole-row statistics equal the [:p+1] prefix's exactly.
-            padded = np.concatenate(
-                [np.zeros((rows.shape[0], 1), dtype=bool), rows], axis=1
-            )
-            rises = ((~padded[:, :-1]) & padded[:, 1:]).sum(axis=1)
-            nnz = rows.sum(axis=1)
-            return (
-                tuple(int(x) for x in nnz),
-                tuple(int(x) for x in rises),
-            )
-
-        nnz, rises = self.plan_cache.get_or_build(key, build)
+        fam = tr._plan_keys.get(bucket)
+        if fam is None:
+            fam = self._decode_family(tr, bucket, pos, rng)
+            tr._plan_keys[bucket] = fam
+        nnz, rises = self.plan_cache.get_or_build(
+            fam, lambda: self._decode_bucket_stats(tr, fam, bucket, rng)
+        )
         return nnz[offset], rises[offset]
+
+    def _decode_family(
+        self, tr: RequestTracker, bucket: int, pos: int, rng: RngStream
+    ) -> SymbolicPlanKey:
+        """The guarded family key owning decode position ``pos``.
+
+        Scans the cache's families under this request's base first, so a
+        bucket another request already planned is reused; otherwise a new
+        sibling guarded by this position's bucket is keyed (the cache
+        counts its insertion as a family split).
+        """
+        base = tr._plan_base
+        if base is None:
+            base = self._decode_base(tr, rng)
+            tr._plan_base = base
+        fam = self.plan_cache.find_family(base, ("pos",), {"pos": pos})
+        if fam is None:
+            width = self.config.plan_bucket_tokens
+            fam = SymbolicPlanKey(
+                base, ("pos",), GuardSet((BucketGuard("pos", width, bucket),))
+            )
+        return fam
+
+    def _decode_base(self, tr: RequestTracker, rng: RngStream) -> PlanKey:
+        """The concrete part of a request's decode family keys.
+
+        Default: the request's full-mask fingerprint — families are
+        per-mask, exactly as sharp as the old per-bucket concrete keys.
+        With ``symbolic_plan_keys``, a request whose mask entries are a
+        pure function of (pattern, pinned params, position) drops the
+        fingerprint for that function's identity: every such request
+        shares one family per bucket regardless of its length, because
+        under the causal AND, row ``p``'s statistics never depend on the
+        mask's build size.  Requests that don't qualify (random patterns,
+        size-derived widths) keep fingerprint keying.
+        """
+        width = self.config.plan_bucket_tokens
+        pinned = (
+            tr.pinned_pattern_params() if self.config.symbolic_plan_keys else None
+        )
+        if pinned is not None:
+            pattern = tr.request.pattern
+            mask_id = f"sym:{params_key(pinned)!r}"
+        else:
+            pattern = ""
+            mask_id = tr.mask_fingerprint(rng)
+        return PlanKey(
+            kind="serving-decode",
+            pattern=pattern,
+            mask=mask_id,
+            salt=f"rows:w={width}",
+            shard=self.shard_fingerprint,
+        )
+
+    def _decode_bucket_stats(
+        self, tr: RequestTracker, fam: SymbolicPlanKey, bucket: int, rng: RngStream
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(nnz, rise count) per row of one ``plan_bucket_tokens`` chunk.
+
+        Shared (``sym:``) families rebuild the mask at the *canonical*
+        size for the bucket — just large enough to contain its rows — so
+        the cached tuples are a function of the family key alone, never
+        of whichever request happened to build them first.
+        """
+        width = self.config.plan_bucket_tokens
+        if fam.base.mask.startswith("sym:"):
+            size = (bucket + 1) * width
+            full = make_pattern(
+                tr.request.pattern, size, **(tr.pinned_pattern_params() or {})
+            ) & causal_mask(size)
+        else:
+            full = tr.full_mask(rng)
+        rows = full[bucket * width : (bucket + 1) * width]
+        # The mask is causal, so row p is all-False beyond column p:
+        # whole-row statistics equal the [:p+1] prefix's exactly.
+        padded = np.concatenate(
+            [np.zeros((rows.shape[0], 1), dtype=bool), rows], axis=1
+        )
+        rises = ((~padded[:, :-1]) & padded[:, 1:]).sum(axis=1)
+        nnz = rows.sum(axis=1)
+        return (
+            tuple(int(x) for x in nnz),
+            tuple(int(x) for x in rises),
+        )
 
     def _decode_time_cached(
         self, members: list[tuple[RequestTracker, int]], rng: RngStream

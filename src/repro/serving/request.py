@@ -79,9 +79,12 @@ class RequestTracker:
     preemptions: int = 0
     _full_mask: np.ndarray | None = field(default=None, repr=False)
     _mask_fp: str | None = field(default=None, repr=False)
-    # Interned decode-chunk PlanKeys by bucket index (hot path: one lookup
-    # per running request per engine step).
+    # Interned decode-chunk plan-family keys by bucket index (hot path:
+    # one lookup per running request per engine step).
     _plan_keys: dict = field(default_factory=dict, repr=False)
+    # Interned family base (the decode PlanKey with the position dim left
+    # symbolic); resolved once per request by the engine.
+    _plan_base: object = field(default=None, repr=False)
 
     @property
     def req_id(self) -> int:
@@ -124,6 +127,18 @@ class RequestTracker:
 
             self._mask_fp = mask_fingerprint(self.full_mask(rng))
         return self._mask_fp
+
+    def pinned_pattern_params(self) -> dict | None:
+        """Size-independent pattern parameters, or ``None``.
+
+        Non-``None`` means this request's mask entries are a pure
+        function of (pattern, params, position) — independent of
+        ``max_context`` — so its decode row statistics can live in a plan
+        family shared across requests of *any* length
+        (see :meth:`repro.masks.patterns.MaskPattern.pinned_params`).
+        """
+        pattern = PATTERN_REGISTRY[self.request.pattern]
+        return pattern.pinned_params(dict(self.request.pattern_overrides))
 
     def decode_row(self, rng: RngStream) -> np.ndarray:
         """Mask row of the next token: position ``context_len`` attends

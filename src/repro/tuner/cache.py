@@ -112,14 +112,25 @@ class PerformanceCache:
         segment_id: Hashable,
         params: dict[str, Any],
         measure: Callable[[], float],
+        family: "tuple | None" = None,
     ) -> float | None:
         """Return the kernel time for (segment, params), pricing a miss.
 
         ``measure`` runs the device model; if it raises (infeasible launch
         configuration) the failure is cached as ``inf`` — a real tuner also
         remembers configs that failed to launch — and ``None`` is returned.
+
+        ``family`` is an optional ``(dims, shape, guards)`` triple (see
+        :data:`repro.plan.planner.Family`): a caller that knows a
+        measurement transfers across a shape region — e.g. the segment's
+        cost is flat while ``nnz_blocks <= K`` — shares one cached
+        measurement per family, with guard failures re-measuring under a
+        split instead of silently reusing a stale time.
         """
         key = self._key(self._norm(segment_id), params_key(params))
+        if family is not None:
+            dims, shape, guards = family
+            key = self.plans.family_key(key, tuple(dims), shape, guards)
         m = current_metrics()
         if self.enabled:
             cached = self.plans.get(key, _MISSING)

@@ -77,7 +77,9 @@ def test_problem_entry_memo_binds_once(rng):
     with use_codegen_cache() as cache:
         out1 = kernel.run(prob, params)
         memo = prob.__dict__["_codegen_entries"]
-        assert ("blockwise", params["block_m"], params["block_n"]) in memo
+        assert (
+            "blockwise", params["block_m"], params["block_n"], False
+        ) in memo
         out2 = kernel.run(prob, params)
         # Second call never reached the cache: still the single cold miss.
         assert cache.stats()["hits_memory"] == 0
