@@ -3,14 +3,25 @@
 Beyond the paper's single-GPU evaluation: the same compiled plans are
 sharded Megatron-style across tensor-parallel ranks (ring all-reduce
 collectives priced by the α–β interconnect model) and behind a
-data-parallel request router.
+data-parallel request router.  This study prices every layout under BOTH
+execution models:
+
+* **serialized** — every all-reduce stalls its sync point (the original
+  model; the ``sharding_scaling_serialized.txt`` artifact keeps this
+  table byte-identical across versions).
+* **overlapped** — each layer's collectives are bucketed into one
+  all-reduce and overlapped with the next layer's compute under a
+  contention factor; pipeline layouts run 1F1B micro-batch schedules
+  with explicit bubbles, and dual-link layouts price hierarchical
+  (intra-node ring + inter-node tree) collectives.
 
 Expected shapes: near-linear TP speedup while per-rank work is
-compute-bound (the large batch×seq setting), flattening once the ring
-all-reduces dominate at small per-rank work (the small setting, and any
-setting on PCIe, whose α and 1/β are both an order of magnitude worse
-than NVLink); per-rank memory shrinks with TP; DP replicas multiply
-serving throughput under bursty load without changing per-pass latency.
+compute-bound, flattening once the all-reduces dominate; overlap claws
+back a large share of the PCIe-vs-NVLink gap at compute-dense shapes
+(the fig10 setting recovers > 50%); pipeline parallelism converts a
+slow-link TP layout into fewer, cheaper boundary sends (tp2pp2 with
+enough micro-batches beats serialized tp4 on PCIe); hierarchical
+collectives keep the slow link to 1/node_size of the payload.
 """
 
 import pytest
@@ -20,18 +31,38 @@ from repro.api import compile_model
 from repro.gpu.specs import A100
 from repro.models import ModelConfig
 from repro.parallel import ShardedServingEngine
+from repro.plan import PlanCache
 from repro.serving import ServingConfig, synthetic_trace
 
 #: A TP-friendly backbone: 16 heads and a 4096-wide FFN divide evenly
 #: through tp=8 (the zoo's BERT-Base, with 12 heads, stops at tp=4).
 MODEL = ModelConfig("shard-bench", 4, 0, 1024, 16, 4096)
 
+#: The Fig. 10-style large setting: same width, 4x the FFN — the
+#: compute-dense regime where comm–compute overlap pays off (collective
+#: payloads scale with hidden only, FFN compute with hidden * ffn_dim).
+FIG10_MODEL = ModelConfig("shard-bench-xl", 4, 0, 1024, 16, 16384)
+
 TPS = (1, 2, 4, 8)
-SHAPES = (("large", 8, 512), ("small", 1, 128))
+SHAPES = (
+    ("large", MODEL, 8, 512),
+    ("small", MODEL, 1, 128),
+    ("fig10", FIG10_MODEL, 8, 2048),
+)
+#: The PR-5 serialized golden covers these shapes (fig10 came later).
+SERIALIZED_SHAPES = ("large", "small")
 LINKS = ("nvlink", "pcie")
 
+#: 1F1B micro-batch sweep of the pipeline study (fig10 shape, PCIe).
+MICRO_SWEEP = (1, 2, 4, 8, 16)
+
+#: Hierarchical-collective layouts compared at tp8 (fig10 shape).
+HIER_LAYOUTS = ("tp8:nvlink", "tp8:pcie", "tp8:nvlink,pcie", "tp8:nvlink,ib")
+
 #: Serving layouts swept at one bursty arrival rate.
-LAYOUTS = ("tp1", "tp2", "tp4", "dp2", "dp4", "tp2dp2")
+LAYOUTS = ("tp1", "tp2", "tp4", "dp2", "dp4", "tp2dp2", "tp2pp2")
+#: The PR-5 serving table listed exactly these (pre-pipeline) layouts.
+SERIALIZED_LAYOUTS = ("tp1", "tp2", "tp4", "dp2", "dp4", "tp2dp2")
 
 SERVE_CONFIG = ServingConfig(heads=16, head_size=64, n_layers=4)
 N_REQUESTS = 48
@@ -39,37 +70,107 @@ ARRIVAL_RPS = 20000.0
 
 
 def compile_rows():
-    """TP scaling of one forward pass, per shape and link."""
+    """TP scaling of one forward pass, per shape and link, both modes.
+
+    One compile per layout carries both prices: ``serial_latency_s`` is
+    the sync-point model bit for bit, ``latency_s`` the overlapped
+    timeline.  "recovered" is the share of the serialized PCIe-vs-NVLink
+    gap that overlap claws back."""
     rows = []
     raw = {}
-    for label, batch, seq in SHAPES:
+    cache = PlanCache(max_entries=None)
+    for label, model, batch, seq in SHAPES:
         for link in LINKS:
-            base = None
             for tp in TPS:
-                c = compile_model(
-                    MODEL, batch, seq, mask="causal",
-                    parallel=f"tp{tp}:{link}",
+                raw[(label, link, tp)] = compile_model(
+                    model, batch, seq, mask="causal",
+                    parallel=f"tp{tp}:{link}", plan_cache=cache,
                 )
-                if base is None:
-                    base = c.latency_s     # tp1: no collectives, any link
+    for label, model, batch, seq in SHAPES:
+        for link in LINKS:
+            base = raw[(label, link, 1)].latency_s   # tp1: no collectives
+            for tp in TPS:
+                c = raw[(label, link, tp)]
+                if link == "pcie" and tp > 1:
+                    nv = raw[(label, "nvlink", tp)]
+                    gap = c.serial_latency_s - nv.serial_latency_s
+                    recovered = f"{(c.serial_latency_s - c.latency_s) / gap:.0%}"
+                else:
+                    recovered = "--"
                 rows.append(
                     [
                         label,
                         f"{batch}x{seq}",
                         link,
                         tp,
+                        c.serial_latency_s * 1e3,
                         c.latency_s * 1e3,
-                        c.comm_time_s * 1e3,
+                        c.serial_comm_time_s * 1e3,
+                        recovered,
                         f"{base / c.latency_s:.2f}x",
                         c.report.memory_bytes / 2**30,
                     ]
                 )
-                raw[(label, link, tp)] = c
+    return rows, raw
+
+
+def pipeline_rows(raw):
+    """1F1B micro-batch sweep: tp2pp2 on PCIe at the fig10 shape, with
+    the serialized tp4 row it is trying to beat."""
+    label, model, batch, seq = SHAPES[2]
+    assert label == "fig10"
+    cache = PlanCache(max_entries=None)
+    ref = raw[(label, "pcie", 4)]
+    rows = [
+        ["tp4:pcie (serialized)", "--", ref.serial_latency_s * 1e3,
+         0.0, "--", 0.0],
+    ]
+    sweep = {}
+    for m in MICRO_SWEEP:
+        c = compile_model(
+            model, batch, seq, mask="causal", parallel="tp2pp2:pcie",
+            micro_batches=m, plan_cache=cache,
+        )
+        sweep[m] = c
+        rows.append(
+            [
+                "tp2pp2:pcie",
+                m,
+                c.latency_s * 1e3,
+                c.bubble_time_s * 1e3,
+                f"{c.bubble_fraction:.1%}",
+                c.p2p_time_s * 1e3,
+            ]
+        )
+    return rows, sweep
+
+
+def hierarchy_rows():
+    """Flat vs hierarchical collectives at tp8 on the fig10 shape."""
+    label, model, batch, seq = SHAPES[2]
+    cache = PlanCache(max_entries=None)
+    rows = []
+    raw = {}
+    for layout in HIER_LAYOUTS:
+        c = compile_model(
+            model, batch, seq, mask="causal", parallel=layout,
+            plan_cache=cache,
+        )
+        raw[layout] = c
+        rows.append(
+            [
+                layout,
+                "hierarchical" if c.shard.inter_link else "flat ring",
+                c.serial_latency_s * 1e3,
+                c.latency_s * 1e3,
+                c.serial_comm_time_s * 1e3,
+            ]
+        )
     return rows, raw
 
 
 def serving_rows():
-    """Aggregate serving throughput across parallel layouts."""
+    """Aggregate serving throughput across parallel layouts, both modes."""
     trace = synthetic_trace(
         N_REQUESTS,
         ARRIVAL_RPS,
@@ -80,29 +181,115 @@ def serving_rows():
     rows = []
     raw = {}
     for layout in LAYOUTS:
-        engine = ShardedServingEngine(
-            A100, config=SERVE_CONFIG, shard=layout
-        )
-        report = engine.run(trace, rng=bench_rng("shard-serve-masks"))
+        reports = {}
+        for mode, overlap in (("serial", False), ("overlap", True)):
+            engine = ShardedServingEngine(
+                A100, config=SERVE_CONFIG, shard=layout, overlap=overlap
+            )
+            reports[mode] = engine.run(
+                trace, rng=bench_rng("shard-serve-masks")
+            )
+        serial, over = reports["serial"], reports["overlap"]
         rows.append(
             [
                 layout,
-                report.tokens_per_s,
-                report.goodput_rps,
-                report.comm_s * 1e3,
-                f"{report.plan_cache['hit_rate']:.1%}",
+                serial.tokens_per_s,
+                over.tokens_per_s,
+                over.goodput_rps,
+                over.comm_s * 1e3,
+                f"{over.bubble_fraction:.1%}" if over.bubble_s else "--",
+                f"{over.plan_cache['hit_rate']:.1%}",
             ]
         )
-        raw[layout] = report
+        raw[layout] = reports
     return rows, raw
 
 
 @pytest.fixture(scope="module")
 def sharding_tables():
-    return compile_rows(), serving_rows()
+    compile_table = compile_rows()
+    return (
+        compile_table,
+        pipeline_rows(compile_table[1]),
+        hierarchy_rows(),
+        serving_rows(),
+    )
 
 
-def render(compile_table_rows, serving_table_rows):
+def render(compile_table_rows, pipeline_table_rows, hierarchy_table_rows,
+           serving_table_rows):
+    compile_table = format_table(
+        ["shape", "batch x seq", "link", "tp", "serial (ms)",
+         "overlap (ms)", "comm (ms)", "recovered", "speedup",
+         "mem/rank (GiB)"],
+        compile_table_rows,
+        title=(
+            "Extension: tensor-parallel scaling of one forward pass, "
+            "serialized vs overlapped collectives "
+            f"({MODEL.name}: {MODEL.total_layers}L, {MODEL.heads}H, "
+            f"hidden {MODEL.hidden}; fig10: {FIG10_MODEL.name}, "
+            f"ffn {FIG10_MODEL.ffn_dim}; A100 ranks)"
+        ),
+    )
+    pipeline_table = format_table(
+        ["layout", "micro-batches", "latency (ms)", "bubble (ms)",
+         "bubble frac", "p2p (ms)"],
+        pipeline_table_rows,
+        title=(
+            "Extension: 1F1B pipeline micro-batch sweep "
+            f"({FIG10_MODEL.name} @ 8x2048, PCIe, overlapped)"
+        ),
+    )
+    hierarchy_table = format_table(
+        ["layout", "collectives", "serial (ms)", "overlap (ms)",
+         "comm (ms)"],
+        hierarchy_table_rows,
+        title=(
+            "Extension: flat vs hierarchical collectives at tp8 "
+            f"({FIG10_MODEL.name} @ 8x2048, node size 4)"
+        ),
+    )
+    serving_table = format_table(
+        ["layout", "serial tok/s", "overlap tok/s", "goodput req/s",
+         "comm (ms)", "bubble", "plan-cache hits"],
+        serving_table_rows,
+        title=(
+            "Extension: sharded serving throughput "
+            f"({N_REQUESTS} requests @ {ARRIVAL_RPS:.0f} req/s, "
+            f"{SERVE_CONFIG.n_layers}L x {SERVE_CONFIG.heads}H, A100)"
+        ),
+    )
+    return "\n\n".join(
+        [compile_table, pipeline_table, hierarchy_table, serving_table]
+    )
+
+
+def render_serialized_compile(compile_raw):
+    """The pre-overlap compile table, unchanged: byte for byte.
+
+    Regenerated from the same compiles via their ``serial_*`` fields, so
+    any drift in the serialized pricing path shows up as a diff against
+    ``sharding_scaling_serialized.txt``."""
+    compile_table_rows = []
+    for label, model, batch, seq in SHAPES:
+        if label not in SERIALIZED_SHAPES:
+            continue
+        for link in LINKS:
+            base = compile_raw[(label, link, 1)].serial_latency_s
+            for tp in TPS:
+                c = compile_raw[(label, link, tp)]
+                compile_table_rows.append(
+                    [
+                        label,
+                        f"{batch}x{seq}",
+                        link,
+                        tp,
+                        c.serial_latency_s * 1e3,
+                        c.serial_comm_time_s * 1e3,
+                        f"{base / c.serial_latency_s:.2f}x",
+                        c.report.memory_bytes / 2**30,
+                    ]
+                )
     compile_table = format_table(
         ["shape", "batch x seq", "link", "tp", "latency (ms)",
          "comm (ms)", "speedup", "mem/rank (GiB)"],
@@ -113,6 +300,22 @@ def render(compile_table_rows, serving_table_rows):
             f"hidden {MODEL.hidden}, A100 ranks)"
         ),
     )
+    return compile_table
+
+
+def render_serialized(compile_raw, serving_raw):
+    """The whole pre-overlap study: the PR-5 artifact, byte for byte."""
+    compile_table = render_serialized_compile(compile_raw)
+    serving_table_rows = [
+        [
+            layout,
+            serving_raw[layout]["serial"].tokens_per_s,
+            serving_raw[layout]["serial"].goodput_rps,
+            serving_raw[layout]["serial"].comm_s * 1e3,
+            f"{serving_raw[layout]['serial'].plan_cache['hit_rate']:.1%}",
+        ]
+        for layout in SERIALIZED_LAYOUTS
+    ]
     serving_table = format_table(
         ["layout", "tok/s", "goodput req/s", "comm (ms)", "plan-cache hits"],
         serving_table_rows,
@@ -126,30 +329,49 @@ def render(compile_table_rows, serving_table_rows):
 
 
 def test_sharding_table(benchmark, sharding_tables):
-    (compile_table_rows, _), (serving_table_rows, _) = sharding_tables
+    ((compile_table_rows, compile_raw), (pipeline_table_rows, _),
+     (hierarchy_table_rows, _), (serving_table_rows, serving_raw)) = (
+        sharding_tables
+    )
     benchmark(
         lambda: compile_model(
             MODEL, 1, 128, mask="causal", parallel="tp4"
         ).latency_s
     )
-    emit("sharding_scaling", render(compile_table_rows, serving_table_rows))
+    emit(
+        "sharding_scaling",
+        render(compile_table_rows, pipeline_table_rows,
+               hierarchy_table_rows, serving_table_rows),
+    )
+    emit(
+        "sharding_scaling_serialized",
+        render_serialized(compile_raw, serving_raw),
+    )
 
 
 def speedup(raw, label, link, tp):
-    return raw[(label, link, 1)].latency_s / raw[(label, link, tp)].latency_s
+    """Serialized-mode speedup over tp1 (the PR-5 scaling claim)."""
+    return (
+        raw[(label, link, 1)].serial_latency_s
+        / raw[(label, link, tp)].serial_latency_s
+    )
 
 
 def test_tp_speedup_monotone_while_compute_bound(sharding_tables):
-    """On NVLink at the large shape every added rank still pays off."""
-    (_, raw), _ = sharding_tables
-    lats = [raw[("large", "nvlink", tp)].latency_s for tp in TPS]
-    assert all(b < a for a, b in zip(lats, lats[1:])), lats
+    """On NVLink at the large shape every added rank still pays off —
+    in both pricing modes."""
+    (_, raw), _, _, _ = sharding_tables
+    for attr in ("serial_latency_s", "latency_s"):
+        lats = [
+            getattr(raw[("large", "nvlink", tp)], attr) for tp in TPS
+        ]
+        assert all(b < a for a, b in zip(lats, lats[1:])), (attr, lats)
 
 
 def test_small_shapes_flatten(sharding_tables):
     """Comm-bound regime on NVLink: the small shape scales worse than the
     large one at every rank count past tp1."""
-    (_, raw), _ = sharding_tables
+    (_, raw), _, _, _ = sharding_tables
     for tp in TPS[1:]:
         assert (
             speedup(raw, "small", "nvlink", tp)
@@ -158,21 +380,22 @@ def test_small_shapes_flatten(sharding_tables):
 
 
 def test_pcie_is_comm_bound_everywhere(sharding_tables):
-    """On PCIe the all-reduces cost more than the compute they save: every
-    multi-rank layout is slower than one GPU — the curve's hard floor."""
-    (_, raw), _ = sharding_tables
-    for label, _, _ in SHAPES:
+    """Serialized on PCIe, the all-reduces cost more than the compute
+    they save at the original shapes: every multi-rank layout is slower
+    than one GPU — the curve's hard floor."""
+    (_, raw), _, _, _ = sharding_tables
+    for label in SERIALIZED_SHAPES:
         for tp in TPS[1:]:
             assert speedup(raw, label, "pcie", tp) < 1.0
 
 
 def test_pcie_pays_more_comm(sharding_tables):
-    (_, raw), _ = sharding_tables
-    for label, _, _ in SHAPES:
+    (_, raw), _, _, _ = sharding_tables
+    for label, _, _, _ in SHAPES:
         for tp in TPS[1:]:
             assert (
-                raw[(label, "pcie", tp)].comm_time_s
-                > raw[(label, "nvlink", tp)].comm_time_s
+                raw[(label, "pcie", tp)].serial_comm_time_s
+                > raw[(label, "nvlink", tp)].serial_comm_time_s
             )
             assert (
                 raw[(label, "pcie", tp)].rank_time_s
@@ -181,30 +404,104 @@ def test_pcie_pays_more_comm(sharding_tables):
 
 
 def test_per_rank_memory_shrinks(sharding_tables):
-    (_, raw), _ = sharding_tables
+    (_, raw), _, _, _ = sharding_tables
     mems = [raw[("large", "nvlink", tp)].report.memory_bytes for tp in TPS]
     assert all(b < a for a, b in zip(mems, mems[1:]))
 
 
+def test_overlap_bounded_by_serialized_and_floor(sharding_tables):
+    """Every layout: serialized >= overlapped >= max(compute, comm)."""
+    (_, raw), _, _, _ = sharding_tables
+    for c in raw.values():
+        assert c.latency_s <= c.serial_latency_s
+        assert c.latency_s >= c.rank_time_s
+        assert c.latency_s >= c.comm_time_s
+
+
+def test_overlap_recovers_half_the_pcie_gap_at_fig10(sharding_tables):
+    """The headline: at the compute-dense fig10 shape, overlapped PCIe
+    tp4 recovers >= 50% of the serialized PCIe-vs-NVLink gap."""
+    (_, raw), _, _, _ = sharding_tables
+    pcie = raw[("fig10", "pcie", 4)]
+    nv = raw[("fig10", "nvlink", 4)]
+    gap = pcie.serial_latency_s - nv.serial_latency_s
+    recovered = (pcie.serial_latency_s - pcie.latency_s) / gap
+    assert recovered >= 0.5, recovered
+
+
+def test_pipeline_beats_serialized_tp4_on_pcie(sharding_tables):
+    """tp2pp2 with >= 8 micro-batches: half the ranks per all-reduce and
+    cheap boundary sends beat serialized tp4 on the slow link."""
+    (_, raw), (_, sweep), _, _ = sharding_tables
+    ref = raw[("fig10", "pcie", 4)].serial_latency_s
+    for m in (8, 16):
+        assert sweep[m].latency_s < ref, (m, sweep[m].latency_s, ref)
+
+
+def test_pipeline_bubble_fraction_monotone(sharding_tables):
+    _, (_, sweep), _, _ = sharding_tables
+    fracs = [sweep[m].bubble_fraction for m in MICRO_SWEEP]
+    assert all(b < a for a, b in zip(fracs, fracs[1:])), fracs
+    assert all(sweep[m].bubble_time_s > 0 for m in MICRO_SWEEP)
+
+
+def test_hierarchical_beats_flat_slow_ring(sharding_tables):
+    """Two-tier collectives keep the slow link to 1/node_size of the
+    payload: tp8 over nvlink+pcie out-prices the flat pcie ring."""
+    _, _, (_, raw), _ = sharding_tables
+    assert (
+        raw["tp8:nvlink,pcie"].serial_comm_time_s
+        < raw["tp8:pcie"].serial_comm_time_s
+    )
+    assert (
+        raw["tp8:nvlink,pcie"].latency_s < raw["tp8:pcie"].latency_s
+    )
+    # The flat all-NVLink clique is still the best place to be.
+    assert (
+        raw["tp8:nvlink"].serial_comm_time_s
+        < raw["tp8:nvlink,pcie"].serial_comm_time_s
+    )
+
+
 def test_dp_multiplies_serving_throughput(sharding_tables):
     """Under bursty load, replicas drain the queue roughly in parallel."""
-    _, (_, raw) = sharding_tables
-    assert raw["dp2"].tokens_per_s > raw["tp1"].tokens_per_s
-    assert raw["dp4"].tokens_per_s > raw["dp2"].tokens_per_s
+    _, _, _, (_, raw) = sharding_tables
+    for mode in ("serial", "overlap"):
+        assert raw["dp2"][mode].tokens_per_s > raw["tp1"][mode].tokens_per_s
+        assert raw["dp4"][mode].tokens_per_s > raw["dp2"][mode].tokens_per_s
 
 
 def test_tp_decode_is_comm_bound(sharding_tables):
     """Serving decode moves a handful of rows per step, so TP's per-layer
     all-reduces cost more than the sharded compute saves — TP buys memory
     headroom here, not throughput."""
-    _, (_, raw) = sharding_tables
-    assert raw["tp2"].tokens_per_s < raw["tp1"].tokens_per_s
-    assert raw["tp2"].comm_s > 0
+    _, _, _, (_, raw) = sharding_tables
+    assert raw["tp2"]["serial"].tokens_per_s < raw["tp1"]["serial"].tokens_per_s
+    assert raw["tp2"]["serial"].comm_s > 0
+
+
+def test_serving_overlap_beats_serialized(sharding_tables):
+    """Bucketed, overlapped collectives lift every comm-paying layout."""
+    _, _, _, (_, raw) = sharding_tables
+    for layout in ("tp2", "tp4", "tp2dp2"):
+        assert (
+            raw[layout]["overlap"].tokens_per_s
+            > raw[layout]["serial"].tokens_per_s
+        ), layout
+
+
+def test_serving_pipeline_reports_bubble(sharding_tables):
+    _, _, _, (_, raw) = sharding_tables
+    over = raw["tp2pp2"]["overlap"]
+    assert over.bubble_s > 0
+    assert over.micro_batches == 8
+    assert 0 < over.bubble_fraction < 0.2
 
 
 def test_serving_plan_cache_replays(sharding_tables):
     """Every layout's steady state replays most plans from the shared
     cache."""
-    _, (_, raw) = sharding_tables
-    for layout, report in raw.items():
-        assert report.plan_cache["hit_rate"] >= 0.9, layout
+    _, _, _, (_, raw) = sharding_tables
+    for layout, reports in raw.items():
+        for mode, report in reports.items():
+            assert report.plan_cache["hit_rate"] >= 0.9, (layout, mode)

@@ -195,10 +195,15 @@ def compile_model(
 
     ``parallel`` (optional) is a shard layout — a
     :class:`repro.parallel.ShardConfig` or a spec string like ``"tp4"``,
-    ``"tp2dp2"``, or ``"tp4:pcie"`` — switching to Megatron-style
-    tensor-parallel compilation: one rank's shard is planned and the
-    layout's ring all-reduces are added on top (see ``docs/sharding.md``).
-    The result is a :class:`repro.parallel.ShardedCompiledModel`.
+    ``"tp2pp2"``, ``"tp2dp2:pcie"``, or ``"tp4pp2:nvlink,ib"`` — switching
+    to Megatron-style tensor/pipeline-parallel compilation: one rank's
+    shard is planned and the layout's collectives are added on top,
+    bucketed and overlapped with compute by default (see
+    ``docs/sharding.md``).  Extra keywords ``overlap=`` (``False``
+    restores the serialized sync-point model), ``micro_batches=`` and
+    ``contention=`` ride through to
+    :func:`repro.parallel.compile.compile_sharded`.  The result is a
+    :class:`repro.parallel.ShardedCompiledModel`.
     """
     legacy_device = _pop_legacy(engine_kwargs, "gpu", "device", device is not None)
     if legacy_device is not _UNSET:

@@ -266,11 +266,19 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
 
 
 def cmd_shard_sim(args: argparse.Namespace) -> int:
-    from repro.parallel import ShardConfig, ShardedServingEngine, get_link
+    from repro.parallel import (
+        DEFAULT_CONTENTION,
+        ShardConfig,
+        ShardedServingEngine,
+        get_link,
+    )
     from repro.serving import ServingConfig, synthetic_trace
 
     spec = get_spec(args.device)
-    shard = ShardConfig(tp=args.tp, dp=args.dp, link=get_link(args.link))
+    shard = ShardConfig(
+        tp=args.tp, pp=args.pp, dp=args.dp, link=get_link(args.link),
+        inter_link=get_link(args.inter_link) if args.inter_link else None,
+    )
     trace = synthetic_trace(
         args.num_requests,
         args.rate,
@@ -292,6 +300,12 @@ def cmd_shard_sim(args: argparse.Namespace) -> int:
         route=args.route,
         max_batch_size=args.max_batch,
         max_batch_tokens=args.max_batch_tokens,
+        overlap=not args.no_overlap,
+        micro_batches=args.micro_batches,
+        contention=(
+            args.contention if args.contention is not None
+            else DEFAULT_CONTENTION
+        ),
     )
     report = engine.run(trace, rng=RngStream(args.seed))
     print(
@@ -612,11 +626,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--tp", type=int, default=2,
                    help="tensor-parallel ranks per replica")
+    p.add_argument("--pp", type=int, default=1,
+                   help="pipeline stages per replica (layers must divide)")
     p.add_argument("--dp", type=int, default=1,
                    help="data-parallel replicas")
     p.add_argument("--link", default="nvlink",
-                   choices=("nvlink", "pcie"),
+                   choices=("nvlink", "pcie", "ib"),
                    help="inter-GPU link for the TP collectives")
+    p.add_argument("--inter-link", default=None,
+                   choices=("nvlink", "pcie", "ib"),
+                   help="inter-node link: makes collectives hierarchical "
+                        "and carries pipeline sends")
+    p.add_argument("--no-overlap", action="store_true",
+                   help="serialize every collective at its sync point "
+                        "(the pre-overlap pricing model)")
+    p.add_argument("--micro-batches", type=int, default=None,
+                   help="1F1B micro-batches per step (default: 8 when "
+                        "--pp > 1, else 1)")
+    p.add_argument("--contention", type=float, default=None,
+                   help="overlap contention factor in [0, 1] "
+                        "(default 0.25)")
     p.add_argument("--route", default="least-loaded",
                    choices=("round-robin", "least-loaded"),
                    help="request routing across DP replicas")

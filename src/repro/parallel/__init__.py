@@ -1,16 +1,22 @@
 """Multi-GPU sharded execution on the simulated substrate.
 
-Three layers, mirroring how real serving stacks shard:
+Four layers, mirroring how real serving stacks shard:
 
 * :mod:`repro.parallel.interconnect` — the collective-communication cost
-  model: α–β links (NVLink, PCIe) and NCCL-style ring estimators.
-* :mod:`repro.parallel.compile` — Megatron-style tensor-parallel model
-  compilation: per-rank shards priced by the existing roofline, plus the
-  layout's all-reduces.
-* :mod:`repro.parallel.serving` — TP serving replicas under data-parallel
-  routing, merged into one fleet report.
+  model: α–β links (NVLink, PCIe, IB) with NCCL-style ring estimators,
+  hierarchical two-level collectives across nodes, and a memoized
+  pricing cache.
+* :mod:`repro.parallel.overlap` — the timeline algebra: comm–compute
+  overlap windows under a contention factor, and 1F1B pipeline
+  makespans with explicit bubble terms.
+* :mod:`repro.parallel.compile` — Megatron-style tensor/pipeline-parallel
+  model compilation: per-rank shards priced by the existing roofline,
+  plus the layout's (bucketed, overlapped) collectives and micro-batch
+  pipeline schedule.
+* :mod:`repro.parallel.serving` — TP/PP serving replicas under
+  data-parallel routing, merged into one fleet report.
 
-Entry points: ``compile_model(..., parallel="tp4")`` from
+Entry points: ``compile_model(..., parallel="tp2pp2")`` from
 :mod:`repro.api`, the ``repro shard-sim`` CLI subcommand, and the classes
 re-exported here.
 """
@@ -21,12 +27,23 @@ from repro.parallel.compile import (
     validate_divisibility,
 )
 from repro.parallel.interconnect import (
+    IB,
     KNOWN_LINKS,
     NVLINK,
     PCIE,
     Interconnect,
     LinkSpec,
+    clear_collective_cache,
+    collective_cache_info,
     get_link,
+)
+from repro.parallel.overlap import (
+    DEFAULT_CONTENTION,
+    bubble_fraction,
+    overlap_window,
+    overlapped_layer_time,
+    pipeline_bubble_time,
+    pipeline_time,
 )
 from repro.parallel.serving import (
     ROUTES,
@@ -34,7 +51,7 @@ from repro.parallel.serving import (
     ShardedServingReport,
     TPServingEngine,
 )
-from repro.parallel.shard import ShardConfig
+from repro.parallel.shard import GRAMMAR, ShardConfig
 
 __all__ = [
     "Interconnect",
@@ -42,7 +59,17 @@ __all__ = [
     "KNOWN_LINKS",
     "NVLINK",
     "PCIE",
+    "IB",
     "get_link",
+    "collective_cache_info",
+    "clear_collective_cache",
+    "DEFAULT_CONTENTION",
+    "overlap_window",
+    "overlapped_layer_time",
+    "pipeline_time",
+    "pipeline_bubble_time",
+    "bubble_fraction",
+    "GRAMMAR",
     "ShardConfig",
     "ShardedCompiledModel",
     "compile_sharded",

@@ -12,6 +12,20 @@ payload sizes inference produces):
 * **all-gather** / **reduce-scatter** — ``(n-1)`` hops of ``bytes / n``.
 
 With ``n = 1`` every collective is free: there is nobody to talk to.
+
+When the group spans more than one NVLink island (``inter_link`` set and
+``world_size > node_size``), collectives go **hierarchical**, the way
+NCCL's two-level algorithms do: a ring *inside* each node on the fast
+link, a tree *between* node leaders on the slow link, composed as
+reduce-scatter → inter-node all-reduce → all-gather.  The inter-node leg
+moves only ``bytes / node_size`` — the slow link carries one node's
+already-reduced shard, which is why hierarchy beats ringing everyone on
+the slow link for large payloads.
+
+Collective prices are memoized process-wide: a serving simulation re-asks
+for the same ``(op, bytes, link)`` for every layer of every step, so the
+lookup table turns the hot loop's pricing into a dict probe.
+
 The constants are datasheet numbers, not measurements — like the
 roofline's peak rates, they make the *shapes* of scaling curves right
 (near-linear TP speedup while compute dominates, flattening once the
@@ -20,7 +34,9 @@ roofline's peak rates, they make the *shapes* of scaling curves right
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.errors import ConfigError
 
@@ -48,11 +64,21 @@ NVLINK = LinkSpec(name="nvlink", latency_s=2.0e-6, bandwidth=300e9)
 #: per-hop latency (the path crosses the root complex).
 PCIE = LinkSpec(name="pcie", latency_s=5.0e-6, bandwidth=25e9)
 
+#: HDR InfiniBand (200 Gb/s NIC per node): the usual inter-node fabric.
+#: Per-hop latency includes the NIC traversal; bandwidth is what one
+#: node's NIC sustains, which is what the inter-node tree legs move over.
+IB = LinkSpec(name="ib", latency_s=4.0e-6, bandwidth=23e9)
+
 #: Registry keyed by the CLI/benchmark link names.
 KNOWN_LINKS: dict[str, LinkSpec] = {
     NVLINK.name: NVLINK,
     PCIE.name: PCIE,
+    IB.name: IB,
 }
+
+#: GPUs per NVLink island: hierarchical collectives split the group into
+#: nodes of this many ranks (a DGX-style 4-GPU fully-connected clique).
+DEFAULT_NODE_SIZE = 4
 
 
 def get_link(name: str) -> LinkSpec:
@@ -67,9 +93,35 @@ def get_link(name: str) -> LinkSpec:
     return KNOWN_LINKS[key]
 
 
+@lru_cache(maxsize=65536)
+def _priced(ic: "Interconnect", op: str, payload_bytes: float) -> float:
+    """Memoized collective price: (interconnect, op, bytes) -> seconds.
+
+    Pure function of frozen value types, so one process-wide table is
+    safe; shard-sim hot loops re-price the identical tuple per layer per
+    step and hit here.
+    """
+    return ic._compute(op, payload_bytes)
+
+
+def collective_cache_info():
+    """Hit/miss statistics of the memoized collective-price table."""
+    return _priced.cache_info()
+
+
+def clear_collective_cache() -> None:
+    """Drop every memoized collective price (tests and benchmarks)."""
+    _priced.cache_clear()
+
+
 @dataclass(frozen=True)
 class Interconnect:
-    """Ring-collective estimator over ``world_size`` devices on one link.
+    """Collective estimator over ``world_size`` devices.
+
+    Flat mode (the default): one ring over ``link``.  Hierarchical mode
+    (``inter_link`` set and ``world_size > node_size``): intra-node rings
+    over ``link`` plus an inter-node tree over ``inter_link`` between the
+    ``world_size / node_size`` node leaders.
 
     >>> ic = Interconnect(NVLINK, 4)
     >>> ic.all_reduce_time(0.0) > 0          # α term survives empty payloads
@@ -80,29 +132,104 @@ class Interconnect:
 
     link: LinkSpec
     world_size: int
+    inter_link: LinkSpec | None = None
+    node_size: int = DEFAULT_NODE_SIZE
 
     def __post_init__(self) -> None:
         if self.world_size < 1:
             raise ConfigError(
                 f"world_size must be >= 1, got {self.world_size}"
             )
+        if self.node_size < 1:
+            raise ConfigError(f"node_size must be >= 1, got {self.node_size}")
+        if self.hierarchical and self.world_size % self.node_size != 0:
+            raise ConfigError(
+                f"hierarchical group needs world_size divisible by "
+                f"node_size, got {self.world_size} % {self.node_size} != 0"
+            )
 
-    def _hops(self, hops: int, payload_bytes: float) -> float:
+    @property
+    def hierarchical(self) -> bool:
+        """True when collectives split into intra-node + inter-node legs."""
+        return self.inter_link is not None and self.world_size > self.node_size
+
+    @property
+    def n_nodes(self) -> int:
+        return (
+            self.world_size // self.node_size if self.hierarchical else 1
+        )
+
+    # -------------------------------------------------------------- internals
+
+    def _ring(
+        self, link: LinkSpec, ranks: int, hops: int, payload_bytes: float
+    ) -> float:
+        """``hops`` ring steps of ``bytes / ranks`` each over ``link``."""
+        if ranks == 1:
+            return 0.0
+        chunk = payload_bytes / ranks
+        return hops * (link.latency_s + chunk / link.bandwidth)
+
+    def _tree(self, direction_hops: int, payload_bytes: float) -> float:
+        """Inter-node tree legs: ``direction_hops`` tree traversals (1 for
+        a reduce or a broadcast, 2 for a full all-reduce), each moving the
+        whole per-leader payload down ``log2(nodes)`` levels."""
+        assert self.inter_link is not None
+        depth = max(1, math.ceil(math.log2(self.n_nodes)))
+        return direction_hops * depth * (
+            self.inter_link.latency_s + payload_bytes / self.inter_link.bandwidth
+        )
+
+    def _compute(self, op: str, payload_bytes: float) -> float:
+        """Uncached price of one collective (see the memoized front door)."""
+        n = self.world_size
+        if not self.hierarchical:
+            hops = {
+                "all_reduce": 2 * (n - 1),
+                "all_gather": n - 1,
+                "reduce_scatter": n - 1,
+            }[op]
+            return self._ring(self.link, n, hops, payload_bytes)
+        # Hierarchical: every rank reduce-scatters inside its node over the
+        # fast link, node leaders run the collective's inter-node leg over
+        # the slow link on the node's 1/node_size shard, and the result is
+        # all-gathered back inside each node.
+        local = self.node_size
+        intra_rs = self._ring(self.link, local, local - 1, payload_bytes)
+        intra_ag = self._ring(self.link, local, local - 1, payload_bytes)
+        leader_bytes = payload_bytes / local
+        if op == "all_reduce":
+            return intra_rs + self._tree(2, leader_bytes) + intra_ag
+        if op == "reduce_scatter":
+            return intra_rs + self._tree(1, leader_bytes)
+        return self._tree(1, leader_bytes) + intra_ag       # all_gather
+
+    def _price(self, op: str, payload_bytes: float) -> float:
         if payload_bytes < 0:
             raise ConfigError(f"bytes must be >= 0, got {payload_bytes}")
         if self.world_size == 1:
             return 0.0
-        chunk = payload_bytes / self.world_size
-        return hops * (self.link.latency_s + chunk / self.link.bandwidth)
+        return _priced(self, op, float(payload_bytes))
+
+    # ------------------------------------------------------------ collectives
 
     def all_reduce_time(self, payload_bytes: float) -> float:
         """Ring all-reduce: reduce-scatter + all-gather, 2(n-1) hops."""
-        return self._hops(2 * (self.world_size - 1), payload_bytes)
+        return self._price("all_reduce", payload_bytes)
 
     def all_gather_time(self, payload_bytes: float) -> float:
         """Ring all-gather: (n-1) hops of bytes/n."""
-        return self._hops(self.world_size - 1, payload_bytes)
+        return self._price("all_gather", payload_bytes)
 
     def reduce_scatter_time(self, payload_bytes: float) -> float:
         """Ring reduce-scatter: (n-1) hops of bytes/n."""
-        return self._hops(self.world_size - 1, payload_bytes)
+        return self._price("reduce_scatter", payload_bytes)
+
+    def point_to_point_time(self, payload_bytes: float) -> float:
+        """One direct send (pipeline activation handoff): α + bytes/β over
+        the inter-node link when the group spans nodes, else the intra
+        link."""
+        if payload_bytes < 0:
+            raise ConfigError(f"bytes must be >= 0, got {payload_bytes}")
+        link = self.inter_link if self.inter_link is not None else self.link
+        return link.latency_s + payload_bytes / link.bandwidth

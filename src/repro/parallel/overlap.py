@@ -1,0 +1,126 @@
+"""Comm–compute overlap and pipeline-schedule cost math.
+
+Pure functions shared by the tensor-parallel compiler and the sharded
+serving engines — the timeline algebra of hiding collectives behind
+compute:
+
+* :func:`overlap_window` — one overlap window, the model's atom: a
+  collective in flight while the next layer computes.  The window costs
+  ``max(compute, comm) + contention * min(compute, comm)`` — never less
+  than either leg (you cannot finish before the longer one, and the
+  shorter one is never free because the collective's copy engines and SMs
+  contend with compute for link and memory bandwidth).  ``contention = 0``
+  is perfect overlap, ``contention = 1`` degenerates to fully serial.
+
+* :func:`overlapped_layer_time` — a stack of ``n_layers`` identical
+  layers with the per-layer collectives *bucketed* (each layer's sync
+  points fused into one all-reduce) and overlapped one layer ahead:
+  layer ``i``'s bucket flies while layer ``i+1`` computes.  The first
+  layer's compute and the last layer's bucket have nothing to hide under,
+  so they stay exposed:
+  ``compute/L + (L-1) * window(compute/L, comm) + comm``.
+
+* :func:`pipeline_time` / :func:`bubble_fraction` — Megatron-style 1F1B
+  micro-batch schedule over ``pp`` stages: with ``m`` micro-batches of
+  per-stage window ``w`` the makespan is ``(m + pp - 1) * w`` — ``m``
+  windows of steady-state work plus the ``pp - 1`` fill/drain windows
+  that no schedule can remove.  The bubble fraction
+  ``(pp - 1) / (m + pp - 1)`` → 0 as ``m`` → ∞, which is why pipeline
+  parallelism wants many micro-batches.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigError
+
+#: Default link/SM contention: an in-flight collective steals about a
+#: quarter of the overlapped compute's throughput (NCCL kernels occupy
+#: SMs and memory bandwidth; see SSFusion-style overlap measurements).
+DEFAULT_CONTENTION = 0.25
+
+
+def _validate_contention(contention: float) -> None:
+    if not 0.0 <= contention <= 1.0:
+        raise ConfigError(
+            f"contention must be in [0, 1], got {contention}"
+        )
+
+
+def overlap_window(
+    compute_s: float, comm_s: float, contention: float = DEFAULT_CONTENTION
+) -> float:
+    """Time for one compute leg overlapped with one collective leg.
+
+    >>> overlap_window(1.0, 0.5, contention=0.0)    # perfect overlap
+    1.0
+    >>> overlap_window(1.0, 0.5, contention=1.0)    # fully serial
+    1.5
+    """
+    _validate_contention(contention)
+    if compute_s < 0 or comm_s < 0:
+        raise ConfigError(
+            f"legs must be >= 0, got compute={compute_s} comm={comm_s}"
+        )
+    return max(compute_s, comm_s) + contention * min(compute_s, comm_s)
+
+
+def overlapped_layer_time(
+    compute_s: float,
+    per_layer_comm_s: float,
+    n_layers: int,
+    contention: float = DEFAULT_CONTENTION,
+) -> float:
+    """Total time of ``n_layers`` layers whose bucketed collectives are
+    overlapped one layer ahead.
+
+    ``compute_s`` is the *total* compute of the stack (so a comm-free
+    stack returns it exactly, bit for bit), ``per_layer_comm_s`` the
+    bucketed collective of one layer.
+    """
+    _validate_contention(contention)
+    if n_layers < 1:
+        raise ConfigError(f"n_layers must be >= 1, got {n_layers}")
+    if per_layer_comm_s <= 0.0:
+        return compute_s                   # nothing to hide: pure compute
+    per_layer = compute_s / n_layers
+    return (
+        per_layer
+        + (n_layers - 1)
+        * overlap_window(per_layer, per_layer_comm_s, contention)
+        + per_layer_comm_s
+    )
+
+
+def pipeline_time(stage_window_s: float, n_micro: int, pp: int) -> float:
+    """1F1B makespan: ``m`` steady windows plus ``pp - 1`` bubble windows.
+
+    >>> pipeline_time(1.0, 8, 2)
+    9.0
+    """
+    _validate_pipeline(n_micro, pp)
+    return (n_micro + pp - 1) * stage_window_s
+
+
+def pipeline_bubble_time(stage_window_s: float, n_micro: int, pp: int) -> float:
+    """The makespan's explicit bubble term: ``(pp - 1)`` idle windows."""
+    _validate_pipeline(n_micro, pp)
+    return (pp - 1) * stage_window_s
+
+
+def bubble_fraction(n_micro: int, pp: int) -> float:
+    """Share of the 1F1B makespan spent in the fill/drain bubble.
+
+    >>> bubble_fraction(8, 2)
+    0.1111111111111111
+    >>> bubble_fraction(4, 1)
+    0.0
+    """
+    _validate_pipeline(n_micro, pp)
+    return (pp - 1) / (n_micro + pp - 1)
+
+
+def _validate_pipeline(n_micro: int, pp: int) -> None:
+    if pp < 1:
+        raise ConfigError(f"pp must be >= 1, got {pp}")
+    if n_micro < 1:
+        raise ConfigError(f"micro-batch count must be >= 1, got {n_micro}")

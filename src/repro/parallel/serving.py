@@ -1,15 +1,26 @@
-"""Multi-GPU serving: tensor-parallel replicas under data-parallel routing.
+"""Multi-GPU serving: tensor/pipeline-parallel replicas under data-parallel
+routing.
 
-A :class:`TPServingEngine` simulates one replica of ``tp`` lock-stepped
-ranks.  TP ranks run the identical schedule on ``heads / tp`` heads each
-— so ONE representative rank is simulated (per-rank KV cache sized from
-the per-rank head count, per-rank kernel costs from the unchanged
-roofline) and each forward pays the layout's collectives: two ring
-all-reduces of the full ``tokens * hidden`` activation per layer
-(Megatron's row-parallel sync points), priced by
-:class:`~repro.parallel.interconnect.Interconnect` and accumulated into
-the step time.  With ``tp = 1`` every collective is zero and the engine
-reproduces :class:`~repro.serving.engine.ServingEngine` bit-identically.
+A :class:`TPServingEngine` simulates one replica of ``tp * pp``
+lock-stepped ranks.  TP ranks run the identical schedule on ``heads / tp``
+heads each, and pipeline stages hold ``n_layers / pp`` layers each — so
+ONE representative stage-rank is simulated (per-rank KV cache sized from
+the per-rank head count and per-stage layer count, per-rank kernel costs
+from the unchanged roofline) and each step pays the layout's
+communication, in one of two pricing modes:
+
+* **serialized** (``overlap=False``, ``pp == 1``) — the original model:
+  two ring all-reduces of the full ``tokens * hidden`` activation per
+  layer stall the ranks at Megatron's row-parallel sync points.  With
+  ``tp = 1`` the engine reproduces
+  :class:`~repro.serving.engine.ServingEngine` bit-identically.
+* **overlapped** (the default) — each layer's two all-reduces are
+  bucketed into one collective and overlapped with the next layer's
+  compute under a link/SM contention factor
+  (:mod:`repro.parallel.overlap`); with ``pp > 1`` the step's work is
+  split into ``micro_batches`` micro-batches and run through a 1F1B
+  schedule whose ``(pp - 1)``-window bubble is charged explicitly, plus
+  a point-to-point activation send per micro-batch per stage boundary.
 
 A :class:`ShardedServingEngine` runs ``dp`` such replicas over one
 request trace: a router assigns each arrival to a replica (round-robin,
@@ -29,6 +40,7 @@ from repro.core.rng import RngStream
 from repro.core.units import format_time
 from repro.gpu.specs import GPUSpec
 from repro.obs.tracer import Tracer, current_tracer
+from repro.parallel.overlap import DEFAULT_CONTENTION, overlapped_layer_time
 from repro.parallel.shard import ShardConfig
 from repro.plan import PlanCache
 from repro.serving.engine import ServingConfig, ServingEngine
@@ -41,7 +53,8 @@ ROUTES = ("round-robin", "least-loaded")
 
 
 class TPServingEngine(ServingEngine):
-    """One tensor-parallel replica (``tp`` ranks in lockstep)."""
+    """One tensor/pipeline-parallel replica (``tp * pp`` ranks in
+    lockstep)."""
 
     def __init__(
         self,
@@ -53,6 +66,9 @@ class TPServingEngine(ServingEngine):
         plan_cache: PlanCache | None = None,
         lane_base: int = 0,
         label: str = "",
+        overlap: bool = True,
+        micro_batches: int | None = None,
+        contention: float = DEFAULT_CONTENTION,
     ):
         shard = ShardConfig.parse(shard)
         full = config or ServingConfig()
@@ -60,39 +76,70 @@ class TPServingEngine(ServingEngine):
             raise ConfigError(
                 f"{full.heads} heads not divisible by tp={shard.tp}"
             )
-        # The representative rank serves heads/tp heads; its KV cache
-        # shrinks with it (same capacity fraction, fewer bytes per token),
-        # which is exactly the per-rank memory win of TP.
+        # Ragged pipelines fail here, at construction — never mid-sim.
+        shard.validate_pipeline(full.n_layers, what="serving config")
+        if micro_batches is None:
+            micro_batches = 8 if shard.pp > 1 else 1
+        if micro_batches < 1:
+            raise ConfigError(
+                f"micro_batches must be >= 1, got {micro_batches}"
+            )
+        # The representative stage-rank serves heads/tp heads of
+        # n_layers/pp layers; its KV cache shrinks with both (same
+        # capacity fraction, fewer bytes per token), which is exactly the
+        # per-rank memory win of TP x PP.
         super().__init__(
             spec,
             scheduler,
-            replace(full, heads=full.heads // shard.tp),
+            replace(
+                full,
+                heads=full.heads // shard.tp,
+                n_layers=full.n_layers // shard.pp,
+            ),
             tracer,
             plan_cache,
         )
         self.shard = shard
         self.shard_fingerprint = shard.fingerprint
+        self.overlap = overlap
+        self.micro_batches = micro_batches
+        self.contention = contention
         self._ic = shard.interconnect()
         self._hidden = full.heads * full.head_size   # full model width
         self._label = label
         self._lane_base = lane_base
         self.LANE_STEPS = lane_base
         self.LANE_REQUESTS = lane_base + 1
-        #: Total simulated all-reduce seconds of the last/current run.
+        #: Serialized pp1 keeps the original pricing path, bit for bit.
+        self._legacy_pricing = not overlap and shard.pp == 1
+        #: Totals over the last/current run (simulated seconds).
         self.comm_total_s = 0.0
+        self.p2p_total_s = 0.0
+        self.bubble_total_s = 0.0
+        self.core_total_s = 0.0
+        self._step_tokens = 0
+        self._last_parts: dict | None = None
 
     # ----------------------------------------------------------- collectives
 
     def _collective_s(self, tokens: int) -> float:
-        """All-reduce seconds for one forward over ``tokens`` rows: two
-        row-parallel sync points per layer, full-hidden payloads."""
-        if tokens <= 0 or self.shard.tp == 1:
+        """Serialized all-reduce seconds for one forward over ``tokens``
+        rows: two row-parallel sync points per (per-stage) layer,
+        full-hidden payloads.  Overlapped modes re-price the step's
+        communication from the accumulated token count in
+        :meth:`_step_time`; this still returns the serialized estimate so
+        prefill/decode compute legs can be recovered exactly."""
+        if tokens <= 0:
+            return 0.0
+        self._step_tokens += tokens
+        if self.shard.tp == 1:
             return 0.0
         t = 2 * self.config.n_layers * self._ic.all_reduce_time(
             tokens * self._hidden * FP16_BYTES
         )
         self._step_comm_s += t
-        self.comm_total_s += t
+        if self._legacy_pricing:
+            self.comm_total_s += t
         return t
 
     def _prefill_time(self, tr, rng):
@@ -107,6 +154,62 @@ class TPServingEngine(ServingEngine):
         t, n = super()._decode_time_cached(members, rng)
         return t + self._collective_s(len(members)), n
 
+    # -------------------------------------------------------- step composition
+
+    def _begin_step(self):
+        super()._begin_step()
+        self._step_tokens = 0
+        self._last_parts = None
+
+    def _step_time(
+        self, prefill_s, prefill_comm_s, decode_s, decode_comm_s, launches
+    ):
+        if self._legacy_pricing:
+            return super()._step_time(
+                prefill_s, prefill_comm_s, decode_s, decode_comm_s, launches
+            )
+        cfg = self.config
+        pp, m = self.shard.pp, self.micro_batches
+        compute = max(prefill_s - prefill_comm_s, decode_s - decode_comm_s)
+        stage_layers = cfg.n_layers            # config already holds L/pp
+        tokens = self._step_tokens
+        micro_bytes = tokens * self._hidden * FP16_BYTES / m
+        if self.shard.tp == 1 or tokens == 0:
+            bucket_comm = serial_comm = 0.0
+        elif self.overlap:
+            # Bucketed: the layer's two sync points fuse into ONE
+            # all-reduce — same bytes, half the α hops.
+            bucket_comm = self._ic.all_reduce_time(2 * micro_bytes)
+            serial_comm = 0.0
+        else:
+            bucket_comm = 0.0
+            serial_comm = 2 * self._ic.all_reduce_time(micro_bytes)
+        if self.overlap:
+            window = overlapped_layer_time(
+                compute / m, bucket_comm, stage_layers, self.contention
+            )
+            comm_step = m * stage_layers * bucket_comm
+        else:
+            window = compute / m + stage_layers * serial_comm
+            comm_step = m * stage_layers * serial_comm
+        p2p_micro = 0.0
+        if pp > 1 and tokens > 0:
+            p2p_micro = self._ic.point_to_point_time(micro_bytes)
+            window += p2p_micro
+        core = (m + pp - 1) * window
+        bubble = (pp - 1) * window
+        self.comm_total_s += comm_step
+        self.p2p_total_s += m * p2p_micro
+        self.bubble_total_s += bubble
+        self.core_total_s += core
+        self._last_parts = {
+            "compute": compute,
+            "comm": comm_step,
+            "p2p": m * p2p_micro,
+            "core": core,
+        }
+        return cfg.step_overhead_s + core + cfg.dispatch_s * launches
+
     # ----------------------------------------------------------------- spans
 
     def _record_step(
@@ -118,28 +221,74 @@ class TPServingEngine(ServingEngine):
         if not tracer.enabled:
             return
         # Per-rank lanes: ranks run in lockstep, so each shows the same
-        # compute interval followed by the same all-reduce interval — the
-        # compute-vs-comm picture the scaling study reads off the trace.
-        comm = self._step_comm_s
-        compute = max(step_s - self.config.step_overhead_s - comm, 0.0)
+        # compute/comm picture — serialized as compute-then-all-reduce,
+        # overlapped as one contention-priced window, pipelined with the
+        # boundary sends — which is what the scaling study reads off the
+        # trace.
+        if self._legacy_pricing:
+            comm = self._step_comm_s
+            compute = max(
+                step_s - self.config.step_overhead_s - comm, 0.0
+            )
+            for r in range(self.shard.tp):
+                lane = self._rank_lane(tracer, r)
+                tracer.add_span(
+                    "rank.compute", cat="serving.compute",
+                    t0=clock, dur=compute, tid=lane, step=step, rank=r,
+                )
+                if comm > 0:
+                    tracer.add_span(
+                        "rank.all_reduce", cat="serving.comm",
+                        t0=clock + compute, dur=comm, tid=lane,
+                        step=step, rank=r, link=self.shard.link.name,
+                    )
+            return
+        parts = self._last_parts or {}
+        compute = parts.get("compute", 0.0)
+        comm = parts.get("comm", 0.0)
+        p2p = parts.get("p2p", 0.0)
+        core = parts.get("core", compute)
         for r in range(self.shard.tp):
-            lane = self._lane_base + 2 + r
-            tracer.lane_names.setdefault(lane, f"{self._label}tp rank {r}")
+            lane = self._rank_lane(tracer, r)
             tracer.add_span(
                 "rank.compute", cat="serving.compute",
                 t0=clock, dur=compute, tid=lane, step=step, rank=r,
             )
-            if comm > 0:
+            if comm > 0 and self.overlap:
+                tracer.add_span(
+                    "rank.overlap", cat="serving.comm",
+                    t0=clock, dur=core, tid=lane, step=step, rank=r,
+                    compute_s=compute, comm_s=comm,
+                    contention=self.contention,
+                    link=self.shard.link.name,
+                )
+            elif comm > 0:
                 tracer.add_span(
                     "rank.all_reduce", cat="serving.comm",
                     t0=clock + compute, dur=comm, tid=lane,
                     step=step, rank=r, link=self.shard.link.name,
                 )
+            if p2p > 0:
+                tracer.add_span(
+                    "rank.send", cat="serving.comm",
+                    t0=clock + max(core - p2p, 0.0), dur=p2p, tid=lane,
+                    step=step, rank=r, link=self.shard.p2p_link.name,
+                    stages=self.shard.pp,
+                    micro_batches=self.micro_batches,
+                )
+
+    def _rank_lane(self, tracer, r: int) -> int:
+        lane = self._lane_base + 2 + r
+        tracer.lane_names.setdefault(lane, f"{self._label}tp rank {r}")
+        return lane
 
     # ------------------------------------------------------------- simulation
 
     def run(self, trace, rng=None):
         self.comm_total_s = 0.0
+        self.p2p_total_s = 0.0
+        self.bubble_total_s = 0.0
+        self.core_total_s = 0.0
         tracer = self.tracer if self.tracer is not None else current_tracer()
         if tracer.enabled and self._label:
             tracer.lane_names.setdefault(
@@ -153,7 +302,7 @@ class TPServingEngine(ServingEngine):
 
 @dataclass
 class ShardedServingReport:
-    """Merged outcome of one trace served by ``dp`` TP replicas."""
+    """Merged outcome of one trace served by ``dp`` TP/PP replicas."""
 
     shard: str                  # layout fingerprint, e.g. "tp2dp2:nvlink"
     route: str
@@ -162,6 +311,11 @@ class ShardedServingReport:
     n_requests: int
     makespan_s: float           # global: first arrival to last finish
     comm_s: float               # summed simulated all-reduce seconds
+    overlap: bool = True        # pricing mode of the fleet's collectives
+    micro_batches: int = 1
+    p2p_s: float = 0.0          # summed pipeline activation sends
+    bubble_s: float = 0.0       # summed 1F1B fill/drain windows
+    bubble_fraction: float = 0.0    # bubble share of pipelined step time
     replicas: list[ServingReport] = field(repr=False, default_factory=list)
     #: Request ids handed to each replica (index = replica rank).
     assignments: tuple[tuple[int, ...], ...] = ()
@@ -200,9 +354,10 @@ class ShardedServingReport:
     # -------------------------------------------------------------- rendering
 
     def summary(self) -> str:
+        mode = "overlapped" if self.overlap else "serialized"
         lines = [
             f"{self.shard} · {self.policy} batching · {self.route} routing "
-            f"· {self.device}",
+            f"· {self.device} · {mode} collectives",
             f"  requests     : {self.completed}/{self.n_requests} completed"
             + (f" ({self.rejected} rejected)" if self.rejected else "")
             + f", {self.total_tokens} tokens in {self.total_steps} steps",
@@ -210,6 +365,13 @@ class ShardedServingReport:
             f"goodput {self.goodput_rps:,.1f} req/s",
             f"  comm         : {format_time(self.comm_s)} in all-reduces",
         ]
+        if self.p2p_s > 0 or self.bubble_s > 0:
+            lines.append(
+                f"  pipeline     : {self.micro_batches} micro-batches, "
+                f"{format_time(self.p2p_s)} in sends, bubble "
+                f"{format_time(self.bubble_s)} "
+                f"({self.bubble_fraction:.1%} of step time)"
+            )
         for i, (rep, ids) in enumerate(zip(self.replicas, self.assignments)):
             lines.append(
                 f"  replica {i}    : {len(ids)} requests, "
@@ -220,7 +382,7 @@ class ShardedServingReport:
 
 
 class ShardedServingEngine:
-    """``dp`` TP replicas behind one request router."""
+    """``dp`` TP/PP replicas behind one request router."""
 
     def __init__(
         self,
@@ -233,6 +395,9 @@ class ShardedServingEngine:
         max_batch_tokens: int = 65536,
         tracer: Tracer | None = None,
         plan_cache: PlanCache | None = None,
+        overlap: bool = True,
+        micro_batches: int | None = None,
+        contention: float = DEFAULT_CONTENTION,
     ):
         if route not in ROUTES:
             raise ConfigError(f"unknown route {route!r}; known: {ROUTES}")
@@ -241,6 +406,7 @@ class ShardedServingEngine:
         self.config = config or ServingConfig()
         self.shard = ShardConfig.parse(shard)
         self.route = route
+        self.overlap = overlap
         self.tracer = tracer
         #: One cache for the whole fleet: TP ranks are lock-stepped and DP
         #: replicas see statistically identical work, so plans compiled by
@@ -261,9 +427,13 @@ class ShardedServingEngine:
                 plan_cache=self.plan_cache,
                 lane_base=r * lanes_per_replica,
                 label=f"replica{r}." if self.shard.dp > 1 else "",
+                overlap=overlap,
+                micro_batches=micro_batches,
+                contention=contention,
             )
             for r in range(self.shard.dp)
         ]
+        self.micro_batches = self.replicas[0].micro_batches
 
     # --------------------------------------------------------------- routing
 
@@ -299,7 +469,7 @@ class ShardedServingEngine:
         first_arrival = min(r.arrival_s for r in trace)
         last_finish = first_arrival
         reports: list[ServingReport] = []
-        comm = 0.0
+        comm = p2p = bubble = core = 0.0
         for engine, bucket in zip(self.replicas, buckets):
             if not bucket:    # fewer requests than replicas
                 continue
@@ -308,6 +478,9 @@ class ShardedServingEngine:
             sub_first = min(r.arrival_s for r in bucket)
             last_finish = max(last_finish, sub_first + rep.makespan_s)
             comm += engine.comm_total_s
+            p2p += engine.p2p_total_s
+            bubble += engine.bubble_total_s
+            core += engine.core_total_s
         return ShardedServingReport(
             shard=self.shard.fingerprint,
             route=self.route,
@@ -316,6 +489,11 @@ class ShardedServingEngine:
             n_requests=len(trace),
             makespan_s=last_finish - first_arrival,
             comm_s=comm,
+            overlap=self.overlap,
+            micro_batches=self.micro_batches,
+            p2p_s=p2p,
+            bubble_s=bubble,
+            bubble_fraction=bubble / core if core else 0.0,
             replicas=reports,
             assignments=tuple(
                 tuple(r.req_id for r in b) for b in buckets if b

@@ -100,10 +100,12 @@ class PlanKey:
     mask: str = ""
     params: tuple = ()
     salt: str = ""
-    #: Shard-config fingerprint ("" for unsharded plans).  Tensor/data
-    #: parallel plans (repro.parallel) carry e.g. ``"tp4dp2:nvlink"`` so a
-    #: per-rank plan never collides with the unsharded plan of the same
-    #: per-rank geometry under a different parallel layout.
+    #: Shard-config fingerprint ("" for unsharded plans).  Tensor/
+    #: pipeline/data parallel plans (repro.parallel) carry e.g.
+    #: ``"tp4dp2:nvlink"`` or ``"tp2pp2dp1:nvlink,ib"`` so a per-rank
+    #: plan never collides with the unsharded plan of the same per-rank
+    #: geometry under a different parallel layout (``pp`` is omitted
+    #: when 1, keeping pre-pipeline fingerprints stable).
     shard: str = ""
 
     def _tuple(self) -> tuple:

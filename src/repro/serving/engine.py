@@ -336,6 +336,39 @@ class ServingEngine:
             launches += cost.launches
         return seconds * cfg.n_layers, launches * cfg.n_layers
 
+    # -------------------------------------------------------- step composition
+
+    def _begin_step(self) -> None:
+        """Reset per-step accumulators before a step's pricing calls."""
+        self._step_comm_s = 0.0
+
+    def _step_time(
+        self,
+        prefill_s: float,
+        prefill_comm_s: float,
+        decode_s: float,
+        decode_comm_s: float,
+        launches: int,
+    ) -> float:
+        """Compose one engine step's simulated seconds.
+
+        A step that both admits and decodes models a piggybacked join
+        (one fused forward over prefill tokens + decode rows): the
+        shorter phase's compute hides under the longer one's.
+        Collectives still serialize on the ring, and the host still
+        dispatches every launch.  Static batching admits only into an
+        empty device, so one phase is always zero and this is exactly
+        the serial price for it.  Sharded engines override this to
+        overlap the collectives and wrap pipeline stages.
+        """
+        cfg = self.config
+        return (
+            cfg.step_overhead_s
+            + max(prefill_s - prefill_comm_s, decode_s - decode_comm_s)
+            + self._step_comm_s
+            + cfg.dispatch_s * launches
+        )
+
     # ----------------------------------------------------------------- spans
 
     def _record_step(
@@ -480,7 +513,7 @@ class ServingEngine:
                 clock = pending[0].arrival_s
                 continue
 
-            self._step_comm_s = 0.0
+            self._begin_step()
             launches = 0
             prefill_s = 0.0
             for tr in admitted:
@@ -522,18 +555,8 @@ class ServingEngine:
                 decode_s, n = self._decode_time(members, mask_rng)
             launches += n
             decode_comm_s = self._step_comm_s - prefill_comm_s
-            # A step that both admits and decodes models a piggybacked
-            # join (one fused forward over prefill tokens + decode rows):
-            # the shorter phase's compute hides under the longer one's.
-            # Collectives still serialize on the ring, and the host still
-            # dispatches every launch.  Static batching admits only into
-            # an empty device, so one phase is always zero and this is
-            # exactly the serial price for it.
-            step_s = (
-                cfg.step_overhead_s
-                + max(prefill_s - prefill_comm_s, decode_s - decode_comm_s)
-                + self._step_comm_s
-                + cfg.dispatch_s * launches
+            step_s = self._step_time(
+                prefill_s, prefill_comm_s, decode_s, decode_comm_s, launches
             )
 
             self._record_step(

@@ -1,0 +1,70 @@
+"""Overlap/pipeline smoke: the issue's headline claims, end to end.
+
+The acceptance bars for comm–compute overlap and pipeline parallelism,
+checked through the public API the way a user would hit them:
+
+* overlapping collectives speeds up a comm-heavy PCIe layout (>1x over
+  the serialized pricing of the same compile);
+* ``tp2pp2`` with enough micro-batches beats serialized ``tp4`` on PCIe;
+* the 1F1B bubble fraction falls monotonically as micro-batches grow;
+* the serialized pricing path is unchanged: ``overlap=False`` headline
+  numbers equal the dual-priced compile's ``serial_*`` fields exactly.
+
+CI runs this module under ``-W error``.
+"""
+
+import pytest
+
+from repro.api import compile_model
+
+MODEL = "bert-base"
+BATCH, SEQ = 8, 512
+MICRO_SWEEP = (1, 2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def pcie_tp4():
+    return compile_model(MODEL, BATCH, SEQ, mask="causal",
+                         parallel="tp4:pcie")
+
+
+@pytest.fixture(scope="module")
+def pipeline_sweep():
+    return {
+        m: compile_model(MODEL, BATCH, SEQ, mask="causal",
+                         parallel="tp2pp2:pcie", micro_batches=m)
+        for m in MICRO_SWEEP
+    }
+
+
+def test_overlap_speedup_on_pcie(pcie_tp4):
+    """Overlapped collectives beat the sync-point model on a slow link."""
+    speedup = pcie_tp4.serial_latency_s / pcie_tp4.latency_s
+    assert speedup > 1.0, speedup
+
+
+def test_overlap_never_beats_either_leg(pcie_tp4):
+    """Comm hides behind compute; neither leg ever disappears."""
+    compute = pcie_tp4.serial_latency_s - pcie_tp4.serial_comm_time_s
+    assert pcie_tp4.latency_s >= compute
+    assert pcie_tp4.latency_s >= pcie_tp4.comm_time_s
+
+
+def test_pipeline_beats_serialized_tp4_on_pcie(pcie_tp4, pipeline_sweep):
+    """Trading ring hops for p2p sends wins once the bubble amortizes."""
+    assert pipeline_sweep[8].latency_s < pcie_tp4.serial_latency_s
+    assert pipeline_sweep[16].latency_s < pcie_tp4.serial_latency_s
+
+
+def test_bubble_fraction_monotone_in_micro_batches(pipeline_sweep):
+    fracs = [pipeline_sweep[m].bubble_fraction for m in MICRO_SWEEP]
+    assert all(a > b for a, b in zip(fracs, fracs[1:])), fracs
+    assert fracs[-1] == pytest.approx(1 / 17)
+
+
+def test_serialized_mode_is_the_dual_priced_serial_fields(pcie_tp4):
+    """``overlap=False`` reproduces the PR-5 numbers bit for bit."""
+    legacy = compile_model(MODEL, BATCH, SEQ, mask="causal",
+                           parallel="tp4:pcie", overlap=False)
+    assert legacy.latency_s == pcie_tp4.serial_latency_s
+    assert legacy.comm_time_s == pcie_tp4.serial_comm_time_s

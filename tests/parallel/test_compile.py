@@ -57,10 +57,11 @@ class TestCompileSharded:
 
     def test_comm_flattens_small_shapes(self):
         """At small per-rank work the all-reduces eat a larger share of
-        the step, so TP efficiency drops — the flattening regime."""
+        the step, so TP efficiency drops — the flattening regime.
+        (Measured in serialized mode, where comm and latency add.)"""
         def comm_share(model, batch, seq):
             c = compile_model(model, batch, seq, mask="causal",
-                              parallel="tp4")
+                              parallel="tp4", overlap=False)
             return c.comm_time_s / c.latency_s
 
         assert comm_share(TINY, 1, 32) > comm_share("bert-base", 4, 512)
@@ -99,6 +100,90 @@ class TestCompileSharded:
     def test_bad_shard_spec_rejected(self):
         with pytest.raises(ConfigError, match="shard spec"):
             compile_model(TINY, 1, 32, parallel="nope")
+
+
+class TestOverlapPricing:
+    def test_serialized_mode_is_compute_plus_comm(self):
+        """overlap=False reproduces the original sync-point model."""
+        c = compile_model(TINY, 1, 32, mask="causal", parallel="tp2",
+                          overlap=False)
+        assert not c.overlap
+        assert c.latency_s == c.rank_time_s + c.comm_time_s
+        assert c.latency_s == c.serial_latency_s
+        assert c.comm_time_s == c.serial_comm_time_s
+
+    def test_overlap_beats_serialized(self):
+        """Bucketing + overlap must shave latency whenever there is comm
+        to hide, and can never beat either exposed leg alone."""
+        c = compile_model(TINY, 1, 32, mask="causal", parallel="tp2")
+        assert c.overlap
+        assert c.latency_s < c.serial_latency_s
+        assert c.latency_s >= c.rank_time_s
+        assert c.latency_s >= c.comm_time_s
+
+    def test_zero_contention_hides_all_but_exposed_legs(self):
+        free = compile_model(TINY, 1, 32, mask="causal", parallel="tp2",
+                             contention=0.0)
+        busy = compile_model(TINY, 1, 32, mask="causal", parallel="tp2",
+                             contention=1.0)
+        assert free.latency_s < busy.latency_s
+
+    def test_tp1_overlap_is_exactly_compute(self):
+        """No comm means nothing to overlap: the default mode still
+        reproduces the unsharded latency bit for bit."""
+        base = compile_model(TINY, 1, 32, mask="causal")
+        tp1 = compile_model(TINY, 1, 32, mask="causal", parallel="tp1")
+        assert tp1.latency_s == base.latency_s
+
+    def test_bad_contention_rejected(self):
+        with pytest.raises(ConfigError, match="contention"):
+            compile_model(TINY, 1, 32, mask="causal", parallel="tp2",
+                          contention=1.5)
+
+
+class TestPipeline:
+    def test_pp_divisibility_enforced_at_compile_time(self):
+        with pytest.raises(ConfigError, match="not divisible by pp=3"):
+            compile_model(TINY, 1, 32, mask="causal", parallel="tp2pp3")
+
+    def test_micro_batch_default(self):
+        pp = compile_model(TINY, 1, 32, mask="causal", parallel="pp2")
+        flat = compile_model(TINY, 1, 32, mask="causal", parallel="tp2")
+        assert pp.micro_batches == 8
+        assert flat.micro_batches == 1
+
+    def test_bubble_shrinks_with_micro_batches(self):
+        """The (pp-1)/(m+pp-1) fill/drain share strictly falls with m.
+        (Total latency need not: tiny α-bound payloads can pay more hops
+        than the bubble saves — the benchmark's sweep shows the trade.)"""
+        fracs = []
+        for m in (1, 2, 4, 8):
+            c = compile_model(TINY, 1, 32, mask="causal", parallel="tp2pp2",
+                              micro_batches=m)
+            fracs.append(c.bubble_fraction)
+            assert c.bubble_time_s > 0
+        assert fracs == sorted(fracs, reverse=True)
+        assert fracs[-1] == pytest.approx(1 / 9)
+
+    def test_pipeline_pays_p2p_and_bubble(self):
+        c = compile_model(TINY, 1, 32, mask="causal", parallel="pp2",
+                          micro_batches=4)
+        assert c.p2p_time_s > 0
+        assert c.bubble_time_s > 0
+        assert c.stage_memory_bytes == c.report.memory_bytes / 2
+
+    def test_bad_micro_batches_rejected(self):
+        with pytest.raises(ConfigError, match="micro_batches"):
+            compile_model(TINY, 1, 32, mask="causal", parallel="pp2",
+                          micro_batches=0)
+
+    def test_pipeline_summary_renders(self):
+        text = compile_model(TINY, 1, 32, mask="causal",
+                             parallel="tp2pp2:nvlink,ib").summary()
+        assert "tp2pp2dp1:nvlink,ib" in text
+        assert "micro-batches" in text
+        assert "bubble" in text
+        assert "per stage" in text
 
 
 class TestShardedPlanCache:

@@ -4,23 +4,28 @@ import pytest
 
 from repro.core.errors import ConfigError
 from repro.parallel import (
+    IB,
     KNOWN_LINKS,
     NVLINK,
     PCIE,
     Interconnect,
     LinkSpec,
+    clear_collective_cache,
+    collective_cache_info,
     get_link,
 )
 
 #: Round numbers so the ring arithmetic is exact by hand: α = 1 µs,
 #: β = 1 GB/s.
 LINK = LinkSpec(name="toy", latency_s=1e-6, bandwidth=1e9)
+#: A 10x slower inter-node link for the hierarchy tests.
+SLOW = LinkSpec(name="toy-slow", latency_s=5e-6, bandwidth=1e8)
 
 
 class TestLinkSpec:
     def test_registry_names(self):
-        assert set(KNOWN_LINKS) == {"nvlink", "pcie"}
-        assert NVLINK.bandwidth > PCIE.bandwidth
+        assert set(KNOWN_LINKS) == {"nvlink", "pcie", "ib"}
+        assert NVLINK.bandwidth > PCIE.bandwidth > IB.bandwidth
         assert NVLINK.latency_s < PCIE.latency_s
 
     def test_get_link_case_insensitive(self):
@@ -86,3 +91,77 @@ class TestRingCollectives:
     def test_bad_world_size_rejected(self):
         with pytest.raises(ConfigError):
             Interconnect(LINK, 0)
+
+
+class TestHierarchicalCollectives:
+    def test_flat_below_node_size(self):
+        """An inter-link on a one-node group never activates hierarchy."""
+        ic = Interconnect(LINK, 4, inter_link=SLOW)
+        assert not ic.hierarchical
+        assert ic.all_reduce_time(1e6) == Interconnect(LINK, 4).all_reduce_time(1e6)
+
+    def test_hierarchical_exact_formula(self):
+        """8 ranks over 2 nodes of 4: intra reduce-scatter + 2 tree
+        traversals of the per-leader shard + intra all-gather."""
+        ic = Interconnect(LINK, 8, inter_link=SLOW)
+        assert ic.hierarchical and ic.n_nodes == 2
+        payload = 4_000_000.0
+        intra = 3 * (LINK.latency_s + (payload / 4) / LINK.bandwidth)
+        tree = 2 * 1 * (SLOW.latency_s + (payload / 4) / SLOW.bandwidth)
+        assert ic.all_reduce_time(payload) == pytest.approx(2 * intra + tree)
+
+    def test_hierarchy_beats_flat_slow_ring_for_large_payloads(self):
+        """The slow link carries bytes/node_size instead of ringing the
+        whole payload through every rank — the point of two-level
+        collectives."""
+        payload = 64 * 2**20
+        flat = Interconnect(SLOW, 8).all_reduce_time(payload)
+        hier = Interconnect(LINK, 8, inter_link=SLOW).all_reduce_time(payload)
+        assert hier < flat
+
+    def test_composition_identity(self):
+        """Hierarchical all-reduce = reduce-scatter + all-gather composed
+        through the inter-node tree (one traversal each)."""
+        ic = Interconnect(LINK, 8, inter_link=SLOW)
+        payload = 1e6
+        assert ic.all_reduce_time(payload) == pytest.approx(
+            ic.reduce_scatter_time(payload) + ic.all_gather_time(payload)
+        )
+
+    def test_ragged_nodes_rejected(self):
+        with pytest.raises(ConfigError, match="divisible"):
+            Interconnect(LINK, 6, inter_link=SLOW)
+
+    def test_point_to_point_prefers_inter_link(self):
+        payload = 1e6
+        local = Interconnect(LINK, 2).point_to_point_time(payload)
+        cross = Interconnect(LINK, 2, inter_link=SLOW).point_to_point_time(payload)
+        assert local == pytest.approx(LINK.latency_s + payload / LINK.bandwidth)
+        assert cross == pytest.approx(SLOW.latency_s + payload / SLOW.bandwidth)
+
+
+class TestMemoization:
+    def test_repeat_lookups_hit_the_cache(self):
+        clear_collective_cache()
+        ic = Interconnect(LINK, 4)
+        first = ic.all_reduce_time(12345.0)
+        before = collective_cache_info()
+        assert ic.all_reduce_time(12345.0) == first
+        after = collective_cache_info()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_distinct_keys_do_not_collide(self):
+        """(op, bytes, link, world) each key their own entry."""
+        clear_collective_cache()
+        a = Interconnect(LINK, 4).all_reduce_time(1e6)
+        b = Interconnect(LINK, 4).all_gather_time(1e6)
+        c = Interconnect(LINK, 8).all_reduce_time(1e6)
+        d = Interconnect(SLOW, 4).all_reduce_time(1e6)
+        assert len({a, b, c, d}) == 4
+        assert collective_cache_info().misses == 4
+
+    def test_world_size_one_skips_the_cache(self):
+        clear_collective_cache()
+        assert Interconnect(LINK, 1).all_reduce_time(1e9) == 0.0
+        assert collective_cache_info().misses == 0

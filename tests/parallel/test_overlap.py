@@ -1,0 +1,155 @@
+"""Property tests for the overlap/pipeline timeline algebra.
+
+The three invariants the issue pins down:
+
+* overlapped per-layer time never beats either exposed leg and never
+  loses to full serialization;
+* the 1F1B bubble fraction falls monotonically toward 0 as the
+  micro-batch count grows;
+* hierarchical all-reduce beats a flat ring on the slow link for large
+  payloads on two-tier fabrics.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigError
+from repro.parallel import (
+    Interconnect,
+    LinkSpec,
+    bubble_fraction,
+    overlap_window,
+    overlapped_layer_time,
+    pipeline_bubble_time,
+    pipeline_time,
+)
+
+legs = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+contentions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+layer_counts = st.integers(min_value=1, max_value=64)
+micro_counts = st.integers(min_value=1, max_value=512)
+stage_counts = st.integers(min_value=1, max_value=16)
+
+
+class TestOverlapWindow:
+    @given(compute=legs, comm=legs, c=contentions)
+    @settings(max_examples=200, deadline=None)
+    def test_window_bounded_by_legs(self, compute, comm, c):
+        """max(legs) <= window <= legs summed: overlap can hide the
+        shorter leg but never either exposed one, and contention never
+        exceeds full serialization."""
+        w = overlap_window(compute, comm, c)
+        assert w >= max(compute, comm)
+        assert w <= compute + comm + 1e-12 * max(compute, comm, 1.0)
+
+    @given(compute=legs, comm=legs)
+    @settings(max_examples=100, deadline=None)
+    def test_contention_extremes(self, compute, comm):
+        assert overlap_window(compute, comm, 0.0) == max(compute, comm)
+        assert overlap_window(compute, comm, 1.0) == pytest.approx(
+            compute + comm
+        )
+
+    def test_negative_legs_rejected(self):
+        with pytest.raises(ConfigError):
+            overlap_window(-1.0, 1.0)
+
+    def test_bad_contention_rejected(self):
+        with pytest.raises(ConfigError, match="contention"):
+            overlap_window(1.0, 1.0, contention=2.0)
+
+
+class TestOverlappedLayerTime:
+    @given(
+        compute=st.floats(min_value=1e-9, max_value=1e3, allow_nan=False),
+        comm=st.floats(min_value=1e-12, max_value=1e3, allow_nan=False),
+        n=layer_counts,
+        c=contentions,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_between_floor_and_serialized(self, compute, comm, n, c):
+        """The issue's central invariant: overlapped stack time is at
+        most the fully serialized time and at least max(compute, comm)
+        — communication hides, it never disappears."""
+        t = overlapped_layer_time(compute, comm, n, c)
+        serialized = compute + n * comm
+        slack = 1e-9 * serialized
+        assert t <= serialized + slack
+        assert t >= max(compute, n * comm) - slack
+
+    @given(compute=legs, n=layer_counts, c=contentions)
+    @settings(max_examples=100, deadline=None)
+    def test_comm_free_stack_is_exact_compute(self, compute, n, c):
+        """Bit-exact, not approx: the tp1 reproduction guarantee."""
+        assert overlapped_layer_time(compute, 0.0, n, c) == compute
+
+    def test_single_layer_has_nothing_to_hide(self):
+        """n=1: no adjacent layer to overlap with — fully exposed."""
+        assert overlapped_layer_time(3.0, 2.0, 1, 0.0) == 5.0
+
+    def test_bad_layer_count_rejected(self):
+        with pytest.raises(ConfigError, match="n_layers"):
+            overlapped_layer_time(1.0, 1.0, 0)
+
+
+class TestPipelineSchedule:
+    @given(m=micro_counts, pp=stage_counts)
+    @settings(max_examples=200, deadline=None)
+    def test_bubble_fraction_bounds(self, m, pp):
+        f = bubble_fraction(m, pp)
+        assert 0.0 <= f < 1.0
+        assert f == pytest.approx((pp - 1) / (m + pp - 1))
+
+    @given(m=micro_counts, pp=st.integers(min_value=2, max_value=16))
+    @settings(max_examples=200, deadline=None)
+    def test_bubble_fraction_strictly_falls_with_micro_batches(self, m, pp):
+        assert bubble_fraction(m + 1, pp) < bubble_fraction(m, pp)
+
+    @given(pp=st.integers(min_value=2, max_value=16))
+    @settings(max_examples=50, deadline=None)
+    def test_bubble_fraction_vanishes_in_the_limit(self, pp):
+        """→ 0 as micro-batches → ∞ (here: under 1% by m = 100 pp)."""
+        assert bubble_fraction(100 * pp, pp) < 0.01
+
+    @given(
+        w=st.floats(min_value=1e-9, max_value=1e3, allow_nan=False),
+        m=micro_counts,
+        pp=stage_counts,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_makespan_decomposes(self, w, m, pp):
+        """makespan = steady-state work + the explicit bubble term."""
+        assert pipeline_time(w, m, pp) == pytest.approx(
+            m * w + pipeline_bubble_time(w, m, pp)
+        )
+        assert bubble_fraction(m, pp) == pytest.approx(
+            pipeline_bubble_time(w, m, pp) / pipeline_time(w, m, pp)
+        )
+
+    def test_single_stage_has_no_bubble(self):
+        assert pipeline_bubble_time(1.0, 8, 1) == 0.0
+        assert bubble_fraction(8, 1) == 0.0
+
+
+class TestHierarchicalProperty:
+    @given(
+        mib=st.integers(min_value=1, max_value=1024),
+        nodes=st.sampled_from([2, 4, 8]),
+        ratio=st.floats(min_value=4.0, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_hierarchy_beats_flat_slow_ring_for_large_payloads(
+        self, mib, nodes, ratio
+    ):
+        """On a two-tier fabric the slow link should carry 1/node_size of
+        the payload, not ring all of it: for MiB-scale payloads and a
+        fast link >= 4x the slow one, hierarchical all-reduce wins."""
+        fast = LinkSpec("fast", 2e-6, ratio * 1e9)
+        slow = LinkSpec("slow", 5e-6, 1e9)
+        world = 4 * nodes
+        payload = mib * 2**20
+        flat = Interconnect(slow, world).all_reduce_time(payload)
+        hier = Interconnect(fast, world, inter_link=slow).all_reduce_time(
+            payload
+        )
+        assert hier < flat

@@ -74,6 +74,84 @@ class TestTPServingEngine:
         assert engine.comm_total_s == first
 
 
+class TestOverlapServing:
+    def test_overlap_is_the_default_and_beats_serialized(self):
+        """Bucketed, overlapped collectives finish the same trace sooner
+        than the sync-point model on the same layout."""
+        trace = small_trace()
+        fast = tp_engine(2)
+        slow = tp_engine(2, overlap=False)
+        assert fast.overlap and not slow.overlap
+        mk_fast = fast.run(trace, rng=RngStream(17)).makespan_s
+        mk_slow = slow.run(trace, rng=RngStream(17)).makespan_s
+        assert mk_fast < mk_slow
+
+    def test_overlap_never_beats_compute_alone(self):
+        """Collectives can hide, not vanish: the overlapped makespan still
+        exceeds the comm-free (tp1) makespan."""
+        trace = small_trace()
+        mk_tp2 = tp_engine(2).run(trace, rng=RngStream(17)).makespan_s
+        mk_tp1 = tp_engine(1).run(trace, rng=RngStream(17)).makespan_s
+        assert mk_tp2 > mk_tp1
+
+    def test_tp1_overlap_still_reproduces_base_engine(self):
+        """No comm, one stage, one micro-batch: the overlapped pricing
+        path must degenerate to the plain engine bit for bit."""
+        trace = small_trace()
+        base = ServingEngine(A100, make_scheduler("continuous"), CONFIG)
+        tp1 = tp_engine(1)
+        assert tp1.overlap
+        assert tp1.run(trace, rng=RngStream(17)) == base.run(
+            trace, rng=RngStream(17)
+        )
+
+    def test_deterministic(self):
+        a = tp_engine(2).run(small_trace(), rng=RngStream(17))
+        b = tp_engine(2).run(small_trace(), rng=RngStream(17))
+        assert a == b
+
+
+class TestPipelineServing:
+    def test_pp_divisibility_enforced_at_construction(self):
+        with pytest.raises(ConfigError, match="not divisible"):
+            TPServingEngine(
+                A100, make_scheduler("continuous"), "tp2pp3", CONFIG
+            )
+
+    def test_pp_engine_serves_one_stage(self):
+        engine = TPServingEngine(
+            A100, make_scheduler("continuous"), "tp2pp2", CONFIG
+        )
+        assert engine.config.n_layers == CONFIG.n_layers // 2
+        assert engine.micro_batches == 8
+
+    def test_pipeline_accumulates_bubble_and_sends(self):
+        engine = TPServingEngine(
+            A100, make_scheduler("continuous"), "tp2pp2", CONFIG
+        )
+        engine.run(small_trace(), rng=RngStream(17))
+        assert engine.bubble_total_s > 0
+        assert engine.p2p_total_s > 0
+
+    def test_bad_micro_batches_rejected(self):
+        with pytest.raises(ConfigError, match="micro_batches"):
+            TPServingEngine(
+                A100, make_scheduler("continuous"), "tp2pp2", CONFIG,
+                micro_batches=0,
+            )
+
+    def test_report_carries_pipeline_aggregates(self):
+        engine = ShardedServingEngine(
+            A100, config=CONFIG, shard="tp2pp2", micro_batches=4
+        )
+        report = engine.run(small_trace(), rng=RngStream(17))
+        assert report.micro_batches == 4
+        assert report.bubble_s > 0
+        assert report.p2p_s > 0
+        assert report.bubble_fraction == pytest.approx(1 / 5)
+        assert "micro-batches" in report.summary()
+
+
 def requests(*sizes):
     """One request per (arrival, prompt, new) triple, ids in order."""
     return [
@@ -162,7 +240,7 @@ class TestShardedServing:
     def test_per_rank_lanes_traced(self):
         tracer = Tracer()
         engine = ShardedServingEngine(A100, config=CONFIG, shard="tp2dp2",
-                                      tracer=tracer)
+                                      tracer=tracer, overlap=False)
         engine.run(small_trace(), rng=RngStream(17))
         lanes = set(tracer.lane_names.values())
         assert {"replica0.tp rank 0", "replica0.tp rank 1",
@@ -171,6 +249,29 @@ class TestShardedServing:
         comm_spans = tracer.find(name="rank.all_reduce")
         assert comm_spans
         assert comm_spans[0].args["link"] == "nvlink"
+
+    def test_overlap_spans_traced(self):
+        """The default mode lays one contention-priced window per rank
+        instead of a trailing all-reduce."""
+        tracer = Tracer()
+        engine = ShardedServingEngine(A100, config=CONFIG, shard="tp2",
+                                      tracer=tracer)
+        engine.run(small_trace(), rng=RngStream(17))
+        spans = tracer.find(name="rank.overlap")
+        assert spans
+        assert spans[0].args["link"] == "nvlink"
+        assert 0 <= spans[0].args["contention"] <= 1
+        assert not tracer.find(name="rank.all_reduce")
+
+    def test_pipeline_send_spans_traced(self):
+        tracer = Tracer()
+        engine = ShardedServingEngine(A100, config=CONFIG, shard="tp2pp2",
+                                      tracer=tracer)
+        engine.run(small_trace(), rng=RngStream(17))
+        sends = tracer.find(name="rank.send")
+        assert sends
+        assert sends[0].args["stages"] == 2
+        assert sends[0].args["micro_batches"] == 8
 
     def test_dp_lifts_throughput_under_load(self):
         """A bursty trace that swamps one replica drains faster on four:

@@ -3,24 +3,38 @@
 import pytest
 
 from repro.core.errors import ConfigError
-from repro.parallel import NVLINK, PCIE, ShardConfig
+from repro.parallel import GRAMMAR, IB, NVLINK, PCIE, ShardConfig
 
 
 class TestShardConfig:
     def test_defaults(self):
         s = ShardConfig()
-        assert (s.tp, s.dp) == (1, 1)
+        assert (s.tp, s.pp, s.dp) == (1, 1, 1)
         assert s.link is NVLINK
+        assert s.inter_link is None
         assert s.world_size == 1
         assert s.fingerprint == "tp1dp1:nvlink"
 
     def test_world_size(self):
         assert ShardConfig(tp=4, dp=2).world_size == 8
+        assert ShardConfig(tp=2, pp=2, dp=2).world_size == 8
 
     def test_fingerprint_carries_link(self):
         assert ShardConfig(tp=2, link=PCIE).fingerprint == "tp2dp1:pcie"
 
-    @pytest.mark.parametrize("kwargs", [dict(tp=0), dict(dp=0), dict(tp=-1)])
+    def test_pp1_fingerprint_keeps_old_spelling(self):
+        """Plan keys of pre-pipeline layouts must not churn: pp1 single-
+        link fingerprints spell exactly as before the grammar grew."""
+        assert ShardConfig(tp=4, dp=2).fingerprint == "tp4dp2:nvlink"
+        assert "pp" not in ShardConfig(tp=2, link=PCIE).fingerprint
+
+    def test_pipeline_fingerprint(self):
+        s = ShardConfig(tp=2, pp=2, link=NVLINK, inter_link=IB)
+        assert s.fingerprint == "tp2pp2dp1:nvlink,ib"
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(tp=0), dict(dp=0), dict(tp=-1), dict(pp=0)]
+    )
     def test_bad_counts_rejected(self, kwargs):
         with pytest.raises(ConfigError):
             ShardConfig(**kwargs)
@@ -31,27 +45,66 @@ class TestShardConfig:
         assert ic.world_size == 4
         assert ic.link is PCIE
 
+    def test_interconnect_carries_inter_link(self):
+        ic = ShardConfig(tp=8, link=NVLINK, inter_link=IB).interconnect()
+        assert ic.inter_link is IB
+        assert ic.hierarchical
+
+    def test_p2p_link_prefers_inter(self):
+        assert ShardConfig(tp=2, pp=2).p2p_link is NVLINK
+        assert ShardConfig(tp=2, pp=2, inter_link=IB).p2p_link is IB
+
+    def test_validate_pipeline(self):
+        ShardConfig(pp=2).validate_pipeline(4)
+        with pytest.raises(ConfigError, match="not divisible by pp=3"):
+            ShardConfig(pp=3).validate_pipeline(4)
+
 
 class TestParse:
-    @pytest.mark.parametrize("spec,tp,dp,link", [
-        ("tp2", 2, 1, "nvlink"),
-        ("dp4", 1, 4, "nvlink"),
-        ("tp2dp2", 2, 2, "nvlink"),
-        ("tp4:pcie", 4, 1, "pcie"),
-        ("TP2DP3:NVLINK", 2, 3, "nvlink"),   # case-insensitive
+    @pytest.mark.parametrize("spec,tp,pp,dp,link", [
+        ("tp2", 2, 1, 1, "nvlink"),
+        ("dp4", 1, 1, 4, "nvlink"),
+        ("tp2dp2", 2, 1, 2, "nvlink"),
+        ("tp4:pcie", 4, 1, 1, "pcie"),
+        ("TP2DP3:NVLINK", 2, 1, 3, "nvlink"),   # case-insensitive
+        ("pp2", 1, 2, 1, "nvlink"),
+        ("tp2pp2", 2, 2, 1, "nvlink"),
+        ("tp2pp2dp2", 2, 2, 2, "nvlink"),
+        ("tp2pp4:pcie", 2, 4, 1, "pcie"),
     ])
-    def test_accepted_specs(self, spec, tp, dp, link):
+    def test_accepted_specs(self, spec, tp, pp, dp, link):
         s = ShardConfig.parse(spec)
-        assert (s.tp, s.dp, s.link.name) == (tp, dp, link)
+        assert (s.tp, s.pp, s.dp, s.link.name) == (tp, pp, dp, link)
+
+    def test_dual_link_spec(self):
+        s = ShardConfig.parse("tp8:nvlink,ib")
+        assert s.link is NVLINK
+        assert s.inter_link is IB
 
     def test_config_passes_through(self):
         s = ShardConfig(tp=2)
         assert ShardConfig.parse(s) is s
 
-    @pytest.mark.parametrize("spec", ["", "foo", ":nvlink", "dp2tp2", "tp"])
+    @pytest.mark.parametrize("spec", [
+        "", "foo", ":nvlink", "dp2tp2", "tp", "pp2tp2", "tp2pp2pp2",
+        "tp2:nvlink,ib,pcie", "tp2:nvlink,",
+    ])
     def test_malformed_specs_rejected(self, spec):
         with pytest.raises(ConfigError, match="shard spec"):
             ShardConfig.parse(spec)
+
+    def test_errors_name_the_offending_token(self):
+        with pytest.raises(ConfigError, match=r"unexpected token 'x4'"):
+            ShardConfig.parse("tp2x4")
+        with pytest.raises(ConfigError, match="duplicate 'tp'"):
+            ShardConfig.parse("tp2tp4")
+        with pytest.raises(ConfigError, match="out of order"):
+            ShardConfig.parse("dp2pp2")
+
+    def test_errors_quote_the_grammar(self):
+        with pytest.raises(ConfigError, match="accepted grammar"):
+            ShardConfig.parse("nope")
+        assert "pp{k}" in GRAMMAR
 
     def test_unknown_link_rejected(self):
         with pytest.raises(ConfigError, match="unknown link"):

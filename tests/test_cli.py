@@ -146,6 +146,35 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "not divisible" in err
 
+    def test_shard_sim_pipeline(self, capsys):
+        assert main(["shard-sim", "--tp", "2", "--pp", "2",
+                     "--micro-batches", "4", "--link", "pcie",
+                     "--num-requests", "8", "--rate", "1000",
+                     "--layers", "2", "--heads", "4", "--head-size", "16",
+                     "--prompt-min", "16", "--prompt-max", "32",
+                     "--new-min", "4", "--new-max", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "tp2pp2" in out
+        assert "micro-batches" in out and "bubble" in out
+
+    def test_shard_sim_no_overlap_and_inter_link(self, capsys):
+        assert main(["shard-sim", "--tp", "2", "--link", "nvlink",
+                     "--inter-link", "ib", "--no-overlap",
+                     "--num-requests", "4", "--rate", "1000",
+                     "--layers", "2", "--heads", "4", "--head-size", "16",
+                     "--prompt-min", "16", "--prompt-max", "32",
+                     "--new-min", "4", "--new-max", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "tp2dp1:nvlink,ib" in out
+        assert "serialized" in out
+
+    def test_shard_sim_bad_pipeline_divisibility(self, capsys):
+        assert main(["shard-sim", "--tp", "2", "--pp", "3",
+                     "--layers", "4", "--heads", "4",
+                     "--num-requests", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "not divisible" in err
+
     def test_plan_cache(self, capsys):
         assert main(["plan-cache", "--num-requests", "4",
                      "--rate", "2000"]) == 0
