@@ -30,7 +30,7 @@ from harness import bench_rng, emit, format_table
 from repro.api import compile_model
 from repro.gpu.specs import A100
 from repro.models import ModelConfig
-from repro.parallel import ShardedServingEngine
+from repro.parallel import FleetConfig, ShardedServingEngine
 from repro.plan import PlanCache
 from repro.serving import ServingConfig, synthetic_trace
 
@@ -184,7 +184,8 @@ def serving_rows():
         reports = {}
         for mode, overlap in (("serial", False), ("overlap", True)):
             engine = ShardedServingEngine(
-                A100, config=SERVE_CONFIG, shard=layout, overlap=overlap
+                A100, config=SERVE_CONFIG,
+                fleet=FleetConfig(shard=layout, overlap=overlap),
             )
             reports[mode] = engine.run(
                 trace, rng=bench_rng("shard-serve-masks")

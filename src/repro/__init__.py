@@ -55,14 +55,17 @@ from repro.runtime import (
     STOFEngine,
 )
 from repro.tuner import TwoStageEngine
-from repro.api import CompiledModel, compare_engines, compile_model
+from repro.api import CompiledModel, compare_engines, compile_model, serve
 from repro.parallel import (
+    AutoscalingServingEngine,
+    FleetConfig,
     Interconnect,
     LinkSpec,
     ShardConfig,
     ShardedServingEngine,
     compile_sharded,
 )
+from repro.serving import SLOPolicy, TenantSpec, WorkloadSpec, make_scenario
 
 __all__ = [
     "__version__",
@@ -104,9 +107,16 @@ __all__ = [
     "CompiledModel",
     "compare_engines",
     "compile_model",
+    "serve",
+    "AutoscalingServingEngine",
+    "FleetConfig",
     "Interconnect",
     "LinkSpec",
     "ShardConfig",
     "ShardedServingEngine",
+    "SLOPolicy",
+    "TenantSpec",
+    "WorkloadSpec",
     "compile_sharded",
+    "make_scenario",
 ]

@@ -292,3 +292,97 @@ def compare_engines(
         except DeviceOutOfMemoryError:
             out[name] = "oom"
     return out
+
+
+def serve(
+    model: "str | ModelConfig | Any" = "bert-base",
+    workload: "Any" = None,
+    device: str | GPUSpec = "a100",
+    policy: str = "continuous",
+    fleet: "Any" = None,
+    slo: "Any" = None,
+    seed: int = 0,
+    max_batch_size: int = 16,
+    max_batch_tokens: int = 65536,
+    tracer: Tracer | None = None,
+) -> "Any":
+    """Simulate serving one workload — the single front door to the stack.
+
+    ``model`` is a zoo name / :class:`~repro.models.ModelConfig` (its
+    attention shape becomes the
+    :class:`~repro.serving.engine.ServingConfig`) or a ``ServingConfig``
+    directly.  ``workload`` is a
+    :class:`~repro.serving.workload.WorkloadSpec` (generated with the
+    run's seed) or an explicit list of
+    :class:`~repro.serving.request.Request`.  The engine is picked by
+    the fleet shape:
+
+    * no ``fleet=`` — one replica, one GPU
+      (:class:`~repro.serving.engine.ServingEngine`);
+    * ``fleet=FleetConfig(...)`` — a fixed TP/PP/DP fleet
+      (:class:`~repro.parallel.serving.ShardedServingEngine`);
+    * ``fleet=FleetConfig(autoscale=True, ...)`` — a floating fleet
+      (:class:`~repro.parallel.serving.AutoscalingServingEngine`).
+
+    Passing ``slo=SLOPolicy(...)`` swaps in the deadline-aware scheduler
+    regardless of fleet shape.  Returns the engine's report
+    (:class:`~repro.serving.metrics.ServingReport`,
+    ``ShardedServingReport`` or ``FleetReport``); everything is a pure
+    function of ``(model, workload, fleet, slo, seed)``.
+
+    >>> from repro.serving import TenantSpec, WorkloadSpec, PoissonArrivals
+    >>> wl = WorkloadSpec(8, PoissonArrivals(500.0),
+    ...                   tenants=(TenantSpec(name="chat"),))
+    >>> serve("bert-small", wl, seed=7).completed
+    8
+    """
+    from repro.parallel.serving import (
+        AutoscalingServingEngine,
+        FleetConfig,
+        ShardedServingEngine,
+    )
+    from repro.serving.engine import ServingConfig, ServingEngine
+    from repro.serving.request import Request
+    from repro.serving.scheduler import make_scheduler
+    from repro.serving.slo import SLOScheduler
+    from repro.serving.workload import WorkloadSpec
+
+    spec = device if isinstance(device, GPUSpec) else get_spec(device)
+    if isinstance(model, ServingConfig):
+        config = model
+    else:
+        mc = model if isinstance(model, ModelConfig) else get_model_config(model)
+        config = ServingConfig(
+            heads=mc.heads,
+            head_size=mc.head_size,
+            n_layers=mc.encoder_layers + mc.decoder_layers,
+        )
+
+    if isinstance(workload, WorkloadSpec):
+        trace = workload.generate(RngStream(seed).fork("workload"))
+    elif workload and all(isinstance(r, Request) for r in workload):
+        trace = list(workload)
+    else:
+        raise ConfigError(
+            "workload must be a WorkloadSpec or a non-empty list of Request"
+        )
+
+    if fleet is not None and not isinstance(fleet, FleetConfig):
+        raise ConfigError(f"fleet must be a FleetConfig, got {type(fleet).__name__}")
+    policy = "slo" if slo is not None else policy
+    rng = RngStream(seed)
+    if fleet is None:
+        scheduler = (
+            SLOScheduler(max_batch_size, max_batch_tokens, policy=slo)
+            if slo is not None
+            else make_scheduler(policy, max_batch_size, max_batch_tokens)
+        )
+        engine = ServingEngine(spec, scheduler, config, tracer=tracer)
+        return engine.run(trace, rng=rng)
+    cls = AutoscalingServingEngine if fleet.autoscale else ShardedServingEngine
+    engine = cls(
+        spec, policy, config, fleet=fleet, slo=slo,
+        max_batch_size=max_batch_size, max_batch_tokens=max_batch_tokens,
+        tracer=tracer,
+    )
+    return engine.run(trace, rng=rng)

@@ -11,6 +11,9 @@
   continuous scheduling over a synthetic arrival trace).
 * ``shard-sim`` — multi-GPU serving simulation: tensor-parallel replicas
   (ring all-reduce collectives) behind a data-parallel request router.
+* ``fleet-sim`` — autoscaled multi-tenant fleet: diurnal/bursty arrivals
+  over a tenant mix with shared system prompts, SLO-aware scheduling,
+  and a cost/throughput frontier against fixed fleet widths.
 * ``plan-cache`` — plan-cache effectiveness: the serving simulation with
   and without plan reuse, plus per-kind hit-rate statistics.
 * ``trace``   — export a Chrome-trace JSON of one engine's execution plan.
@@ -268,6 +271,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
 def cmd_shard_sim(args: argparse.Namespace) -> int:
     from repro.parallel import (
         DEFAULT_CONTENTION,
+        FleetConfig,
         ShardConfig,
         ShardedServingEngine,
         get_link,
@@ -296,15 +300,18 @@ def cmd_shard_sim(args: argparse.Namespace) -> int:
         symbolic_plan_keys=args.symbolic_plan_keys,
     )
     engine = ShardedServingEngine(
-        spec, args.policy, config, shard,
-        route=args.route,
+        spec, args.policy, config,
         max_batch_size=args.max_batch,
         max_batch_tokens=args.max_batch_tokens,
-        overlap=not args.no_overlap,
-        micro_batches=args.micro_batches,
-        contention=(
-            args.contention if args.contention is not None
-            else DEFAULT_CONTENTION
+        fleet=FleetConfig(
+            shard=shard,
+            route=args.route,
+            overlap=not args.no_overlap,
+            micro_batches=args.micro_batches,
+            contention=(
+                args.contention if args.contention is not None
+                else DEFAULT_CONTENTION
+            ),
         ),
     )
     report = engine.run(trace, rng=RngStream(args.seed))
@@ -319,6 +326,62 @@ def cmd_shard_sim(args: argparse.Namespace) -> int:
         f"({stats['hits']} hits, {stats['misses']} misses, "
         f"{stats['entries']} entries)"
     )
+    return 0
+
+
+def cmd_fleet_sim(args: argparse.Namespace) -> int:
+    from repro.api import serve
+    from repro.parallel import (
+        FleetConfig,
+        ShardConfig,
+        cost_throughput_frontier,
+        get_link,
+    )
+    from repro.serving import ServingConfig, SLOPolicy, make_scenario
+
+    spec = get_spec(args.device)
+    workload = make_scenario(
+        args.scenario, n_requests=args.num_requests, rate_rps=args.rate
+    )
+    config = ServingConfig(
+        heads=args.heads,
+        head_size=args.head_size,
+        n_layers=args.layers,
+        kv_capacity_frac=args.kv_frac,
+        kv_page_tokens=args.page_tokens,
+    )
+    fleet = FleetConfig(
+        shard=ShardConfig(tp=args.tp, pp=args.pp, link=get_link(args.link)),
+        autoscale=True,
+        min_replicas=args.min_replicas,
+        max_replicas=args.max_replicas,
+        scale_up_latency_s=args.scale_up_latency,
+        target_utilization=args.target_utilization,
+    )
+    slo = None if args.no_slo else SLOPolicy()
+    print(
+        f"fleet-sim: {args.scenario} scenario, {args.num_requests} requests "
+        f"@ {args.rate:.0f} req/s peak-mean, {spec.name}\n"
+    )
+    report = serve(
+        config, workload, device=spec, fleet=fleet, slo=slo, seed=args.seed,
+        max_batch_size=args.max_batch, max_batch_tokens=args.max_batch_tokens,
+    )
+    print(report.summary())
+    if args.frontier:
+        trace = workload.generate(RngStream(args.seed).fork("workload"))
+        print("\ncost/throughput frontier:")
+        print(f"  {'point':>6} {'replicas':>9} {'GPU·s':>9} {'tok/s':>9} "
+              f"{'tok/GPU·s':>10} {'TTFT p99':>10}")
+        for pt in cost_throughput_frontier(
+            spec, trace, config=config, fleet=fleet,
+            dp_values=tuple(int(v) for v in args.dp_values.split(",")),
+            slo=slo, rng=RngStream(args.seed),
+        ):
+            print(f"  {pt.label:>6} {pt.mean_replicas:>9.2f} "
+                  f"{pt.gpu_s:>9.4f} {pt.tokens_per_s:>9,.0f} "
+                  f"{pt.tokens_per_gpu_s:>10,.0f} "
+                  f"{format_time(pt.ttft_p99_s):>10}")
     return 0
 
 
@@ -672,6 +735,46 @@ def build_parser() -> argparse.ArgumentParser:
                         "(see docs/symbolic_shapes.md)")
     _add_common(p)
     p.set_defaults(func=cmd_shard_sim)
+
+    p = sub.add_parser(
+        "fleet-sim",
+        help="autoscaled multi-tenant fleet simulation with SLOs and "
+             "prefix-sharing KV",
+    )
+    p.add_argument("--scenario", default="diurnal",
+                   choices=("steady", "diurnal", "bursty"),
+                   help="arrival-process shape over the default tenant mix")
+    p.add_argument("--num-requests", type=int, default=48)
+    p.add_argument("--rate", type=float, default=2000.0,
+                   help="mean arrival rate (requests/s)")
+    p.add_argument("--tp", type=int, default=1,
+                   help="tensor-parallel ranks per replica")
+    p.add_argument("--pp", type=int, default=1,
+                   help="pipeline stages per replica")
+    p.add_argument("--link", default="nvlink",
+                   choices=("nvlink", "pcie", "ib"))
+    p.add_argument("--min-replicas", type=int, default=1)
+    p.add_argument("--max-replicas", type=int, default=8)
+    p.add_argument("--scale-up-latency", type=float, default=2e-3,
+                   help="seconds from scale-up decision to serving traffic")
+    p.add_argument("--target-utilization", type=float, default=0.7,
+                   help="fraction of probed capacity the autoscaler plans to")
+    p.add_argument("--no-slo", action="store_true",
+                   help="plain continuous batching instead of the "
+                        "SLO-aware scheduler")
+    p.add_argument("--frontier", action="store_true",
+                   help="also sweep fixed DP widths vs the autoscaler")
+    p.add_argument("--dp-values", default="1,2,4",
+                   help="comma-separated fixed DP widths for --frontier")
+    p.add_argument("--heads", type=int, default=12)
+    p.add_argument("--head-size", type=int, default=64)
+    p.add_argument("--layers", type=int, default=12)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--max-batch-tokens", type=int, default=65536)
+    p.add_argument("--kv-frac", type=float, default=0.3)
+    p.add_argument("--page-tokens", type=int, default=16)
+    _add_common(p)
+    p.set_defaults(func=cmd_fleet_sim)
 
     p = sub.add_parser(
         "plan-cache",

@@ -47,9 +47,14 @@ from repro.parallel.overlap import (
 )
 from repro.parallel.serving import (
     ROUTES,
+    AutoscalingServingEngine,
+    FleetConfig,
+    FleetReport,
+    FrontierPoint,
     ShardedServingEngine,
     ShardedServingReport,
     TPServingEngine,
+    cost_throughput_frontier,
 )
 from repro.parallel.shard import GRAMMAR, ShardConfig
 
@@ -75,7 +80,12 @@ __all__ = [
     "compile_sharded",
     "validate_divisibility",
     "ROUTES",
+    "AutoscalingServingEngine",
+    "FleetConfig",
+    "FleetReport",
+    "FrontierPoint",
     "ShardedServingEngine",
     "ShardedServingReport",
     "TPServingEngine",
+    "cost_throughput_frontier",
 ]

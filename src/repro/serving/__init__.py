@@ -8,15 +8,23 @@ and iteration-level (continuous) batching policies, a paged KV-cache
 manager bounded by the device spec, and fleet latency/throughput metrics.
 
 * :mod:`repro.serving.request`   — requests, trackers, synthetic traces.
-* :mod:`repro.serving.kvcache`   — block-granular paged KV allocation.
+* :mod:`repro.serving.workload`  — arrival processes and tenant mixes.
+* :mod:`repro.serving.kvcache`   — paged KV allocation + prefix sharing.
 * :mod:`repro.serving.scheduler` — static vs continuous batch assembly.
+* :mod:`repro.serving.slo`       — per-tenant SLO targets and scheduling.
 * :mod:`repro.serving.engine`    — the discrete-event simulation loop.
 * :mod:`repro.serving.metrics`   — TTFT / ITL / tokens-per-second reports.
 """
 
 from repro.serving.engine import ServingConfig, ServingEngine, simulate_serving
 from repro.serving.kvcache import KVCacheConfig, PagedKVCache
-from repro.serving.metrics import RequestMetrics, ServingReport, percentile
+from repro.serving.metrics import (
+    RequestMetrics,
+    ServingReport,
+    TenantReport,
+    percentile,
+    tenant_reports,
+)
 from repro.serving.request import (
     Request,
     RequestState,
@@ -30,23 +38,47 @@ from repro.serving.scheduler import (
     StaticBatchScheduler,
     make_scheduler,
 )
+from repro.serving.slo import SLOPolicy, SLOScheduler, TenantSLO
+from repro.serving.workload import (
+    SCENARIOS,
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    TenantSpec,
+    WorkloadSpec,
+    make_scenario,
+)
 
 __all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
     "ContinuousBatchScheduler",
+    "DiurnalArrivals",
     "KVCacheConfig",
     "PagedKVCache",
     "percentile",
+    "PoissonArrivals",
     "Request",
     "RequestMetrics",
     "RequestState",
     "RequestTracker",
     "Scheduler",
     "SCHEDULERS",
+    "SCENARIOS",
     "ServingConfig",
     "ServingEngine",
     "ServingReport",
     "simulate_serving",
+    "SLOPolicy",
+    "SLOScheduler",
     "StaticBatchScheduler",
+    "TenantReport",
+    "TenantSLO",
+    "TenantSpec",
+    "WorkloadSpec",
+    "make_scenario",
     "make_scheduler",
     "synthetic_trace",
+    "tenant_reports",
 ]

@@ -46,7 +46,7 @@ from repro.plan import (
     params_key,
 )
 from repro.serving.kvcache import KVCacheConfig, PagedKVCache
-from repro.serving.metrics import RequestMetrics, ServingReport
+from repro.serving.metrics import RequestMetrics, ServingReport, tenant_reports
 from repro.serving.request import Request, RequestState, RequestTracker
 from repro.serving.scheduler import Scheduler
 
@@ -127,23 +127,80 @@ class ServingEngine:
         #: always 0 on the single-device engine, accumulated by sharded
         #: subclasses inside their pricing overrides.
         self._step_comm_s = 0.0
+        #: The run's KV cache (set by ``run``); ``_prefill_time`` consults
+        #: it for shared-prefix positions it may skip recomputing.
+        self._cache: PagedKVCache | None = None
+        #: Rows actually computed by the latest ``_prefill_time`` call —
+        #: sharded subclasses price their collectives on this, so a
+        #: prefix-cached prefill also shrinks its communication volume.
+        self._last_prefill_rows = 0
 
     # ----------------------------------------------------------- step pricing
 
     def _prefill_time(self, tr: RequestTracker, rng: RngStream) -> tuple[float, int]:
-        """Simulated seconds + launch count of (re)computing the context."""
+        """Simulated seconds + launch count of (re)computing the context.
+
+        When the request attached to a shared prefix whose pages another
+        holder already materialized, only the *suffix* rows past the
+        cached positions are computed — rectangular rows over the full
+        context, priced through the same row-wise machinery as decode.
+        With nothing cached this is the historical square-prefill path,
+        bit for bit.
+        """
         ctx = tr.context_len
-        problem = AttentionProblem(
-            batch=1,
-            heads=self.config.heads,
-            seq_len=ctx,
-            head_size=self.config.head_size,
-            mask=tr.prefill_mask(rng),
-            pattern="custom",
+        cached = (
+            self._cache.cached_prefix_tokens(tr.req_id)
+            if self._cache is not None
+            else 0
         )
-        plan = self._mha.plan(problem)
-        launches = sum(cost.launches for cost, _ in plan.launches)
-        return plan.estimated_s * self.config.n_layers, launches * self.config.n_layers
+        if cached <= 0 or cached >= ctx:
+            self._last_prefill_rows = 0 if cached >= ctx else ctx
+            if cached >= ctx:
+                return 0.0, 0
+            problem = AttentionProblem(
+                batch=1,
+                heads=self.config.heads,
+                seq_len=ctx,
+                head_size=self.config.head_size,
+                mask=tr.prefill_mask(rng),
+                pattern="custom",
+            )
+            plan = self._mha.plan(problem)
+            launches = sum(cost.launches for cost, _ in plan.launches)
+            return (
+                plan.estimated_s * self.config.n_layers,
+                launches * self.config.n_layers,
+            )
+        rows = tr.full_mask(rng)[cached:ctx, :ctx]
+        self._last_prefill_rows = ctx - cached
+        nnz = int(rows.sum())
+        padded = np.concatenate(
+            [np.zeros((rows.shape[0], 1), dtype=bool), rows], axis=1
+        )
+        rises = ((~padded[:, :-1]) & padded[:, 1:]).sum(axis=1)
+        nonempty = int((rises > 0).sum())
+        single = int((rises == 1).sum())
+        contig = 1.0 if nonempty == 0 else float(single) / float(nonempty)
+        num_warps = self._decode_kernel.default_params(None, self.spec)["num_warps"]
+        seconds = 0.0
+        launches = 0
+        for cost, launch_cfg in plan_rowwise_launches(
+            self.spec,
+            num_warps=num_warps,
+            n_bh=self.config.heads,
+            seq_len=ctx - cached,
+            kv_seq_len=ctx,
+            head_size=self.config.head_size,
+            nnz=nnz,
+            contiguous_fraction=contig,
+            kernel_name=self._decode_kernel.name,
+        ):
+            seconds += estimate_kernel_time(self.spec, cost, launch_cfg).total
+            launches += cost.launches
+        return (
+            seconds * self.config.n_layers,
+            launches * self.config.n_layers,
+        )
 
     def _decode_time(
         self, members: list[tuple[RequestTracker, int]], rng: RngStream
@@ -438,6 +495,10 @@ class ServingEngine:
             else:
                 trackers[req.req_id].state = RequestState.REJECTED
                 rejected.append(trackers[req.req_id])
+        self._cache = cache
+        for req in active:
+            if req.prefix_id:
+                cache.register_prefix(req.req_id, req.prefix_id, req.prefix_len)
 
         pending = list(active)
         waiting: list[RequestTracker] = []
@@ -500,6 +561,14 @@ class ServingEngine:
                 tr = trackers[pending.pop(0).req_id]
                 waiting.append(tr)
             waiting.sort(key=lambda t: (t.request.arrival_s, t.req_id))
+
+            self.scheduler.begin_step(clock)
+            # Preempt-to-meet-deadline (SLO policies): evict lower-priority
+            # residents *before* the step forms, so the at-risk waiter is
+            # admitted this very step rather than after their drain.
+            for victim in self.scheduler.deadline_victims(waiting, running, cache):
+                if victim in running:
+                    preempt(victim)
 
             was_running = list(running)
             admitted = self.scheduler.admit(waiting, running, cache)
@@ -591,6 +660,16 @@ class ServingEngine:
             if finished else first_arrival
         )
         patterns = sorted({r.pattern for r in trace})
+        completed_metrics = sorted(
+            (RequestMetrics.from_tracker(tr) for tr in finished),
+            key=lambda m: m.req_id,
+        )
+        tenants = ()
+        if any(r.tenant for r in trace):
+            tenants = tenant_reports(
+                completed_metrics,
+                slo_policy=getattr(self.scheduler, "slo_policy", None),
+            )
         return ServingReport(
             policy=self.scheduler.name,
             pattern="+".join(patterns),
@@ -603,10 +682,11 @@ class ServingEngine:
             preemptions=sum(tr.preemptions for tr in trackers.values()),
             kv_peak_occupancy=cache.peak_occupancy,
             rejected_ids=tuple(tr.req_id for tr in rejected),
-            requests=sorted(
-                (RequestMetrics.from_tracker(tr) for tr in finished),
-                key=lambda m: m.req_id,
-            ),
+            requests=completed_metrics,
+            kv_peak_used_pages=cache.peak_used_pages,
+            kv_peak_logical_pages=cache.peak_logical_pages,
+            cow_forks=cache.cow_forks,
+            tenants=tenants,
             plan_cache=self.plan_cache.stats() if cfg.use_plan_cache else None,
         )
 

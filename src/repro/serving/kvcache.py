@@ -1,4 +1,4 @@
-"""Block-granular (paged) KV-cache management.
+"""Block-granular (paged) KV-cache management with prefix sharing.
 
 A serving engine cannot pre-reserve ``prompt + max_new`` KV storage for
 every admitted request — that is exactly the over-allocation continuous
@@ -9,12 +9,25 @@ runs through :class:`~repro.gpu.memory.MemoryTracker`, so the cache can
 never exceed the capacity granted from the :class:`~repro.gpu.specs.GPUSpec`
 — pressure surfaces as a failed ``reserve`` (the scheduler's cue to
 preempt), never as an exception escaping the engine.
+
+**Prefix sharing** (the radix-cache / shared-system-prompt win): requests
+registered under one ``prefix_id`` (:meth:`PagedKVCache.register_prefix`)
+share the full pages covering that prefix.  Shared pages are refcounted —
+the first holder to ``reserve`` materializes them, later holders attach
+for free, and the pages are returned only when the last holder releases.
+A prefix whose token count is not page-aligned leaves its boundary page
+*private* to each holder: appending past the shared region would mutate a
+page other requests still read, so the holder copy-on-write forks it
+(counted in :attr:`PagedKVCache.cow_forks`).  ``reserve``/``release``
+keep their signatures, ``used_pages``/``occupancy`` stay O(1), and a
+cache with no registered prefixes behaves bit-identically to the
+pre-sharing allocator.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.errors import ConfigError
 from repro.core.fp16 import FP16_BYTES
@@ -85,6 +98,17 @@ class KVCacheConfig:
         )
 
 
+@dataclass(eq=False)
+class _SharedPrefix:
+    """Refcounted run of full pages holding one shared prefix's KV."""
+
+    tokens: int                 # registered prefix length, in positions
+    pages: int                  # full pages shared (tokens // page_tokens)
+    partial: bool               # prefix ends mid-page (boundary page is COW)
+    refcount: int = 0
+    holders: set[int] = field(default_factory=set)
+
+
 class PagedKVCache:
     """Page allocator over a fixed KV budget.
 
@@ -101,15 +125,44 @@ class PagedKVCache:
     3
     >>> cache.used_pages
     0
+
+    Prefix sharing: two requests registered under one prefix share its
+    full pages (physical ``used_pages`` counts them once):
+
+    >>> cache.register_prefix(2, "sys", 8)   # 2 shared pages
+    >>> cache.register_prefix(3, "sys", 8)
+    >>> cache.reserve(2, 12) and cache.reserve(3, 12)
+    True
+    >>> cache.used_pages                     # 2 shared + 1 private each
+    4
+    >>> cache.logical_pages                  # what an unshared pair needs
+    6
     """
 
     def __init__(self, config: KVCacheConfig):
         self.config = config
         self._tracker = MemoryTracker(config.total_pages * config.page_bytes)
+        #: Private pages per request, counted from the end of the request's
+        #: shared region (requests with no registered prefix own all their
+        #: pages privately — the pre-sharing layout, bit for bit).
         self._pages: dict[int, int] = {}
         # Incrementally maintained so used_pages/free_pages stay O(1): they
         # sit on the admit/decode hot path of every simulated engine step.
         self._used_pages = 0
+        #: Logical pages: what the same residency would cost with sharing
+        #: disabled (shared pages counted once per holder).  Maintained
+        #: incrementally beside ``_used_pages``.
+        self._logical_pages = 0
+        self._peak_used_pages = 0
+        self._peak_logical_pages = 0
+        self._prefixes: dict[str, _SharedPrefix] = {}
+        self._req_prefix: dict[int, str] = {}
+        #: Prefix KV positions already resident (computed by another
+        #: holder) when each request attached — the engine's cue to skip
+        #: recomputing them at prefill.
+        self._attach_cached: dict[int, int] = {}
+        #: Copy-on-write forks of unaligned prefix boundary pages.
+        self.cow_forks = 0
 
     # ----------------------------------------------------------- accounting
 
@@ -141,44 +194,201 @@ class PagedKVCache:
     def peak_occupancy(self) -> float:
         return self.peak_bytes / (self.total_pages * self.config.page_bytes)
 
+    @property
+    def logical_pages(self) -> int:
+        """Pages the current residency would cost with sharing disabled."""
+        return self._logical_pages
+
+    @property
+    def peak_used_pages(self) -> int:
+        return self._peak_used_pages
+
+    @property
+    def peak_logical_pages(self) -> int:
+        return self._peak_logical_pages
+
     def pages_of(self, req_id: int) -> int:
-        return self._pages.get(req_id, 0)
+        """Pages backing ``req_id``: private plus its share of prefix pages."""
+        held = self._pages.get(req_id, 0)
+        pid = self._req_prefix.get(req_id)
+        if pid is not None and req_id in self._prefixes[pid].holders:
+            held += self._prefixes[pid].pages
+        return held
+
+    def reclaimable_pages_of(self, req_id: int) -> int:
+        """Physical pages :meth:`release` would return right now — shared
+        prefix pages count only when ``req_id`` is their last holder."""
+        held = self._pages.get(req_id, 0)
+        pid = self._req_prefix.get(req_id)
+        if pid is not None:
+            pfx = self._prefixes[pid]
+            if req_id in pfx.holders and pfx.refcount == 1:
+                held += pfx.pages
+        return held
 
     def fits_alone(self, tokens: int) -> bool:
         """Whether a context of ``tokens`` fits an otherwise empty cache."""
         return self.config.pages_for(tokens) <= self.total_pages
 
+    # ------------------------------------------------------- prefix sharing
+
+    def register_prefix(self, req_id: int, prefix_id: str, tokens: int) -> None:
+        """Declare that ``req_id``'s first ``tokens`` positions are the
+        shared prefix ``prefix_id``.
+
+        Registration is pure bookkeeping — pages move only in ``reserve``.
+        A prefix shorter than one page has no full page to share and the
+        request stays on the private path.  All holders of one
+        ``prefix_id`` must agree on its length, and a request must
+        register before its first ``reserve`` — its private pages would
+        otherwise already cover the region the prefix is about to share.
+        """
+        if tokens < 0:
+            raise ConfigError(f"prefix tokens must be >= 0, got {tokens}")
+        if self._pages.get(req_id, 0) > 0:
+            raise ConfigError(
+                f"request {req_id} already holds pages; prefixes must be "
+                "registered before the first reserve"
+            )
+        pages = tokens // self.config.page_tokens
+        if pages == 0:
+            return
+        pfx = self._prefixes.get(prefix_id)
+        if pfx is None:
+            pfx = _SharedPrefix(
+                tokens=tokens,
+                pages=pages,
+                partial=tokens % self.config.page_tokens != 0,
+            )
+            self._prefixes[prefix_id] = pfx
+        elif pfx.tokens != tokens:
+            raise ConfigError(
+                f"prefix {prefix_id!r} registered with {tokens} tokens but "
+                f"already holds {pfx.tokens}"
+            )
+        prior = self._req_prefix.get(req_id)
+        if prior is not None and prior != prefix_id:
+            raise ConfigError(
+                f"request {req_id} already registered under prefix {prior!r}"
+            )
+        self._req_prefix[req_id] = prefix_id
+
+    def cached_prefix_tokens(self, req_id: int) -> int:
+        """Prefix KV positions already resident when ``req_id`` attached
+        (the engine skips recomputing them at prefill)."""
+        return self._attach_cached.get(req_id, 0)
+
     # ----------------------------------------------------------- allocation
+
+    def _bump_peaks(self) -> None:
+        if self._used_pages > self._peak_used_pages:
+            self._peak_used_pages = self._used_pages
+        if self._logical_pages > self._peak_logical_pages:
+            self._peak_logical_pages = self._logical_pages
 
     def reserve(self, req_id: int, context_tokens: int) -> bool:
         """Grow ``req_id``'s page run to cover ``context_tokens`` positions.
 
         Returns ``False`` (allocating nothing) when the growth does not fit
         — the caller decides whether to preempt.  Shrinking never happens
-        here; pages are returned only via :meth:`release`.
+        here; pages are returned only via :meth:`release`.  A request
+        registered under a shared prefix pays only for pages past the
+        shared region; its first successful reserve attaches it to the
+        prefix (materializing the shared pages if it is the first holder).
+        Registration declares the prefix part of the request's context,
+        so a reserve that does not cover it is a ``ConfigError``.
         """
         if context_tokens < 0:
             raise ConfigError(f"context_tokens must be >= 0, got {context_tokens}")
-        held = self._pages.get(req_id, 0)
-        need = self.config.pages_for(context_tokens)
-        grow = need - held
-        if grow <= 0:
+        pid = self._req_prefix.get(req_id)
+        if pid is None:
+            held = self._pages.get(req_id, 0)
+            need = self.config.pages_for(context_tokens)
+            grow = need - held
+            if grow <= 0:
+                return True
+            if grow > self.free_pages:
+                return False
+            for p in range(held, need):
+                self._tracker.allocate(f"kv/{req_id}/{p}", self.config.page_bytes)
+            self._pages[req_id] = need
+            self._used_pages += grow
+            self._logical_pages += grow
+            self._bump_peaks()
             return True
-        if grow > self.free_pages:
+
+        pfx = self._prefixes[pid]
+        if context_tokens < pfx.tokens:
+            raise ConfigError(
+                f"request {req_id} is registered under prefix {pid!r} "
+                f"({pfx.tokens} tokens) but reserved a {context_tokens}-token "
+                "context — a context must cover its registered prefix"
+            )
+        attached = req_id in pfx.holders
+        held_private = self._pages.get(req_id, 0)
+        need_total = self.config.pages_for(context_tokens)
+        need_private = max(0, need_total - pfx.pages)
+        grow_private = max(0, need_private - held_private)
+        new_shared = pfx.pages if (not attached and pfx.refcount == 0) else 0
+        if attached and grow_private == 0:
+            return True
+        # Atomic fit check: either the whole growth lands or none of it.
+        if grow_private + new_shared > self.free_pages:
             return False
-        for p in range(held, need):
+        if not attached:
+            if pfx.refcount == 0:
+                for p in range(pfx.pages):
+                    self._tracker.allocate(
+                        f"kv/prefix/{pid}/{p}", self.config.page_bytes
+                    )
+                self._used_pages += pfx.pages
+                self._attach_cached[req_id] = 0
+            else:
+                # Shared pages already warm: this holder's prefill can skip
+                # every full shared page.  The unaligned boundary page (if
+                # any) is private, so attaching forks it copy-on-write.
+                self._attach_cached[req_id] = pfx.pages * self.config.page_tokens
+                if pfx.partial:
+                    self.cow_forks += 1
+            pfx.refcount += 1
+            pfx.holders.add(req_id)
+            self._logical_pages += pfx.pages
+        for p in range(held_private, held_private + grow_private):
             self._tracker.allocate(f"kv/{req_id}/{p}", self.config.page_bytes)
-        self._pages[req_id] = need
-        self._used_pages += grow
+        self._pages[req_id] = held_private + grow_private
+        self._used_pages += grow_private
+        self._logical_pages += grow_private
+        self._bump_peaks()
         return True
 
     def release(self, req_id: int) -> int:
-        """Free every page of a finished or preempted request."""
+        """Free every page of a finished or preempted request.
+
+        Returns the number of *physical* pages returned to the pool.
+        Shared prefix pages are freed only when the last holder leaves;
+        the request's prefix registration survives release, so a
+        preempted request re-attaches on its next ``reserve``.
+        """
         held = self._pages.pop(req_id, 0)
         for p in range(held):
             self._tracker.free(f"kv/{req_id}/{p}")
         self._used_pages -= held
-        return held
+        self._logical_pages -= held
+        freed = held
+        pid = self._req_prefix.get(req_id)
+        if pid is not None:
+            pfx = self._prefixes[pid]
+            if req_id in pfx.holders:
+                pfx.holders.discard(req_id)
+                pfx.refcount -= 1
+                self._logical_pages -= pfx.pages
+                if pfx.refcount == 0:
+                    for p in range(pfx.pages):
+                        self._tracker.free(f"kv/prefix/{pid}/{p}")
+                    self._used_pages -= pfx.pages
+                    freed += pfx.pages
+            self._attach_cached.pop(req_id, None)
+        return freed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -49,6 +49,8 @@ class RequestMetrics:
     finish_s: float
     preemptions: int
     itl_mean_s: float
+    tenant: str = ""
+    priority: int = 0
 
     @property
     def latency_s(self) -> float:
@@ -67,7 +69,82 @@ class RequestMetrics:
             finish_s=tr.finish_s or 0.0,
             preemptions=tr.preemptions,
             itl_mean_s=float(np.mean(gaps)) if len(gaps) else 0.0,
+            tenant=tr.request.tenant,
+            priority=tr.request.priority,
         )
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant latency aggregates and SLO attainment.
+
+    Targets of 0 mean "no SLO declared" — the attainment fields are then
+    vacuously 1.0 and the summary omits them.
+    """
+
+    tenant: str
+    priority: int
+    completed: int
+    tokens: int
+    ttft_p50_s: float
+    ttft_p99_s: float
+    itl_p95_s: float
+    ttft_target_s: float = 0.0
+    itl_target_s: float = 0.0
+    ttft_attainment: float = 1.0
+    itl_attainment: float = 1.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """The binding (worse) of the two attainment fractions."""
+        return min(self.ttft_attainment, self.itl_attainment)
+
+
+def tenant_reports(
+    requests: list[RequestMetrics], slo_policy: object = None
+) -> tuple[TenantReport, ...]:
+    """Group completed requests by tenant, highest priority first.
+
+    ``slo_policy`` is an optional :class:`~repro.serving.slo.SLOPolicy`;
+    when given, each tenant's attainment is measured against its target.
+    """
+    groups: dict[tuple[str, int], list[RequestMetrics]] = {}
+    for m in requests:
+        groups.setdefault((m.tenant, m.priority), []).append(m)
+    reports = []
+    for (tenant, priority), ms in groups.items():
+        ttft_target = itl_target = 0.0
+        ttft_att = itl_att = 1.0
+        if slo_policy is not None:
+            target = slo_policy.target_for(tenant)
+            ttft_target = target.ttft_target_s
+            itl_target = target.itl_target_s
+            ttft_att = sum(m.ttft_s <= ttft_target for m in ms) / len(ms)
+            multi = [m for m in ms if m.tokens > 1]
+            if multi:
+                itl_att = sum(
+                    m.itl_mean_s <= itl_target for m in multi
+                ) / len(multi)
+        reports.append(
+            TenantReport(
+                tenant=tenant,
+                priority=priority,
+                completed=len(ms),
+                tokens=sum(m.tokens for m in ms),
+                ttft_p50_s=percentile([m.ttft_s for m in ms], 50),
+                ttft_p99_s=percentile([m.ttft_s for m in ms], 99),
+                itl_p95_s=percentile(
+                    [m.itl_mean_s for m in ms if m.tokens > 1], 95
+                ),
+                ttft_target_s=ttft_target,
+                itl_target_s=itl_target,
+                ttft_attainment=ttft_att,
+                itl_attainment=itl_att,
+            )
+        )
+    return tuple(
+        sorted(reports, key=lambda t: (-t.priority, t.tenant))
+    )
 
 
 @dataclass
@@ -89,6 +166,14 @@ class ServingReport:
     #: up front and the simulation proceeds with the rest.
     rejected_ids: tuple[int, ...] = ()
     requests: list[RequestMetrics] = field(repr=False, default_factory=list)
+    #: Peak physical KV pages vs what the same residency would cost with
+    #: prefix sharing disabled; equal when no prefix was ever shared.
+    kv_peak_used_pages: int = 0
+    kv_peak_logical_pages: int = 0
+    #: Copy-on-write forks of unaligned shared-prefix boundary pages.
+    cow_forks: int = 0
+    #: Per-tenant aggregates; empty for single-tenant (legacy) traces.
+    tenants: tuple[TenantReport, ...] = ()
     #: Plan-cache statistics of the run (``PlanCache.stats()`` form), or
     #: ``None`` when the cache is disabled.  Excluded from equality: a
     #: cached and an uncached run of the same workload produce identical
@@ -149,4 +234,27 @@ class ServingReport:
             f"  KV cache     : peak occupancy {self.kv_peak_occupancy:.1%}, "
             f"{self.preemptions} preemptions",
         ]
+        # New fleet-era lines are conditional so single-tenant runs keep
+        # producing the historical (golden-tested) summary byte for byte.
+        if self.kv_peak_logical_pages > self.kv_peak_used_pages or self.cow_forks:
+            saved = 1.0 - self.kv_peak_used_pages / max(
+                1, self.kv_peak_logical_pages
+            )
+            lines.append(
+                f"  prefix share : peak {self.kv_peak_used_pages} pages vs "
+                f"{self.kv_peak_logical_pages} unshared ({saved:.1%} saved), "
+                f"{self.cow_forks} COW forks"
+            )
+        for t in self.tenants:
+            line = (
+                f"  tenant {t.tenant or '-':<7}: prio {t.priority}, "
+                f"{t.completed} req, {t.tokens} tok, "
+                f"TTFT p99 {format_time(t.ttft_p99_s)}"
+            )
+            if t.ttft_target_s > 0:
+                line += (
+                    f" (target {format_time(t.ttft_target_s)}, "
+                    f"{t.ttft_attainment:.0%} met)"
+                )
+            lines.append(line)
         return "\n".join(lines)

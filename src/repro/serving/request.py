@@ -11,7 +11,6 @@ every benchmark and test works from bit-identical workloads.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,7 +31,14 @@ class RequestState(enum.Enum):
 
 @dataclass(frozen=True)
 class Request:
-    """One inference request as submitted by a client."""
+    """One inference request as submitted by a client.
+
+    Multi-tenant fields default to the single-tenant trivial case:
+    ``tenant``/``priority`` feed SLO-aware scheduling, and a non-empty
+    ``prefix_id`` declares that the first ``prefix_len`` prompt tokens are
+    a shared prefix (e.g. a tenant's system prompt) eligible for KV-page
+    sharing in :class:`~repro.serving.kvcache.PagedKVCache`.
+    """
 
     req_id: int
     arrival_s: float
@@ -40,6 +46,10 @@ class Request:
     max_new_tokens: int
     pattern: str = "causal"
     pattern_overrides: tuple[tuple[str, object], ...] = ()
+    tenant: str = ""
+    priority: int = 0
+    prefix_id: str = ""
+    prefix_len: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len < 1:
@@ -54,6 +64,16 @@ class Request:
             raise ConfigError(
                 f"unknown mask pattern {self.pattern!r}; "
                 f"known: {sorted(PATTERN_REGISTRY)}"
+            )
+        if (self.prefix_len > 0) != bool(self.prefix_id):
+            raise ConfigError(
+                "prefix_id and prefix_len must be set together "
+                f"(got {self.prefix_id!r}, {self.prefix_len})"
+            )
+        if not 0 <= self.prefix_len <= self.prompt_len:
+            raise ConfigError(
+                f"prefix_len must be in [0, prompt_len={self.prompt_len}], "
+                f"got {self.prefix_len}"
             )
 
     @property
@@ -154,18 +174,24 @@ class RequestTracker:
 
 def synthetic_trace(
     n_requests: int,
-    arrival_rate_rps: float,
+    arrival_rate_rps: float = 0.0,
     rng: RngStream | None = None,
     prompt_range: tuple[int, int] = (32, 160),
     max_new_range: tuple[int, int] = (16, 64),
     pattern: str = "causal",
     pattern_overrides: dict | None = None,
+    arrivals: "object | None" = None,
 ) -> list[Request]:
-    """Draw a seeded request trace with Poisson arrivals.
+    """Draw a seeded request trace — the trivial single-tenant case of
+    :class:`~repro.serving.workload.WorkloadSpec`.
 
-    Inter-arrival gaps are exponential with mean ``1 / arrival_rate_rps``;
-    prompt lengths and generation budgets are uniform over the given
-    inclusive ranges.  The same ``rng`` always produces the same trace.
+    By default inter-arrival gaps are exponential with mean
+    ``1 / arrival_rate_rps``; pass ``arrivals=`` (any
+    :class:`~repro.serving.workload.ArrivalProcess`, e.g.
+    ``DiurnalArrivals``) to replace the baked-in Poisson process.  Prompt
+    lengths and generation budgets are uniform over the given inclusive
+    ranges.  The same ``rng`` always produces the same trace, bit for bit
+    — including traces generated before the workload layer existed.
 
     >>> t = synthetic_trace(3, 100.0, rng=RngStream(7))
     >>> [r.req_id for r in t]
@@ -173,35 +199,34 @@ def synthetic_trace(
     >>> t == synthetic_trace(3, 100.0, rng=RngStream(7))
     True
     """
-    if n_requests < 1:
-        raise ConfigError(f"n_requests must be >= 1, got {n_requests}")
-    if arrival_rate_rps <= 0:
-        raise ConfigError(
-            f"arrival_rate_rps must be > 0, got {arrival_rate_rps}"
-        )
-    for name, (lo, hi) in (("prompt", prompt_range), ("max_new", max_new_range)):
-        if not (1 <= lo <= hi):
-            raise ConfigError(f"invalid {name}_range ({lo}, {hi})")
-    rng = rng or RngStream()
-    arrivals = rng.fork("arrivals")
-    lengths = rng.fork("lengths")
-    overrides = tuple(sorted((pattern_overrides or {}).items()))
+    from repro.serving.workload import (
+        ArrivalProcess,
+        PoissonArrivals,
+        TenantSpec,
+        WorkloadSpec,
+    )
 
-    clock = 0.0
-    trace: list[Request] = []
-    for i in range(n_requests):
-        gap = -math.log(1.0 - float(arrivals.random())) / arrival_rate_rps
-        clock += gap
-        trace.append(
-            Request(
-                req_id=i,
-                arrival_s=clock,
-                prompt_len=int(lengths.integers(prompt_range[0], prompt_range[1] + 1)),
-                max_new_tokens=int(
-                    lengths.integers(max_new_range[0], max_new_range[1] + 1)
-                ),
-                pattern=pattern,
-                pattern_overrides=overrides,
+    if arrivals is None:
+        if arrival_rate_rps <= 0:
+            raise ConfigError(
+                f"arrival_rate_rps must be > 0, got {arrival_rate_rps}"
             )
+        arrivals = PoissonArrivals(arrival_rate_rps)
+    elif not isinstance(arrivals, ArrivalProcess):
+        raise ConfigError(
+            f"arrivals must be an ArrivalProcess, got {type(arrivals).__name__}"
         )
-    return trace
+    spec = WorkloadSpec(
+        n_requests=n_requests,
+        arrivals=arrivals,
+        tenants=(
+            TenantSpec(
+                name="",
+                prompt_range=prompt_range,
+                max_new_range=max_new_range,
+                pattern=pattern,
+                pattern_overrides=tuple(sorted((pattern_overrides or {}).items())),
+            ),
+        ),
+    )
+    return spec.generate(rng or RngStream())

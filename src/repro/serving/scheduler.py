@@ -62,6 +62,25 @@ class Scheduler(ABC):
         """Pop admitted trackers off ``waiting`` (reserving their KV) and
         return them; the engine prefills them this step."""
 
+    def begin_step(self, now_s: float) -> None:
+        """Hook: observe the simulated clock before this step's admission.
+
+        The base policies are clock-free; SLO-aware scheduling
+        (:class:`repro.serving.slo.SLOScheduler`) uses it to compute
+        deadline slack.
+        """
+
+    def deadline_victims(
+        self,
+        waiting: list[RequestTracker],
+        running: list[RequestTracker],
+        cache: PagedKVCache,
+    ) -> list[RequestTracker]:
+        """Running trackers to preempt *now* so a deadline-critical waiter
+        can be admitted this step.  Default: never preempt for deadlines
+        (memory-pressure preemption in the engine is separate)."""
+        return []
+
     def decode_members(
         self, running: list[RequestTracker]
     ) -> list[tuple[RequestTracker, int]]:

@@ -75,3 +75,16 @@ def test_deprecated_spelling_fails_under_strict_warnings():
     )
     assert proc.returncode != 0
     assert "DeprecationWarning" in proc.stderr
+
+
+def test_serve_facade_is_warning_free():
+    run_strict(
+        "from repro import FleetConfig, SLOPolicy, serve\n"
+        "from repro.serving import ServingConfig, make_scenario\n"
+        "wl = make_scenario('diurnal', n_requests=8, rate_rps=2000.0)\n"
+        "cfg = ServingConfig(heads=4, head_size=16, n_layers=2)\n"
+        "rep = serve(cfg, wl, fleet=FleetConfig(autoscale=True,\n"
+        "            max_replicas=2), slo=SLOPolicy(), seed=3)\n"
+        "assert rep.completed == 8\n"
+        "assert rep.gpu_s > 0\n"
+    )

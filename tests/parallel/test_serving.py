@@ -6,7 +6,7 @@ from repro.core.errors import ConfigError
 from repro.core.rng import RngStream
 from repro.gpu.specs import A100
 from repro.obs import Tracer
-from repro.parallel import ShardedServingEngine, TPServingEngine
+from repro.parallel import FleetConfig, ShardedServingEngine, TPServingEngine
 from repro.parallel.serving import ROUTES
 from repro.serving import (
     Request,
@@ -80,7 +80,7 @@ class TestOverlapServing:
         than the sync-point model on the same layout."""
         trace = small_trace()
         fast = tp_engine(2)
-        slow = tp_engine(2, overlap=False)
+        slow = tp_engine(2, fleet=FleetConfig(overlap=False))
         assert fast.overlap and not slow.overlap
         mk_fast = fast.run(trace, rng=RngStream(17)).makespan_s
         mk_slow = slow.run(trace, rng=RngStream(17)).makespan_s
@@ -137,12 +137,13 @@ class TestPipelineServing:
         with pytest.raises(ConfigError, match="micro_batches"):
             TPServingEngine(
                 A100, make_scheduler("continuous"), "tp2pp2", CONFIG,
-                micro_batches=0,
+                fleet=FleetConfig(micro_batches=0),
             )
 
     def test_report_carries_pipeline_aggregates(self):
         engine = ShardedServingEngine(
-            A100, config=CONFIG, shard="tp2pp2", micro_batches=4
+            A100, config=CONFIG,
+            fleet=FleetConfig(shard="tp2pp2", micro_batches=4),
         )
         report = engine.run(small_trace(), rng=RngStream(17))
         assert report.micro_batches == 4
@@ -239,8 +240,10 @@ class TestShardedServing:
 
     def test_per_rank_lanes_traced(self):
         tracer = Tracer()
-        engine = ShardedServingEngine(A100, config=CONFIG, shard="tp2dp2",
-                                      tracer=tracer, overlap=False)
+        engine = ShardedServingEngine(
+            A100, config=CONFIG, tracer=tracer,
+            fleet=FleetConfig(shard="tp2dp2", overlap=False),
+        )
         engine.run(small_trace(), rng=RngStream(17))
         lanes = set(tracer.lane_names.values())
         assert {"replica0.tp rank 0", "replica0.tp rank 1",

@@ -1,0 +1,233 @@
+"""Property tests for radix-style prefix sharing in the paged KV cache.
+
+The invariants that make sharing safe to put under a serving engine:
+refcounts never go negative, releasing one holder never frees pages
+another holder still references, the physical footprint never exceeds
+what an unshared cache would pay, and the engine-visible accounting
+(``used_pages``/``logical_pages``) always matches a from-scratch
+recomputation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.core.fp16 import FP16_BYTES
+from repro.serving.kvcache import KVCacheConfig, PagedKVCache
+
+PAGE_TOKENS = 4
+
+
+def small_cache(pages=64):
+    cfg = KVCacheConfig(
+        heads=1,
+        head_size=8,
+        n_layers=1,
+        page_tokens=PAGE_TOKENS,
+        capacity_bytes=pages * PAGE_TOKENS * 2 * 8 * FP16_BYTES,
+    )
+    return PagedKVCache(cfg)
+
+
+#: Random op streams over a handful of requests and two shared prefixes.
+#: ``prefix`` index 0 means "no prefix" (legacy private path).
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["register", "reserve", "release"]),
+        st.integers(min_value=0, max_value=5),       # req_id
+        st.integers(min_value=0, max_value=48),      # tokens
+        st.sampled_from(["", "sys:a", "sys:b"]),     # prefix_id
+        st.sampled_from([7, 8, 9]),                  # prefix length
+    ),
+    max_size=50,
+)
+
+
+def covering_tokens(cache, req_id, tokens):
+    """Lift a drawn context so it covers the request's registered prefix
+    (a reserve below that is a contract violation and a ``ConfigError``)."""
+    pid = cache._req_prefix.get(req_id)
+    return max(tokens, cache._prefixes[pid].tokens) if pid else tokens
+
+
+def recomputed_used_pages(cache):
+    private = sum(cache._pages.values())
+    shared = sum(
+        p.pages for p in cache._prefixes.values() if p.refcount > 0
+    )
+    return private + shared
+
+
+def recomputed_logical_pages(cache):
+    private = sum(cache._pages.values())
+    shared = sum(
+        p.pages * p.refcount for p in cache._prefixes.values()
+    )
+    return private + shared
+
+
+class TestSharingInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OPS)
+    def test_refcounts_and_accounting_never_corrupt(self, ops):
+        """Arbitrary register/reserve/release interleavings: refcounts
+        never go negative, refcount always equals the holder-set size,
+        and the O(1) counters match a recomputation after every op."""
+        cache = small_cache(pages=32)
+        for op, req_id, tokens, pid, plen in ops:
+            if op == "register" and pid:
+                try:
+                    cache.register_prefix(req_id, pid, plen)
+                except ConfigError:
+                    pass        # re-registration under another prefix
+            elif op == "reserve":
+                cache.reserve(req_id, covering_tokens(cache, req_id, tokens))
+            elif op == "release":
+                cache.release(req_id)
+            for pfx in cache._prefixes.values():
+                assert pfx.refcount >= 0
+                assert pfx.refcount == len(pfx.holders)
+            assert cache.used_pages == recomputed_used_pages(cache)
+            assert cache.logical_pages == recomputed_logical_pages(cache)
+            assert 0 <= cache.used_pages <= cache.total_pages
+            assert cache.used_pages <= cache.logical_pages
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OPS)
+    def test_shared_never_costs_more_than_unshared(self, ops):
+        """The same op stream replayed on a sharing cache and on a cache
+        with no prefixes registered: sharing never uses more physical
+        pages (it can only deduplicate), and its logical footprint equals
+        the unshared cache's physical one whenever both admit the op."""
+        shared = small_cache(pages=64)
+        plain = small_cache(pages=64)
+        for op, req_id, tokens, pid, plen in ops:
+            if op == "register" and pid:
+                try:
+                    shared.register_prefix(req_id, pid, plen)
+                except ConfigError:
+                    pass
+            elif op == "reserve":
+                tokens = covering_tokens(shared, req_id, tokens)
+                ok_s = shared.reserve(req_id, tokens)
+                ok_p = plain.reserve(req_id, tokens)
+                # With 64 pages and <= 6 small requests neither cache can
+                # hit pressure, so the streams stay in lockstep.
+                assert ok_s and ok_p
+            elif op == "release":
+                shared.release(req_id)
+                plain.release(req_id)
+            assert shared.used_pages <= plain.used_pages
+        assert shared.peak_used_pages <= plain.peak_used_pages
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_holders=st.integers(2, 5),
+        plen=st.integers(4, 20),
+        extra=st.integers(0, 12),
+    )
+    def test_release_never_frees_a_referenced_prefix(self, n_holders, plen, extra):
+        """Releasing holders one by one: survivors keep their page count
+        and their cached-prefix view until the very last holder leaves."""
+        cache = small_cache(pages=64)
+        ctx = plen + extra
+        for r in range(n_holders):
+            cache.register_prefix(r, "sys", plen)
+            assert cache.reserve(r, ctx)
+        shared_pages = plen // PAGE_TOKENS
+        survivors = list(range(n_holders))
+        while len(survivors) > 1:
+            leaver = survivors.pop(0)
+            before = {r: cache.pages_of(r) for r in survivors}
+            freed = cache.release(leaver)
+            # The leaver frees only its private tail, never shared pages.
+            assert freed == cache.config.pages_for(ctx) - shared_pages
+            for r in survivors:
+                assert cache.pages_of(r) == before[r]
+                assert cache.reserve(r, ctx)    # still fully resident
+        # Last holder out takes the shared pages with it.
+        last = survivors[0]
+        assert cache.release(last) == cache.config.pages_for(ctx)
+        assert cache.used_pages == 0
+        assert cache.logical_pages == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(plen=st.integers(4, 24), grow=st.integers(0, 16))
+    def test_fork_preserves_logical_contents(self, plen, grow):
+        """A second holder attaching to a warm prefix sees every shared
+        position as cached, pays only the private tail, and the pair's
+        logical footprint is exactly two unshared residencies."""
+        cache = small_cache(pages=64)
+        ctx = plen + grow
+        cache.register_prefix(0, "sys", plen)
+        assert cache.reserve(0, ctx)
+        assert cache.cached_prefix_tokens(0) == 0      # first holder computes
+        cache.register_prefix(1, "sys", plen)
+        assert cache.reserve(1, ctx)
+        full = (plen // PAGE_TOKENS) * PAGE_TOKENS
+        assert cache.cached_prefix_tokens(1) == full
+        assert cache.pages_of(0) == cache.pages_of(1) == cache.config.pages_for(ctx)
+        assert cache.logical_pages == 2 * cache.config.pages_for(ctx)
+        expected_cow = 1 if plen % PAGE_TOKENS else 0
+        assert cache.cow_forks == expected_cow
+
+
+class TestSharingEdges:
+    def test_sub_page_prefix_stays_private(self):
+        cache = small_cache()
+        cache.register_prefix(0, "tiny", PAGE_TOKENS - 1)
+        assert cache.reserve(0, 8)
+        assert cache.used_pages == cache.logical_pages == 2
+
+    def test_length_disagreement_rejected(self):
+        cache = small_cache()
+        cache.register_prefix(0, "sys", 8)
+        with pytest.raises(ConfigError, match="already holds"):
+            cache.register_prefix(1, "sys", 12)
+
+    def test_reregistration_under_other_prefix_rejected(self):
+        cache = small_cache()
+        cache.register_prefix(0, "sys:a", 8)
+        with pytest.raises(ConfigError, match="already registered"):
+            cache.register_prefix(0, "sys:b", 8)
+
+    def test_registration_after_reserve_rejected(self):
+        """Registration is an admission-time declaration: a request that
+        already holds private pages covering the prefix region cannot
+        retroactively share them."""
+        cache = small_cache()
+        assert cache.reserve(0, 5)
+        with pytest.raises(ConfigError, match="before the first reserve"):
+            cache.register_prefix(0, "sys", 8)
+
+    def test_context_below_registered_prefix_rejected(self):
+        """Registration declares the prefix part of the context; a
+        reserve that does not cover it would otherwise materialize
+        shared pages a zero-length context never pays for."""
+        cache = small_cache()
+        cache.register_prefix(0, "sys", 8)
+        with pytest.raises(ConfigError, match="must cover"):
+            cache.reserve(0, 4)
+        assert cache.used_pages == 0
+
+    def test_preempted_holder_reattaches_warm(self):
+        """Release keeps the registration: a preempted request's next
+        reserve re-attaches to the still-warm prefix."""
+        cache = small_cache()
+        cache.register_prefix(0, "sys", 8)
+        cache.register_prefix(1, "sys", 8)
+        assert cache.reserve(0, 12) and cache.reserve(1, 12)
+        cache.release(1)
+        assert cache.reserve(1, 12)
+        assert cache.cached_prefix_tokens(1) == 8
+        assert cache.used_pages == 4        # 2 shared + 1 private each
+
+    def test_reclaimable_counts_shared_only_for_last_holder(self):
+        cache = small_cache()
+        cache.register_prefix(0, "sys", 8)
+        cache.register_prefix(1, "sys", 8)
+        assert cache.reserve(0, 12) and cache.reserve(1, 12)
+        assert cache.reclaimable_pages_of(0) == 1      # private tail only
+        cache.release(1)
+        assert cache.reclaimable_pages_of(0) == 3      # now the last holder

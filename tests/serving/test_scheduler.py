@@ -31,9 +31,10 @@ def tracker(req_id, prompt=8, new=4, arrival=0.0):
 
 class TestRegistry:
     def test_make_scheduler(self):
-        assert set(SCHEDULERS) == {"static", "continuous"}
+        assert set(SCHEDULERS) == {"static", "continuous", "slo"}
         assert isinstance(make_scheduler("static"), StaticBatchScheduler)
         assert isinstance(make_scheduler("continuous"), ContinuousBatchScheduler)
+        assert isinstance(make_scheduler("slo"), ContinuousBatchScheduler)
 
     def test_unknown_name(self):
         with pytest.raises(ConfigError):

@@ -191,3 +191,174 @@ class TestTraceHook:
         tracer = Tracer()
         compile_model(TINY, 1, 32, engine="stof", trace=tracer)
         assert tracer.find(name="runtime.plan")
+
+
+class TestFleetKeywords:
+    """The api_redesign shims: loose engine kwargs fold into FleetConfig."""
+
+    def _mk(self, **kwargs):
+        from repro.gpu.specs import A100
+        from repro.parallel import ShardedServingEngine
+        from repro.serving import ServingConfig
+
+        return ShardedServingEngine(
+            A100, config=ServingConfig(heads=4, head_size=16, n_layers=2),
+            **kwargs,
+        )
+
+    def test_deprecated_kwargs_warn_and_work(self):
+        with pytest.warns(DeprecationWarning, match="'overlap' keyword"):
+            engine = self._mk(overlap=False)
+        assert engine.fleet.overlap is False
+        with pytest.warns(DeprecationWarning, match="'contention' keyword"):
+            engine = self._mk(contention=0.5)
+        assert engine.fleet.contention == 0.5
+        with pytest.warns(DeprecationWarning, match="'micro_batches' keyword"):
+            engine = self._mk(shard="tp2pp2", micro_batches=4)
+        assert engine.fleet.micro_batches == 4
+
+    def test_warning_points_at_callers_line(self):
+        with pytest.warns(DeprecationWarning) as record:
+            self._mk(overlap=False)
+        assert record[0].filename == __file__
+
+    def test_fleet_conflicts_with_any_loose_kwarg(self):
+        from repro.parallel import FleetConfig
+
+        with pytest.raises(ConfigError, match="'overlap' keyword"):
+            self._mk(fleet=FleetConfig(), overlap=False)
+        with pytest.raises(ConfigError, match="'shard' keyword"):
+            self._mk(fleet=FleetConfig(), shard="tp2")
+
+    def test_plain_short_forms_do_not_warn(self, recwarn):
+        engine = self._mk(shard="tp2", route="round-robin")
+        assert engine.shard.tp == 2 and engine.route == "round-robin"
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_fleet_config_is_the_canonical_spelling(self, recwarn):
+        from repro.parallel import FleetConfig
+
+        engine = self._mk(
+            fleet=FleetConfig(shard="tp2", overlap=False, contention=0.1)
+        )
+        assert engine.shard.tp == 2
+        assert engine.fleet.contention == 0.1
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_tp_engine_shims_too(self):
+        from repro.gpu.specs import A100
+        from repro.parallel import TPServingEngine
+        from repro.serving import ServingConfig, make_scheduler
+
+        with pytest.warns(DeprecationWarning, match="'overlap' keyword"):
+            engine = TPServingEngine(
+                A100, make_scheduler("continuous"), "tp2",
+                ServingConfig(heads=4, head_size=16, n_layers=2),
+                overlap=False,
+            )
+        assert engine.overlap is False
+
+
+class TestServeFacade:
+    WORKLOAD_KW = dict(n_requests=6, rate_rps=2000.0)
+
+    def _workload(self):
+        from repro.serving import PoissonArrivals, TenantSpec, WorkloadSpec
+
+        return WorkloadSpec(
+            6, PoissonArrivals(2000.0),
+            tenants=(
+                TenantSpec(name="chat", priority=1, system_prompt_len=32,
+                           prompt_range=(16, 48), max_new_range=(4, 12)),
+                TenantSpec(name="batch", prompt_range=(16, 48),
+                           max_new_range=(4, 12)),
+            ),
+        )
+
+    def test_single_replica_by_default(self):
+        from repro import serve
+        from repro.serving import ServingReport
+
+        report = serve(
+            TINY, self._workload(), seed=3,
+        )
+        assert isinstance(report, ServingReport)
+        assert report.completed == 6
+        assert report.tenants            # multi-tenant trace -> per-tenant rows
+
+    def test_serving_config_passthrough_and_determinism(self):
+        from repro import serve
+        from repro.serving import ServingConfig
+
+        cfg = ServingConfig(heads=4, head_size=16, n_layers=2)
+        a = serve(cfg, self._workload(), seed=7)
+        b = serve(cfg, self._workload(), seed=7)
+        assert a == b
+
+    def test_explicit_request_list(self):
+        from repro import serve
+        from repro.serving import Request, ServingConfig
+
+        trace = [Request(i, i * 1e-3, 32, 8) for i in range(4)]
+        report = serve(
+            ServingConfig(heads=4, head_size=16, n_layers=2), trace, seed=0
+        )
+        assert report.completed == 4
+
+    def test_fleet_dispatches_to_sharded_engine(self):
+        from repro import FleetConfig, serve
+        from repro.parallel import ShardedServingReport
+        from repro.serving import ServingConfig
+
+        report = serve(
+            ServingConfig(heads=4, head_size=16, n_layers=2),
+            self._workload(),
+            fleet=FleetConfig(shard="tp1dp2"),
+            seed=3,
+        )
+        assert isinstance(report, ShardedServingReport)
+        assert report.completed == 6
+
+    def test_autoscale_dispatches_to_fleet_engine(self):
+        from repro import FleetConfig, serve
+        from repro.parallel import FleetReport
+        from repro.serving import ServingConfig
+
+        report = serve(
+            ServingConfig(heads=4, head_size=16, n_layers=2),
+            self._workload(),
+            fleet=FleetConfig(autoscale=True, max_replicas=2),
+            seed=3,
+        )
+        assert isinstance(report, FleetReport)
+        assert report.completed == 6
+        assert report.gpu_s > 0
+
+    def test_slo_swaps_in_the_deadline_scheduler(self):
+        from repro import SLOPolicy, serve
+        from repro.serving import ServingConfig
+
+        report = serve(
+            ServingConfig(heads=4, head_size=16, n_layers=2),
+            self._workload(),
+            slo=SLOPolicy(),
+            seed=3,
+        )
+        assert report.policy == "slo"
+        assert all(t.ttft_target_s > 0 for t in report.tenants)
+
+    def test_bad_workload_rejected(self):
+        from repro import serve
+
+        with pytest.raises(ConfigError, match="workload"):
+            serve(TINY, None)
+        with pytest.raises(ConfigError, match="workload"):
+            serve(TINY, [1, 2, 3])
+
+    def test_bad_fleet_rejected(self):
+        from repro import serve
+
+        with pytest.raises(ConfigError, match="FleetConfig"):
+            serve(TINY, self._workload(), fleet="tp2")

@@ -9,7 +9,7 @@ from repro.cli import build_parser, main
 #: Every subcommand the CLI registers (kept in sync by test_help_sweep).
 ALL_COMMANDS = (
     "devices", "masks", "mha", "e2e", "trace", "profile", "report",
-    "decode", "serve-sim", "shard-sim", "plan-cache", "tune",
+    "decode", "serve-sim", "shard-sim", "fleet-sim", "plan-cache", "tune",
 )
 
 
@@ -167,6 +167,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "tp2dp1:nvlink,ib" in out
         assert "serialized" in out
+
+    def test_fleet_sim(self, capsys):
+        assert main(["fleet-sim", "--scenario", "diurnal",
+                     "--num-requests", "16", "--rate", "3000",
+                     "--max-replicas", "2", "--layers", "2",
+                     "--heads", "4", "--head-size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "autoscale" in out and "capacity" in out
+        assert "prefix share" in out
+        assert "tenant chat" in out and "% met" in out
+
+    def test_fleet_sim_frontier(self, capsys):
+        assert main(["fleet-sim", "--scenario", "steady",
+                     "--num-requests", "12", "--rate", "3000",
+                     "--max-replicas", "2", "--layers", "2",
+                     "--heads", "4", "--head-size", "16",
+                     "--frontier", "--dp-values", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "cost/throughput frontier" in out
+        assert "auto" in out and "dp2" in out
 
     def test_shard_sim_bad_pipeline_divisibility(self, capsys):
         assert main(["shard-sim", "--tp", "2", "--pp", "3",
