@@ -20,7 +20,7 @@ engines over one workload — the one-liner behind Fig. 12-style studies.
 from __future__ import annotations
 
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import Any, Mapping
 
 import numpy as np
@@ -305,6 +305,9 @@ def serve(
     max_batch_size: int = 16,
     max_batch_tokens: int = 65536,
     tracer: Tracer | None = None,
+    spec_decode: "Any" = None,
+    chunk_prefill_tokens: int | None = None,
+    lora: "Any" = None,
 ) -> "Any":
     """Simulate serving one workload — the single front door to the stack.
 
@@ -325,7 +328,12 @@ def serve(
       (:class:`~repro.parallel.serving.AutoscalingServingEngine`).
 
     Passing ``slo=SLOPolicy(...)`` swaps in the deadline-aware scheduler
-    regardless of fleet shape.  Returns the engine's report
+    regardless of fleet shape.  Three workload knobs override the
+    resolved config: ``spec_decode=SpeculativeConfig(...)`` turns on
+    draft-propose / target-verify decoding, ``chunk_prefill_tokens=N``
+    caps the per-step prefill token budget (Sarathi-style chunked
+    prefill), and ``lora=LoRAConfig(...)`` prices per-request adapters
+    with an LRU residency budget.  Returns the engine's report
     (:class:`~repro.serving.metrics.ServingReport`,
     ``ShardedServingReport`` or ``FleetReport``); everything is a pure
     function of ``(model, workload, fleet, slo, seed)``.
@@ -357,6 +365,16 @@ def serve(
             head_size=mc.head_size,
             n_layers=mc.encoder_layers + mc.decoder_layers,
         )
+
+    overrides: dict[str, "Any"] = {}
+    if spec_decode is not None:
+        overrides["spec_decode"] = spec_decode
+    if chunk_prefill_tokens is not None:
+        overrides["chunk_prefill_tokens"] = chunk_prefill_tokens
+    if lora is not None:
+        overrides["lora"] = lora
+    if overrides:
+        config = dc_replace(config, **overrides)
 
     if isinstance(workload, WorkloadSpec):
         trace = workload.generate(RngStream(seed).fork("workload"))

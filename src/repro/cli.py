@@ -96,6 +96,28 @@ def _add_mask(
     )
 
 
+def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
+    """Speculative-decoding / chunked-prefill / multi-LoRA knobs."""
+    parser.add_argument("--spec-decode", type=int, default=0, metavar="K",
+                        help="speculative decoding with K draft tokens "
+                             "per step (0 = off)")
+    parser.add_argument("--accept-rate", type=float, default=0.8,
+                        help="per-token draft acceptance probability")
+    parser.add_argument("--draft-cost-ratio", type=float, default=0.2,
+                        help="draft-model forward cost as a fraction of "
+                             "the target model's")
+    parser.add_argument("--chunk-tokens", type=int, default=0,
+                        help="per-step prefill token budget for chunked "
+                             "prefill (0 = whole-prompt prefill)")
+    parser.add_argument("--lora-adapters", type=int, default=0, metavar="N",
+                        help="assign N LoRA adapters round-robin across "
+                             "requests (0 = base model only)")
+    parser.add_argument("--lora-rank", type=int, default=16)
+    parser.add_argument("--lora-max-resident", type=int, default=8,
+                        help="adapters resident in device memory before "
+                             "LRU swapping")
+
+
 def cmd_devices(args: argparse.Namespace) -> int:
     for key, spec in KNOWN_GPUS.items():
         print(f"{key:>10}: {spec.name} ({spec.arch}), {spec.sm_count} SMs, "
@@ -226,9 +248,29 @@ def cmd_decode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_knobs(args: argparse.Namespace) -> tuple["Any", int, "Any"]:
+    """Resolve --spec-decode/--chunk-tokens/--lora-* into config values."""
+    from repro.serving import LoRAConfig, SpeculativeConfig
+
+    spec_decode = None
+    if args.spec_decode > 0:
+        spec_decode = SpeculativeConfig(
+            draft_tokens=args.spec_decode,
+            accept_rate=args.accept_rate,
+            draft_cost_ratio=args.draft_cost_ratio,
+        )
+    lora = None
+    if args.lora_adapters > 0:
+        lora = LoRAConfig(
+            rank=args.lora_rank, max_resident=args.lora_max_resident
+        )
+    return spec_decode, args.chunk_tokens, lora
+
+
 def cmd_serve_sim(args: argparse.Namespace) -> int:
     from repro.serving import (
         ServingConfig,
+        assign_adapters,
         make_scheduler,
         simulate_serving,
         synthetic_trace,
@@ -243,6 +285,9 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         max_new_range=(args.new_min, args.new_max),
         pattern=args.mask,
     )
+    spec_decode, chunk_tokens, lora = _workload_knobs(args)
+    if lora is not None:
+        trace = assign_adapters(trace, args.lora_adapters)
     config = ServingConfig(
         heads=args.heads,
         head_size=args.head_size,
@@ -250,6 +295,9 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         kv_capacity_frac=args.kv_frac,
         kv_page_tokens=args.page_tokens,
         symbolic_plan_keys=args.symbolic_plan_keys,
+        spec_decode=spec_decode,
+        chunk_prefill_tokens=chunk_tokens,
+        lora=lora,
     )
     policies = ("static", "continuous") if args.policy == "both" else (args.policy,)
     print(
@@ -337,18 +385,34 @@ def cmd_fleet_sim(args: argparse.Namespace) -> int:
         cost_throughput_frontier,
         get_link,
     )
-    from repro.serving import ServingConfig, SLOPolicy, make_scenario
+    from repro.serving import (
+        ServingConfig,
+        SLOPolicy,
+        assign_adapters,
+        make_scenario,
+    )
 
     spec = get_spec(args.device)
     workload = make_scenario(
         args.scenario, n_requests=args.num_requests, rate_rps=args.rate
     )
+    spec_decode, chunk_tokens, lora = _workload_knobs(args)
+    if lora is not None:
+        # Generate here (same stream serve() would use) so round-robin
+        # adapter assignment can run over the concrete request list.
+        workload = assign_adapters(
+            workload.generate(RngStream(args.seed).fork("workload")),
+            args.lora_adapters,
+        )
     config = ServingConfig(
         heads=args.heads,
         head_size=args.head_size,
         n_layers=args.layers,
         kv_capacity_frac=args.kv_frac,
         kv_page_tokens=args.page_tokens,
+        spec_decode=spec_decode,
+        chunk_prefill_tokens=chunk_tokens,
+        lora=lora,
     )
     fleet = FleetConfig(
         shard=ShardConfig(tp=args.tp, pp=args.pp, link=get_link(args.link)),
@@ -369,7 +433,10 @@ def cmd_fleet_sim(args: argparse.Namespace) -> int:
     )
     print(report.summary())
     if args.frontier:
-        trace = workload.generate(RngStream(args.seed).fork("workload"))
+        trace = (
+            workload if isinstance(workload, list)
+            else workload.generate(RngStream(args.seed).fork("workload"))
+        )
         print("\ncost/throughput frontier:")
         print(f"  {'point':>6} {'replicas':>9} {'GPU·s':>9} {'tok/s':>9} "
               f"{'tok/GPU·s':>10} {'TTFT p99':>10}")
@@ -680,6 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--symbolic-plan-keys", action="store_true",
                    help="share guarded decode-plan families across requests "
                         "(see docs/symbolic_shapes.md)")
+    _add_workload_flags(p)
     _add_common(p)
     p.set_defaults(func=cmd_serve_sim)
 
@@ -773,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-batch-tokens", type=int, default=65536)
     p.add_argument("--kv-frac", type=float, default=0.3)
     p.add_argument("--page-tokens", type=int, default=16)
+    _add_workload_flags(p)
     _add_common(p)
     p.set_defaults(func=cmd_fleet_sim)
 

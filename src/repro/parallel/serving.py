@@ -273,8 +273,17 @@ class TPServingEngine(ServingEngine):
         return t + self._collective_s(len(members)), n
 
     def _decode_time_cached(self, members, rng):
+        # Speculative verify forwards flow through here too, so their
+        # k+1-rows-per-member collectives are charged on the expanded row
+        # count — while the draft model (priced via the *base* class in
+        # ``_draft_forward_time``) stays rank-local and pays none.
         t, n = super()._decode_time_cached(members, rng)
         return t + self._collective_s(len(members)), n
+
+    def _prefill_collective_s(self, rows):
+        # Chunked prefill all-reduces exactly the chunk's activations,
+        # mirroring the whole-prefill override above.
+        return self._collective_s(rows)
 
     # -------------------------------------------------------- step composition
 
@@ -497,6 +506,28 @@ class ShardedServingReport:
         return sum(r.preemptions for r in self.replicas)
 
     @property
+    def spec_proposed(self) -> int:
+        return sum(r.spec_proposed for r in self.replicas)
+
+    @property
+    def spec_accepted(self) -> int:
+        return sum(r.spec_accepted for r in self.replicas)
+
+    @property
+    def prefill_chunks(self) -> int:
+        return sum(r.prefill_chunks for r in self.replicas)
+
+    @property
+    def lora_swaps(self) -> int:
+        return sum(r.lora_swaps for r in self.replicas)
+
+    @property
+    def lora_peak_resident(self) -> int:
+        """Peak resident adapters of the busiest replica (residency is a
+        per-device budget, so replica peaks do not add)."""
+        return max((r.lora_peak_resident for r in self.replicas), default=0)
+
+    @property
     def tokens_per_s(self) -> float:
         return self.total_tokens / self.makespan_s if self.makespan_s else 0.0
 
@@ -533,6 +564,21 @@ class ShardedServingReport:
             )
         # Fleet-era lines are conditional: single-tenant, unshared runs
         # keep the historical (golden-tested) rendering byte for byte.
+        if self.spec_proposed:
+            acc = self.spec_accepted / self.spec_proposed
+            lines.append(
+                f"  speculative  : {self.spec_accepted}/{self.spec_proposed} "
+                f"drafts accepted ({acc:.0%} measured)"
+            )
+        if self.prefill_chunks:
+            lines.append(
+                f"  chunked fill : {self.prefill_chunks} prefill chunks"
+            )
+        if self.lora_peak_resident:
+            lines.append(
+                f"  lora         : peak {self.lora_peak_resident} resident "
+                f"adapters, {self.lora_swaps} swaps"
+            )
         if self.kv_peak_logical_pages > self.kv_peak_used_pages or self.cow_forks:
             saved = 1.0 - self.kv_peak_used_pages / max(
                 1, self.kv_peak_logical_pages

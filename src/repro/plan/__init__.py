@@ -36,7 +36,13 @@ prefill and decode planning across engine steps).
 
 from repro.plan.cache import PlanCache
 from repro.plan.compiled import CompiledPlan
-from repro.plan.key import PlanKey, mask_fingerprint, params_key, spec_fingerprint
+from repro.plan.key import (
+    PlanKey,
+    adapter_fingerprint,
+    mask_fingerprint,
+    params_key,
+    spec_fingerprint,
+)
 from repro.plan.planner import Planner, compile_kernel_plan, compile_launches
 from repro.plan.symbolic import (
     BoundGuard,
@@ -69,6 +75,7 @@ __all__ = [
     "family_base",
     "guard_from_dict",
     "guard_to_dict",
+    "adapter_fingerprint",
     "mask_fingerprint",
     "params_key",
     "spec_fingerprint",

@@ -60,6 +60,24 @@ def mask_fingerprint(mask: np.ndarray) -> str:
     return h.hexdigest()[:20]
 
 
+def adapter_fingerprint(adapter: str, rank: int = 0) -> str:
+    """Plan-key salt fragment naming a LoRA adapter ("" when none).
+
+    Serving mixes this into its decode family salts so a plan specialized
+    for one adapter's gathered GEMM never collides with another adapter's
+    — or with the adapter-free plan, whose salt stays byte-identical to
+    the pre-LoRA era.
+
+    >>> adapter_fingerprint("")
+    ''
+    >>> adapter_fingerprint("tenant-a0", rank=16)
+    ':lora=tenant-a0:r16'
+    """
+    if not adapter:
+        return ""
+    return f":lora={adapter}:r{rank}"
+
+
 def spec_fingerprint(spec: Any) -> str:
     """Content hash of a GPU spec (every dataclass field participates).
 

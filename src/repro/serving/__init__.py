@@ -12,13 +12,17 @@ manager bounded by the device spec, and fleet latency/throughput metrics.
 * :mod:`repro.serving.kvcache`   — paged KV allocation + prefix sharing.
 * :mod:`repro.serving.scheduler` — static vs continuous batch assembly.
 * :mod:`repro.serving.slo`       — per-tenant SLO targets and scheduling.
+* :mod:`repro.serving.spec_decode` — draft-propose / target-verify steps.
+* :mod:`repro.serving.lora`      — multi-LoRA pricing and residency.
 * :mod:`repro.serving.engine`    — the discrete-event simulation loop.
 * :mod:`repro.serving.metrics`   — TTFT / ITL / tokens-per-second reports.
 """
 
 from repro.serving.engine import ServingConfig, ServingEngine, simulate_serving
 from repro.serving.kvcache import KVCacheConfig, PagedKVCache
+from repro.serving.lora import AdapterRegistry, LoRAConfig
 from repro.serving.metrics import (
+    UNSET_S,
     RequestMetrics,
     ServingReport,
     TenantReport,
@@ -39,6 +43,7 @@ from repro.serving.scheduler import (
     make_scheduler,
 )
 from repro.serving.slo import SLOPolicy, SLOScheduler, TenantSLO
+from repro.serving.spec_decode import SpeculativeConfig
 from repro.serving.workload import (
     SCENARIOS,
     ArrivalProcess,
@@ -47,15 +52,19 @@ from repro.serving.workload import (
     PoissonArrivals,
     TenantSpec,
     WorkloadSpec,
+    assign_adapters,
     make_scenario,
 )
 
 __all__ = [
+    "AdapterRegistry",
     "ArrivalProcess",
+    "assign_adapters",
     "BurstyArrivals",
     "ContinuousBatchScheduler",
     "DiurnalArrivals",
     "KVCacheConfig",
+    "LoRAConfig",
     "PagedKVCache",
     "percentile",
     "PoissonArrivals",
@@ -72,10 +81,12 @@ __all__ = [
     "simulate_serving",
     "SLOPolicy",
     "SLOScheduler",
+    "SpeculativeConfig",
     "StaticBatchScheduler",
     "TenantReport",
     "TenantSLO",
     "TenantSpec",
+    "UNSET_S",
     "WorkloadSpec",
     "make_scenario",
     "make_scheduler",

@@ -43,12 +43,15 @@ from repro.plan import (
     PlanCache,
     PlanKey,
     SymbolicPlanKey,
+    adapter_fingerprint,
     params_key,
 )
 from repro.serving.kvcache import KVCacheConfig, PagedKVCache
+from repro.serving.lora import AdapterRegistry, LoRAConfig
 from repro.serving.metrics import RequestMetrics, ServingReport, tenant_reports
 from repro.serving.request import Request, RequestState, RequestTracker
 from repro.serving.scheduler import Scheduler
+from repro.serving.spec_decode import SpeculativeConfig
 
 
 @dataclass(frozen=True)
@@ -72,6 +75,20 @@ class ServingConfig:
     #: keep per-request keying (and every report) identical to before;
     #: see docs/symbolic_shapes.md.
     symbolic_plan_keys: bool = False
+    #: Speculative decoding: a cheap draft model proposes up to
+    #: ``draft_tokens`` per request per step and the target verifies them
+    #: in one batched var-len forward (see repro.serving.spec_decode).
+    #: ``None`` keeps classic one-token-per-step decoding.
+    spec_decode: SpeculativeConfig | None = None
+    #: Chunked prefill: > 0 splits prompts into slices of at most this
+    #: many tokens, interleaved with decode steps so a long prefill stops
+    #: blocking every resident request's inter-token latency.  0 keeps
+    #: whole-prompt prefills.
+    chunk_prefill_tokens: int = 0
+    #: Multi-LoRA serving: price per-request adapters with a gathered
+    #: batched-GEMM surcharge and an LRU residency model
+    #: (see repro.serving.lora).  ``None`` ignores request adapter ids.
+    lora: LoRAConfig | None = None
 
     def __post_init__(self) -> None:
         if min(self.heads, self.head_size, self.n_layers) < 1:
@@ -82,6 +99,23 @@ class ServingConfig:
             raise ConfigError("plan_cache_entries must be >= 1")
         if self.plan_bucket_tokens < 1:
             raise ConfigError("plan_bucket_tokens must be >= 1")
+        if self.spec_decode is not None and not isinstance(
+            self.spec_decode, SpeculativeConfig
+        ):
+            raise ConfigError(
+                f"spec_decode must be a SpeculativeConfig or None, "
+                f"got {type(self.spec_decode).__name__}"
+            )
+        if self.chunk_prefill_tokens < 0:
+            raise ConfigError(
+                f"chunk_prefill_tokens must be >= 0, "
+                f"got {self.chunk_prefill_tokens}"
+            )
+        if self.lora is not None and not isinstance(self.lora, LoRAConfig):
+            raise ConfigError(
+                f"lora must be a LoRAConfig or None, "
+                f"got {type(self.lora).__name__}"
+            )
 
 
 class ServingEngine:
@@ -134,6 +168,21 @@ class ServingEngine:
         #: sharded subclasses price their collectives on this, so a
         #: prefix-cached prefill also shrinks its communication volume.
         self._last_prefill_rows = 0
+        #: Adapter pricing + residency when multi-LoRA serving is on.
+        self._lora = (
+            AdapterRegistry(
+                spec,
+                self.config.lora,
+                hidden=self.config.heads * self.config.head_size,
+                n_layers=self.config.n_layers,
+            )
+            if self.config.lora is not None
+            else None
+        )
+        # Per-run workload counters (reset by ``run``).
+        self._spec_proposed = 0
+        self._spec_accepted = 0
+        self._prefill_chunks = 0
 
     # ----------------------------------------------------------- step pricing
 
@@ -308,11 +357,19 @@ class ServingEngine:
         else:
             pattern = ""
             mask_id = tr.mask_fingerprint(rng)
+        # With LoRA on, the plan specializes for the request's gathered
+        # adapter GEMM, so the adapter id joins the family salt; the
+        # base-model ("" adapter) salt stays byte-identical to before.
+        adapter = ""
+        if self._lora is not None:
+            adapter = adapter_fingerprint(
+                tr.request.adapter, self._lora.config.rank
+            )
         return PlanKey(
             kind="serving-decode",
             pattern=pattern,
             mask=mask_id,
-            salt=f"rows:w={width}",
+            salt=f"rows:w={width}{adapter}",
             shard=self.shard_fingerprint,
         )
 
@@ -393,6 +450,155 @@ class ServingEngine:
             launches += cost.launches
         return seconds * cfg.n_layers, launches * cfg.n_layers
 
+    # ------------------------------------------------- workload-specific pricing
+
+    def _prefill_collective_s(self, rows: int) -> float:
+        """Collective seconds for ``rows`` chunk-prefill activations; the
+        single-device engine has none (sharded engines override)."""
+        return 0.0
+
+    def _chunk_prefill_time(
+        self, tr: RequestTracker, rng: RngStream, max_rows: int
+    ) -> tuple[float, int, int]:
+        """Price the request's next prefill chunk (at most ``max_rows``
+        rows); returns ``(seconds, launches, rows)`` and advances
+        ``tr.prefilled``.
+
+        A chunk covering positions ``[a, b)`` attends all of ``[0, b)`` —
+        a rectangular *tiled* problem through the same kernel selection as
+        whole prefills (the rows are dense and contiguous, so pricing them
+        through the gathered decode path would overcharge them ~10x).
+        Full-width chunk plans are memoized under guarded plan families
+        keyed like decode's (:meth:`_decode_base` identity, a
+        ``pos // chunk == bucket`` :class:`~repro.plan.BucketGuard`, plus
+        the start's in-bucket offset), so a chunk planned for one request
+        replays for every other request with the same mask identity —
+        under ``symbolic_plan_keys``, for *any* same-pattern request
+        regardless of length, exactly the decode-family sharing contract.
+        """
+        cfg = self.config
+        width = cfg.chunk_prefill_tokens
+        a = tr.prefilled
+        b = min(a + min(width, max_rows), tr.context_len)
+        if cfg.use_plan_cache and b - a == width:
+            base = tr._plan_base
+            if base is None:
+                base = self._decode_base(tr, rng)
+                tr._plan_base = base
+            # (bucket, in-bucket offset) uniquely name the start position,
+            # and full width pins the extent, so the cached price is a
+            # pure function of the family key.
+            chunk_base = PlanKey(
+                kind="serving-chunk",
+                pattern=base.pattern,
+                mask=base.mask,
+                salt=f"chunk:w={width}:o={a % width}",
+                shard=self.shard_fingerprint,
+            )
+            fam = self.plan_cache.find_family(chunk_base, ("pos",), {"pos": a})
+            if fam is None:
+                fam = SymbolicPlanKey(
+                    chunk_base,
+                    ("pos",),
+                    GuardSet((BucketGuard("pos", width, a // width),)),
+                )
+            seconds, launches = self.plan_cache.get_or_build(
+                fam, lambda: self._price_chunk(tr, a, b, rng)
+            )
+        else:
+            seconds, launches = self._price_chunk(tr, a, b, rng)
+        tr.prefilled = b
+        self._prefill_chunks += 1
+        return (
+            seconds + self._prefill_collective_s(b - a),
+            launches,
+            b - a,
+        )
+
+    def _price_chunk(
+        self, tr: RequestTracker, a: int, b: int, rng: RngStream
+    ) -> tuple[float, int]:
+        """(seconds, launches) of chunk rows ``[a, b)`` over KV ``[0, b)``.
+
+        For cache-shared (``sym:``) families the slice content is a pure
+        function of positions (that is what pinned params guarantee), so
+        the value is independent of which request builds it first.
+        """
+        problem = AttentionProblem(
+            batch=1,
+            heads=self.config.heads,
+            seq_len=b - a,
+            head_size=self.config.head_size,
+            mask=tr.full_mask(rng)[a:b, :b],
+            pattern="custom",
+            kv_seq_len=b,
+        )
+        plan = self._mha.plan(problem)
+        launches = sum(cost.launches for cost, _ in plan.launches)
+        return (
+            plan.estimated_s * self.config.n_layers,
+            launches * self.config.n_layers,
+        )
+
+    def _draft_forward_time(
+        self, members: list[tuple[RequestTracker, int]], rng: RngStream
+    ) -> tuple[float, int]:
+        """One draft-model packed forward over one proposal depth.
+
+        Deliberately calls the *base* pricing, not ``self``'s override:
+        drafts are small enough that sharded deployments replicate them
+        per rank (vLLM/TRT-LLM practice), so the draft pays compute but
+        never tensor-parallel collectives.
+        """
+        if self.config.use_plan_cache:
+            return ServingEngine._decode_time_cached(self, members, rng)
+        return ServingEngine._decode_time(self, members, rng)
+
+    def _spec_decode_step(
+        self, members: list[tuple[RequestTracker, int]], rng: RngStream
+    ) -> tuple[float, int, list[tuple[RequestTracker, int]]]:
+        """Price one propose+verify speculative step.
+
+        Returns ``(seconds, launches, emits)`` where ``emits`` pairs each
+        member with its emitted token count (accepted drafts + the
+        target's bonus token).  Proposals are capped so a request can
+        never overshoot its generation budget: ``k_i = min(k,
+        remaining - 1)`` keeps ``k_i + 1 <= remaining``.
+        """
+        spec = self.config.spec_decode
+        proposals: list[tuple[RequestTracker, int, int]] = []
+        for tr, pos in members:
+            remaining = tr.request.max_new_tokens - tr.generated
+            proposals.append((tr, pos, min(spec.draft_tokens, remaining - 1)))
+        seconds = 0.0
+        launches = 0
+        # The draft autoregressively proposes depth-by-depth: one packed
+        # forward per depth over the members still proposing at it.
+        depth = max((k for _tr, _pos, k in proposals), default=0)
+        for j in range(depth):
+            mj = [(tr, pos + j) for tr, pos, k in proposals if j < k]
+            t, n = self._draft_forward_time(mj, rng)
+            seconds += spec.draft_cost_ratio * t
+            launches += n
+        # The target verifies every proposal row plus its own bonus row in
+        # ONE packed var-len forward (k_i + 1 rows per member).
+        expanded = [
+            (tr, pos + j) for tr, pos, k in proposals for j in range(k + 1)
+        ]
+        if self.config.use_plan_cache:
+            t, n = self._decode_time_cached(expanded, rng)
+        else:
+            t, n = self._decode_time(expanded, rng)
+        seconds += t
+        launches += n
+        emits: list[tuple[RequestTracker, int]] = []
+        for tr, _pos, k in proposals:
+            accepted = spec.sample_accepted(tr.spec_rng(rng), k)
+            self._spec_proposed += k
+            self._spec_accepted += accepted
+            emits.append((tr, accepted + 1))
+        return seconds, launches, emits
+
     # -------------------------------------------------------- step composition
 
     def _begin_step(self) -> None:
@@ -466,6 +672,11 @@ class ServingEngine:
         rng = rng or RngStream()
         mask_rng = rng.fork("serving-masks")
         cfg = self.config
+        self._spec_proposed = 0
+        self._spec_accepted = 0
+        self._prefill_chunks = 0
+        if self._lora is not None:
+            self._lora.reset()
         cache = PagedKVCache(
             KVCacheConfig.for_spec(
                 self.spec,
@@ -550,6 +761,10 @@ class ServingEngine:
             running.remove(tr)
             tr.state = RequestState.WAITING
             tr.preemptions += 1
+            # Recompute-style preemption discards the KV, so an in-flight
+            # chunked prefill restarts from whatever re-admission finds
+            # cached, not from its old chunk watermark.
+            tr.prefilled = None
             waiting.append(tr)
             waiting.sort(key=lambda t: (t.request.arrival_s, t.req_id))
 
@@ -585,10 +800,59 @@ class ServingEngine:
             self._begin_step()
             launches = 0
             prefill_s = 0.0
+            #: Trackers whose prefill finishes this step (they earn their
+            #: first token at step end).  Without chunking this is exactly
+            #: ``admitted``.
+            prefill_completed: list[RequestTracker] = []
+            #: Adapter -> prefill rows computed this step (LoRA pricing).
+            lora_prefill: dict[str, int] = {}
             for tr in admitted:
-                t, n = self._prefill_time(tr, mask_rng)
-                prefill_s += t
-                launches += n
+                cached = cache.cached_prefix_tokens(tr.req_id)
+                if cfg.chunk_prefill_tokens <= 0 or (
+                    tr.context_len - cached <= cfg.chunk_prefill_tokens
+                ):
+                    # Whole remaining context fits one chunk: take the
+                    # historical whole-prefill path, bit for bit.
+                    t, n = self._prefill_time(tr, mask_rng)
+                    prefill_s += t
+                    launches += n
+                    prefill_completed.append(tr)
+                    if self._lora is not None and tr.request.adapter:
+                        lora_prefill[tr.request.adapter] = (
+                            lora_prefill.get(tr.request.adapter, 0)
+                            + self._last_prefill_rows
+                        )
+                else:
+                    tr.prefilled = cached
+            if cfg.chunk_prefill_tokens > 0:
+                # Advance in-flight chunked prefills — including those
+                # admitted this very step — fused into the step alongside
+                # decode.  ``chunk_prefill_tokens`` is a *per-step* prefill
+                # token budget shared FCFS across pending prefills
+                # (Sarathi-style): the step's total prefill work stays
+                # bounded by one chunk, so decode rows never stall behind
+                # a whole long prompt — or behind several chunks at once.
+                budget = cfg.chunk_prefill_tokens
+                fills = sorted(
+                    (t for t in running if t.prefill_pending),
+                    key=lambda t: (t.request.arrival_s, t.req_id),
+                )
+                for tr in fills:
+                    if budget <= 0:
+                        break
+                    t, n, rows = self._chunk_prefill_time(
+                        tr, mask_rng, budget
+                    )
+                    budget -= rows
+                    prefill_s += t
+                    launches += n
+                    if self._lora is not None and tr.request.adapter:
+                        lora_prefill[tr.request.adapter] = (
+                            lora_prefill.get(tr.request.adapter, 0) + rows
+                        )
+                    if tr.prefilled >= tr.context_len:
+                        tr.prefilled = None
+                        prefill_completed.append(tr)
             prefill_comm_s = self._step_comm_s
 
             members = self.scheduler.decode_members(was_running)
@@ -599,7 +863,16 @@ class ServingEngine:
                     if tr not in running:   # evicted earlier in this pass
                         continue
                     preempted_self = False
-                    while not cache.reserve(tr.req_id, tr.context_len + 1):
+                    need = tr.context_len + 1
+                    if cfg.spec_decode is not None:
+                        # Speculative members may advance k+1 positions in
+                        # one step; reserve that headroom (clamped to the
+                        # budget the request can actually reach).
+                        need = min(
+                            need + cfg.spec_decode.draft_tokens,
+                            tr.request.max_context,
+                        )
+                    while not cache.reserve(tr.req_id, need):
                         evictable = [
                             t
                             for t in running
@@ -618,14 +891,61 @@ class ServingEngine:
                     if not preempted_self:
                         survivors.append((tr, pos))
                 members = survivors
-            if cfg.use_plan_cache:
-                decode_s, n = self._decode_time_cached(members, mask_rng)
+            if cfg.spec_decode is not None and members:
+                decode_s, n, emits = self._spec_decode_step(members, mask_rng)
             else:
-                decode_s, n = self._decode_time(members, mask_rng)
+                if cfg.use_plan_cache:
+                    decode_s, n = self._decode_time_cached(members, mask_rng)
+                else:
+                    decode_s, n = self._decode_time(members, mask_rng)
+                emits = [(tr, 1) for tr, _pos in members]
             launches += n
             decode_comm_s = self._step_comm_s - prefill_comm_s
-            step_s = self._step_time(
-                prefill_s, prefill_comm_s, decode_s, decode_comm_s, launches
+
+            lora_swap_s = 0.0
+            if self._lora is not None:
+                # Gathered adapter GEMMs ride each phase's forward (the
+                # fused-step max applies); swap-ins serialize on PCIe.
+                lora_decode: dict[str, int] = {}
+                for tr, n_tok in emits:
+                    ad = tr.request.adapter
+                    if not ad:
+                        continue
+                    rows = n_tok if cfg.spec_decode is None else (
+                        # Verified rows, not emitted: k_i + 1 per member.
+                        min(
+                            cfg.spec_decode.draft_tokens,
+                            tr.request.max_new_tokens - tr.generated - 1,
+                        )
+                        + 1
+                    )
+                    lora_decode[ad] = lora_decode.get(ad, 0) + rows
+                if lora_prefill:
+                    t, n = self._lora.gemm_time(
+                        sum(lora_prefill.values()), len(lora_prefill)
+                    )
+                    prefill_s += t
+                    launches += n
+                if lora_decode:
+                    t, n = self._lora.gemm_time(
+                        sum(lora_decode.values()), len(lora_decode)
+                    )
+                    decode_s += t
+                    launches += n
+                touched = set(lora_prefill) | set(lora_decode)
+                if touched:
+                    swaps_before = self._lora.swaps
+                    lora_swap_s = self._lora.touch(touched)
+                    if metrics.enabled and self._lora.swaps > swaps_before:
+                        metrics.counter("serving.lora_swaps").inc(
+                            self._lora.swaps - swaps_before
+                        )
+
+            step_s = (
+                self._step_time(
+                    prefill_s, prefill_comm_s, decode_s, decode_comm_s, launches
+                )
+                + lora_swap_s
             )
 
             self._record_step(
@@ -636,17 +956,22 @@ class ServingEngine:
                 kv_gauge.set(cache.occupancy)
             if metrics.enabled:
                 metrics.counter("serving.tokens").inc(
-                    len(admitted) + sum(1 for tr, _ in members if not tr.done)
+                    len(prefill_completed) + sum(n for _tr, n in emits)
                 )
+                if self._lora is not None:
+                    metrics.gauge("serving.lora_resident").set(
+                        len(self._lora.resident)
+                    )
 
             clock += step_s
             steps += 1
 
-            for tr in admitted:
+            for tr in prefill_completed:
                 credit_token(tr)
-            for tr, _pos in members:
-                if not tr.done:
-                    credit_token(tr)
+            for tr, n_tok in emits:
+                for _ in range(n_tok):
+                    if not tr.done:
+                        credit_token(tr)
 
             for tr in self.scheduler.releasable(running):
                 cache.release(tr.req_id)
@@ -688,6 +1013,13 @@ class ServingEngine:
             cow_forks=cache.cow_forks,
             tenants=tenants,
             plan_cache=self.plan_cache.stats() if cfg.use_plan_cache else None,
+            spec_proposed=self._spec_proposed,
+            spec_accepted=self._spec_accepted,
+            prefill_chunks=self._prefill_chunks,
+            lora_swaps=self._lora.swaps if self._lora is not None else 0,
+            lora_peak_resident=(
+                self._lora.peak_resident if self._lora is not None else 0
+            ),
         )
 
 

@@ -17,11 +17,19 @@ reports are bit-identical across runs with the same seed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.serving.request import RequestTracker
+
+#: Explicit sentinel for "this request never produced the event":
+#: a token-less tracker has no TTFT and an unfinished one no finish time.
+#: NaN (not 0.0, not a negative) so arithmetic can never smuggle a bogus
+#: value into an SLO comparison — ``nan <= target`` is always False, and
+#: the aggregate properties below exclude sentinels outright.
+UNSET_S = math.nan
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -39,7 +47,15 @@ def percentile(values: list[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class RequestMetrics:
-    """Latency summary of one completed request."""
+    """Latency summary of one request.
+
+    Engine reports only contain *finished* requests, but this class is
+    also the public conversion point for arbitrary trackers (cancelled,
+    preempted-and-abandoned, still-running).  A tracker that never
+    produced a token has ``ttft_s = UNSET_S`` and an unfinished one
+    ``finish_s = UNSET_S`` — never a negative latency fabricated from a
+    missing timestamp.
+    """
 
     req_id: int
     arrival_s: float
@@ -51,24 +67,51 @@ class RequestMetrics:
     itl_mean_s: float
     tenant: str = ""
     priority: int = 0
+    #: Tail of this request's own inter-token gaps (nearest-rank p99 and
+    #: max); 0.0 for requests with fewer than two tokens.  The fleet-level
+    #: "p99 ITL" the chunked-prefill study reports aggregates these —
+    #: unlike ``itl_mean_s``, a single long stall (a giant fused prefill
+    #: blocking every decoder) cannot hide in a per-request mean.
+    itl_p99_s: float = 0.0
+    itl_max_s: float = 0.0
+
+    @property
+    def has_first_token(self) -> bool:
+        """True iff the request ever emitted a token (TTFT is defined)."""
+        return self.tokens > 0 and not math.isnan(self.ttft_s)
+
+    @property
+    def is_finished(self) -> bool:
+        """True iff the request ran to completion (latency is defined)."""
+        return not math.isnan(self.finish_s)
 
     @property
     def latency_s(self) -> float:
-        """End-to-end: arrival to final token."""
+        """End-to-end: arrival to final token (``UNSET_S`` if unfinished)."""
         return self.finish_s - self.arrival_s
 
     @classmethod
     def from_tracker(cls, tr: RequestTracker) -> "RequestMetrics":
-        gaps = np.diff(tr.token_times_s) if len(tr.token_times_s) > 1 else []
+        gaps = (
+            [float(g) for g in np.diff(tr.token_times_s)]
+            if len(tr.token_times_s) > 1
+            else []
+        )
         return cls(
             req_id=tr.req_id,
             arrival_s=tr.request.arrival_s,
             prompt_len=tr.request.prompt_len,
             tokens=tr.generated,
-            ttft_s=(tr.ttft_s or 0.0) - tr.request.arrival_s,
-            finish_s=tr.finish_s or 0.0,
+            ttft_s=(
+                tr.ttft_s - tr.request.arrival_s
+                if tr.ttft_s is not None
+                else UNSET_S
+            ),
+            finish_s=tr.finish_s if tr.finish_s is not None else UNSET_S,
             preemptions=tr.preemptions,
-            itl_mean_s=float(np.mean(gaps)) if len(gaps) else 0.0,
+            itl_mean_s=float(np.mean(gaps)) if gaps else 0.0,
+            itl_p99_s=percentile(gaps, 99),
+            itl_max_s=max(gaps) if gaps else 0.0,
             tenant=tr.request.tenant,
             priority=tr.request.priority,
         )
@@ -113,14 +156,28 @@ def tenant_reports(
         groups.setdefault((m.tenant, m.priority), []).append(m)
     reports = []
     for (tenant, priority), ms in groups.items():
+        # One sample per metric family, shared by the percentile AND the
+        # attainment so the two can never disagree on population:
+        # * TTFT aggregates cover requests that actually emitted a token
+        #   (token-less trackers carry the UNSET_S sentinel, and counting
+        #   them as "missed" would let cancelled work poison attainment
+        #   just as counting a negative TTFT inflated it before);
+        # * ITL aggregates cover multi-token requests — a single-token
+        #   request has no inter-token gap, so a single-token tenant is
+        #   pinned to itl_p95_s == 0.0 and vacuous itl_attainment == 1.0
+        #   (same convention as an undeclared SLO).
+        first = [m for m in ms if m.has_first_token]
+        multi = [m for m in ms if m.tokens > 1]
         ttft_target = itl_target = 0.0
         ttft_att = itl_att = 1.0
         if slo_policy is not None:
             target = slo_policy.target_for(tenant)
             ttft_target = target.ttft_target_s
             itl_target = target.itl_target_s
-            ttft_att = sum(m.ttft_s <= ttft_target for m in ms) / len(ms)
-            multi = [m for m in ms if m.tokens > 1]
+            if first:
+                ttft_att = sum(
+                    m.ttft_s <= ttft_target for m in first
+                ) / len(first)
             if multi:
                 itl_att = sum(
                     m.itl_mean_s <= itl_target for m in multi
@@ -131,11 +188,9 @@ def tenant_reports(
                 priority=priority,
                 completed=len(ms),
                 tokens=sum(m.tokens for m in ms),
-                ttft_p50_s=percentile([m.ttft_s for m in ms], 50),
-                ttft_p99_s=percentile([m.ttft_s for m in ms], 99),
-                itl_p95_s=percentile(
-                    [m.itl_mean_s for m in ms if m.tokens > 1], 95
-                ),
+                ttft_p50_s=percentile([m.ttft_s for m in first], 50),
+                ttft_p99_s=percentile([m.ttft_s for m in first], 99),
+                itl_p95_s=percentile([m.itl_mean_s for m in multi], 95),
                 ttft_target_s=ttft_target,
                 itl_target_s=itl_target,
                 ttft_attainment=ttft_att,
@@ -174,6 +229,15 @@ class ServingReport:
     cow_forks: int = 0
     #: Per-tenant aggregates; empty for single-tenant (legacy) traces.
     tenants: tuple[TenantReport, ...] = ()
+    #: Speculative decoding totals: drafts proposed and accepted over the
+    #: whole run (both 0 when the engine ran without speculation).
+    spec_proposed: int = 0
+    spec_accepted: int = 0
+    #: Chunked-prefill slices priced (0 when every prefill ran whole).
+    prefill_chunks: int = 0
+    #: Multi-LoRA residency outcome (0 when no request carried an adapter).
+    lora_swaps: int = 0
+    lora_peak_resident: int = 0
     #: Plan-cache statistics of the run (``PlanCache.stats()`` form), or
     #: ``None`` when the cache is disabled.  Excluded from equality: a
     #: cached and an uncached run of the same workload produce identical
@@ -196,7 +260,8 @@ class ServingReport:
 
     @property
     def ttfts(self) -> list[float]:
-        return [r.ttft_s for r in self.requests]
+        """TTFT samples — requests that emitted at least one token."""
+        return [r.ttft_s for r in self.requests if r.has_first_token]
 
     @property
     def itls(self) -> list[float]:
@@ -208,11 +273,28 @@ class ServingReport:
     def itl_p(self, q: float) -> float:
         return percentile(self.itls, q)
 
+    def itl_tail_p(self, q: float) -> float:
+        """Percentile over per-request *p99* inter-token gaps.
+
+        The chunked-prefill headline metric: a long fused prefill stalls
+        every concurrent decoder for one giant gap, which a per-request
+        *mean* dilutes but a per-request tail cannot.
+        """
+        return percentile(
+            [r.itl_p99_s for r in self.requests if r.tokens > 1], q
+        )
+
+    @property
+    def itl_max_s(self) -> float:
+        """Worst single inter-token gap any request observed."""
+        return max((r.itl_max_s for r in self.requests), default=0.0)
+
     @property
     def mean_latency_s(self) -> float:
-        if not self.requests:
+        done = [r.latency_s for r in self.requests if r.is_finished]
+        if not done:
             return 0.0
-        return float(np.mean([r.latency_s for r in self.requests]))
+        return float(np.mean(done))
 
     # -------------------------------------------------------------- rendering
 
@@ -234,8 +316,24 @@ class ServingReport:
             f"  KV cache     : peak occupancy {self.kv_peak_occupancy:.1%}, "
             f"{self.preemptions} preemptions",
         ]
-        # New fleet-era lines are conditional so single-tenant runs keep
-        # producing the historical (golden-tested) summary byte for byte.
+        # New fleet-era / workload lines are conditional so legacy runs
+        # keep producing the historical (golden-tested) summary byte for
+        # byte.
+        if self.spec_proposed:
+            acc = self.spec_accepted / self.spec_proposed
+            lines.append(
+                f"  speculative  : {self.spec_accepted}/{self.spec_proposed} "
+                f"drafts accepted ({acc:.0%} measured)"
+            )
+        if self.prefill_chunks:
+            lines.append(
+                f"  chunked fill : {self.prefill_chunks} prefill chunks"
+            )
+        if self.lora_peak_resident:
+            lines.append(
+                f"  lora         : peak {self.lora_peak_resident} resident "
+                f"adapters, {self.lora_swaps} swaps"
+            )
         if self.kv_peak_logical_pages > self.kv_peak_used_pages or self.cow_forks:
             saved = 1.0 - self.kv_peak_used_pages / max(
                 1, self.kv_peak_logical_pages

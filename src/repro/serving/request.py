@@ -50,6 +50,10 @@ class Request:
     priority: int = 0
     prefix_id: str = ""
     prefix_len: int = 0
+    #: LoRA adapter id ("" = the base model).  Requests carrying an
+    #: adapter pay the gathered batched-GEMM surcharge and key their
+    #: decode plan families per adapter (see repro.serving.lora).
+    adapter: str = ""
 
     def __post_init__(self) -> None:
         if self.prompt_len < 1:
@@ -105,10 +109,31 @@ class RequestTracker:
     # Interned family base (the decode PlanKey with the position dim left
     # symbolic); resolved once per request by the engine.
     _plan_base: object = field(default=None, repr=False)
+    # Chunked-prefill progress: positions whose KV is already computed
+    # this residency, or None when no chunked prefill is in flight
+    # (whole-prefill mode, or the chunks completed).  Reset on preemption
+    # — recompute-style preemption restarts the prefill.
+    prefilled: int | None = field(default=None, repr=False)
+    # Per-request acceptance stream of speculative decoding; forked from
+    # the run's mask rng on first use (by req_id, never by step), so
+    # batch composition cannot perturb another request's acceptances.
+    _spec_rng: RngStream | None = field(default=None, repr=False)
 
     @property
     def req_id(self) -> int:
         return self.request.req_id
+
+    @property
+    def prefill_pending(self) -> bool:
+        """True while a chunked prefill is still streaming this context
+        in; the request joins decode only once it turns False."""
+        return self.prefilled is not None
+
+    def spec_rng(self, rng: RngStream) -> RngStream:
+        """The request's acceptance stream (created once, then stateful)."""
+        if self._spec_rng is None:
+            self._spec_rng = rng.fork(f"spec-{self.req_id}")
+        return self._spec_rng
 
     @property
     def context_len(self) -> int:

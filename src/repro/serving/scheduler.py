@@ -87,9 +87,15 @@ class Scheduler(ABC):
         """(tracker, mask-row position) pairs computed in this decode step.
 
         Shared by every policy so per-step decode cost is attributed
-        identically: exactly one row per *live* member.
+        identically: exactly one row per *live* member.  Members whose
+        chunked prefill is still streaming in hold pages but cannot
+        decode yet — they are excluded until their last chunk lands.
         """
-        return [(tr, tr.context_len) for tr in running if not tr.done]
+        return [
+            (tr, tr.context_len)
+            for tr in running
+            if not tr.done and not tr.prefill_pending
+        ]
 
     @abstractmethod
     def releasable(self, running: list[RequestTracker]) -> list[RequestTracker]:

@@ -1,0 +1,83 @@
+"""Speculative decoding: draft-propose / target-verify step modeling.
+
+A small *draft* model proposes ``draft_tokens`` tokens per request per
+decode step; the target model then verifies all proposals **in one packed
+var-len forward** — the same block-diagonal row-per-position regime the
+serving engine already prices for plain decode, just with ``k + 1`` rows
+per request instead of one.  The step emits every leading accepted draft
+token plus the target's own "bonus" token, so a request advances between
+1 and ``draft_tokens + 1`` positions per step.
+
+Acceptance is a seedable per-token Bernoulli process
+(:meth:`SpeculativeConfig.sample_accepted`): each proposal is accepted
+independently with probability ``accept_rate`` until the first rejection.
+The stream is forked per request id, never per step, so batch composition
+and preemption cannot perturb another request's acceptance history —
+two runs with the same seed produce bit-identical token streams.
+
+Cost model:
+
+* the draft forward is priced through the *same* row-wise kernel path as
+  the target (one packed forward per proposal depth), scaled by
+  ``draft_cost_ratio`` — the draft is that fraction of the target's
+  per-token cost;
+* the verify forward is one packed var-len problem over all proposal
+  rows, so its attention cost is exact (each row gathers its own KV run)
+  and the per-step overhead/dispatch constants amortize over every
+  emitted token — which is precisely the speedup speculation buys.
+
+At ``accept_rate=1.0`` every proposal lands and each request's generated
+token count matches the non-speculative engine exactly (differential
+test); at ``accept_rate=0.0`` every step degenerates to one emitted token
+per request, with the draft cost as pure overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+from repro.core.rng import RngStream
+
+
+@dataclass(frozen=True)
+class SpeculativeConfig:
+    """Knobs of the draft-propose / target-verify loop."""
+
+    #: Proposals per request per step (``k``).  The verify forward prices
+    #: ``k + 1`` rows per request (proposals + the target's bonus token).
+    draft_tokens: int = 4
+    #: Per-token i.i.d. acceptance probability of the Bernoulli process.
+    accept_rate: float = 0.8
+    #: Draft-model forward cost as a fraction of the target's (a 7B draft
+    #: for a 70B target sits around 0.1; same-family small drafts 0.1–0.3).
+    draft_cost_ratio: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.draft_tokens < 1:
+            raise ConfigError(
+                f"draft_tokens must be >= 1, got {self.draft_tokens}"
+            )
+        if not 0.0 <= self.accept_rate <= 1.0:
+            raise ConfigError(
+                f"accept_rate must be in [0, 1], got {self.accept_rate}"
+            )
+        if self.draft_cost_ratio < 0.0:
+            raise ConfigError(
+                f"draft_cost_ratio must be >= 0, got {self.draft_cost_ratio}"
+            )
+
+    def sample_accepted(self, rng: RngStream, proposed: int) -> int:
+        """Leading accepted proposals out of ``proposed`` drafted tokens.
+
+        Draws one uniform per proposal until the first rejection (the
+        rejected draft and everything after it are discarded, exactly like
+        real rejection sampling).  ``accept_rate=1.0`` accepts all
+        ``proposed`` without consuming fewer draws than proposals made —
+        `u < 1.0` always holds for ``u ~ U[0, 1)`` — so the determinism
+        contract is uniform across rates.
+        """
+        for i in range(proposed):
+            if not float(rng.random()) < self.accept_rate:
+                return i
+        return proposed

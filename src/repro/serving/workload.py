@@ -191,6 +191,10 @@ class TenantSpec:
     pattern: str = "causal"
     pattern_overrides: tuple[tuple[str, object], ...] = ()
     system_prompt_len: int = 0
+    #: Distinct LoRA adapters this tenant's requests draw from (uniformly);
+    #: 0 means every request runs the base model.  Adapter ids are
+    #: ``"<tenant>-a<i>"`` so two tenants never share an adapter.
+    adapter_pool: int = 0
 
     def __post_init__(self) -> None:
         _require_positive("weight", self.weight)
@@ -203,6 +207,10 @@ class TenantSpec:
         if self.system_prompt_len < 0:
             raise ConfigError(
                 f"system_prompt_len must be >= 0, got {self.system_prompt_len}"
+            )
+        if self.adapter_pool < 0:
+            raise ConfigError(
+                f"adapter_pool must be >= 0, got {self.adapter_pool}"
             )
         if self.pattern not in PATTERN_REGISTRY:
             raise ConfigError(
@@ -266,6 +274,15 @@ class WorkloadSpec:
         arrivals_rng = rng.fork("arrivals")
         lengths_rng = rng.fork("lengths")
         tenants_rng = rng.fork("tenants") if len(self.tenants) > 1 else None
+        # The adapter stream exists only when some tenant declares a pool,
+        # and draws only for requests of such tenants — so adapter-free
+        # workloads (and adapter-free tenants inside mixed workloads)
+        # consume exactly the legacy draw sequence, byte for byte.
+        adapters_rng = (
+            rng.fork("adapters")
+            if any(t.adapter_pool > 0 for t in self.tenants)
+            else None
+        )
 
         clock = 0.0
         trace: list[Request] = []
@@ -281,6 +298,10 @@ class WorkloadSpec:
             )
             lo, hi = tenant.max_new_range
             max_new = int(lengths_rng.integers(lo, hi + 1))
+            adapter = ""
+            if adapters_rng is not None and tenant.adapter_pool > 0:
+                slot = int(adapters_rng.integers(0, tenant.adapter_pool))
+                adapter = f"{tenant.name or 'lora'}-a{slot}"
             trace.append(
                 Request(
                     req_id=i,
@@ -293,9 +314,33 @@ class WorkloadSpec:
                     priority=tenant.priority,
                     prefix_id=tenant.prefix_id,
                     prefix_len=tenant.system_prompt_len,
+                    adapter=adapter,
                 )
             )
         return trace
+
+
+def assign_adapters(
+    trace: list[Request], n_adapters: int, prefix: str = "lora"
+) -> list[Request]:
+    """Round-robin ``n_adapters`` adapter ids over an existing trace.
+
+    The deterministic (RNG-free) way to put adapters on a trace that was
+    generated without them — the CLI's ``--lora-adapters`` path.  Ids
+    cycle by trace position: ``prefix-a0, prefix-a1, ...``.
+
+    >>> from repro.core.rng import RngStream
+    >>> from repro.serving.request import synthetic_trace
+    >>> t = assign_adapters(synthetic_trace(3, 50.0, RngStream(1)), 2)
+    >>> [r.adapter for r in t]
+    ['lora-a0', 'lora-a1', 'lora-a0']
+    """
+    if n_adapters < 1:
+        raise ConfigError(f"n_adapters must be >= 1, got {n_adapters}")
+    return [
+        replace(r, adapter=f"{prefix}-a{i % n_adapters}")
+        for i, r in enumerate(trace)
+    ]
 
 
 # --------------------------------------------------------------- scenarios

@@ -1,0 +1,79 @@
+"""The three serving workloads run warning-free under ``-W error``.
+
+One subprocess per workload (speculative decoding, chunked prefill,
+multi-LoRA) so the interpreter-level filter applies from the first
+import — the same contract :mod:`test_warnings_clean` pins for the
+legacy paths, extended to the workload knobs a downstream user would
+flip first.
+"""
+
+import subprocess
+import sys
+
+PRELUDE = (
+    "from repro.core.rng import RngStream\n"
+    "from repro.gpu.specs import A100\n"
+    "from repro.serving import (LoRAConfig, ServingConfig,\n"
+    "                           SpeculativeConfig, assign_adapters,\n"
+    "                           make_scheduler, simulate_serving,\n"
+    "                           synthetic_trace)\n"
+    "trace = synthetic_trace(4, 500.0, rng=RngStream(3),\n"
+    "                        prompt_range=(8, 32), max_new_range=(4, 8))\n"
+)
+
+
+def run_strict(code: str) -> None:
+    proc = subprocess.run(
+        [sys.executable, "-W", "error", "-c", code],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_spec_decode_is_warning_free():
+    run_strict(
+        PRELUDE
+        + "cfg = ServingConfig(heads=2, head_size=16, n_layers=2,\n"
+        "                    spec_decode=SpeculativeConfig(draft_tokens=4))\n"
+        "rep = simulate_serving(trace, A100, make_scheduler('continuous'),\n"
+        "                       cfg, rng=RngStream(17))\n"
+        "assert rep.completed == 4 and rep.spec_proposed > 0\n"
+    )
+
+
+def test_chunked_prefill_is_warning_free():
+    run_strict(
+        PRELUDE
+        + "cfg = ServingConfig(heads=2, head_size=16, n_layers=2,\n"
+        "                    chunk_prefill_tokens=8)\n"
+        "rep = simulate_serving(trace, A100, make_scheduler('continuous'),\n"
+        "                       cfg, rng=RngStream(17))\n"
+        "assert rep.completed == 4 and rep.prefill_chunks > 0\n"
+    )
+
+
+def test_multi_lora_is_warning_free():
+    run_strict(
+        PRELUDE
+        + "cfg = ServingConfig(heads=2, head_size=16, n_layers=2,\n"
+        "                    lora=LoRAConfig(max_resident=2))\n"
+        "rep = simulate_serving(assign_adapters(trace, 3), A100,\n"
+        "                       make_scheduler('continuous'),\n"
+        "                       cfg, rng=RngStream(17))\n"
+        "assert rep.completed == 4 and rep.lora_swaps >= 3\n"
+    )
+
+
+def test_all_workloads_stacked_is_warning_free():
+    run_strict(
+        PRELUDE
+        + "cfg = ServingConfig(heads=2, head_size=16, n_layers=2,\n"
+        "                    spec_decode=SpeculativeConfig(draft_tokens=2),\n"
+        "                    chunk_prefill_tokens=8,\n"
+        "                    lora=LoRAConfig(max_resident=2))\n"
+        "rep = simulate_serving(assign_adapters(trace, 2), A100,\n"
+        "                       make_scheduler('continuous'),\n"
+        "                       cfg, rng=RngStream(17))\n"
+        "assert rep.completed == 4\n"
+    )

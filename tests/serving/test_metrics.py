@@ -1,0 +1,151 @@
+"""Metrics correctness: sentinel semantics and non-negativity guarantees.
+
+Regression suite for the negative-TTFT bug: ``RequestMetrics.from_tracker``
+used to fabricate ``ttft_s = -arrival_s`` for a tracker that never emitted
+a token (and a bogus finish latency for an unfinished one).  Both now carry
+the explicit ``UNSET_S`` NaN sentinel, the boolean views (``has_first_token``
+/ ``is_finished``) gate every aggregate, and a hypothesis sweep pins the
+global invariant: no simulated trace can produce a negative TTFT, ITL, or
+end-to-end latency.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rng import RngStream
+from repro.gpu.specs import A100
+from repro.serving import (
+    UNSET_S,
+    Request,
+    RequestMetrics,
+    RequestTracker,
+    ServingConfig,
+    make_scheduler,
+    simulate_serving,
+    synthetic_trace,
+    tenant_reports,
+)
+
+CONFIG = ServingConfig(heads=2, head_size=16, n_layers=2)
+
+
+def run(trace, policy="continuous", config=CONFIG, seed=17):
+    return simulate_serving(
+        trace, A100, make_scheduler(policy), config, rng=RngStream(seed)
+    )
+
+
+class TestUnsetSentinels:
+    """from_tracker on trackers that never reached the milestone."""
+
+    def test_tokenless_tracker_has_nan_ttft_not_negative(self):
+        # Regression: arrival at t=3.5s with no token used to yield
+        # ttft_s == -3.5 (0 - arrival), a negative latency.
+        tr = RequestTracker(
+            Request(req_id=0, arrival_s=3.5, prompt_len=8, max_new_tokens=4)
+        )
+        m = RequestMetrics.from_tracker(tr)
+        assert math.isnan(m.ttft_s)
+        assert not m.has_first_token
+        assert m.tokens == 0
+
+    def test_unfinished_tracker_has_nan_finish_and_latency(self):
+        tr = RequestTracker(
+            Request(req_id=1, arrival_s=2.0, prompt_len=8, max_new_tokens=4)
+        )
+        tr.generated = 2
+        tr.ttft_s = 2.5
+        tr.token_times_s = [2.5, 2.6]
+        m = RequestMetrics.from_tracker(tr)
+        assert m.ttft_s == 0.5
+        assert math.isnan(m.finish_s)
+        assert math.isnan(m.latency_s)
+        assert not m.is_finished
+        assert m.has_first_token
+
+    def test_preempted_then_abandoned_tracker(self):
+        """A tracker preempted after first token but never finished."""
+        tr = RequestTracker(
+            Request(req_id=2, arrival_s=1.0, prompt_len=16, max_new_tokens=8)
+        )
+        tr.generated = 1
+        tr.ttft_s = 1.2
+        tr.token_times_s = [1.2]
+        tr.preemptions = 3
+        m = RequestMetrics.from_tracker(tr)
+        assert m.ttft_s == 0.2 or abs(m.ttft_s - 0.2) < 1e-12
+        assert math.isnan(m.finish_s)
+        assert m.preemptions == 3
+        assert m.itl_mean_s == 0.0          # single token: no gaps
+        assert m.itl_p99_s == 0.0
+        assert m.itl_max_s == 0.0
+
+    def test_unset_sentinel_never_passes_slo_comparison(self):
+        """nan <= target is False — an unset TTFT cannot count as met."""
+        assert not (UNSET_S <= 1e9)
+        assert not (UNSET_S <= 0.0)
+
+
+class TestTenantFilterConsistency:
+    """tenant_reports draws percentiles and attainment from one sample."""
+
+    def _metric(self, req_id, tokens, ttft, finish, itl=0.0, tenant="t"):
+        return RequestMetrics(
+            req_id=req_id, arrival_s=0.0, prompt_len=8, tokens=tokens,
+            ttft_s=ttft, finish_s=finish, preemptions=0, itl_mean_s=itl,
+            tenant=tenant,
+        )
+
+    def test_tokenless_request_excluded_from_ttft_aggregates(self):
+        ms = [
+            self._metric(0, tokens=4, ttft=0.1, finish=0.5, itl=0.01),
+            self._metric(1, tokens=0, ttft=UNSET_S, finish=UNSET_S),
+        ]
+        (rep,) = tenant_reports(ms)
+        assert rep.completed == 2            # both grouped
+        assert rep.ttft_p50_s == 0.1         # sentinel excluded
+        assert rep.ttft_p99_s == 0.1
+
+    def test_single_token_tenant_pins_itl_to_zero(self):
+        """One-token requests have no inter-token gap; the tenant's ITL
+        percentile is pinned to 0.0 and attainment stays vacuous."""
+        ms = [self._metric(0, tokens=1, ttft=0.1, finish=0.2)]
+        (rep,) = tenant_reports(ms)
+        assert rep.itl_p95_s == 0.0
+        assert rep.itl_attainment == 1.0
+
+    def test_single_request_tenant(self):
+        ms = [self._metric(0, tokens=3, ttft=0.25, finish=0.9, itl=0.02)]
+        (rep,) = tenant_reports(ms)
+        assert rep.ttft_p50_s == rep.ttft_p99_s == 0.25
+        assert rep.itl_p95_s == 0.02
+
+
+class TestReportNonNegativity:
+    """End-to-end: simulated reports never contain negative latencies."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=10),
+        rate=st.floats(min_value=10.0, max_value=5000.0),
+        seed=st.integers(min_value=0, max_value=2**20),
+        policy=st.sampled_from(["static", "continuous"]),
+    )
+    def test_all_latencies_non_negative(self, n, rate, seed, policy):
+        trace = synthetic_trace(
+            n, rate, rng=RngStream(seed),
+            prompt_range=(4, 48), max_new_range=(1, 12),
+        )
+        report = run(trace, policy=policy, seed=seed)
+        for m in report.requests:
+            if m.has_first_token:
+                assert m.ttft_s >= 0.0
+            if m.is_finished:
+                assert m.latency_s >= 0.0
+            assert m.itl_mean_s >= 0.0
+            assert m.itl_p99_s >= 0.0
+            assert m.itl_max_s >= 0.0
+        assert report.ttft_p(99) >= 0.0
+        assert report.itl_p(99) >= 0.0
+        assert report.itl_tail_p(99) >= 0.0

@@ -1,0 +1,151 @@
+"""Speculative decoding: differential guarantees against plain decode.
+
+The load-bearing property: speculation changes *when* tokens are priced,
+never *which* tokens a request emits.  At ``accept_rate=1.0`` every draft
+is accepted, so per-request token counts are byte-identical to the
+non-speculative baseline while the step count collapses by roughly the
+draft depth.
+"""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.rng import RngStream
+from repro.gpu.specs import A100
+from repro.serving import (
+    ServingConfig,
+    SpeculativeConfig,
+    make_scheduler,
+    simulate_serving,
+    synthetic_trace,
+)
+
+BASE = ServingConfig(heads=2, head_size=16, n_layers=2)
+
+
+def trace(n=6, seed=3):
+    return synthetic_trace(
+        n, 200.0, rng=RngStream(seed),
+        prompt_range=(8, 40), max_new_range=(8, 24),
+    )
+
+
+def run(tr, config=BASE, seed=17):
+    return simulate_serving(
+        tr, A100, make_scheduler("continuous"), config, rng=RngStream(seed)
+    )
+
+
+def spec_config(**kw):
+    return ServingConfig(
+        heads=2, head_size=16, n_layers=2,
+        spec_decode=SpeculativeConfig(**kw),
+    )
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        cfg = SpeculativeConfig()
+        assert cfg.draft_tokens >= 1
+        assert 0.0 <= cfg.accept_rate <= 1.0
+
+    @pytest.mark.parametrize("kw", [
+        {"draft_tokens": 0},
+        {"draft_tokens": -1},
+        {"accept_rate": -0.1},
+        {"accept_rate": 1.5},
+        {"draft_cost_ratio": -0.5},
+    ])
+    def test_bad_values_rejected(self, kw):
+        with pytest.raises(ConfigError):
+            SpeculativeConfig(**kw)
+
+    def test_serving_config_rejects_wrong_type(self):
+        with pytest.raises(ConfigError):
+            ServingConfig(heads=2, head_size=16, n_layers=2,
+                          spec_decode={"draft_tokens": 4})
+
+
+class TestTokenEquivalence:
+    def test_accept_all_matches_baseline_token_counts(self):
+        """accept_rate=1.0: every request emits exactly its budget, same
+        as the non-speculative run — speculation is latency-only."""
+        t = trace()
+        base = run(t)
+        spec = run(t, config=spec_config(draft_tokens=4, accept_rate=1.0))
+        base_by_id = {m.req_id: m.tokens for m in base.requests}
+        spec_by_id = {m.req_id: m.tokens for m in spec.requests}
+        assert base_by_id == spec_by_id
+        assert spec.total_tokens == base.total_tokens
+        assert spec.completed == base.completed
+
+    def test_accept_all_reduces_steps(self):
+        t = trace()
+        base = run(t)
+        spec = run(t, config=spec_config(draft_tokens=4, accept_rate=1.0))
+        assert spec.total_steps < base.total_steps
+        assert spec.spec_proposed == spec.spec_accepted > 0
+
+    def test_partial_acceptance_still_completes_everything(self):
+        t = trace()
+        rep = run(t, config=spec_config(draft_tokens=4, accept_rate=0.6))
+        assert rep.completed == len(t)
+        assert rep.total_tokens == sum(r.max_new_tokens for r in t)
+        assert 0 < rep.spec_accepted < rep.spec_proposed
+
+    def test_higher_accept_rate_fewer_steps(self):
+        t = trace(n=8)
+        steps = [
+            run(t, config=spec_config(draft_tokens=4, accept_rate=r)).total_steps
+            for r in (0.2, 0.6, 1.0)
+        ]
+        assert steps[0] >= steps[1] >= steps[2]
+        assert steps[0] > steps[2]
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        t = trace()
+        cfg = spec_config(draft_tokens=3, accept_rate=0.7)
+        assert run(t, config=cfg) == run(t, config=cfg)
+
+    def test_acceptance_stream_is_per_request(self):
+        """Adding an unrelated request must not change another request's
+        accepted-draft sequence (acceptance RNG forks by req_id)."""
+        t_small = trace(n=4)
+        t_big = trace(n=6)          # same seed: first 4 requests identical
+        assert [r.req_id for r in t_big[:4]] == [r.req_id for r in t_small]
+        cfg = spec_config(draft_tokens=4, accept_rate=0.5)
+        small = run(t_small, config=cfg)
+        big = run(t_big, config=cfg)
+        small_tokens = {m.req_id: m.tokens for m in small.requests}
+        big_tokens = {m.req_id: m.tokens for m in big.requests}
+        for rid, n in small_tokens.items():
+            assert big_tokens[rid] == n
+
+
+class TestShardedSpecDecode:
+    def test_tp_engine_aggregates_spec_counters(self):
+        from repro.parallel import FleetConfig
+        from repro.parallel.serving import ShardedServingEngine
+
+        cfg = spec_config(draft_tokens=3, accept_rate=0.8)
+        engine = ShardedServingEngine(
+            A100, "continuous", cfg, fleet=FleetConfig(shard="tp2"),
+        )
+        rep = engine.run(trace(), rng=RngStream(17))
+        assert rep.completed == 6
+        assert rep.spec_proposed > 0
+        assert 0 < rep.spec_accepted <= rep.spec_proposed
+        assert "speculative" in rep.summary()
+
+
+class TestServeFrontDoor:
+    def test_serve_kwarg_applies(self):
+        import repro
+
+        rep = repro.serve(
+            BASE, trace(), seed=17,
+            spec_decode=SpeculativeConfig(draft_tokens=4, accept_rate=1.0),
+        )
+        assert rep.spec_proposed == rep.spec_accepted > 0

@@ -130,6 +130,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "TTFT" in out and "tok/s" in out
 
+    def test_serve_sim_workload_knobs(self, capsys):
+        assert main(["serve-sim", "--num-requests", "4", "--rate", "500",
+                     "--policy", "continuous", "--layers", "2",
+                     "--heads", "2", "--head-size", "16",
+                     "--prompt-min", "16", "--prompt-max", "32",
+                     "--new-min", "4", "--new-max", "8",
+                     "--spec-decode", "4", "--accept-rate", "0.9",
+                     "--chunk-tokens", "8",
+                     "--lora-adapters", "2", "--lora-max-resident", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "speculative" in out and "drafts accepted" in out
+        assert "chunked fill" in out
+        assert "lora" in out and "swaps" in out
+
     def test_shard_sim(self, capsys):
         assert main(["shard-sim", "--tp", "2", "--dp", "2",
                      "--num-requests", "8", "--rate", "1000",
@@ -177,6 +191,16 @@ class TestCommands:
         assert "autoscale" in out and "capacity" in out
         assert "prefix share" in out
         assert "tenant chat" in out and "% met" in out
+
+    def test_fleet_sim_workload_knobs(self, capsys):
+        assert main(["fleet-sim", "--scenario", "steady",
+                     "--num-requests", "12", "--rate", "3000",
+                     "--max-replicas", "2", "--layers", "2",
+                     "--heads", "4", "--head-size", "16",
+                     "--spec-decode", "2", "--lora-adapters", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "speculative" in out
+        assert "lora" in out
 
     def test_fleet_sim_frontier(self, capsys):
         assert main(["fleet-sim", "--scenario", "steady",
